@@ -1,0 +1,33 @@
+//! Blocking/windowing benchmarks — the criterion companion of Fig. 9(d),
+//! 10(d) and Exp-4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matchrules_bench::experiments::{exp4_windowing, fig9d_10d_blocking, workload};
+use std::hint::black_box;
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9d_blocking");
+    group.sample_size(10);
+    for k in [1000usize, 2000] {
+        let w = workload(k, 0xb10c + k as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(fig9d_10d_blocking(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_windowing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_windowing");
+    group.sample_size(10);
+    for k in [1000usize, 2000] {
+        let w = workload(k, 0xd0 + k as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(exp4_windowing(&w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking, bench_windowing);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! MDClosure (deduction) micro-benchmarks: the §4 algorithm at growing
+//! card(Σ), plus the paper's worked example.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matchrules_core::deduction::deduces;
+use matchrules_core::paper;
+use matchrules_data::mdgen::{generate, MdGenConfig};
+use std::hint::black_box;
+
+fn bench_deduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdclosure");
+    for card in [100usize, 400, 1600] {
+        let setting = generate(&MdGenConfig::fig8(card, 8, 42));
+        // The MD under test: the trivial key's MD form.
+        let phi = setting.target.trivial_key().to_md(&setting.target);
+        group.bench_with_input(BenchmarkId::new("deduce", card), &card, |b, _| {
+            b.iter(|| black_box(deduces(&setting.sigma, &phi)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_example(c: &mut Criterion) {
+    let setting = paper::example_1_1();
+    let rck4 = paper::example_2_4_rcks(&setting).pop().expect("rck4");
+    let phi = rck4.to_md(&setting.target);
+    c.bench_function("mdclosure/example_4_1_rck4", |b| {
+        b.iter(|| black_box(deduces(&setting.sigma, &phi)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_deduction, bench_paper_example
+}
+criterion_main!(benches);

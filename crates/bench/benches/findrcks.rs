@@ -1,0 +1,43 @@
+//! findRCKs benchmarks — the criterion companion of Fig. 8(a)/(b) at
+//! reduced scale (the figure binaries sweep the paper's full ranges).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matchrules_core::cost::CostModel;
+use matchrules_core::rck::find_rcks;
+use matchrules_data::mdgen::{generate, MdGenConfig};
+use std::hint::black_box;
+
+/// Fig. 8(a) shape: runtime vs card(Σ) at m = 20.
+fn bench_vs_card(c: &mut Criterion) {
+    let mut group = c.benchmark_group("findrcks/card");
+    group.sample_size(10);
+    for card in [200usize, 400, 800] {
+        let setting = generate(&MdGenConfig::fig8(card, 8, 0x8a));
+        group.bench_with_input(BenchmarkId::from_parameter(card), &card, |b, _| {
+            b.iter(|| {
+                let mut cost = CostModel::uniform();
+                black_box(find_rcks(&setting.sigma, &setting.target, 20, &mut cost).keys.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 8(b) shape: runtime vs m at fixed card(Σ).
+fn bench_vs_m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("findrcks/m");
+    group.sample_size(10);
+    let setting = generate(&MdGenConfig::fig8(400, 8, 0x8b));
+    for m in [5usize, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut cost = CostModel::uniform();
+                black_box(find_rcks(&setting.sigma, &setting.target, m, &mut cost).keys.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_card, bench_vs_m);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end matcher benchmarks — the criterion companion of Fig. 9/10 at
+//! reduced K (the figure binaries sweep 10k..80k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matchrules_bench::experiments::{fig10_sn, fig9_fs, workload};
+use std::hint::black_box;
+
+fn bench_fs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fs");
+    group.sample_size(10);
+    for k in [500usize, 1000] {
+        let w = workload(k, 0xbe9 + k as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(fig9_fs(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_sn");
+    group.sample_size(10);
+    for k in [500usize, 1000] {
+        let w = workload(k, 0xbe10 + k as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(fig10_sn(&w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fs, bench_sn);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Similarity-kernel benchmarks: the metrics the matching loops spend
+//! their time in (§6.2 uses DL with θ = 0.8 throughout).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matchrules_simdist::edit::{damerau_levenshtein, levenshtein, levenshtein_within};
+use matchrules_simdist::jaro::jaro_winkler;
+use matchrules_simdist::ops::{DamerauOp, SimilarityOp};
+use matchrules_simdist::phonetic::soundex;
+use matchrules_simdist::qgram::dice;
+use std::hint::black_box;
+
+const PAIRS: &[(&str, &str)] = &[
+    ("Mark", "Marx"),
+    ("Clifford", "Clivord"),
+    ("10 Oak Street, MH, NJ 07974", "10 Oak Str, MH, NJ 07974"),
+    ("908-1111111", "908-2222222"),
+    ("jamessmith12@gmail.com", "jamessmith21@gmail.com"),
+];
+
+fn bench_metrics(c: &mut Criterion) {
+    c.bench_function("simdist/levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(levenshtein(x, y));
+            }
+        })
+    });
+    c.bench_function("simdist/damerau", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(damerau_levenshtein(x, y));
+            }
+        })
+    });
+    c.bench_function("simdist/levenshtein_banded", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(levenshtein_within(x, y, 2));
+            }
+        })
+    });
+    c.bench_function("simdist/jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(jaro_winkler(x, y));
+            }
+        })
+    });
+    c.bench_function("simdist/qgram_dice", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(dice(x, y, 2));
+            }
+        })
+    });
+    c.bench_function("simdist/soundex", |b| {
+        b.iter(|| {
+            for (x, _) in PAIRS {
+                black_box(soundex(x));
+            }
+        })
+    });
+    let op = DamerauOp::with_threshold(0.8);
+    c.bench_function("simdist/dl_operator_theta08", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(op.matches(x, y));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Exp-4 (windowing): pairs completeness / reduction ratio of windowing
+//! under RCK-derived sort keys vs a manual key — the paper reports results
+//! "comparable to those of Fig. 9(d) and 10(d)".
+//!
+//! Usage: `cargo run --release -p matchrules-bench --bin exp4_windowing [quick|paper]`
+
+use matchrules_bench::experiments::{exp4_windowing, workload, ReductionRow};
+use matchrules_bench::table::Table;
+use matchrules_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ks: Vec<usize> = match scale {
+        Scale::Paper => (1..=8).map(|i| i * 10_000).collect(),
+        Scale::Quick => vec![1_000, 2_000, 4_000],
+    };
+    println!("Exp-4 — windowing with vs without RCK sort keys (window = 10)\n");
+    let mut rows: Vec<(usize, ReductionRow, ReductionRow)> = Vec::with_capacity(ks.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ks
+            .iter()
+            .map(|&k| {
+                scope.spawn(move |_| {
+                    let w = workload(k, 0xe4 + k as u64);
+                    let (manual, rck) = exp4_windowing(&w);
+                    (k, manual, rck)
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.push(h.join().expect("experiment thread"));
+        }
+    })
+    .expect("crossbeam scope");
+    rows.sort_by_key(|r| r.0);
+
+    let mut table =
+        Table::new(&["K", "manual PC", "RCK PC", "manual RR", "RCK RR"]);
+    for (k, manual, rck) in rows {
+        table.row(vec![
+            k.to_string(),
+            format!("{:.3}", manual.pc),
+            format!("{:.3}", rck.pc),
+            format!("{:.4}", manual.rr),
+            format!("{:.4}", rck.rr),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper shape: comparable to the blocking results of Fig. 9(d)/10(d).");
+}

@@ -1,0 +1,30 @@
+//! Fig. 8(c): total number of RCKs deducible from small sets of MDs,
+//! card(Σ) ∈ {10, 20, 30, 40}.
+//!
+//! Usage: `cargo run --release -p matchrules-bench --bin fig8c [quick|paper]`
+
+use matchrules_bench::experiments::fig8c_total_rcks;
+use matchrules_bench::table::Table;
+use matchrules_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (cards, y_lens): (Vec<usize>, Vec<usize>) = match scale {
+        Scale::Paper => (vec![10, 20, 30, 40], vec![6, 8, 10, 12]),
+        Scale::Quick => (vec![10, 20], vec![6, 10]),
+    };
+    println!("Fig. 8(c) — total number of RCKs vs card(Sigma)\n");
+    let header: Vec<String> = std::iter::once("card(Sigma)".to_owned())
+        .chain(y_lens.iter().map(|y| format!("|Y|={y}")))
+        .collect();
+    let mut table = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for &card in &cards {
+        let mut cells = vec![card.to_string()];
+        for &y in &y_lens {
+            cells.push(fig8c_total_rcks(card, y, 0x8c).to_string());
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!("Paper shape: even few MDs yield a reasonable number of RCKs.");
+}

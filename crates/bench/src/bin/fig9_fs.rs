@@ -1,0 +1,60 @@
+//! Fig. 9(a–c): Fellegi–Sunter precision / recall / runtime vs K, with the
+//! EM-picked equality comparison vector (FS) and the top-5-RCK vector
+//! (FSrck).
+//!
+//! K sweeps the paper's 10k..80k at `paper` scale. Points are computed in
+//! parallel with crossbeam scoped threads.
+//!
+//! Usage: `cargo run --release -p matchrules-bench --bin fig9_fs [quick|paper]`
+
+use matchrules_bench::experiments::{fig9_fs, workload, MethodRow};
+use matchrules_bench::table::Table;
+use matchrules_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ks: Vec<usize> = match scale {
+        Scale::Paper => (1..=8).map(|i| i * 10_000).collect(),
+        Scale::Quick => vec![1_000, 2_000, 4_000],
+    };
+    println!("Fig. 9(a-c) — Fellegi-Sunter with vs without RCKs\n");
+    let mut rows: Vec<(usize, MethodRow, MethodRow)> = Vec::with_capacity(ks.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ks
+            .iter()
+            .map(|&k| {
+                scope.spawn(move |_| {
+                    let w = workload(k, 0x9f5 + k as u64);
+                    let (fs, fs_rck) = fig9_fs(&w);
+                    (k, fs, fs_rck)
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.push(h.join().expect("experiment thread"));
+        }
+    })
+    .expect("crossbeam scope");
+    rows.sort_by_key(|r| r.0);
+
+    let mut table = Table::new(&[
+        "K", "FS prec", "FSrck prec", "FS rec", "FSrck rec", "FS sec", "FSrck sec",
+    ]);
+    for (k, fs, rck) in rows {
+        table.row(vec![
+            k.to_string(),
+            format!("{:.3}", fs.precision),
+            format!("{:.3}", rck.precision),
+            format!("{:.3}", fs.recall),
+            format!("{:.3}", rck.recall),
+            format!("{:.2}", fs.seconds),
+            format!("{:.2}", rck.seconds),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper shape: FSrck >= FS in quality at comparable runtime, and FSrck is\n\
+         less sensitive to K. (In this reproduction the quality gain lands mostly\n\
+         on recall; see EXPERIMENTS.md.)"
+    );
+}

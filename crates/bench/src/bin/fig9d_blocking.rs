@@ -1,0 +1,53 @@
+//! Fig. 9(d) and 10(d): blocking pairs completeness and reduction ratio vs
+//! K, comparing the RCK-derived blocking key against a manually chosen one
+//! (three attributes each, name Soundex-encoded).
+//!
+//! Usage: `cargo run --release -p matchrules-bench --bin fig9d_blocking [quick|paper]`
+
+use matchrules_bench::experiments::{fig9d_10d_blocking, workload, ReductionRow};
+use matchrules_bench::table::Table;
+use matchrules_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let ks: Vec<usize> = match scale {
+        Scale::Paper => (1..=8).map(|i| i * 10_000).collect(),
+        Scale::Quick => vec![1_000, 2_000, 4_000],
+    };
+    println!("Fig. 9(d)/10(d) — blocking with vs without RCK keys\n");
+    let mut rows: Vec<(usize, ReductionRow, ReductionRow)> = Vec::with_capacity(ks.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ks
+            .iter()
+            .map(|&k| {
+                scope.spawn(move |_| {
+                    let w = workload(k, 0x9d + k as u64);
+                    let (manual, rck) = fig9d_10d_blocking(&w);
+                    (k, manual, rck)
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.push(h.join().expect("experiment thread"));
+        }
+    })
+    .expect("crossbeam scope");
+    rows.sort_by_key(|r| r.0);
+
+    let mut table =
+        Table::new(&["K", "manual PC", "RCK PC", "manual RR", "RCK RR"]);
+    for (k, manual, rck) in rows {
+        table.row(vec![
+            k.to_string(),
+            format!("{:.3}", manual.pc),
+            format!("{:.3}", rck.pc),
+            format!("{:.4}", manual.rr),
+            format!("{:.4}", rck.rr),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper shape: RCK-based blocking keys yield comparable reduction ratios\n\
+         and consistently better pairs completeness (~10%)."
+    );
+}

@@ -1,0 +1,275 @@
+//! The inference-system view of MD reasoning (§3.2).
+//!
+//! The paper states a sound and complete finite inference system `I` of 11
+//! axioms for `Σ |=m ϕ` but only exhibits its key lemmas. This module makes
+//! those lemmas executable as *derivation steps*: each function takes
+//! premise MDs and produces a conclusion MD that is deducible from them.
+//! The crate's tests cross-check every step against the algorithmic
+//! deduction ([`deduces`](crate::deduction::deduces)) — a soundness witness
+//! for the closure implementation.
+
+use crate::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
+use crate::operators::OperatorId;
+
+/// **Reflexivity.** `LHS → R1[A] ⇌ R2[B]` whenever `R1[A] = R2[B]` is an
+/// LHS conjunct: values already equal in a stable instance are identified.
+pub fn reflexivity(lhs: Vec<SimilarityAtom>, pair: IdentPair) -> Option<MatchingDependency> {
+    lhs.iter()
+        .any(|a| a.op.is_eq() && a.left == pair.left && a.right == pair.right)
+        .then(|| MatchingDependency::new_unchecked(lhs, vec![pair]))
+}
+
+/// **LHS augmentation** (Lemma 3.1, first form): from ϕ derive
+/// `(LHS(ϕ) ∧ R1[A] ≈ R2[B]) → RHS(ϕ)` — extra similarity tests never hurt.
+pub fn augment_lhs(phi: &MatchingDependency, atom: SimilarityAtom) -> MatchingDependency {
+    let mut lhs = phi.lhs().to_vec();
+    lhs.push(atom);
+    MatchingDependency::new_unchecked(lhs, phi.rhs().to_vec())
+}
+
+/// **Both-side augmentation** (Lemma 3.1, second form): from ϕ derive
+/// `(LHS(ϕ) ∧ R1[A] = R2[B]) → (RHS(ϕ) ∧ R1[A] ⇌ R2[B])`. Only *equality*
+/// conjuncts may be promoted to the RHS.
+pub fn augment_both(phi: &MatchingDependency, pair: IdentPair) -> MatchingDependency {
+    let mut lhs = phi.lhs().to_vec();
+    lhs.push(SimilarityAtom::eq(pair.left, pair.right));
+    let mut rhs = phi.rhs().to_vec();
+    rhs.push(pair);
+    MatchingDependency::new_unchecked(lhs, rhs)
+}
+
+/// **Equality strengthening** (Lemma 3.2(2)): from
+/// `(L ∧ R1[A] ≈ R2[B]) → RHS` derive `(L ∧ R1[A] = R2[B]) → RHS` —
+/// replacing a similarity guard by the stronger equality guard preserves
+/// deducibility, because `x = y` implies `x ≈ y`.
+pub fn strengthen_guard(
+    phi: &MatchingDependency,
+    atom: &SimilarityAtom,
+) -> Option<MatchingDependency> {
+    if !phi.lhs().contains(atom) || atom.op.is_eq() {
+        return None;
+    }
+    let lhs: Vec<SimilarityAtom> = phi
+        .lhs()
+        .iter()
+        .map(|a| {
+            if a == atom {
+                SimilarityAtom::eq(a.left, a.right)
+            } else {
+                *a
+            }
+        })
+        .collect();
+    Some(MatchingDependency::new_unchecked(lhs, phi.rhs().to_vec()))
+}
+
+/// **Transitivity** (Lemma 3.3): from `ϕ1 = L → (W1 ⇌ W2)` and
+/// `ϕ2 = ⋀ (W1[j] ≈j W2[j]) → (Z1 ⇌ Z2)` derive `L → (Z1 ⇌ Z2)`.
+///
+/// Returns `None` unless every LHS pair of `ϕ2` is identified by `RHS(ϕ1)`
+/// (the operator of the `ϕ2` conjunct is irrelevant: after `ϕ1` fires the
+/// pair is *equal*, which subsumes any similarity guard).
+pub fn transitivity(
+    phi1: &MatchingDependency,
+    phi2: &MatchingDependency,
+) -> Option<MatchingDependency> {
+    let all_provided = phi2.lhs().iter().all(|atom| phi1.rhs().contains(&atom.pair()));
+    all_provided
+        .then(|| MatchingDependency::new_unchecked(phi1.lhs().to_vec(), phi2.rhs().to_vec()))
+}
+
+/// **RHS decomposition / union** (normal-form equivalence via Lemmas 3.1 and
+/// 3.3): two MDs with identical LHS combine their RHS lists.
+pub fn union_rhs(
+    phi1: &MatchingDependency,
+    phi2: &MatchingDependency,
+) -> Option<MatchingDependency> {
+    if phi1.lhs() != phi2.lhs() {
+        return None;
+    }
+    let mut rhs = phi1.rhs().to_vec();
+    rhs.extend_from_slice(phi2.rhs());
+    Some(MatchingDependency::new_unchecked(phi1.lhs().to_vec(), rhs))
+}
+
+/// **Permutation-invariance of guards**: an MD whose guard list mentions the
+/// same pair under both `≈` and `=` keeps only the stronger `=` guard.
+/// (A tidying axiom; sound because `=` subsumes `≈`.)
+pub fn absorb_weaker_guards(phi: &MatchingDependency) -> MatchingDependency {
+    let lhs: Vec<SimilarityAtom> = phi
+        .lhs()
+        .iter()
+        .filter(|a| {
+            a.op.is_eq()
+                || !phi
+                    .lhs()
+                    .iter()
+                    .any(|b| b.op == OperatorId::EQ && b.left == a.left && b.right == a.right)
+        })
+        .copied()
+        .collect();
+    MatchingDependency::new_unchecked(lhs, phi.rhs().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deduction::deduces;
+    use crate::operators::OperatorTable;
+    use crate::schema::{Schema, SchemaPair};
+    use std::sync::Arc;
+
+    fn setting() -> (SchemaPair, OperatorTable) {
+        let r1 = Arc::new(Schema::text("R1", &["A", "B", "C", "D"]).unwrap());
+        let r2 = Arc::new(Schema::text("R2", &["A", "B", "C", "D"]).unwrap());
+        (SchemaPair::new(r1, r2), OperatorTable::new())
+    }
+
+    fn md(
+        pair: &SchemaPair,
+        lhs: Vec<SimilarityAtom>,
+        rhs: Vec<IdentPair>,
+    ) -> MatchingDependency {
+        MatchingDependency::new(pair, lhs, rhs).unwrap()
+    }
+
+    /// Every axiom's conclusion must be algorithmically deducible from its
+    /// premises — soundness of the closure w.r.t. the inference system.
+    #[test]
+    fn reflexivity_sound() {
+        let atom = SimilarityAtom::eq(0, 0);
+        let phi = reflexivity(vec![atom], IdentPair::new(0, 0)).unwrap();
+        assert!(deduces(&[], &phi));
+        // Similarity guards do not admit reflexivity:
+        let sim = SimilarityAtom::new(0, 0, OperatorId(1));
+        assert!(reflexivity(vec![sim], IdentPair::new(0, 0)).is_none());
+    }
+
+    #[test]
+    fn augmentation_sound() {
+        let (pair, mut ops) = setting();
+        let dl = ops.intern("≈");
+        let phi = md(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(1, 1)]);
+        let stronger = augment_lhs(&phi, SimilarityAtom::new(2, 2, dl));
+        assert!(deduces(std::slice::from_ref(&phi), &stronger));
+        assert_eq!(stronger.len(), 2);
+
+        let both = augment_both(&phi, IdentPair::new(3, 3));
+        assert!(deduces(&[phi], &both));
+        assert_eq!(both.rhs().len(), 2);
+    }
+
+    #[test]
+    fn strengthening_sound() {
+        let (pair, mut ops) = setting();
+        let dl = ops.intern("≈");
+        let guard = SimilarityAtom::new(0, 0, dl);
+        let phi = md(&pair, vec![guard], vec![IdentPair::new(1, 1)]);
+        let strong = strengthen_guard(&phi, &guard).unwrap();
+        assert!(strong.lhs()[0].op.is_eq());
+        assert!(deduces(std::slice::from_ref(&phi), &strong));
+        // Equality guards cannot be strengthened further.
+        let eq_guard = strong.lhs()[0];
+        assert!(strengthen_guard(&strong, &eq_guard).is_none());
+        // Unknown guards are rejected.
+        assert!(strengthen_guard(&phi, &SimilarityAtom::new(2, 2, dl)).is_none());
+    }
+
+    #[test]
+    fn transitivity_sound() {
+        let (pair, mut ops) = setting();
+        let dl = ops.intern("≈");
+        // ϕ1: A = A → B ⇌ B; ϕ2: B ≈ B → C ⇌ C; conclusion: A = A → C ⇌ C.
+        let phi1 = md(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(1, 1)]);
+        let phi2 = md(&pair, vec![SimilarityAtom::new(1, 1, dl)], vec![IdentPair::new(2, 2)]);
+        let conclusion = transitivity(&phi1, &phi2).unwrap();
+        assert_eq!(conclusion.lhs(), phi1.lhs());
+        assert_eq!(conclusion.rhs(), phi2.rhs());
+        assert!(deduces(&[phi1.clone(), phi2.clone()], &conclusion));
+        // Not applicable when ϕ2 needs pairs ϕ1 does not provide.
+        let phi2b = md(&pair, vec![SimilarityAtom::eq(3, 3)], vec![IdentPair::new(2, 2)]);
+        assert!(transitivity(&phi1, &phi2b).is_none());
+    }
+
+    #[test]
+    fn union_rhs_sound() {
+        let (pair, _) = setting();
+        let phi1 = md(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(1, 1)]);
+        let phi2 = md(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(2, 2)]);
+        let combined = union_rhs(&phi1, &phi2).unwrap();
+        assert_eq!(combined.rhs().len(), 2);
+        assert!(deduces(&[phi1.clone(), phi2.clone()], &combined));
+        let phi3 = md(&pair, vec![SimilarityAtom::eq(3, 3)], vec![IdentPair::new(2, 2)]);
+        assert!(union_rhs(&phi1, &phi3).is_none());
+    }
+
+    #[test]
+    fn absorb_weaker_guards_tidies() {
+        let (pair, mut ops) = setting();
+        let dl = ops.intern("≈");
+        let phi = md(
+            &pair,
+            vec![SimilarityAtom::eq(0, 0), SimilarityAtom::new(0, 0, dl)],
+            vec![IdentPair::new(1, 1)],
+        );
+        let tidied = absorb_weaker_guards(&phi);
+        assert_eq!(tidied.len(), 1);
+        assert!(tidied.lhs()[0].op.is_eq());
+        assert!(deduces(std::slice::from_ref(&phi), &tidied));
+        assert!(deduces(&[tidied], &phi));
+    }
+
+    /// The derivation of Example 3.5: rck4 from Σc via augmentation +
+    /// transitivity, replayed step by step through axiom functions.
+    #[test]
+    fn example_3_5_derivation_replay() {
+        let credit = Arc::new(
+            Schema::text("credit", &["FN", "LN", "addr", "tel", "email", "gender"]).unwrap(),
+        );
+        let billing = Arc::new(
+            Schema::text("billing", &["FN", "LN", "post", "phn", "email", "gender"]).unwrap(),
+        );
+        let pair = SchemaPair::new(credit.clone(), billing.clone());
+        let mut ops = OperatorTable::new();
+        let dl = ops.intern("≈d");
+        let l = |n: &str| credit.attr(n).unwrap();
+        let r = |n: &str| billing.attr(n).unwrap();
+        let y: Vec<IdentPair> = ["FN", "LN", "addr", "tel", "gender"]
+            .iter()
+            .zip(&["FN", "LN", "post", "phn", "gender"])
+            .map(|(&a, &b)| IdentPair::new(l(a), r(b)))
+            .collect();
+        let phi1 = md(
+            &pair,
+            vec![
+                SimilarityAtom::eq(l("LN"), r("LN")),
+                SimilarityAtom::eq(l("addr"), r("post")),
+                SimilarityAtom::new(l("FN"), r("FN"), dl),
+            ],
+            y.clone(),
+        );
+        let phi2 = md(
+            &pair,
+            vec![SimilarityAtom::eq(l("tel"), r("phn"))],
+            vec![IdentPair::new(l("addr"), r("post"))],
+        );
+        let phi3 = md(
+            &pair,
+            vec![SimilarityAtom::eq(l("email"), r("email"))],
+            vec![IdentPair::new(l("FN"), r("FN")), IdentPair::new(l("LN"), r("LN"))],
+        );
+
+        // (a) tel = phn ∧ email = email → addr,FN,LN ⇌ post,FN,LN
+        let a1 = augment_lhs(&phi2, SimilarityAtom::eq(l("email"), r("email")));
+        let a2 = augment_lhs(&phi3, SimilarityAtom::eq(l("tel"), r("phn")));
+        let step_a = union_rhs(&a1, &a2).unwrap();
+        // (b) LN=LN ∧ addr=post ∧ FN=FN → Yc ⇌ Yb (ϕ1 strengthened, Lemma 3.2)
+        let fn_guard = SimilarityAtom::new(l("FN"), r("FN"), dl);
+        let step_b = strengthen_guard(&phi1, &fn_guard).unwrap();
+        // (c) rck4 by transitivity of (a) and (b).
+        let rck4 = transitivity(&step_a, &step_b).unwrap();
+        assert_eq!(rck4.lhs().len(), 2);
+        let sigma = vec![phi1, phi2, phi3];
+        assert!(deduces(&sigma, &rck4));
+    }
+}

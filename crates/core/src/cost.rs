@@ -1,0 +1,151 @@
+//! The quality model for selecting RCKs (§5).
+//!
+//! `findRCKs` prefers keys over *low-cost* attribute pairs, where
+//!
+//! ```text
+//! cost(R1[A], R2[B]) = w1·ct(R1[A], R2[B]) + w2·lt(R1[A], R2[B]) + w3/ac(R1[A], R2[B])
+//! ```
+//!
+//! * `ct` — how often the pair already occurs in selected RCKs (diversity:
+//!   incremented whenever a key using the pair is added to Γ);
+//! * `lt` — average value length of the pair (longer values attract more
+//!   errors);
+//! * `ac` — the user's confidence in the pair's accuracy.
+//!
+//! The paper's experiments use `w1 = w2 = w3 = 1` and `ac ≡ 1` (§6.1); the
+//! worked Example 5.1 uses `w1 = 1, w2 = w3 = 0`.
+
+use crate::schema::AttrId;
+use std::collections::HashMap;
+
+/// Static per-pair statistics (`lt` and `ac`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairStats {
+    /// Average length `lt` of the values of the attribute pair.
+    pub avg_len: f64,
+    /// Accuracy/confidence `ac ∈ (0, 1]` placed in the pair.
+    pub accuracy: f64,
+}
+
+impl Default for PairStats {
+    fn default() -> Self {
+        PairStats { avg_len: 0.0, accuracy: 1.0 }
+    }
+}
+
+/// The cost model: weights, per-pair statistics, and the dynamic `ct`
+/// counters maintained during `findRCKs`.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    w1: f64,
+    w2: f64,
+    w3: f64,
+    stats: HashMap<(AttrId, AttrId), PairStats>,
+    counters: HashMap<(AttrId, AttrId), u32>,
+}
+
+impl CostModel {
+    /// The paper's experimental setting: `w1 = w2 = w3 = 1`, `ac ≡ 1`,
+    /// `lt ≡ 0` unless statistics are supplied.
+    pub fn uniform() -> Self {
+        CostModel::new(1.0, 1.0, 1.0)
+    }
+
+    /// The setting of worked Example 5.1: only diversity counts.
+    pub fn diversity_only() -> Self {
+        CostModel::new(1.0, 0.0, 0.0)
+    }
+
+    /// A model with explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or not finite.
+    pub fn new(w1: f64, w2: f64, w3: f64) -> Self {
+        for w in [w1, w2, w3] {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+        }
+        CostModel { w1, w2, w3, stats: HashMap::new(), counters: HashMap::new() }
+    }
+
+    /// Sets the statistics of an attribute pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is not in `(0, 1]` or `avg_len` is negative.
+    pub fn set_stats(&mut self, left: AttrId, right: AttrId, stats: PairStats) {
+        assert!(
+            stats.accuracy > 0.0 && stats.accuracy <= 1.0,
+            "accuracy must be in (0, 1]"
+        );
+        assert!(stats.avg_len >= 0.0, "avg_len must be non-negative");
+        self.stats.insert((left, right), stats);
+    }
+
+    /// The current cost of the pair.
+    pub fn cost(&self, left: AttrId, right: AttrId) -> f64 {
+        let stats = self.stats.get(&(left, right)).copied().unwrap_or_default();
+        let ct = self.counters.get(&(left, right)).copied().unwrap_or(0);
+        self.w1 * f64::from(ct) + self.w2 * stats.avg_len + self.w3 / stats.accuracy
+    }
+
+    /// The current `ct` counter of the pair.
+    pub fn counter(&self, left: AttrId, right: AttrId) -> u32 {
+        self.counters.get(&(left, right)).copied().unwrap_or(0)
+    }
+
+    /// `incrementCt`: bumps the counter of a pair because a selected RCK
+    /// uses it.
+    pub fn increment(&mut self, left: AttrId, right: AttrId) {
+        *self.counters.entry((left, right)).or_insert(0) += 1;
+    }
+
+    /// Resets all `ct` counters (run before a fresh `findRCKs` invocation).
+    pub fn reset_counters(&mut self) {
+        self.counters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cost_is_w3() {
+        let model = CostModel::uniform();
+        assert!((model.cost(0, 0) - 1.0).abs() < 1e-12);
+        let model = CostModel::diversity_only();
+        assert_eq!(model.cost(0, 0), 0.0);
+    }
+
+    #[test]
+    fn counters_add_w1() {
+        let mut model = CostModel::uniform();
+        model.increment(1, 2);
+        model.increment(1, 2);
+        assert_eq!(model.counter(1, 2), 2);
+        assert!((model.cost(1, 2) - 3.0).abs() < 1e-12); // 2·1 + 0 + 1/1
+        model.reset_counters();
+        assert_eq!(model.counter(1, 2), 0);
+    }
+
+    #[test]
+    fn stats_contribute_length_and_accuracy() {
+        let mut model = CostModel::new(0.0, 1.0, 2.0);
+        model.set_stats(3, 4, PairStats { avg_len: 12.5, accuracy: 0.5 });
+        assert!((model.cost(3, 4) - (12.5 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy")]
+    fn zero_accuracy_rejected() {
+        let mut model = CostModel::uniform();
+        model.set_stats(0, 0, PairStats { avg_len: 0.0, accuracy: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "weights")]
+    fn negative_weight_rejected() {
+        let _ = CostModel::new(-1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Matching dependencies (MDs) — §2.1 of the paper.
+//!
+//! An MD over `(R1, R2)` has the form
+//!
+//! ```text
+//! ⋀_{j∈[1,k]} R1[X1[j]] ≈j R2[X2[j]]  →  R1[Z1] ⇌ R2[Z2]
+//! ```
+//!
+//! read *"if the `X` attributes pairwise match w.r.t. the comparison vector,
+//! identify the `Z` attributes"*. The `⇌` (paper: `≍`) is the matching
+//! operator with the dynamic semantics of §2.1: the `Z` values are updated to
+//! become equal in the successor instance.
+
+use crate::error::{CoreError, Result};
+use crate::operators::{OperatorId, OperatorTable};
+use crate::schema::{AttrId, SchemaPair};
+use std::fmt;
+
+/// One LHS conjunct `R1[left] ≈op R2[right]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimilarityAtom {
+    /// Attribute of `R1`.
+    pub left: AttrId,
+    /// Attribute of `R2`.
+    pub right: AttrId,
+    /// The similarity operator `≈ ∈ Θ`.
+    pub op: OperatorId,
+}
+
+impl SimilarityAtom {
+    /// Convenience constructor.
+    pub fn new(left: AttrId, right: AttrId, op: OperatorId) -> Self {
+        SimilarityAtom { left, right, op }
+    }
+
+    /// An equality conjunct `R1[left] = R2[right]`.
+    pub fn eq(left: AttrId, right: AttrId) -> Self {
+        SimilarityAtom { left, right, op: OperatorId::EQ }
+    }
+
+    /// The attribute pair without the operator.
+    pub fn pair(&self) -> IdentPair {
+        IdentPair { left: self.left, right: self.right }
+    }
+}
+
+/// One RHS pair `R1[left] ⇌ R2[right]` to be identified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdentPair {
+    /// Attribute of `R1`.
+    pub left: AttrId,
+    /// Attribute of `R2`.
+    pub right: AttrId,
+}
+
+impl IdentPair {
+    /// Convenience constructor.
+    pub fn new(left: AttrId, right: AttrId) -> Self {
+        IdentPair { left, right }
+    }
+}
+
+/// A matching dependency.
+///
+/// Invariants (enforced by [`MatchingDependency::new`]):
+/// * LHS and RHS are non-empty;
+/// * all attribute pairs are comparable over the schema pair;
+/// * LHS atoms are deduplicated and stored sorted (canonical form), so MDs
+///   compare structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MatchingDependency {
+    lhs: Vec<SimilarityAtom>,
+    rhs: Vec<IdentPair>,
+}
+
+impl MatchingDependency {
+    /// Builds an MD, validating comparability against the schema pair and
+    /// canonicalizing both sides.
+    pub fn new(
+        pair: &SchemaPair,
+        lhs: Vec<SimilarityAtom>,
+        rhs: Vec<IdentPair>,
+    ) -> Result<Self> {
+        if lhs.is_empty() || rhs.is_empty() {
+            return Err(CoreError::EmptyDependency);
+        }
+        for atom in &lhs {
+            pair.check_comparable(atom.left, atom.right)?;
+        }
+        for ident in &rhs {
+            pair.check_comparable(ident.left, ident.right)?;
+        }
+        Ok(Self::new_unchecked(lhs, rhs))
+    }
+
+    /// Builds an MD from parts already known to be comparable — atoms and
+    /// pairs taken from validated MDs or targets. Canonicalizes both sides
+    /// like [`MatchingDependency::new`] but skips schema validation; use it
+    /// when no [`SchemaPair`] is in scope (e.g. recombination of existing
+    /// rules).
+    pub fn from_validated_parts(lhs: Vec<SimilarityAtom>, rhs: Vec<IdentPair>) -> Self {
+        Self::new_unchecked(lhs, rhs)
+    }
+
+    /// Builds an MD from already-validated parts (used internally where the
+    /// atoms are known to come from a validated MD).
+    pub(crate) fn new_unchecked(
+        mut lhs: Vec<SimilarityAtom>,
+        mut rhs: Vec<IdentPair>,
+    ) -> Self {
+        lhs.sort_unstable();
+        lhs.dedup();
+        rhs.sort_unstable();
+        rhs.dedup();
+        MatchingDependency { lhs, rhs }
+    }
+
+    /// The LHS conjuncts.
+    pub fn lhs(&self) -> &[SimilarityAtom] {
+        &self.lhs
+    }
+
+    /// The RHS pairs to identify.
+    pub fn rhs(&self) -> &[IdentPair] {
+        &self.rhs
+    }
+
+    /// Number of LHS conjuncts (the MD's length).
+    pub fn len(&self) -> usize {
+        self.lhs.len()
+    }
+
+    /// MDs always have at least one conjunct.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The *size* of the MD — total number of atoms on both sides. The `n`
+    /// of the paper's complexity bounds is the summed size of Σ.
+    pub fn size(&self) -> usize {
+        self.lhs.len() + self.rhs.len()
+    }
+
+    /// Splits a general MD into its normal form: one MD per RHS pair
+    /// (justified by Lemmas 3.1 and 3.3 — the general form is equivalent to
+    /// the set of its single-pair projections).
+    pub fn normalize(&self) -> Vec<MatchingDependency> {
+        self.rhs
+            .iter()
+            .map(|&ident| MatchingDependency { lhs: self.lhs.clone(), rhs: vec![ident] })
+            .collect()
+    }
+
+    /// Whether this MD is in normal form (single RHS pair).
+    pub fn is_normal(&self) -> bool {
+        self.rhs.len() == 1
+    }
+
+    /// Pretty-printer bound to naming context.
+    pub fn display<'a>(
+        &'a self,
+        pair: &'a SchemaPair,
+        ops: &'a OperatorTable,
+    ) -> MdDisplay<'a> {
+        MdDisplay { md: self, pair, ops }
+    }
+}
+
+/// Renders an MD with relation, attribute and operator names, e.g.
+/// `credit[tel] = billing[phn] -> credit[addr] <=> billing[post]`.
+pub struct MdDisplay<'a> {
+    md: &'a MatchingDependency,
+    pair: &'a SchemaPair,
+    ops: &'a OperatorTable,
+}
+
+impl fmt::Display for MdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let left = self.pair.left();
+        let right = self.pair.right();
+        for (i, atom) in self.md.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " /\\ ")?;
+            }
+            write!(
+                f,
+                "{}[{}] {} {}[{}]",
+                left.name(),
+                left.attr_name(atom.left),
+                self.ops.name(atom.op),
+                right.name(),
+                right.attr_name(atom.right),
+            )?;
+        }
+        write!(f, " -> {}[", left.name())?;
+        for (i, ident) in self.md.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", left.attr_name(ident.left))?;
+        }
+        write!(f, "] <=> {}[", right.name())?;
+        for (i, ident) in self.md.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", right.attr_name(ident.right))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn pair() -> SchemaPair {
+        let credit = Arc::new(
+            Schema::text("credit", &["c#", "FN", "LN", "addr", "tel", "email"]).unwrap(),
+        );
+        let billing = Arc::new(
+            Schema::text("billing", &["c#", "FN", "LN", "post", "phn", "email"]).unwrap(),
+        );
+        SchemaPair::new(credit, billing)
+    }
+
+    #[test]
+    fn construction_validates_and_canonicalizes() {
+        let p = pair();
+        let tel = p.left().attr("tel").unwrap();
+        let phn = p.right().attr("phn").unwrap();
+        let addr = p.left().attr("addr").unwrap();
+        let post = p.right().attr("post").unwrap();
+        let md = MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(tel, phn), SimilarityAtom::eq(tel, phn)],
+            vec![IdentPair::new(addr, post)],
+        )
+        .unwrap();
+        assert_eq!(md.len(), 1, "duplicates removed");
+        assert_eq!(md.size(), 2);
+        assert!(md.is_normal());
+        assert!(!md.is_empty());
+    }
+
+    #[test]
+    fn empty_sides_rejected() {
+        let p = pair();
+        assert!(matches!(
+            MatchingDependency::new(&p, vec![], vec![IdentPair::new(0, 0)]),
+            Err(CoreError::EmptyDependency)
+        ));
+        assert!(matches!(
+            MatchingDependency::new(&p, vec![SimilarityAtom::eq(0, 0)], vec![]),
+            Err(CoreError::EmptyDependency)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_attr_rejected() {
+        let p = pair();
+        assert!(MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(99, 0)],
+            vec![IdentPair::new(0, 0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn normalization_splits_rhs() {
+        let p = pair();
+        let email_l = p.left().attr("email").unwrap();
+        let email_r = p.right().attr("email").unwrap();
+        let fn_l = p.left().attr("FN").unwrap();
+        let fn_r = p.right().attr("FN").unwrap();
+        let ln_l = p.left().attr("LN").unwrap();
+        let ln_r = p.right().attr("LN").unwrap();
+        // ϕ3 of the paper: email = email → FN,LN ⇌ FN,LN.
+        let md = MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(email_l, email_r)],
+            vec![IdentPair::new(fn_l, fn_r), IdentPair::new(ln_l, ln_r)],
+        )
+        .unwrap();
+        let normal = md.normalize();
+        assert_eq!(normal.len(), 2);
+        assert!(normal.iter().all(MatchingDependency::is_normal));
+        assert!(normal.iter().all(|n| n.lhs() == md.lhs()));
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let p = pair();
+        let ops = OperatorTable::new();
+        let tel = p.left().attr("tel").unwrap();
+        let phn = p.right().attr("phn").unwrap();
+        let addr = p.left().attr("addr").unwrap();
+        let post = p.right().attr("post").unwrap();
+        let md = MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(tel, phn)],
+            vec![IdentPair::new(addr, post)],
+        )
+        .unwrap();
+        assert_eq!(
+            md.display(&p, &ops).to_string(),
+            "credit[tel] = billing[phn] -> credit[addr] <=> billing[post]"
+        );
+    }
+
+    #[test]
+    fn structural_equality_via_canonical_form() {
+        let p = pair();
+        let a = MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(1, 1), SimilarityAtom::eq(2, 2)],
+            vec![IdentPair::new(3, 3)],
+        )
+        .unwrap();
+        let b = MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(2, 2), SimilarityAtom::eq(1, 1)],
+            vec![IdentPair::new(3, 3)],
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for the reasoning core.
+
+use std::fmt;
+
+/// Errors raised while constructing schemas, dependencies or keys, or while
+/// parsing the textual MD syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A schema was declared with two attributes of the same name.
+    DuplicateAttribute {
+        /// The schema being constructed.
+        schema: String,
+        /// The offending attribute name.
+        attribute: String,
+    },
+    /// A schema was declared with no attributes.
+    EmptySchema {
+        /// The schema being constructed.
+        schema: String,
+    },
+    /// A relation name did not resolve against the schema pair.
+    UnknownRelation {
+        /// The unresolved name.
+        name: String,
+    },
+    /// An attribute name did not resolve against its schema.
+    UnknownAttribute {
+        /// The schema searched.
+        schema: String,
+        /// The unresolved attribute name.
+        attribute: String,
+    },
+    /// An attribute index was out of range for its schema.
+    AttributeOutOfRange {
+        /// The schema searched.
+        schema: String,
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// Two attributes were compared whose domains differ; the paper requires
+    /// comparable lists to be pairwise of the same domain (§2.1).
+    DomainMismatch {
+        /// Left attribute name.
+        left: String,
+        /// Right attribute name.
+        right: String,
+    },
+    /// Two lists that must be comparable have different lengths.
+    LengthMismatch {
+        /// Length of the left list.
+        left: usize,
+        /// Length of the right list.
+        right: usize,
+    },
+    /// An MD was declared with an empty LHS or RHS.
+    EmptyDependency,
+    /// A similarity operator name did not resolve.
+    UnknownOperator {
+        /// The unresolved operator name.
+        name: String,
+    },
+    /// The textual MD syntax could not be parsed.
+    Parse {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// `findRCKs` was asked for keys relative to an invalid target list.
+    InvalidTarget {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateAttribute { schema, attribute } => {
+                write!(f, "schema {schema:?} declares attribute {attribute:?} twice")
+            }
+            CoreError::EmptySchema { schema } => {
+                write!(f, "schema {schema:?} has no attributes")
+            }
+            CoreError::UnknownRelation { name } => {
+                write!(f, "relation {name:?} is not part of the schema pair")
+            }
+            CoreError::UnknownAttribute { schema, attribute } => {
+                write!(f, "schema {schema:?} has no attribute {attribute:?}")
+            }
+            CoreError::AttributeOutOfRange { schema, index } => {
+                write!(f, "attribute index {index} out of range for schema {schema:?}")
+            }
+            CoreError::DomainMismatch { left, right } => {
+                write!(f, "attributes {left:?} and {right:?} have incomparable domains")
+            }
+            CoreError::LengthMismatch { left, right } => {
+                write!(f, "comparable lists must have equal length, got {left} and {right}")
+            }
+            CoreError::EmptyDependency => {
+                write!(f, "matching dependencies need a non-empty LHS and RHS")
+            }
+            CoreError::UnknownOperator { name } => {
+                write!(f, "similarity operator {name:?} is not registered")
+            }
+            CoreError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            CoreError::InvalidTarget { message } => {
+                write!(f, "invalid RCK target: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = CoreError::DomainMismatch { left: "tel".into(), right: "price".into() };
+        assert!(e.to_string().contains("incomparable"));
+        let e = CoreError::Parse { offset: 7, message: "expected '['".into() };
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::EmptyDependency);
+    }
+}

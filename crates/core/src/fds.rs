@@ -1,0 +1,360 @@
+//! Classical functional dependencies — the baseline formalism the paper
+//! departs from.
+//!
+//! The paper motivates MDs by analogy: *"to identify a tuple in a relation
+//! we use candidate keys. To find the keys we first specify a set of FDs,
+//! and then infer keys by the implication analysis of the FDs"* (§1). It
+//! contrasts the two theories throughout — FDs have a *static* semantics
+//! and equality-only comparisons (Example 2.3), classical implication
+//! diverges from MD deduction (Example 3.1), and candidate-key enumeration
+//! is exponential (Lucchesi & Osborn \[24\], motivating findRCKs' top-`m`
+//! design).
+//!
+//! This module makes those contrasts executable: linear-time FD implication
+//! (the Beeri–Bernstein closure the paper cites for its own `O(n + h³)`
+//! remark), Armstrong-axiom helpers, and the Lucchesi–Osborn candidate-key
+//! enumeration.
+
+use crate::error::{CoreError, Result};
+use crate::schema::{AttrId, Schema};
+use std::collections::BTreeSet;
+
+/// An attribute set, kept sorted for canonical comparison.
+pub type AttrSet = BTreeSet<AttrId>;
+
+/// A functional dependency `X → Y` over a single relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    lhs: AttrSet,
+    rhs: AttrSet,
+}
+
+impl FunctionalDependency {
+    /// Builds `X → Y`, validating the attributes against the schema.
+    /// An empty `X` is allowed (constant attributes); an empty `Y` is not.
+    pub fn new(
+        schema: &Schema,
+        lhs: impl IntoIterator<Item = AttrId>,
+        rhs: impl IntoIterator<Item = AttrId>,
+    ) -> Result<Self> {
+        let lhs: AttrSet = lhs.into_iter().collect();
+        let rhs: AttrSet = rhs.into_iter().collect();
+        if rhs.is_empty() {
+            return Err(CoreError::EmptyDependency);
+        }
+        for &a in lhs.iter().chain(&rhs) {
+            schema.attribute(a)?;
+        }
+        Ok(FunctionalDependency { lhs, rhs })
+    }
+
+    /// By-name convenience: `FunctionalDependency::named(&s, &["A"], &["B"])`.
+    pub fn named(schema: &Schema, lhs: &[&str], rhs: &[&str]) -> Result<Self> {
+        Ok(FunctionalDependency {
+            lhs: schema.attrs(lhs)?.into_iter().collect(),
+            rhs: schema.attrs(rhs)?.into_iter().collect(),
+        })
+    }
+
+    /// The determinant `X`.
+    pub fn lhs(&self) -> &AttrSet {
+        &self.lhs
+    }
+
+    /// The dependent `Y`.
+    pub fn rhs(&self) -> &AttrSet {
+        &self.rhs
+    }
+
+    /// Whether the FD is trivial (`Y ⊆ X` — Armstrong reflexivity).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+}
+
+/// Computes the attribute closure `X⁺` under Σ with the linear-time
+/// counter algorithm of Beeri & Bernstein (the structure our MDClosure's
+/// rule index generalizes).
+pub fn attribute_closure(
+    attrs: &AttrSet,
+    sigma: &[FunctionalDependency],
+) -> AttrSet {
+    let mut closure = attrs.clone();
+    // Counters of unsatisfied LHS attributes per FD; work queue of newly
+    // added attributes.
+    let mut remaining: Vec<usize> = sigma.iter().map(|fd| fd.lhs.len()).collect();
+    let mut queue: Vec<AttrId> = closure.iter().copied().collect();
+    // Fire FDs with empty LHS immediately.
+    for (i, fd) in sigma.iter().enumerate() {
+        if remaining[i] == 0 {
+            for &b in &fd.rhs {
+                if closure.insert(b) {
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    while let Some(a) = queue.pop() {
+        for (i, fd) in sigma.iter().enumerate() {
+            if remaining[i] > 0 && fd.lhs.contains(&a) {
+                remaining[i] -= 1;
+                if remaining[i] == 0 {
+                    for &b in &fd.rhs {
+                        if closure.insert(b) {
+                            queue.push(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    closure
+}
+
+/// Classical implication: `Σ |= X → Y` iff `Y ⊆ X⁺`.
+pub fn implies(sigma: &[FunctionalDependency], fd: &FunctionalDependency) -> bool {
+    let closure = attribute_closure(&fd.lhs, sigma);
+    fd.rhs.is_subset(&closure)
+}
+
+/// Whether `attrs` is a superkey of the schema under Σ (`X⁺` = all
+/// attributes).
+pub fn is_superkey(schema: &Schema, attrs: &AttrSet, sigma: &[FunctionalDependency]) -> bool {
+    attribute_closure(attrs, sigma).len() == schema.arity()
+}
+
+/// Enumerates **all candidate keys** with the Lucchesi–Osborn algorithm
+/// \[24\]: start from one minimal key, and for every found key `K` and FD
+/// `X → Y`, the set `X ∪ (K \ Y)` is a superkey whose minimization may be
+/// a new key. Worst-case exponential — exactly the cost findRCKs' quality
+/// model avoids (§5).
+pub fn candidate_keys(schema: &Schema, sigma: &[FunctionalDependency]) -> Vec<AttrSet> {
+    let all: AttrSet = (0..schema.arity()).collect();
+    let first = minimize_key(schema, all, sigma);
+    let mut keys: Vec<AttrSet> = vec![first];
+    let mut i = 0;
+    while i < keys.len() {
+        let key = keys[i].clone();
+        for fd in sigma {
+            let mut candidate: AttrSet = fd.lhs.clone();
+            candidate.extend(key.difference(&fd.rhs).copied());
+            if !keys.iter().any(|k| k.is_subset(&candidate)) {
+                let minimized = minimize_key(schema, candidate, sigma);
+                if !keys.contains(&minimized) {
+                    keys.push(minimized);
+                }
+            }
+        }
+        i += 1;
+    }
+    keys.sort();
+    keys
+}
+
+/// Shrinks a superkey to a minimal key by dropping attributes greedily.
+fn minimize_key(schema: &Schema, mut key: AttrSet, sigma: &[FunctionalDependency]) -> AttrSet {
+    let attrs: Vec<AttrId> = key.iter().copied().collect();
+    for a in attrs {
+        key.remove(&a);
+        if !is_superkey(schema, &key, sigma) {
+            key.insert(a);
+        }
+    }
+    key
+}
+
+/// Armstrong's axioms as derivation steps (the classical counterpart of
+/// [`crate::axioms`]).
+pub mod armstrong {
+    use super::{AttrSet, FunctionalDependency};
+
+    /// Reflexivity: `Y ⊆ X ⊢ X → Y`.
+    pub fn reflexivity(x: &AttrSet, y: &AttrSet) -> Option<FunctionalDependency> {
+        y.is_subset(x).then(|| FunctionalDependency { lhs: x.clone(), rhs: y.clone() })
+    }
+
+    /// Augmentation: `X → Y ⊢ XZ → YZ`.
+    pub fn augmentation(fd: &FunctionalDependency, z: &AttrSet) -> FunctionalDependency {
+        FunctionalDependency {
+            lhs: fd.lhs.union(z).copied().collect(),
+            rhs: fd.rhs.union(z).copied().collect(),
+        }
+    }
+
+    /// Transitivity: `X → Y, Y → Z ⊢ X → Z` (requires `Y ⊆` the first
+    /// FD's RHS).
+    pub fn transitivity(
+        first: &FunctionalDependency,
+        second: &FunctionalDependency,
+    ) -> Option<FunctionalDependency> {
+        second.lhs.is_subset(&first.rhs).then(|| FunctionalDependency {
+            lhs: first.lhs.clone(),
+            rhs: second.rhs.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deduction::deduces;
+    use crate::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
+    use crate::schema::SchemaPair;
+    use std::sync::Arc;
+
+    fn abc() -> Arc<Schema> {
+        Arc::new(Schema::text("R", &["A", "B", "C"]).unwrap())
+    }
+
+    #[test]
+    fn closure_and_implication() {
+        let s = abc();
+        let sigma = vec![
+            FunctionalDependency::named(&s, &["A"], &["B"]).unwrap(),
+            FunctionalDependency::named(&s, &["B"], &["C"]).unwrap(),
+        ];
+        let a: AttrSet = [0].into_iter().collect();
+        let closure = attribute_closure(&a, &sigma);
+        assert_eq!(closure, [0, 1, 2].into_iter().collect::<AttrSet>());
+        let f3 = FunctionalDependency::named(&s, &["A"], &["C"]).unwrap();
+        assert!(implies(&sigma, &f3), "Γ0 implies f3 (Example 3.1)");
+        let back = FunctionalDependency::named(&s, &["C"], &["A"]).unwrap();
+        assert!(!implies(&sigma, &back));
+    }
+
+    /// Example 3.1 executable from both sides: classical implication and
+    /// MD deduction AGREE on the conclusion here (`Γ0 |= f3` and
+    /// `Σ0 |=m ψ3`) — the paper's point is that the *reasoning principle*
+    /// must change (implication is unsound for MDs), not the outcome.
+    #[test]
+    fn example_3_1_both_formalisms() {
+        let s = abc();
+        let gamma0 = vec![
+            FunctionalDependency::named(&s, &["A"], &["B"]).unwrap(),
+            FunctionalDependency::named(&s, &["B"], &["C"]).unwrap(),
+        ];
+        let f3 = FunctionalDependency::named(&s, &["A"], &["C"]).unwrap();
+        assert!(implies(&gamma0, &f3));
+
+        let pair = SchemaPair::reflexive(s);
+        let sigma0 = vec![
+            MatchingDependency::new(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(1, 1)])
+                .unwrap(),
+            MatchingDependency::new(&pair, vec![SimilarityAtom::eq(1, 1)], vec![IdentPair::new(2, 2)])
+                .unwrap(),
+        ];
+        let psi3 = MatchingDependency::new(
+            &pair,
+            vec![SimilarityAtom::eq(0, 0)],
+            vec![IdentPair::new(2, 2)],
+        )
+        .unwrap();
+        assert!(deduces(&sigma0, &psi3));
+    }
+
+    #[test]
+    fn empty_lhs_fds_are_constants() {
+        let s = abc();
+        let sigma =
+            vec![FunctionalDependency::new(&s, [], [1]).unwrap()];
+        let empty: AttrSet = AttrSet::new();
+        let closure = attribute_closure(&empty, &sigma);
+        assert!(closure.contains(&1));
+    }
+
+    #[test]
+    fn trivial_fds() {
+        let s = abc();
+        let fd = FunctionalDependency::named(&s, &["A", "B"], &["A"]).unwrap();
+        assert!(fd.is_trivial());
+        assert!(implies(&[], &fd), "trivial FDs hold in every theory");
+        assert!(!fd.lhs().is_empty());
+        assert!(!fd.rhs().is_empty());
+    }
+
+    #[test]
+    fn invalid_fds_rejected() {
+        let s = abc();
+        assert!(matches!(
+            FunctionalDependency::new(&s, [0], []),
+            Err(CoreError::EmptyDependency)
+        ));
+        assert!(FunctionalDependency::new(&s, [9], [0]).is_err());
+        assert!(FunctionalDependency::named(&s, &["A"], &["nope"]).is_err());
+    }
+
+    #[test]
+    fn candidate_keys_textbook_case() {
+        // R(A,B,C,D) with A→B, B→C: keys must contain A and D.
+        let s = Arc::new(Schema::text("R", &["A", "B", "C", "D"]).unwrap());
+        let sigma = vec![
+            FunctionalDependency::named(&s, &["A"], &["B"]).unwrap(),
+            FunctionalDependency::named(&s, &["B"], &["C"]).unwrap(),
+        ];
+        let keys = candidate_keys(&s, &sigma);
+        assert_eq!(keys, vec![[0, 3].into_iter().collect::<AttrSet>()]);
+    }
+
+    #[test]
+    fn candidate_keys_cyclic_case() {
+        // R(A,B) with A→B, B→A: both {A} and {B} are keys.
+        let s = Arc::new(Schema::text("R", &["A", "B"]).unwrap());
+        let sigma = vec![
+            FunctionalDependency::named(&s, &["A"], &["B"]).unwrap(),
+            FunctionalDependency::named(&s, &["B"], &["A"]).unwrap(),
+        ];
+        let keys = candidate_keys(&s, &sigma);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&[0].into_iter().collect()));
+        assert!(keys.contains(&[1].into_iter().collect()));
+    }
+
+    #[test]
+    fn candidate_keys_without_fds() {
+        let s = abc();
+        let keys = candidate_keys(&s, &[]);
+        assert_eq!(keys, vec![[0, 1, 2].into_iter().collect::<AttrSet>()]);
+    }
+
+    #[test]
+    fn armstrong_axioms() {
+        let s = abc();
+        let x: AttrSet = [0, 1].into_iter().collect();
+        let y: AttrSet = [1].into_iter().collect();
+        let refl = armstrong::reflexivity(&x, &y).unwrap();
+        assert!(refl.is_trivial());
+        assert!(armstrong::reflexivity(&y, &x).is_none());
+
+        let fd = FunctionalDependency::named(&s, &["A"], &["B"]).unwrap();
+        let z: AttrSet = [2].into_iter().collect();
+        let aug = armstrong::augmentation(&fd, &z);
+        assert!(implies(std::slice::from_ref(&fd), &aug));
+
+        let fd2 = FunctionalDependency::named(&s, &["B"], &["C"]).unwrap();
+        let trans = armstrong::transitivity(&fd, &fd2).unwrap();
+        assert_eq!(trans, FunctionalDependency::named(&s, &["A"], &["C"]).unwrap());
+        assert!(implies(&[fd.clone(), fd2], &trans));
+        let fd3 = FunctionalDependency::named(&s, &["C"], &["A"]).unwrap();
+        assert!(armstrong::transitivity(&fd, &fd3).is_none());
+    }
+
+    /// Keys are minimal: removing any attribute breaks the superkey
+    /// property.
+    #[test]
+    fn enumerated_keys_are_minimal() {
+        let s = Arc::new(Schema::text("R", &["A", "B", "C", "D", "E"]).unwrap());
+        let sigma = vec![
+            FunctionalDependency::named(&s, &["A", "B"], &["C"]).unwrap(),
+            FunctionalDependency::named(&s, &["C", "D"], &["E"]).unwrap(),
+            FunctionalDependency::named(&s, &["E"], &["A"]).unwrap(),
+        ];
+        for key in candidate_keys(&s, &sigma) {
+            assert!(is_superkey(&s, &key, &sigma));
+            for &a in &key {
+                let mut sub = key.clone();
+                sub.remove(&a);
+                assert!(!is_superkey(&s, &sub, &sigma), "key {key:?} not minimal");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Negative matching rules — the paper's first §8 extension.
+//!
+//! §8 proposes extending MDs "to support *negation*, to specify when records
+//! **cannot** be matched". A [`NegativeRule`] is a conjunction of similarity
+//! atoms whose satisfaction *vetoes* a match: e.g. two card holders with
+//! equal SSNs but different genders are distinct people no matter what the
+//! positive rules say. Matchers consult negative rules as blockers before
+//! accepting a positive match.
+//!
+//! Negative rules do not take part in deduction (they have no dynamic
+//! semantics — nothing is identified); they are a runtime filter, which is
+//! how the extension is meant to be consumed by matching tools.
+
+use crate::dependency::SimilarityAtom;
+use crate::error::{CoreError, Result};
+use crate::operators::OperatorTable;
+use crate::schema::{AttrId, SchemaPair};
+
+/// A guard atom of a negative rule: either a similarity requirement or its
+/// negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Guard {
+    /// The attributes must match under the operator.
+    Match(SimilarityAtom),
+    /// The attributes must *not* match under the operator.
+    Differ(SimilarityAtom),
+}
+
+impl Guard {
+    /// The underlying atom.
+    pub fn atom(&self) -> &SimilarityAtom {
+        match self {
+            Guard::Match(a) | Guard::Differ(a) => a,
+        }
+    }
+}
+
+/// A rule `⋀ guards ⇒ no-match`: when every guard holds for a tuple pair,
+/// the pair cannot refer to the same entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NegativeRule {
+    guards: Vec<Guard>,
+    label: String,
+}
+
+impl NegativeRule {
+    /// Builds a rule, validating the guards against the schema pair.
+    pub fn new(pair: &SchemaPair, label: &str, guards: Vec<Guard>) -> Result<Self> {
+        if guards.is_empty() {
+            return Err(CoreError::EmptyDependency);
+        }
+        for g in &guards {
+            pair.check_comparable(g.atom().left, g.atom().right)?;
+        }
+        Ok(NegativeRule { guards, label: label.to_owned() })
+    }
+
+    /// Convenience: "same `key`, different `field`" — the archetypal
+    /// negative rule (equal SSN but differing gender ⇒ distinct people).
+    pub fn same_but_different(
+        pair: &SchemaPair,
+        label: &str,
+        same: (AttrId, AttrId),
+        different: (AttrId, AttrId),
+    ) -> Result<Self> {
+        NegativeRule::new(
+            pair,
+            label,
+            vec![
+                Guard::Match(SimilarityAtom::eq(same.0, same.1)),
+                Guard::Differ(SimilarityAtom::eq(different.0, different.1)),
+            ],
+        )
+    }
+
+    /// The rule's guards.
+    pub fn guards(&self) -> &[Guard] {
+        &self.guards
+    }
+
+    /// Human-readable label for diagnostics.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Evaluates the rule on a tuple pair through a caller-supplied
+    /// predicate oracle (`true` = the atom's operator accepts the value
+    /// pair). Returns `true` when the rule **vetoes** the match.
+    pub fn vetoes<F>(&self, mut atom_matches: F) -> bool
+    where
+        F: FnMut(&SimilarityAtom) -> bool,
+    {
+        self.guards.iter().all(|g| match g {
+            Guard::Match(a) => atom_matches(a),
+            Guard::Differ(a) => !atom_matches(a),
+        })
+    }
+
+    /// Pretty-prints the rule against naming context.
+    pub fn render(&self, pair: &SchemaPair, ops: &OperatorTable) -> String {
+        let mut parts = Vec::with_capacity(self.guards.len());
+        for g in &self.guards {
+            let a = g.atom();
+            let neg = matches!(g, Guard::Differ(_));
+            parts.push(format!(
+                "{}{}[{}] {} {}[{}]",
+                if neg { "NOT " } else { "" },
+                pair.left().name(),
+                pair.left().attr_name(a.left),
+                ops.name(a.op),
+                pair.right().name(),
+                pair.right().attr_name(a.right),
+            ));
+        }
+        format!("{} => NO-MATCH ({})", parts.join(" /\\ "), self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn pair() -> SchemaPair {
+        let c = Arc::new(Schema::text("credit", &["SSN", "gender", "FN"]).unwrap());
+        let b = Arc::new(Schema::text("billing", &["SSN", "gender", "FN"]).unwrap());
+        SchemaPair::new(c, b)
+    }
+
+    #[test]
+    fn same_but_different_veto() {
+        let p = pair();
+        let rule = NegativeRule::same_but_different(&p, "ssn-gender", (0, 0), (1, 1)).unwrap();
+        // SSN equal, gender differs → veto.
+        assert!(rule.vetoes(|a| a.left == 0));
+        // SSN equal, gender equal → no veto.
+        assert!(!rule.vetoes(|_| true));
+        // SSN differs → no veto.
+        assert!(!rule.vetoes(|_| false));
+    }
+
+    #[test]
+    fn empty_rules_rejected() {
+        let p = pair();
+        assert!(matches!(
+            NegativeRule::new(&p, "x", vec![]),
+            Err(CoreError::EmptyDependency)
+        ));
+    }
+
+    #[test]
+    fn invalid_attrs_rejected() {
+        let p = pair();
+        assert!(NegativeRule::same_but_different(&p, "x", (9, 0), (1, 1)).is_err());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let p = pair();
+        let ops = OperatorTable::new();
+        let rule = NegativeRule::same_but_different(&p, "ssn-gender", (0, 0), (1, 1)).unwrap();
+        let text = rule.render(&p, &ops);
+        assert!(text.contains("credit[SSN] = billing[SSN]"));
+        assert!(text.contains("NOT credit[gender]"));
+        assert!(text.contains("NO-MATCH"));
+        assert_eq!(rule.label(), "ssn-gender");
+        assert_eq!(rule.guards().len(), 2);
+    }
+}

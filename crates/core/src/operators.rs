@@ -1,0 +1,138 @@
+//! Symbolic similarity operators.
+//!
+//! The reasoning of §3–§5 is *generic*: it relies only on the axioms that
+//! every operator `≈ ∈ Θ` is reflexive, symmetric and subsumes equality.
+//! The core therefore manipulates operators purely as interned symbols; the
+//! binding to executable predicates (edit distance, Jaro, …) happens in the
+//! `matchrules-simdist` registry at matching time.
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned similarity operator. `OperatorId::EQ` is always the equality
+/// relation `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatorId(pub u16);
+
+impl OperatorId {
+    /// The distinguished equality operator `=`.
+    pub const EQ: OperatorId = OperatorId(0);
+
+    /// Whether this is the equality operator.
+    pub fn is_eq(self) -> bool {
+        self == Self::EQ
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// The fixed set Θ of similarity operators in use, as an interning table.
+///
+/// Equality is pre-registered under the name `"="` with id
+/// [`OperatorId::EQ`]. All other operators are interned on first use.
+#[derive(Debug, Clone)]
+pub struct OperatorTable {
+    names: Vec<String>,
+    by_name: HashMap<String, OperatorId>,
+}
+
+impl Default for OperatorTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OperatorTable {
+    /// Creates a table containing only `=`.
+    pub fn new() -> Self {
+        let mut table =
+            OperatorTable { names: Vec::with_capacity(4), by_name: HashMap::with_capacity(4) };
+        let eq = table.intern("=");
+        debug_assert_eq!(eq, OperatorId::EQ);
+        table
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> OperatorId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = OperatorId(u16::try_from(self.names.len()).expect("too many operators"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Resolves a name to an id without interning.
+    pub fn get(&self, name: &str) -> Result<OperatorId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownOperator { name: name.to_owned() })
+    }
+
+    /// The name of an interned operator.
+    pub fn name(&self, id: OperatorId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned operators (including `=`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always false: `=` is pre-registered.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All operator ids in interning order.
+    pub fn ids(&self) -> impl Iterator<Item = OperatorId> + '_ {
+        (0..self.names.len()).map(|i| OperatorId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_preregistered() {
+        let table = OperatorTable::new();
+        assert_eq!(table.get("=").unwrap(), OperatorId::EQ);
+        assert!(OperatorId::EQ.is_eq());
+        assert_eq!(table.name(OperatorId::EQ), "=");
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut table = OperatorTable::new();
+        let a = table.intern("≈dl");
+        let b = table.intern("≈dl");
+        assert_eq!(a, b);
+        assert_eq!(table.len(), 2);
+        assert!(!a.is_eq());
+    }
+
+    #[test]
+    fn unknown_operator_errors() {
+        let table = OperatorTable::new();
+        assert!(matches!(table.get("≈xx"), Err(CoreError::UnknownOperator { .. })));
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let mut table = OperatorTable::new();
+        table.intern("≈a");
+        table.intern("≈b");
+        let ids: Vec<_> = table.ids().collect();
+        assert_eq!(ids, vec![OperatorId(0), OperatorId(1), OperatorId(2)]);
+    }
+}

@@ -1,0 +1,287 @@
+//! The paper's running examples, built once and shared by tests, examples
+//! and the benchmark harness.
+//!
+//! * [`example_1_1`] — the 9/9-attribute `credit`/`billing` schemas of
+//!   Example 1.1 with Σc = {ϕ1, ϕ2, ϕ3} (Example 2.1) and the `(Yc, Yb)`
+//!   lists.
+//! * [`extended`] — the §6 evaluation setting: extended schemas with 13 and
+//!   21 attributes, 11-attribute identity lists, and 7 simple MDs for card
+//!   holders.
+
+use crate::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
+use crate::operators::{OperatorId, OperatorTable};
+use crate::parser::parse_md_set;
+use crate::relative_key::Target;
+use crate::schema::{Schema, SchemaPair};
+use std::sync::Arc;
+
+/// A bundled reasoning setting: schemas, operators, MDs and the target
+/// lists the paper matches on.
+#[derive(Debug, Clone)]
+pub struct PaperSetting {
+    /// The `(credit, billing)` schema pair.
+    pub pair: SchemaPair,
+    /// Operator table; `≈d` (the DL operator) is interned as `"≈d"`.
+    pub ops: OperatorTable,
+    /// The given MDs (Σc for Example 1.1, the 7 MDs of §6 for `extended`).
+    pub sigma: Vec<MatchingDependency>,
+    /// The `(Y1, Y2)` lists identifying card holders.
+    pub target: Target,
+    /// Id of the `≈d` operator.
+    pub dl: OperatorId,
+}
+
+/// Example 1.1's schemas:
+///
+/// ```text
+/// credit (c#, SSN, FN, LN, addr, tel, email, gender, type)
+/// billing(c#, FN, LN, post, phn, email, gender, item, price)
+/// ```
+///
+/// with Σc of Example 2.1 and `Yc/Yb = [FN, LN, addr|post, tel|phn, gender]`.
+pub fn example_1_1() -> PaperSetting {
+    let credit = Arc::new(
+        Schema::text(
+            "credit",
+            &["c#", "SSN", "FN", "LN", "addr", "tel", "email", "gender", "type"],
+        )
+        .expect("static schema"),
+    );
+    let billing = Arc::new(
+        Schema::text(
+            "billing",
+            &["c#", "FN", "LN", "post", "phn", "email", "gender", "item", "price"],
+        )
+        .expect("static schema"),
+    );
+    let pair = SchemaPair::new(credit, billing);
+    let mut ops = OperatorTable::new();
+    let sigma = parse_md_set(
+        "// ϕ1: same last name & address, similar first name -> same holder\n\
+         credit[LN] = billing[LN] /\\ credit[addr] = billing[post] /\\ \
+         credit[FN] ~d billing[FN] -> \
+         credit[FN,LN,addr,tel,gender] <=> billing[FN,LN,post,phn,gender]\n\
+         // ϕ2: same phone -> same address\n\
+         credit[tel] = billing[phn] -> credit[addr] <=> billing[post]\n\
+         // ϕ3: same email -> same name\n\
+         credit[email] = billing[email] -> credit[FN,LN] <=> billing[FN,LN]\n",
+        &pair,
+        &mut ops,
+    )
+    .expect("static MDs parse");
+    let target = Target::by_names(
+        &pair,
+        &["FN", "LN", "addr", "tel", "gender"],
+        &["FN", "LN", "post", "phn", "gender"],
+    )
+    .expect("static target");
+    let dl = ops.get("≈d").expect("interned by the MD set");
+    PaperSetting { pair, ops, sigma, target, dl }
+}
+
+/// The four RCKs of Example 2.4, in paper order, as similarity-atom sets.
+pub fn example_2_4_rcks(setting: &PaperSetting) -> Vec<crate::relative_key::RelativeKey> {
+    use crate::relative_key::RelativeKey;
+    let l = |n: &str| setting.pair.left().attr(n).expect("attr");
+    let r = |n: &str| setting.pair.right().attr(n).expect("attr");
+    let dl = setting.dl;
+    vec![
+        RelativeKey::new(vec![
+            SimilarityAtom::eq(l("LN"), r("LN")),
+            SimilarityAtom::eq(l("addr"), r("post")),
+            SimilarityAtom::new(l("FN"), r("FN"), dl),
+        ]),
+        RelativeKey::new(vec![
+            SimilarityAtom::eq(l("LN"), r("LN")),
+            SimilarityAtom::eq(l("tel"), r("phn")),
+            SimilarityAtom::new(l("FN"), r("FN"), dl),
+        ]),
+        RelativeKey::new(vec![
+            SimilarityAtom::eq(l("email"), r("email")),
+            SimilarityAtom::eq(l("addr"), r("post")),
+        ]),
+        RelativeKey::new(vec![
+            SimilarityAtom::eq(l("email"), r("email")),
+            SimilarityAtom::eq(l("tel"), r("phn")),
+        ]),
+    ]
+}
+
+/// The §6 evaluation setting: extended `credit` (13 attributes) and
+/// `billing` (21 attributes) schemas, 11-attribute identity lists, and 7
+/// simple MDs specifying matching rules for card holders.
+pub fn extended() -> PaperSetting {
+    let credit = Arc::new(
+        Schema::text(
+            "credit",
+            &[
+                "c#", "SSN", "FN", "MN", "LN", "street", "city", "county", "state", "zip",
+                "tel", "email", "gender",
+            ],
+        )
+        .expect("static schema"),
+    );
+    let billing = Arc::new(
+        Schema::text(
+            "billing",
+            &[
+                "c#", "FN", "MN", "LN", "street", "city", "county", "state", "zip", "phn",
+                "email", "gender", "item", "category", "price", "qty", "order_date",
+                "ship_state", "ship_zip", "store", "payment",
+            ],
+        )
+        .expect("static schema"),
+    );
+    assert_eq!(credit.arity(), 13);
+    assert_eq!(billing.arity(), 21);
+    let pair = SchemaPair::new(credit, billing);
+    let mut ops = OperatorTable::new();
+    let y = "FN,MN,LN,street,city,county,state,zip,tel,email,gender";
+    let y2 = "FN,MN,LN,street,city,county,state,zip,phn,email,gender";
+    let text = format!(
+        "// 1: name + street address key (similarity guards tolerate typos)\n\
+         credit[LN] ~d billing[LN] /\\ credit[street] ~d billing[street] /\\ \
+         credit[city] ~d billing[city] /\\ credit[FN] ~d billing[FN] -> \
+         credit[{y}] <=> billing[{y2}]\n\
+         // 2: same phone -> same full address\n\
+         credit[tel] = billing[phn] -> \
+         credit[street,city,county,state,zip] <=> billing[street,city,county,state,zip]\n\
+         // 3: same email -> same name\n\
+         credit[email] = billing[email] -> credit[FN,MN,LN] <=> billing[FN,MN,LN]\n\
+         // 4: zip determines locality\n\
+         credit[zip] = billing[zip] -> \
+         credit[city,county,state] <=> billing[city,county,state]\n\
+         // 5: name + phone key\n\
+         credit[LN] ~d billing[LN] /\\ credit[tel] = billing[phn] /\\ \
+         credit[FN] ~d billing[FN] -> credit[{y}] <=> billing[{y2}]\n\
+         // 6: similar street within a zip is the same street\n\
+         credit[street] ~d billing[street] /\\ credit[zip] = billing[zip] -> \
+         credit[street] <=> billing[street]\n\
+         // 7: same street address + zip -> same household phone\n\
+         credit[street] ~d billing[street] /\\ credit[zip] = billing[zip] -> \
+         credit[tel] <=> billing[phn]\n"
+    );
+    let sigma = parse_md_set(&text, &pair, &mut ops).expect("static MDs parse");
+    assert_eq!(sigma.len(), 7);
+    let names: Vec<&str> = y.split(',').collect();
+    let names2: Vec<&str> = y2.split(',').collect();
+    let target = Target::by_names(&pair, &names, &names2).expect("static target");
+    assert_eq!(target.len(), 11);
+    let dl = ops.get("≈d").expect("interned by the MD set");
+    PaperSetting { pair, ops, sigma, target, dl }
+}
+
+/// Convenience: the identification pairs of ϕ1's RHS (all of `(Yc, Yb)`).
+pub fn y_pairs(setting: &PaperSetting) -> Vec<IdentPair> {
+    setting.target.ident_pairs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deduction::deduces;
+
+    #[test]
+    fn example_1_1_wiring() {
+        let s = example_1_1();
+        assert_eq!(s.sigma.len(), 3);
+        assert_eq!(s.target.len(), 5);
+        assert_eq!(s.pair.left().arity(), 9);
+        assert_eq!(s.pair.right().arity(), 9);
+        assert_eq!(y_pairs(&s).len(), 5);
+    }
+
+    #[test]
+    fn example_2_4_keys_are_deduced_keys() {
+        let s = example_1_1();
+        for (i, key) in example_2_4_rcks(&s).iter().enumerate() {
+            assert!(
+                deduces(&s.sigma, &key.to_md(&s.target)),
+                "rck{} not deduced",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn extended_wiring() {
+        let s = extended();
+        assert_eq!(s.sigma.len(), 7);
+        assert_eq!(s.target.len(), 11);
+        assert_eq!(s.pair.left().arity(), 13);
+        assert_eq!(s.pair.right().arity(), 21);
+    }
+
+    #[test]
+    fn extended_email_phone_key_deduced() {
+        // The analogue of rck4: email + phone identify the holder.
+        let s = extended();
+        let l = |n: &str| s.pair.left().attr(n).unwrap();
+        let r = |n: &str| s.pair.right().attr(n).unwrap();
+        let key = MatchingDependency::new(
+            &s.pair,
+            vec![
+                SimilarityAtom::eq(l("email"), r("email")),
+                SimilarityAtom::eq(l("tel"), r("phn")),
+            ],
+            s.target.ident_pairs(),
+        )
+        .unwrap();
+        assert!(deduces(&s.sigma, &key));
+    }
+
+    #[test]
+    fn extended_email_zip_key_deduced() {
+        // email (names) + phone via ϕ7 needs LN; email+zip alone must NOT be
+        // a key (zip only fixes locality, not street).
+        let s = extended();
+        let l = |n: &str| s.pair.left().attr(n).unwrap();
+        let r = |n: &str| s.pair.right().attr(n).unwrap();
+        let not_key = MatchingDependency::new(
+            &s.pair,
+            vec![
+                SimilarityAtom::eq(l("email"), r("email")),
+                SimilarityAtom::eq(l("zip"), r("zip")),
+            ],
+            s.target.ident_pairs(),
+        )
+        .unwrap();
+        assert!(!deduces(&s.sigma, &not_key));
+    }
+
+    #[test]
+    fn extended_email_alone_is_not_a_key() {
+        // email= only gives the names (ϕ3) — no address, no phone.
+        let s = extended();
+        let l = |n: &str| s.pair.left().attr(n).unwrap();
+        let r = |n: &str| s.pair.right().attr(n).unwrap();
+        let email_only = MatchingDependency::new(
+            &s.pair,
+            vec![SimilarityAtom::eq(l("email"), r("email"))],
+            s.target.ident_pairs(),
+        )
+        .unwrap();
+        assert!(!deduces(&s.sigma, &email_only));
+    }
+
+    #[test]
+    fn extended_street_zip_derives_phone() {
+        // ϕ7: same street + zip → same household phone; together with ϕ3
+        // (names from email) and ϕ4 (locality from zip), {email, street,
+        // zip} is a key.
+        let s = extended();
+        let l = |n: &str| s.pair.left().attr(n).unwrap();
+        let r = |n: &str| s.pair.right().attr(n).unwrap();
+        let key = MatchingDependency::new(
+            &s.pair,
+            vec![
+                SimilarityAtom::eq(l("email"), r("email")),
+                SimilarityAtom::eq(l("street"), r("street")),
+                SimilarityAtom::eq(l("zip"), r("zip")),
+            ],
+            s.target.ident_pairs(),
+        )
+        .unwrap();
+        assert!(deduces(&s.sigma, &key));
+    }
+}

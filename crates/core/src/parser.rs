@@ -1,0 +1,359 @@
+//! A textual syntax for matching dependencies.
+//!
+//! The paper writes MDs as
+//!
+//! ```text
+//! credit[LN] = billing[LN] ∧ credit[FN] ≈d billing[FN] → credit[Yc] ⇌ billing[Yb]
+//! ```
+//!
+//! This module parses an ASCII-friendly rendering of that syntax:
+//!
+//! ```text
+//! credit[LN] = billing[LN] /\ credit[FN] ~d billing[FN]
+//!     -> credit[FN,LN] <=> billing[FN,LN]
+//! ```
+//!
+//! * conjuncts are separated by `/\` (or the Unicode `∧`);
+//! * operators are `=` or identifiers starting with `~` (or `≈`), interned
+//!   into the [`OperatorTable`] on first use;
+//! * the RHS lists attributes positionally: `R1[A,B] <=> R2[C,D]` identifies
+//!   `(A,C)` and `(B,D)`.
+//!
+//! [`parse_md_set`] reads one MD per non-empty line, skipping `//` comments.
+
+use crate::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
+use crate::error::{CoreError, Result};
+use crate::operators::OperatorTable;
+use crate::schema::{AttrId, SchemaPair, Side};
+
+/// Parses a single MD against the schema pair, interning any new similarity
+/// operators.
+pub fn parse_md(
+    input: &str,
+    pair: &SchemaPair,
+    ops: &mut OperatorTable,
+) -> Result<MatchingDependency> {
+    Parser { input, pos: 0, pair, ops }.md()
+}
+
+/// Parses a newline-separated set of MDs; blank lines and lines starting
+/// with `//` are skipped.
+pub fn parse_md_set(
+    input: &str,
+    pair: &SchemaPair,
+    ops: &mut OperatorTable,
+) -> Result<Vec<MatchingDependency>> {
+    input
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with("//"))
+        .map(|line| parse_md(line, pair, ops))
+        .collect()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    pair: &'a SchemaPair,
+    ops: &'a mut OperatorTable,
+}
+
+impl Parser<'_> {
+    fn md(&mut self) -> Result<MatchingDependency> {
+        let mut lhs = vec![self.atom()?];
+        loop {
+            self.skip_ws();
+            if self.eat("/\\") || self.eat("∧") {
+                lhs.push(self.atom()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if !(self.eat("->") || self.eat("→")) {
+            return Err(self.err("expected '->'"));
+        }
+        let (left_side, left_attrs) = self.attr_list()?;
+        self.skip_ws();
+        if !(self.eat("<=>") || self.eat("⇌")) {
+            return Err(self.err("expected '<=>'"));
+        }
+        let (right_side, right_attrs) = self.attr_list()?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.err("trailing input"));
+        }
+        let (left_side, right_side) = self.coerce_sides(left_side, right_side);
+        if left_side != Side::Left || right_side != Side::Right {
+            return Err(self.err("RHS must be 'R1[..] <=> R2[..]'"));
+        }
+        if left_attrs.len() != right_attrs.len() {
+            return Err(CoreError::LengthMismatch {
+                left: left_attrs.len(),
+                right: right_attrs.len(),
+            });
+        }
+        let rhs = left_attrs
+            .into_iter()
+            .zip(right_attrs)
+            .map(|(l, r)| IdentPair::new(l, r))
+            .collect();
+        MatchingDependency::new(self.pair, lhs, rhs)
+    }
+
+    /// `rel[attr] OP rel[attr]`.
+    fn atom(&mut self) -> Result<SimilarityAtom> {
+        let (s1, a1) = self.attr_ref()?;
+        self.skip_ws();
+        let op_name = self.operator()?;
+        let (s2, a2) = self.attr_ref()?;
+        let (s1, s2) = self.coerce_sides(s1, s2);
+        if s1 != Side::Left || s2 != Side::Right {
+            return Err(self.err("atoms must compare R1[..] with R2[..]"));
+        }
+        let op = self.ops.intern(&op_name);
+        Ok(SimilarityAtom::new(a1, a2, op))
+    }
+
+    /// For reflexive pairs `(R, R)` both mentions of `R` resolve to the left
+    /// side; interpret the second reference positionally as the right side.
+    fn coerce_sides(&self, s1: Side, s2: Side) -> (Side, Side) {
+        if s1 == Side::Left
+            && s2 == Side::Left
+            && self.pair.left().name() == self.pair.right().name()
+        {
+            (Side::Left, Side::Right)
+        } else {
+            (s1, s2)
+        }
+    }
+
+    /// `rel[attr]` — a single attribute reference.
+    fn attr_ref(&mut self) -> Result<(Side, AttrId)> {
+        let (side, attrs) = self.attr_list()?;
+        if attrs.len() != 1 {
+            return Err(self.err("expected a single attribute"));
+        }
+        Ok((side, attrs[0]))
+    }
+
+    /// `rel[attr, attr, …]`.
+    fn attr_list(&mut self) -> Result<(Side, Vec<AttrId>)> {
+        self.skip_ws();
+        let rel = self.ident()?;
+        let side = self.pair.side_of(&rel)?;
+        let schema = self.pair.schema_of(side).clone();
+        self.skip_ws();
+        if !self.eat("[") {
+            return Err(self.err("expected '['"));
+        }
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            let name = self.ident()?;
+            attrs.push(schema.attr(&name)?);
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            if self.eat("]") {
+                break;
+            }
+            return Err(self.err("expected ',' or ']'"));
+        }
+        Ok((side, attrs))
+    }
+
+    /// `=` or `~ident` / `≈ident`.
+    fn operator(&mut self) -> Result<String> {
+        self.skip_ws();
+        if self.eat("=") {
+            return Ok("=".to_owned());
+        }
+        if self.eat("~") || self.eat("≈") {
+            let suffix = self.ident().unwrap_or_default();
+            // Canonical operator names use the Unicode ≈ prefix.
+            return Ok(format!("≈{suffix}"));
+        }
+        Err(self.err("expected an operator ('=' or '~name')"))
+    }
+
+    /// Identifiers: letters, digits, `_`, `#`, `.`, `-`.
+    fn ident(&mut self) -> Result<String> {
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || matches!(c, '_' | '#' | '.' | '-')))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        self.pos += end;
+        Ok(rest[..end].to_owned())
+    }
+
+    fn skip_ws(&mut self) {
+        let rest = &self.input[self.pos..];
+        let skipped = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_whitespace())
+            .map_or(rest.len(), |(i, _)| i);
+        self.pos += skipped;
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.input[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, message: &str) -> CoreError {
+        CoreError::Parse { offset: self.pos, message: message.to_owned() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::OperatorId;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn pair() -> SchemaPair {
+        let credit =
+            Arc::new(Schema::text("credit", &["c#", "FN", "LN", "addr", "tel", "email"]).unwrap());
+        let billing =
+            Arc::new(Schema::text("billing", &["c#", "FN", "LN", "post", "phn", "email"]).unwrap());
+        SchemaPair::new(credit, billing)
+    }
+
+    #[test]
+    fn parses_paper_phi2() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let md =
+            parse_md("credit[tel] = billing[phn] -> credit[addr] <=> billing[post]", &p, &mut ops)
+                .unwrap();
+        assert_eq!(md.lhs().len(), 1);
+        assert!(md.lhs()[0].op.is_eq());
+        assert_eq!(md.rhs().len(), 1);
+        // Round-trips through the display form.
+        let rendered = md.display(&p, &ops).to_string();
+        let md2 = parse_md(&rendered, &p, &mut ops).unwrap();
+        assert_eq!(md, md2);
+    }
+
+    #[test]
+    fn parses_conjunction_and_similarity() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let md = parse_md(
+            "credit[LN] = billing[LN] /\\ credit[FN] ~d billing[FN] \
+             -> credit[FN,LN] <=> billing[FN,LN]",
+            &p,
+            &mut ops,
+        )
+        .unwrap();
+        assert_eq!(md.lhs().len(), 2);
+        let dl = ops.get("≈d").unwrap();
+        assert!(md.lhs().iter().any(|a| a.op == dl));
+        assert_eq!(md.rhs().len(), 2);
+    }
+
+    #[test]
+    fn parses_unicode_forms() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let md = parse_md(
+            "credit[LN] = billing[LN] ∧ credit[FN] ≈d billing[FN] → credit[FN] ⇌ billing[FN]",
+            &p,
+            &mut ops,
+        )
+        .unwrap();
+        assert_eq!(md.lhs().len(), 2);
+    }
+
+    #[test]
+    fn hash_in_attribute_names() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let md = parse_md(
+            "credit[c#] = billing[c#] -> credit[FN] <=> billing[FN]",
+            &p,
+            &mut ops,
+        )
+        .unwrap();
+        assert_eq!(md.lhs()[0].left, 0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        for bad in [
+            "",
+            "credit[tel] billing[phn] -> credit[addr] <=> billing[post]",
+            "credit[tel] = billing[phn]",
+            "credit[tel] = billing[phn] -> credit[addr] <=> billing[post] junk",
+            "credit[tel] = billing[phn] -> billing[post] <=> credit[addr]",
+            "credit[nope] = billing[phn] -> credit[addr] <=> billing[post]",
+            "orders[tel] = billing[phn] -> credit[addr] <=> billing[post]",
+            "credit[tel] = billing[phn] -> credit[addr,tel] <=> billing[post]",
+        ] {
+            assert!(parse_md(bad, &p, &mut ops).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn reports_error_offsets() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let err = parse_md("credit[tel] ? billing[phn] -> x <=> y", &p, &mut ops).unwrap_err();
+        match err {
+            CoreError::Parse { offset, .. } => assert_eq!(offset, 12),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_md_set_with_comments() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let set = parse_md_set(
+            "// the paper's ϕ2 and ϕ3\n\
+             credit[tel] = billing[phn] -> credit[addr] <=> billing[post]\n\
+             \n\
+             credit[email] = billing[email] -> credit[FN,LN] <=> billing[FN,LN]\n",
+            &p,
+            &mut ops,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn reflexive_pairs_parse_positionally() {
+        let r = Arc::new(Schema::text("R", &["A", "B"]).unwrap());
+        let p = SchemaPair::reflexive(r);
+        let mut ops = OperatorTable::new();
+        let md = parse_md("R[A] = R[A] -> R[B] <=> R[B]", &p, &mut ops).unwrap();
+        assert_eq!(md.lhs(), &[SimilarityAtom::eq(0, 0)]);
+        assert_eq!(md.rhs(), &[IdentPair::new(1, 1)]);
+    }
+
+    #[test]
+    fn equality_operator_is_interned_as_eq() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let md = parse_md(
+            "credit[email] = billing[email] -> credit[email] <=> billing[email]",
+            &p,
+            &mut ops,
+        )
+        .unwrap();
+        assert_eq!(md.lhs()[0].op, OperatorId::EQ);
+    }
+}

@@ -1,0 +1,325 @@
+//! Relative keys and relative candidate keys (RCKs) — §2.2 and §5.
+//!
+//! A key `ψ = (X1, X2 ‖ C)` relative to comparable lists `(Y1, Y2)` is an MD
+//! whose RHS is fixed to `(Y1, Y2)`: to identify `t1[Y1]` and `t2[Y2]` it
+//! suffices to check that the `X` attributes pairwise match w.r.t. the
+//! comparison vector `C`. A *relative candidate key* additionally requires
+//! that no other key needs fewer attributes (a sub-list of this one) — the
+//! `⪯` ordering below.
+
+use crate::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
+use crate::error::{CoreError, Result};
+use crate::operators::OperatorTable;
+use crate::schema::{AttrId, SchemaPair};
+use std::fmt;
+
+/// The pair of comparable lists `(Y1, Y2)` that keys are relative to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    y1: Vec<AttrId>,
+    y2: Vec<AttrId>,
+}
+
+impl Target {
+    /// Validates `(Y1, Y2)` as comparable lists over the schema pair.
+    pub fn new(pair: &SchemaPair, y1: Vec<AttrId>, y2: Vec<AttrId>) -> Result<Self> {
+        if y1.is_empty() {
+            return Err(CoreError::InvalidTarget { message: "empty target lists".to_owned() });
+        }
+        pair.check_comparable_lists(&y1, &y2)?;
+        Ok(Target { y1, y2 })
+    }
+
+    /// Resolves named attribute lists, e.g.
+    /// `Target::by_names(&pair, &["FN", "LN"], &["FN", "LN"])`.
+    pub fn by_names(pair: &SchemaPair, y1: &[&str], y2: &[&str]) -> Result<Self> {
+        let y1 = pair.left().attrs(y1)?;
+        let y2 = pair.right().attrs(y2)?;
+        Target::new(pair, y1, y2)
+    }
+
+    /// The left list `Y1`.
+    pub fn y1(&self) -> &[AttrId] {
+        &self.y1
+    }
+
+    /// The right list `Y2`.
+    pub fn y2(&self) -> &[AttrId] {
+        &self.y2
+    }
+
+    /// Length of the lists.
+    pub fn len(&self) -> usize {
+        self.y1.len()
+    }
+
+    /// Targets are validated non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The identification pairs `(Y1[i], Y2[i])`.
+    pub fn ident_pairs(&self) -> Vec<IdentPair> {
+        self.y1.iter().zip(&self.y2).map(|(&l, &r)| IdentPair::new(l, r)).collect()
+    }
+
+    /// The key `(Y1, Y2 ‖ [=, …, =])` — the trivial key every target admits,
+    /// and the starting point of `findRCKs` (Fig. 7, line 3).
+    pub fn trivial_key(&self) -> RelativeKey {
+        RelativeKey::new(
+            self.y1.iter().zip(&self.y2).map(|(&l, &r)| SimilarityAtom::eq(l, r)).collect(),
+        )
+    }
+}
+
+/// A key `(X1, X2 ‖ C)` relative to some target, stored as a canonical
+/// (sorted, deduplicated) set of similarity atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelativeKey {
+    atoms: Vec<SimilarityAtom>,
+}
+
+impl RelativeKey {
+    /// Builds a key from atoms, canonicalizing them.
+    pub fn new(mut atoms: Vec<SimilarityAtom>) -> Self {
+        atoms.sort_unstable();
+        atoms.dedup();
+        RelativeKey { atoms }
+    }
+
+    /// The atoms `(X1[i], X2[i], C[i])`.
+    pub fn atoms(&self) -> &[SimilarityAtom] {
+        &self.atoms
+    }
+
+    /// The key's length `k = |X1|`.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the key has no atoms (never a valid key; produced only as an
+    /// intermediate by [`RelativeKey::without`]).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The `⪯` ordering used by `findRCKs`' completeness check: `self ⪯
+    /// other` when every atom of `self` occurs in `other` (same attribute
+    /// pair *and* operator). Reflexive; `self ≺ other` additionally requires
+    /// strictly fewer atoms (the RCK minimality condition of §2.2).
+    pub fn covers(&self, other: &RelativeKey) -> bool {
+        // Both atom lists are sorted: a linear merge-subset test.
+        let mut it = other.atoms.iter();
+        'outer: for atom in &self.atoms {
+            for cand in it.by_ref() {
+                if cand == atom {
+                    continue 'outer;
+                }
+                if cand > atom {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Strict version of [`covers`](Self::covers): `self ≺ other`.
+    pub fn strictly_covers(&self, other: &RelativeKey) -> bool {
+        self.len() < other.len() && self.covers(other)
+    }
+
+    /// The key without one atom (used by `minimize`, Fig. 7).
+    pub fn without(&self, atom: &SimilarityAtom) -> RelativeKey {
+        RelativeKey {
+            atoms: self.atoms.iter().copied().filter(|a| a != atom).collect(),
+        }
+    }
+
+    /// `apply(γ, φ)` of §5: removes from the key every atom whose attribute
+    /// pair is identified by `RHS(φ)` and adds the atoms of `LHS(φ)` — the
+    /// relative key obtained by "applying" MD φ to γ.
+    pub fn apply(&self, md: &MatchingDependency) -> RelativeKey {
+        let mut atoms: Vec<SimilarityAtom> = self
+            .atoms
+            .iter()
+            .copied()
+            .filter(|a| !md.rhs().contains(&a.pair()))
+            .collect();
+        atoms.extend_from_slice(md.lhs());
+        RelativeKey::new(atoms)
+    }
+
+    /// The MD form `⋀ atoms → R1[Y1] ⇌ R2[Y2]` of the key.
+    pub fn to_md(&self, target: &Target) -> MatchingDependency {
+        MatchingDependency::new_unchecked(self.atoms.clone(), target.ident_pairs())
+    }
+
+    /// Pretty-printer in the paper's `(X1, X2 ‖ C)` notation.
+    pub fn display<'a>(
+        &'a self,
+        pair: &'a SchemaPair,
+        ops: &'a OperatorTable,
+    ) -> KeyDisplay<'a> {
+        KeyDisplay { key: self, pair, ops }
+    }
+}
+
+/// Renders a relative key as `([LN, addr], [LN, post] || [=, =])`.
+pub struct KeyDisplay<'a> {
+    key: &'a RelativeKey,
+    pair: &'a SchemaPair,
+    ops: &'a OperatorTable,
+}
+
+impl fmt::Display for KeyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |f: &mut fmt::Formatter<'_>,
+                    render: &dyn Fn(&SimilarityAtom) -> String|
+         -> fmt::Result {
+            for (i, atom) in self.key.atoms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", render(atom))?;
+            }
+            Ok(())
+        };
+        write!(f, "([")?;
+        join(f, &|a| self.pair.left().attr_name(a.left).to_owned())?;
+        write!(f, "], [")?;
+        join(f, &|a| self.pair.right().attr_name(a.right).to_owned())?;
+        write!(f, "] || [")?;
+        join(f, &|a| self.ops.name(a.op).to_owned())?;
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::OperatorId;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn pair() -> SchemaPair {
+        let credit =
+            Arc::new(Schema::text("credit", &["FN", "LN", "addr", "tel", "email"]).unwrap());
+        let billing =
+            Arc::new(Schema::text("billing", &["FN", "LN", "post", "phn", "email"]).unwrap());
+        SchemaPair::new(credit, billing)
+    }
+
+    #[test]
+    fn target_validation() {
+        let p = pair();
+        assert!(Target::by_names(&p, &["FN", "LN"], &["FN", "LN"]).is_ok());
+        assert!(Target::by_names(&p, &["FN"], &["FN", "LN"]).is_err());
+        assert!(Target::by_names(&p, &[], &[]).is_err());
+        assert!(Target::by_names(&p, &["nope"], &["FN"]).is_err());
+    }
+
+    #[test]
+    fn trivial_key_is_all_equalities() {
+        let p = pair();
+        let t = Target::by_names(&p, &["FN", "LN"], &["FN", "LN"]).unwrap();
+        let k = t.trivial_key();
+        assert_eq!(k.len(), 2);
+        assert!(k.atoms().iter().all(|a| a.op.is_eq()));
+        assert!(!k.is_empty());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn covers_is_subset_with_operators() {
+        let small = RelativeKey::new(vec![SimilarityAtom::eq(0, 0)]);
+        let big = RelativeKey::new(vec![SimilarityAtom::eq(0, 0), SimilarityAtom::eq(1, 1)]);
+        assert!(small.covers(&big));
+        assert!(!big.covers(&small));
+        assert!(small.covers(&small), "⪯ is reflexive");
+        assert!(small.strictly_covers(&big));
+        assert!(!small.strictly_covers(&small));
+
+        // Same pair, different operator: not covered.
+        let sim = RelativeKey::new(vec![SimilarityAtom::new(0, 0, OperatorId(1))]);
+        assert!(!sim.covers(&big));
+    }
+
+    #[test]
+    fn without_removes_one_atom() {
+        let k = RelativeKey::new(vec![SimilarityAtom::eq(0, 0), SimilarityAtom::eq(1, 1)]);
+        let k2 = k.without(&SimilarityAtom::eq(0, 0));
+        assert_eq!(k2.len(), 1);
+        assert_eq!(k2.atoms()[0], SimilarityAtom::eq(1, 1));
+        assert!(k.without(&SimilarityAtom::eq(9, 9)).len() == 2);
+    }
+
+    #[test]
+    fn apply_replaces_rhs_pairs_with_lhs_atoms() {
+        let p = pair();
+        let addr = p.left().attr("addr").unwrap();
+        let post = p.right().attr("post").unwrap();
+        let tel = p.left().attr("tel").unwrap();
+        let phn = p.right().attr("phn").unwrap();
+        // γ = ([LN, addr], ‖ =,=); φ2: tel = phn → addr ⇌ post.
+        let ln_l = p.left().attr("LN").unwrap();
+        let ln_r = p.right().attr("LN").unwrap();
+        let gamma = RelativeKey::new(vec![
+            SimilarityAtom::eq(ln_l, ln_r),
+            SimilarityAtom::eq(addr, post),
+        ]);
+        let phi2 = MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(tel, phn)],
+            vec![IdentPair::new(addr, post)],
+        )
+        .unwrap();
+        let applied = gamma.apply(&phi2);
+        // addr/post replaced by tel/phn.
+        assert_eq!(applied.len(), 2);
+        assert!(applied.atoms().contains(&SimilarityAtom::eq(ln_l, ln_r)));
+        assert!(applied.atoms().contains(&SimilarityAtom::eq(tel, phn)));
+        assert!(!applied.atoms().contains(&SimilarityAtom::eq(addr, post)));
+    }
+
+    #[test]
+    fn apply_removes_by_pair_regardless_of_operator() {
+        let p = pair();
+        let mut ops = OperatorTable::new();
+        let dl = ops.intern("≈dl");
+        let fn_l = p.left().attr("FN").unwrap();
+        let fn_r = p.right().attr("FN").unwrap();
+        let email_l = p.left().attr("email").unwrap();
+        let email_r = p.right().attr("email").unwrap();
+        let gamma = RelativeKey::new(vec![SimilarityAtom::new(fn_l, fn_r, dl)]);
+        let phi = MatchingDependency::new(
+            &p,
+            vec![SimilarityAtom::eq(email_l, email_r)],
+            vec![IdentPair::new(fn_l, fn_r)],
+        )
+        .unwrap();
+        let applied = gamma.apply(&phi);
+        assert_eq!(applied.atoms(), &[SimilarityAtom::eq(email_l, email_r)]);
+    }
+
+    #[test]
+    fn to_md_has_target_rhs() {
+        let p = pair();
+        let t = Target::by_names(&p, &["FN", "LN"], &["FN", "LN"]).unwrap();
+        let k = RelativeKey::new(vec![SimilarityAtom::eq(4, 4)]); // email = email
+        let md = k.to_md(&t);
+        assert_eq!(md.rhs().len(), 2);
+        assert_eq!(md.lhs(), k.atoms());
+    }
+
+    #[test]
+    fn display_paper_notation() {
+        let p = pair();
+        let ops = OperatorTable::new();
+        let t = Target::by_names(&p, &["LN", "addr"], &["LN", "post"]).unwrap();
+        let k = t.trivial_key();
+        let s = k.display(&p, &ops).to_string();
+        assert_eq!(s, "([LN, addr], [LN, post] || [=, =])");
+    }
+}

@@ -1,0 +1,360 @@
+//! Relation schemas, attributes and comparable lists (§2.1 of the paper).
+//!
+//! MDs are defined over a pair of relation schemas `(R1, R2)` — possibly the
+//! same schema twice (deduplication within a single relation uses `(R, R)`).
+//! Attribute pairs may only be compared when their domains agree; the paper
+//! calls two equal-length, pairwise-comparable attribute lists *comparable
+//! lists*.
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The domain of an attribute. The paper assumes data standardization has
+/// already put comparable attributes into a common domain; we model domains
+/// nominally and require equality for comparability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Domain {
+    /// Free-form text (names, addresses, e-mail, …).
+    #[default]
+    Text,
+    /// Integer-valued data (counts, card numbers as digits).
+    Integer,
+    /// Decimal-valued data (prices).
+    Decimal,
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Text => write!(f, "text"),
+            Domain::Integer => write!(f, "integer"),
+            Domain::Decimal => write!(f, "decimal"),
+        }
+    }
+}
+
+/// A named, typed attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    domain: Domain,
+}
+
+impl Attribute {
+    /// Creates a text attribute — the common case in record matching.
+    pub fn text(name: &str) -> Self {
+        Attribute { name: name.to_owned(), domain: Domain::Text }
+    }
+
+    /// Creates an attribute with an explicit domain.
+    pub fn new(name: &str, domain: Domain) -> Self {
+        Attribute { name: name.to_owned(), domain }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+}
+
+/// Index of an attribute within its schema.
+pub type AttrId = usize;
+
+/// A relation schema: a name plus an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting empty attribute lists and duplicate names.
+    pub fn new(name: &str, attributes: Vec<Attribute>) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(CoreError::EmptySchema { schema: name.to_owned() });
+        }
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, attr) in attributes.iter().enumerate() {
+            if by_name.insert(attr.name.clone(), i).is_some() {
+                return Err(CoreError::DuplicateAttribute {
+                    schema: name.to_owned(),
+                    attribute: attr.name.clone(),
+                });
+            }
+        }
+        Ok(Schema { name: name.to_owned(), attributes, by_name })
+    }
+
+    /// Convenience constructor for all-text schemas:
+    /// `Schema::text("credit", &["c#", "SSN", …])`.
+    pub fn text(name: &str, attribute_names: &[&str]) -> Result<Self> {
+        Schema::new(name, attribute_names.iter().map(|n| Attribute::text(n)).collect())
+    }
+
+    /// The schema's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (the schema's arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.by_name.get(name).copied().ok_or_else(|| CoreError::UnknownAttribute {
+            schema: self.name.clone(),
+            attribute: name.to_owned(),
+        })
+    }
+
+    /// Looks several attributes up by name, preserving order.
+    pub fn attrs(&self, names: &[&str]) -> Result<Vec<AttrId>> {
+        names.iter().map(|n| self.attr(n)).collect()
+    }
+
+    /// The attribute at `id`, if in range.
+    pub fn attribute(&self, id: AttrId) -> Result<&Attribute> {
+        self.attributes.get(id).ok_or_else(|| CoreError::AttributeOutOfRange {
+            schema: self.name.clone(),
+            index: id,
+        })
+    }
+
+    /// The name of attribute `id`; panics if out of range (internal use with
+    /// already-validated ids).
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        self.attributes[id].name()
+    }
+}
+
+/// Which side of the schema pair an attribute reference lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The first relation, `R1`.
+    Left,
+    /// The second relation, `R2`.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// A fully-qualified attribute reference `R[A]` within a schema pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef {
+    /// Which relation of the pair.
+    pub side: Side,
+    /// Attribute index within that relation's schema.
+    pub attr: AttrId,
+}
+
+impl AttrRef {
+    /// `R1[attr]`.
+    pub fn left(attr: AttrId) -> Self {
+        AttrRef { side: Side::Left, attr }
+    }
+
+    /// `R2[attr]`.
+    pub fn right(attr: AttrId) -> Self {
+        AttrRef { side: Side::Right, attr }
+    }
+}
+
+/// The pair of schemas `(R1, R2)` that MDs and RCKs are defined over.
+///
+/// Both sides may be the same schema (single-relation deduplication); they
+/// are stored as shared pointers so a pair is cheap to clone.
+#[derive(Debug, Clone)]
+pub struct SchemaPair {
+    left: Arc<Schema>,
+    right: Arc<Schema>,
+}
+
+impl SchemaPair {
+    /// Builds a pair over two (possibly identical) schemas.
+    pub fn new(left: Arc<Schema>, right: Arc<Schema>) -> Self {
+        SchemaPair { left, right }
+    }
+
+    /// Builds the reflexive pair `(R, R)`.
+    pub fn reflexive(schema: Arc<Schema>) -> Self {
+        SchemaPair { left: schema.clone(), right: schema }
+    }
+
+    /// The schema of side `R1`.
+    pub fn left(&self) -> &Arc<Schema> {
+        &self.left
+    }
+
+    /// The schema of side `R2`.
+    pub fn right(&self) -> &Arc<Schema> {
+        &self.right
+    }
+
+    /// The schema a reference points into.
+    pub fn schema_of(&self, side: Side) -> &Arc<Schema> {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// Resolves a relation name to its side. When both sides share a name
+    /// (reflexive pairs), `R1`/`R2` suffixes disambiguate; the bare name
+    /// resolves to the left side.
+    pub fn side_of(&self, relation: &str) -> Result<Side> {
+        if relation == self.left.name() {
+            Ok(Side::Left)
+        } else if relation == self.right.name() {
+            Ok(Side::Right)
+        } else {
+            Err(CoreError::UnknownRelation { name: relation.to_owned() })
+        }
+    }
+
+    /// Validates that `(left, right)` attributes are comparable: both in
+    /// range and of equal domain.
+    pub fn check_comparable(&self, left: AttrId, right: AttrId) -> Result<()> {
+        let la = self.left.attribute(left)?;
+        let ra = self.right.attribute(right)?;
+        if la.domain() != ra.domain() {
+            return Err(CoreError::DomainMismatch {
+                left: format!("{}[{}]", self.left.name(), la.name()),
+                right: format!("{}[{}]", self.right.name(), ra.name()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates a pair of comparable lists: equal length and pairwise
+    /// comparable (§2.1).
+    pub fn check_comparable_lists(&self, left: &[AttrId], right: &[AttrId]) -> Result<()> {
+        if left.len() != right.len() {
+            return Err(CoreError::LengthMismatch { left: left.len(), right: right.len() });
+        }
+        for (&l, &r) in left.iter().zip(right) {
+            self.check_comparable(l, r)?;
+        }
+        Ok(())
+    }
+
+    /// Renders `R[A]` for diagnostics.
+    pub fn display_ref(&self, r: AttrRef) -> String {
+        let schema = self.schema_of(r.side);
+        format!("{}[{}]", schema.name(), schema.attr_name(r.attr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn credit() -> Arc<Schema> {
+        Arc::new(
+            Schema::text(
+                "credit",
+                &["c#", "SSN", "FN", "LN", "addr", "tel", "email", "gender", "type"],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn billing() -> Arc<Schema> {
+        Arc::new(
+            Schema::text(
+                "billing",
+                &["c#", "FN", "LN", "post", "phn", "email", "gender", "item", "price"],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn schema_lookup_roundtrips() {
+        let s = credit();
+        assert_eq!(s.arity(), 9);
+        let fn_id = s.attr("FN").unwrap();
+        assert_eq!(s.attr_name(fn_id), "FN");
+        assert!(s.attr("nope").is_err());
+        assert!(s.attribute(99).is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let err = Schema::text("r", &["a", "a"]).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(Schema::text("r", &[]), Err(CoreError::EmptySchema { .. })));
+    }
+
+    #[test]
+    fn pair_resolves_sides() {
+        let pair = SchemaPair::new(credit(), billing());
+        assert_eq!(pair.side_of("credit").unwrap(), Side::Left);
+        assert_eq!(pair.side_of("billing").unwrap(), Side::Right);
+        assert!(pair.side_of("orders").is_err());
+    }
+
+    #[test]
+    fn reflexive_pair_resolves_to_left() {
+        let pair = SchemaPair::reflexive(credit());
+        assert_eq!(pair.side_of("credit").unwrap(), Side::Left);
+    }
+
+    #[test]
+    fn comparability_checks_domains() {
+        let left = Arc::new(
+            Schema::new("l", vec![Attribute::text("name"), Attribute::new("n", Domain::Integer)])
+                .unwrap(),
+        );
+        let right = Arc::new(
+            Schema::new("r", vec![Attribute::text("name"), Attribute::new("m", Domain::Decimal)])
+                .unwrap(),
+        );
+        let pair = SchemaPair::new(left, right);
+        assert!(pair.check_comparable(0, 0).is_ok());
+        assert!(matches!(pair.check_comparable(1, 1), Err(CoreError::DomainMismatch { .. })));
+        assert!(matches!(
+            pair.check_comparable_lists(&[0, 1], &[0]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_ref_formats() {
+        let pair = SchemaPair::new(credit(), billing());
+        let tel = pair.left().attr("tel").unwrap();
+        assert_eq!(pair.display_ref(AttrRef::left(tel)), "credit[tel]");
+    }
+
+    #[test]
+    fn side_flip() {
+        assert_eq!(Side::Left.flip(), Side::Right);
+        assert_eq!(Side::Right.flip(), Side::Left);
+    }
+}

@@ -1,0 +1,123 @@
+//! Differential testing: the inference-system layer (§3.2 axioms) against
+//! the algorithmic deduction (§4 MDClosure), and the indexed closure
+//! against the published repeat-loop control flow.
+
+use matchrules_core::axioms;
+use matchrules_core::closure::Closure;
+use matchrules_core::deduction::deduces;
+use matchrules_core::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
+use matchrules_core::operators::OperatorId;
+use proptest::prelude::*;
+
+/// Random normal-form MDs over an aligned pair pool of `arity` pairs and
+/// `ops` operators (operator 0 is `=`).
+fn arb_md(arity: usize, ops: u16) -> impl Strategy<Value = MatchingDependency> {
+    (
+        proptest::collection::vec((0..arity, 0..ops), 1..4),
+        0..arity,
+    )
+        .prop_map(|(lhs, rhs)| {
+            MatchingDependency::from_validated_parts(
+                lhs.into_iter()
+                    .map(|(i, op)| SimilarityAtom::new(i, i, OperatorId(op)))
+                    .collect(),
+                vec![IdentPair::new(rhs, rhs)],
+            )
+        })
+}
+
+fn arb_sigma() -> impl Strategy<Value = Vec<MatchingDependency>> {
+    proptest::collection::vec(arb_md(6, 3), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of every axiom step: conclusions derived by the §3.2
+    /// rules are confirmed by MDClosure.
+    #[test]
+    fn axiom_steps_are_algorithmically_deducible(sigma in arb_sigma(), extra in 0usize..6) {
+        let phi = &sigma[0];
+
+        // Lemma 3.1 (augmentation).
+        let aug = axioms::augment_lhs(phi, SimilarityAtom::eq(extra, extra));
+        prop_assert!(deduces(&sigma, &aug));
+        let both = axioms::augment_both(phi, IdentPair::new(extra, extra));
+        prop_assert!(deduces(&sigma, &both));
+
+        // Lemma 3.2(2) (strengthening a similarity guard to equality).
+        if let Some(guard) = phi.lhs().iter().find(|a| !a.op.is_eq()) {
+            let guard = *guard;
+            let strong = axioms::strengthen_guard(phi, &guard).expect("non-eq guard");
+            prop_assert!(deduces(&sigma, &strong));
+        }
+
+        // Lemma 3.3 (transitivity) whenever applicable within Σ.
+        for phi2 in &sigma {
+            if let Some(conclusion) = axioms::transitivity(phi, phi2) {
+                prop_assert!(deduces(&sigma, &conclusion), "transitivity unsound");
+            }
+        }
+
+        // RHS union of MDs with identical LHS.
+        for phi2 in &sigma {
+            if let Some(combined) = axioms::union_rhs(phi, phi2) {
+                prop_assert!(deduces(&sigma, &combined), "union unsound");
+            }
+        }
+
+        // Guard absorption is an equivalence.
+        let tidied = axioms::absorb_weaker_guards(phi);
+        prop_assert!(deduces(&sigma, &tidied));
+        prop_assert!(deduces(std::slice::from_ref(&tidied), phi));
+    }
+
+    /// The indexed engine and the published repeat loop compute identical
+    /// closures on random Σ and seeds.
+    #[test]
+    fn indexed_and_naive_closures_agree(sigma in arb_sigma(), seed in arb_md(6, 3)) {
+        let fast = Closure::compute(&sigma, seed.lhs(), &[]);
+        let naive = Closure::compute_naive(&sigma, seed.lhs(), &[]);
+        let mut f1 = fast.facts();
+        let mut f2 = naive.facts();
+        let key = |f: &matchrules_core::closure::Fact| (f.a, f.b, f.op);
+        f1.sort_by_key(key);
+        f2.sort_by_key(key);
+        prop_assert_eq!(f1, f2);
+        // Same rules fire (possibly in different order).
+        let mut r1 = fast.fired().to_vec();
+        let mut r2 = naive.fired().to_vec();
+        r1.sort_unstable();
+        r2.sort_unstable();
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Closure growth is monotone in the seed: adding seed atoms never
+    /// removes facts.
+    #[test]
+    fn closure_monotone_in_seed(sigma in arb_sigma(), seed in arb_md(6, 3), extra in 0usize..6) {
+        let small = Closure::compute(&sigma, seed.lhs(), &[]);
+        let mut bigger_seed = seed.lhs().to_vec();
+        bigger_seed.push(SimilarityAtom::eq(extra, extra));
+        let big = Closure::compute(&sigma, &bigger_seed, &[]);
+        for fact in small.facts() {
+            prop_assert!(
+                big.holds_refs(fact.a, fact.b, fact.op),
+                "lost fact {fact:?} after enlarging the seed"
+            );
+        }
+    }
+
+    /// Deduction is invariant under normalization: Σ |=m ϕ iff Σ deduces
+    /// every normal-form projection of ϕ.
+    #[test]
+    fn deduction_respects_normal_form(sigma in arb_sigma(), a in 0usize..6, b in 0usize..6) {
+        let phi = MatchingDependency::from_validated_parts(
+            sigma[0].lhs().to_vec(),
+            vec![IdentPair::new(a, a), IdentPair::new(b, b)],
+        );
+        let whole = deduces(&sigma, &phi);
+        let pieces = phi.normalize().iter().all(|p| deduces(&sigma, p));
+        prop_assert_eq!(whole, pieces);
+    }
+}

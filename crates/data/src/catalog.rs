@@ -1,0 +1,294 @@
+//! Static value pools for the synthetic data generator.
+//!
+//! The paper populated its experimental instances with "real-life data
+//! scraped from the Web" — US addresses plus books/DVDs from online stores —
+//! and then injected duplicates and noise synthetically (§6.2). Scraped
+//! seeds are not redistributable, so this module carries curated pools with
+//! the same *shape*: realistic name/street/city token distributions, valid
+//! state/zip/county combinations, and an item catalog with titles, a
+//! category and a price. The duplicate/noise protocol operating on top of
+//! these pools is what actually drives matcher behaviour; see
+//! [`crate::dirty`] and DESIGN.md §4.
+
+/// Common US first names (census-style frequency head).
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "William",
+    "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony",
+    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
+    "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol", "Brian",
+    "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie", "Timothy",
+    "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen",
+    "Gary", "Amy", "Nicholas", "Shirley", "Eric", "Angela", "Jonathan", "Helen", "Stephen",
+    "Anna", "Larry", "Brenda", "Justin", "Pamela", "Scott", "Nicole", "Brandon", "Emma",
+    "Benjamin", "Samantha", "Samuel", "Katherine", "Gregory", "Christine", "Frank", "Debra",
+    "Alexander", "Rachel", "Raymond", "Catherine", "Patrick", "Carolyn", "Jack", "Janet",
+    "Dennis", "Ruth", "Jerry", "Maria", "Tyler", "Heather", "Aaron", "Diane", "Jose", "Virginia",
+    "Adam", "Julie", "Henry", "Joyce", "Nathan", "Victoria", "Douglas", "Olivia", "Zachary",
+    "Kelly", "Peter", "Christina", "Kyle", "Lauren", "Walter", "Joan", "Ethan", "Evelyn",
+    "Jeremy", "Judith", "Harold", "Megan", "Keith", "Cheryl", "Christian", "Andrea", "Roger",
+    "Hannah", "Noah", "Martha", "Gerald", "Jacqueline", "Carl", "Frances", "Terry", "Gloria",
+    "Sean", "Ann", "Austin", "Teresa", "Arthur", "Kathryn", "Lawrence", "Sara", "Jesse",
+    "Janice", "Dylan", "Jean", "Bryan", "Alice", "Joe", "Madison", "Jordan", "Doris", "Billy",
+    "Abigail", "Bruce", "Julia", "Albert", "Judy", "Willie", "Grace", "Gabriel", "Denise",
+    "Marx", "Wenfei", "Xibei", "Shuai",
+];
+
+/// Common US last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson", "Watson",
+    "Brooks", "Chavez", "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long", "Ross", "Foster",
+    "Jimenez", "Powell", "Jenkins", "Perry", "Russell", "Sullivan", "Bell", "Coleman", "Butler",
+    "Henderson", "Barnes", "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+    "Patterson", "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin", "Wallace", "Moreno",
+    "West", "Cole", "Hayes", "Bryant", "Herrera", "Gibson", "Ellis", "Tran", "Medina", "Aguilar",
+    "Stevens", "Murray", "Ford", "Castro", "Marshall", "Owens", "Harrison", "Fernandez",
+    "Mcdonald", "Woods", "Washington", "Kennedy", "Wells", "Vargas", "Henry", "Chen", "Freeman",
+    "Webb", "Tucker", "Guzman", "Burns", "Crawford", "Olson", "Simpson", "Porter", "Hunter",
+    "Gordon", "Mendez", "Silva", "Shaw", "Snyder", "Mason", "Dixon", "Munoz", "Hunt", "Hicks",
+    "Holmes", "Palmer", "Clifford", "Fan", "Stolfo",
+];
+
+/// Street base names (combined with a number and a suffix).
+pub const STREET_NAMES: &[&str] = &[
+    "Oak", "Elm", "Maple", "Cedar", "Pine", "Walnut", "Chestnut", "Spruce", "Birch", "Willow",
+    "Main", "Church", "High", "Park", "Washington", "Lake", "Hill", "Mill", "River", "Spring",
+    "Ridge", "Sunset", "Meadow", "Forest", "Garden", "Valley", "Franklin", "Jefferson",
+    "Lincoln", "Madison", "Monroe", "Adams", "Jackson", "Harrison", "Cherry", "Dogwood",
+    "Magnolia", "Sycamore", "Poplar", "Hickory", "Laurel", "Juniper", "Aspen", "Cypress",
+    "Highland", "Fairview", "Greenwood", "Lakeview", "Riverside", "Brookside", "Hillcrest",
+    "Woodland", "Prospect", "Pleasant", "Central", "Union", "Liberty", "Market", "Bridge",
+    "Water", "Front", "Court", "School", "Academy", "College", "Railroad", "Canal", "Dover",
+    "Essex", "Warren", "Summit", "Grove", "Orchard", "Vine", "Rose", "Tulip", "Violet",
+];
+
+/// Street suffixes, full form first (the abbreviation noise uses
+/// [`street_abbrev`]).
+pub const STREET_SUFFIXES: &[&str] =
+    &["Street", "Avenue", "Road", "Drive", "Lane", "Court", "Boulevard", "Place", "Terrace", "Way"];
+
+/// The conventional USPS abbreviation of a street suffix.
+pub fn street_abbrev(suffix: &str) -> &str {
+    match suffix {
+        "Street" => "St",
+        "Avenue" => "Ave",
+        "Road" => "Rd",
+        "Drive" => "Dr",
+        "Lane" => "Ln",
+        "Court" => "Ct",
+        "Boulevard" => "Blvd",
+        "Place" => "Pl",
+        "Terrace" => "Ter",
+        "Way" => "Wy",
+        other => other,
+    }
+}
+
+/// A locality: city, county, two-letter state, and a 3-digit zip prefix the
+/// generator extends to 5 digits.
+pub struct Locality {
+    /// City name.
+    pub city: &'static str,
+    /// County name (without the word "County").
+    pub county: &'static str,
+    /// Two-letter state code.
+    pub state: &'static str,
+    /// Leading three digits of the zip code range.
+    pub zip3: &'static str,
+}
+
+/// US localities with consistent city/county/state/zip combinations.
+pub const LOCALITIES: &[Locality] = &[
+    Locality { city: "Murray Hill", county: "Union", state: "NJ", zip3: "079" },
+    Locality { city: "New Providence", county: "Union", state: "NJ", zip3: "079" },
+    Locality { city: "Summit", county: "Union", state: "NJ", zip3: "079" },
+    Locality { city: "Newark", county: "Essex", state: "NJ", zip3: "071" },
+    Locality { city: "Jersey City", county: "Hudson", state: "NJ", zip3: "073" },
+    Locality { city: "Princeton", county: "Mercer", state: "NJ", zip3: "085" },
+    Locality { city: "Edison", county: "Middlesex", state: "NJ", zip3: "088" },
+    Locality { city: "New York", county: "New York", state: "NY", zip3: "100" },
+    Locality { city: "Brooklyn", county: "Kings", state: "NY", zip3: "112" },
+    Locality { city: "Albany", county: "Albany", state: "NY", zip3: "122" },
+    Locality { city: "Buffalo", county: "Erie", state: "NY", zip3: "142" },
+    Locality { city: "Rochester", county: "Monroe", state: "NY", zip3: "146" },
+    Locality { city: "Philadelphia", county: "Philadelphia", state: "PA", zip3: "191" },
+    Locality { city: "Pittsburgh", county: "Allegheny", state: "PA", zip3: "152" },
+    Locality { city: "Harrisburg", county: "Dauphin", state: "PA", zip3: "171" },
+    Locality { city: "Boston", county: "Suffolk", state: "MA", zip3: "021" },
+    Locality { city: "Cambridge", county: "Middlesex", state: "MA", zip3: "021" },
+    Locality { city: "Worcester", county: "Worcester", state: "MA", zip3: "016" },
+    Locality { city: "Hartford", county: "Hartford", state: "CT", zip3: "061" },
+    Locality { city: "New Haven", county: "New Haven", state: "CT", zip3: "065" },
+    Locality { city: "Baltimore", county: "Baltimore", state: "MD", zip3: "212" },
+    Locality { city: "Annapolis", county: "Anne Arundel", state: "MD", zip3: "214" },
+    Locality { city: "Richmond", county: "Henrico", state: "VA", zip3: "232" },
+    Locality { city: "Arlington", county: "Arlington", state: "VA", zip3: "222" },
+    Locality { city: "Atlanta", county: "Fulton", state: "GA", zip3: "303" },
+    Locality { city: "Savannah", county: "Chatham", state: "GA", zip3: "314" },
+    Locality { city: "Miami", county: "Miami-Dade", state: "FL", zip3: "331" },
+    Locality { city: "Orlando", county: "Orange", state: "FL", zip3: "328" },
+    Locality { city: "Tampa", county: "Hillsborough", state: "FL", zip3: "336" },
+    Locality { city: "Chicago", county: "Cook", state: "IL", zip3: "606" },
+    Locality { city: "Springfield", county: "Sangamon", state: "IL", zip3: "627" },
+    Locality { city: "Detroit", county: "Wayne", state: "MI", zip3: "482" },
+    Locality { city: "Ann Arbor", county: "Washtenaw", state: "MI", zip3: "481" },
+    Locality { city: "Columbus", county: "Franklin", state: "OH", zip3: "432" },
+    Locality { city: "Cleveland", county: "Cuyahoga", state: "OH", zip3: "441" },
+    Locality { city: "Cincinnati", county: "Hamilton", state: "OH", zip3: "452" },
+    Locality { city: "Indianapolis", county: "Marion", state: "IN", zip3: "462" },
+    Locality { city: "Nashville", county: "Davidson", state: "TN", zip3: "372" },
+    Locality { city: "Memphis", county: "Shelby", state: "TN", zip3: "381" },
+    Locality { city: "St Louis", county: "St Louis", state: "MO", zip3: "631" },
+    Locality { city: "Kansas City", county: "Jackson", state: "MO", zip3: "641" },
+    Locality { city: "Minneapolis", county: "Hennepin", state: "MN", zip3: "554" },
+    Locality { city: "Madison", county: "Dane", state: "WI", zip3: "537" },
+    Locality { city: "Milwaukee", county: "Milwaukee", state: "WI", zip3: "532" },
+    Locality { city: "Denver", county: "Denver", state: "CO", zip3: "802" },
+    Locality { city: "Boulder", county: "Boulder", state: "CO", zip3: "803" },
+    Locality { city: "Phoenix", county: "Maricopa", state: "AZ", zip3: "850" },
+    Locality { city: "Tucson", county: "Pima", state: "AZ", zip3: "857" },
+    Locality { city: "Seattle", county: "King", state: "WA", zip3: "981" },
+    Locality { city: "Spokane", county: "Spokane", state: "WA", zip3: "992" },
+    Locality { city: "Portland", county: "Multnomah", state: "OR", zip3: "972" },
+    Locality { city: "San Francisco", county: "San Francisco", state: "CA", zip3: "941" },
+    Locality { city: "Los Angeles", county: "Los Angeles", state: "CA", zip3: "900" },
+    Locality { city: "San Diego", county: "San Diego", state: "CA", zip3: "921" },
+    Locality { city: "Sacramento", county: "Sacramento", state: "CA", zip3: "958" },
+    Locality { city: "San Jose", county: "Santa Clara", state: "CA", zip3: "951" },
+    Locality { city: "Austin", county: "Travis", state: "TX", zip3: "787" },
+    Locality { city: "Houston", county: "Harris", state: "TX", zip3: "770" },
+    Locality { city: "Dallas", county: "Dallas", state: "TX", zip3: "752" },
+    Locality { city: "San Antonio", county: "Bexar", state: "TX", zip3: "782" },
+];
+
+/// E-mail providers.
+pub const EMAIL_DOMAINS: &[&str] = &[
+    "gm.com", "hm.com", "aol.com", "yahoo.com", "gmail.com", "hotmail.com", "mail.com",
+    "inbox.com", "earthlink.net", "verizon.net", "comcast.net", "att.net",
+];
+
+/// A sale item (book / DVD / electronics, as in the paper's scraped store
+/// data).
+pub struct Item {
+    /// Item title.
+    pub title: &'static str,
+    /// Category label.
+    pub category: &'static str,
+    /// List price in dollars.
+    pub price: f64,
+}
+
+/// The item catalog.
+pub const ITEMS: &[Item] = &[
+    Item { title: "The Art of Computer Programming Vol 1", category: "book", price: 79.99 },
+    Item { title: "Foundations of Databases", category: "book", price: 89.50 },
+    Item { title: "Introduction to Algorithms", category: "book", price: 94.99 },
+    Item { title: "The Theory of Relational Databases", category: "book", price: 54.25 },
+    Item { title: "Data Quality Concepts and Techniques", category: "book", price: 65.00 },
+    Item { title: "Transaction Processing", category: "book", price: 99.99 },
+    Item { title: "Readings in Database Systems", category: "book", price: 45.00 },
+    Item { title: "Principles of Distributed Database Systems", category: "book", price: 84.75 },
+    Item { title: "The Pragmatic Programmer", category: "book", price: 39.95 },
+    Item { title: "Structure and Interpretation of Computer Programs", category: "book", price: 49.99 },
+    Item { title: "A Brief History of Time", category: "book", price: 18.99 },
+    Item { title: "The Great Gatsby", category: "book", price: 12.99 },
+    Item { title: "To Kill a Mockingbird", category: "book", price: 14.99 },
+    Item { title: "Pride and Prejudice", category: "book", price: 9.99 },
+    Item { title: "Moby Dick", category: "book", price: 11.50 },
+    Item { title: "War and Peace", category: "book", price: 19.99 },
+    Item { title: "Crime and Punishment", category: "book", price: 13.25 },
+    Item { title: "The Catcher in the Rye", category: "book", price: 10.99 },
+    Item { title: "Brave New World", category: "book", price: 12.50 },
+    Item { title: "Nineteen Eighty-Four", category: "book", price: 13.99 },
+    Item { title: "Casablanca", category: "dvd", price: 14.99 },
+    Item { title: "The Godfather", category: "dvd", price: 19.99 },
+    Item { title: "Citizen Kane", category: "dvd", price: 16.50 },
+    Item { title: "Lawrence of Arabia", category: "dvd", price: 17.99 },
+    Item { title: "2001 A Space Odyssey", category: "dvd", price: 15.99 },
+    Item { title: "The Shawshank Redemption", category: "dvd", price: 12.99 },
+    Item { title: "Pulp Fiction", category: "dvd", price: 13.99 },
+    Item { title: "The Matrix", category: "dvd", price: 11.99 },
+    Item { title: "Blade Runner Directors Cut", category: "dvd", price: 18.25 },
+    Item { title: "Seven Samurai", category: "dvd", price: 21.99 },
+    Item { title: "Singin in the Rain", category: "dvd", price: 14.50 },
+    Item { title: "Rear Window", category: "dvd", price: 13.75 },
+    Item { title: "Vertigo", category: "dvd", price: 13.75 },
+    Item { title: "North by Northwest", category: "dvd", price: 12.75 },
+    Item { title: "Some Like It Hot", category: "dvd", price: 11.25 },
+    Item { title: "iPod", category: "electronics", price: 169.99 },
+    Item { title: "PSP", category: "electronics", price: 269.99 },
+    Item { title: "CD Walkman", category: "electronics", price: 49.99 },
+    Item { title: "Portable DVD Player", category: "electronics", price: 129.99 },
+    Item { title: "Digital Camera 8MP", category: "electronics", price: 249.99 },
+    Item { title: "MP3 Player 4GB", category: "electronics", price: 89.99 },
+    Item { title: "Noise Cancelling Headphones", category: "electronics", price: 199.99 },
+    Item { title: "Bluetooth Speaker", category: "electronics", price: 59.99 },
+    Item { title: "USB Flash Drive 16GB", category: "electronics", price: 24.99 },
+    Item { title: "Wireless Mouse", category: "electronics", price: 19.99 },
+];
+
+/// Store names for billing records.
+pub const STORES: &[&str] = &[
+    "Main St Books", "MediaMart", "ElectroHub", "Corner Records", "PageTurner", "DiscDepot",
+    "GadgetWorld", "ReadMore", "CineShelf", "TechBay",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        for (label, pool) in [
+            ("first names", FIRST_NAMES),
+            ("last names", LAST_NAMES),
+            ("streets", STREET_NAMES),
+            ("suffixes", STREET_SUFFIXES),
+            ("domains", EMAIL_DOMAINS),
+            ("stores", STORES),
+        ] {
+            assert!(pool.len() >= 10, "{label} pool too small");
+            let unique: HashSet<_> = pool.iter().collect();
+            assert_eq!(unique.len(), pool.len(), "{label} pool has duplicates");
+        }
+    }
+
+    #[test]
+    fn localities_are_consistent() {
+        assert!(LOCALITIES.len() >= 40);
+        for loc in LOCALITIES {
+            assert_eq!(loc.state.len(), 2, "{}", loc.city);
+            assert_eq!(loc.zip3.len(), 3, "{}", loc.city);
+            assert!(loc.zip3.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn items_have_positive_prices() {
+        assert!(ITEMS.len() >= 40);
+        for item in ITEMS {
+            assert!(item.price > 0.0, "{}", item.title);
+            assert!(["book", "dvd", "electronics"].contains(&item.category));
+        }
+    }
+
+    #[test]
+    fn abbreviations_differ_from_full_forms() {
+        for suffix in STREET_SUFFIXES {
+            let abbrev = street_abbrev(suffix);
+            assert_ne!(abbrev, *suffix);
+            assert!(abbrev.len() < suffix.len());
+        }
+        assert_eq!(street_abbrev("Plaza"), "Plaza", "unknown suffixes pass through");
+    }
+}

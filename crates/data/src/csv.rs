@@ -1,0 +1,242 @@
+//! CSV import/export for relations.
+//!
+//! Downstream users bring their own data; this module reads and writes
+//! RFC-4180-style CSV (quoted fields, embedded commas/quotes/newlines)
+//! without external dependencies. The first row is the header, matched
+//! against the schema's attribute names (any column order); empty fields
+//! and the literal `null` become [`Value::Null`].
+
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use matchrules_core::error::{CoreError, Result};
+use matchrules_core::schema::Schema;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Parses a CSV document into an instance of `schema`.
+///
+/// The header must mention every schema attribute exactly once (extra
+/// columns are rejected — silent column dropping hides data bugs). Tuple
+/// ids are assigned 0, 1, 2, … in row order.
+pub fn read_relation(schema: Arc<Schema>, csv: &str) -> Result<Relation> {
+    let mut rows = parse_rows(csv)?;
+    if rows.is_empty() {
+        return Ok(Relation::new(schema));
+    }
+    let header = rows.remove(0);
+    // Map each CSV column to its schema attribute.
+    let mut column_attr = Vec::with_capacity(header.len());
+    for name in &header {
+        column_attr.push(schema.attr(name)?);
+    }
+    let mut seen = vec![false; schema.arity()];
+    for &a in &column_attr {
+        if std::mem::replace(&mut seen[a], true) {
+            return Err(CoreError::DuplicateAttribute {
+                schema: schema.name().to_owned(),
+                attribute: schema.attr_name(a).to_owned(),
+            });
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(CoreError::UnknownAttribute {
+            schema: schema.name().to_owned(),
+            attribute: format!("{} (missing from CSV header)", schema.attr_name(missing)),
+        });
+    }
+
+    let mut relation = Relation::new(schema.clone());
+    for (row_idx, row) in rows.into_iter().enumerate() {
+        if row.len() != column_attr.len() {
+            return Err(CoreError::LengthMismatch { left: column_attr.len(), right: row.len() });
+        }
+        let mut values = vec![Value::Null; schema.arity()];
+        for (field, &attr) in row.into_iter().zip(&column_attr) {
+            values[attr] = if field.is_empty() || field == "null" {
+                Value::Null
+            } else {
+                Value::from(field)
+            };
+        }
+        relation.push(Tuple::new(row_idx as u64, values));
+    }
+    Ok(relation)
+}
+
+/// Serializes a relation to CSV (header + one row per tuple, `Null` as the
+/// empty field).
+pub fn write_relation(relation: &Relation) -> String {
+    let schema = relation.schema();
+    let mut out = String::new();
+    let header: Vec<&str> = (0..schema.arity()).map(|i| schema.attr_name(i)).collect();
+    writeln_row(&mut out, header.iter().copied());
+    for tuple in relation.tuples() {
+        writeln_row(&mut out, tuple.values().iter().map(|v| v.as_str().unwrap_or("")));
+    }
+    out
+}
+
+fn writeln_row<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if field.contains([',', '"', '\n', '\r']) {
+            let _ = write!(out, "\"{}\"", field.replace('"', "\"\""));
+        } else {
+            out.push_str(field);
+        }
+    }
+    out.push('\n');
+}
+
+/// Splits a CSV document into rows of fields, honouring quotes.
+fn parse_rows(csv: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = csv.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    let mut offset = 0usize;
+    while let Some(c) = chars.next() {
+        offset += c.len_utf8();
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        offset += 1;
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(CoreError::Parse {
+                        offset,
+                        message: "quote inside unquoted field".to_owned(),
+                    });
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            '\r' => {} // tolerate CRLF
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(CoreError::Parse { offset, message: "unterminated quote".to_owned() });
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    // Drop fully-empty trailing lines.
+    rows.retain(|r| !(r.len() == 1 && r[0].is_empty()));
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::text("people", &["FN", "LN", "city"]).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let csv = "FN,LN,city\nMark,Clifford,Murray Hill\nDavid,Smith,\n";
+        let rel = read_relation(schema(), csv).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.tuples()[0].get(0), &Value::str("Mark"));
+        assert!(rel.tuples()[1].get(2).is_null());
+        let out = write_relation(&rel);
+        let rel2 = read_relation(schema(), &out).unwrap();
+        assert_eq!(rel.tuples(), rel2.tuples());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "FN,LN,city\n\"Mark\",\"O\"\"Brien\",\"Murray Hill, NJ\"\n";
+        let rel = read_relation(schema(), csv).unwrap();
+        assert_eq!(rel.tuples()[0].get(1), &Value::str("O\"Brien"));
+        assert_eq!(rel.tuples()[0].get(2), &Value::str("Murray Hill, NJ"));
+        // Round-trip re-quotes correctly.
+        let out = write_relation(&rel);
+        let rel2 = read_relation(schema(), &out).unwrap();
+        assert_eq!(rel.tuples(), rel2.tuples());
+    }
+
+    #[test]
+    fn embedded_newlines_in_quotes() {
+        let csv = "FN,LN,city\nMark,Clifford,\"line1\nline2\"\n";
+        let rel = read_relation(schema(), csv).unwrap();
+        assert_eq!(rel.tuples()[0].get(2), &Value::str("line1\nline2"));
+    }
+
+    #[test]
+    fn column_reordering() {
+        let csv = "city,FN,LN\nMH,Mark,Clifford\n";
+        let rel = read_relation(schema(), csv).unwrap();
+        assert_eq!(rel.tuples()[0].get(0), &Value::str("Mark"));
+        assert_eq!(rel.tuples()[0].get(2), &Value::str("MH"));
+    }
+
+    #[test]
+    fn null_keyword_and_empty_are_null() {
+        let csv = "FN,LN,city\nnull,,x\n";
+        let rel = read_relation(schema(), csv).unwrap();
+        assert!(rel.tuples()[0].get(0).is_null());
+        assert!(rel.tuples()[0].get(1).is_null());
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(read_relation(schema(), "FN,LN\nMark,C\n").is_err(), "missing column");
+        assert!(read_relation(schema(), "FN,LN,city,extra\na,b,c,d\n").is_err(), "extra column");
+        assert!(read_relation(schema(), "FN,LN,FN\na,b,c\n").is_err(), "duplicate column");
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_relation(schema(), "FN,LN,city\nMark,Clifford\n").unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn malformed_quotes_rejected() {
+        assert!(read_relation(schema(), "FN,LN,city\nMa\"rk,C,x\n").is_err());
+        assert!(read_relation(schema(), "FN,LN,city\n\"Mark,C,x\n").is_err());
+    }
+
+    #[test]
+    fn empty_document() {
+        let rel = read_relation(schema(), "").unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let csv = "FN,LN,city\r\nMark,Clifford,MH\r\n";
+        let rel = read_relation(schema(), csv).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].get(2), &Value::str("MH"));
+    }
+}

@@ -1,0 +1,506 @@
+//! Duplicate and error injection — the §6.2 protocol.
+//!
+//! > "We then added 80% of duplicates, by copying existing tuples and
+//! > changing some of their attributes that are not in Y1 or Y2. Then more
+//! > errors were introduced to each attribute in the duplicates, with
+//! > probability 80%, ranging from small typographical changes to complete
+//! > change of the attribute."
+//!
+//! The error *ladder* interpolates between those extremes, weighted toward
+//! recoverable noise (what similarity operators are for):
+//! typos → format variations (initials, USPS abbreviations, phone
+//! formatting) → token truncation → nulls → complete replacement.
+//!
+//! Ground truth is carried alongside the generated instances, so precision,
+//! recall, pairs completeness and reduction ratio "can be accurately
+//! computed … by checking the truth held by the generator" (§6.2).
+
+use crate::catalog;
+use crate::gen::{self, CleanData, EntityId};
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use matchrules_core::paper::PaperSetting;
+use matchrules_core::schema::AttrId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration of the §6.2 noise protocol.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Fraction of duplicates added on top of the base tuples (paper: 0.8).
+    pub duplicate_rate: f64,
+    /// Per-attribute error probability inside a duplicate (paper: 0.8).
+    pub attr_error_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig { duplicate_rate: 0.8, attr_error_prob: 0.8, seed: 0xD1_57 }
+    }
+}
+
+/// Which ground truth a generated instance pair carries.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    credit_entities: Vec<EntityId>,
+    billing_entities: Vec<EntityId>,
+    credit_per_entity: HashMap<EntityId, u32>,
+}
+
+impl GroundTruth {
+    fn new(credit_entities: Vec<EntityId>, billing_entities: Vec<EntityId>) -> Self {
+        let mut credit_per_entity: HashMap<EntityId, u32> = HashMap::new();
+        for &e in &credit_entities {
+            *credit_per_entity.entry(e).or_insert(0) += 1;
+        }
+        GroundTruth { credit_entities, billing_entities, credit_per_entity }
+    }
+
+    /// Entity of the credit tuple at `idx`.
+    pub fn credit_entity(&self, idx: usize) -> EntityId {
+        self.credit_entities[idx]
+    }
+
+    /// Entity of the billing tuple at `idx`.
+    pub fn billing_entity(&self, idx: usize) -> EntityId {
+        self.billing_entities[idx]
+    }
+
+    /// Whether credit tuple `c` and billing tuple `b` (by position) refer to
+    /// the same card holder.
+    pub fn is_match(&self, credit_idx: usize, billing_idx: usize) -> bool {
+        self.credit_entities[credit_idx] == self.billing_entities[billing_idx]
+    }
+
+    /// Total number of true (credit, billing) match pairs — the `nM` of the
+    /// paper's pairs-completeness metric.
+    pub fn total_true_pairs(&self) -> usize {
+        self.billing_entities
+            .iter()
+            .map(|e| self.credit_per_entity.get(e).copied().unwrap_or(0) as usize)
+            .sum()
+    }
+
+    /// Number of credit tuples.
+    pub fn credit_len(&self) -> usize {
+        self.credit_entities.len()
+    }
+
+    /// Number of billing tuples.
+    pub fn billing_len(&self) -> usize {
+        self.billing_entities.len()
+    }
+}
+
+/// A generated dirty dataset: instances plus ground truth.
+#[derive(Debug, Clone)]
+pub struct DirtyData {
+    /// The credit instance.
+    pub credit: Relation,
+    /// The billing instance (base tuples + noisy duplicates, shuffled).
+    pub billing: Relation,
+    /// The generator's truth.
+    pub truth: GroundTruth,
+}
+
+/// Semantic classes of the identity attributes, driving format-aware noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttrKind {
+    GivenName,
+    LastName,
+    Street,
+    City,
+    County,
+    State,
+    Zip,
+    Phone,
+    Email,
+    Gender,
+    Other,
+}
+
+fn kind_of(name: &str) -> AttrKind {
+    match name {
+        "FN" | "MN" => AttrKind::GivenName,
+        "LN" => AttrKind::LastName,
+        "street" => AttrKind::Street,
+        "city" => AttrKind::City,
+        "county" => AttrKind::County,
+        "state" | "ship_state" => AttrKind::State,
+        "zip" | "ship_zip" => AttrKind::Zip,
+        "tel" | "phn" => AttrKind::Phone,
+        "email" => AttrKind::Email,
+        "gender" => AttrKind::Gender,
+        _ => AttrKind::Other,
+    }
+}
+
+/// Generates the full §6 dataset: `persons` base billing tuples (one per
+/// person, mirroring a credit tuple each) plus `duplicate_rate` noisy
+/// duplicates.
+pub fn generate_dirty(setting: &PaperSetting, persons: usize, cfg: &NoiseConfig) -> DirtyData {
+    let clean = gen::generate_clean(setting, persons, cfg.seed);
+    dirty_from_clean(setting, clean, cfg)
+}
+
+/// Applies the duplicate/noise protocol to an existing clean dataset.
+pub fn dirty_from_clean(
+    setting: &PaperSetting,
+    clean: CleanData,
+    cfg: &NoiseConfig,
+) -> DirtyData {
+    assert!((0.0..=10.0).contains(&cfg.duplicate_rate), "unreasonable duplicate rate");
+    assert!((0.0..=1.0).contains(&cfg.attr_error_prob), "error probability must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBAD_C0FFEE);
+    let billing_schema = setting.pair.right();
+
+    // Identity attributes (the Y2 list) get the error ladder; the others
+    // are simply re-rolled on duplicates ("changing some of their
+    // attributes that are not in Y1 or Y2").
+    let y2: Vec<AttrId> = setting.target.y2().to_vec();
+    let kinds: Vec<AttrKind> =
+        (0..billing_schema.arity()).map(|i| kind_of(billing_schema.attr_name(i))).collect();
+
+    let base_count = clean.billing.len();
+    let n_dups = (cfg.duplicate_rate * base_count as f64).round() as usize;
+
+    let mut billing = clean.billing.clone();
+    let mut entities = clean.billing_entities.clone();
+    for dup in 0..n_dups {
+        let src_idx = rng.random_range(0..base_count);
+        let src = &clean.billing.tuples()[src_idx];
+        let person = &clean.persons[entities[src_idx] as usize];
+        let mut values: Vec<Value> = src.values().to_vec();
+
+        // Fresh purchase payload (non-Y attributes).
+        let purchase = gen::random_purchase(&mut rng, person);
+        let fresh = gen::billing_tuple(0, person, &purchase);
+        for (attr, slot) in values.iter_mut().enumerate() {
+            if !y2.contains(&attr) {
+                *slot = fresh.get(attr).clone();
+            }
+        }
+
+        // Error ladder on the identity attributes.
+        for &attr in &y2 {
+            if rng.random_bool(cfg.attr_error_prob) {
+                values[attr] = corrupt(&mut rng, &values[attr], kinds[attr]);
+            }
+        }
+
+        billing.push(Tuple::new((base_count + dup) as u64, values));
+        entities.push(entities[src_idx]);
+    }
+
+    // Shuffle the billing side so duplicates are not adjacent by
+    // construction (blocking/windowing must earn their keep).
+    let mut order: Vec<usize> = (0..billing.len()).collect();
+    order.shuffle(&mut rng);
+    let mut shuffled = Relation::new(billing_schema.clone());
+    let mut shuffled_entities = Vec::with_capacity(entities.len());
+    for &i in &order {
+        shuffled.push(billing.tuples()[i].clone());
+        shuffled_entities.push(entities[i]);
+    }
+
+    DirtyData {
+        credit: clean.credit,
+        billing: shuffled,
+        truth: GroundTruth::new(clean.credit_entities, shuffled_entities),
+    }
+}
+
+/// One application of the error ladder.
+fn corrupt(rng: &mut StdRng, value: &Value, kind: AttrKind) -> Value {
+    let Some(s) = value.as_str() else {
+        // Nulls can only be "completely changed".
+        return replace_value(rng, kind);
+    };
+    // "ranging from small typographical changes to complete change of the
+    // attribute" — the ladder is dominated by recoverable typos, with a
+    // tail of representation changes, truncations, nulls and replacements.
+    let roll: f64 = rng.random();
+    if roll < 0.70 {
+        Value::from(typo(rng, s))
+    } else if roll < 0.80 {
+        format_variation(rng, s, kind)
+    } else if roll < 0.85 {
+        truncate(rng, s)
+    } else if roll < 0.90 {
+        Value::Null
+    } else {
+        replace_value(rng, kind)
+    }
+}
+
+/// 1–2 random character edits (insert / delete / substitute / transpose).
+/// Digit strings receive digit edits so phones/zips stay digit-shaped.
+fn typo(rng: &mut StdRng, s: &str) -> String {
+    let digity = !s.is_empty()
+        && s.chars().filter(|c| c.is_ascii_digit()).count() * 2 >= s.chars().count();
+    let mut chars: Vec<char> = s.chars().collect();
+    let edits = if chars.len() > 8 && rng.random_bool(0.3) { 2 } else { 1 };
+    for _ in 0..edits {
+        if chars.is_empty() {
+            chars.push(random_symbol(rng, digity));
+            continue;
+        }
+        let pos = rng.random_range(0..chars.len());
+        match rng.random_range(0..4u8) {
+            0 => chars.insert(pos, random_symbol(rng, digity)),
+            1 => {
+                chars.remove(pos);
+            }
+            2 => chars[pos] = random_symbol(rng, digity),
+            _ => {
+                if pos + 1 < chars.len() {
+                    chars.swap(pos, pos + 1);
+                } else if pos > 0 {
+                    chars.swap(pos - 1, pos);
+                }
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+fn random_symbol(rng: &mut StdRng, digit: bool) -> char {
+    if digit {
+        (b'0' + rng.random_range(0..10u8)) as char
+    } else {
+        (b'a' + rng.random_range(0..26u8)) as char
+    }
+}
+
+/// Domain-specific representation changes that standardization and token
+/// metrics can often still recover.
+fn format_variation(rng: &mut StdRng, s: &str, kind: AttrKind) -> Value {
+    match kind {
+        AttrKind::GivenName => {
+            // "Mark" → "M." (Fig. 1's t5/t6).
+            let initial = s.chars().next().map(|c| format!("{c}.")).unwrap_or_default();
+            Value::from(initial)
+        }
+        AttrKind::Street => {
+            // USPS abbreviation of the suffix: "10 Oak Street" → "10 Oak St".
+            let mut tokens: Vec<&str> = s.split(' ').collect();
+            if let Some(last) = tokens.last_mut() {
+                *last = catalog::street_abbrev(last);
+            }
+            Value::from(tokens.join(" "))
+        }
+        AttrKind::Phone => {
+            // Keep only one component, as in Fig. 1's "908" / "1111111".
+            let parts: Vec<&str> = s.split('-').collect();
+            if parts.len() > 1 {
+                Value::str(parts[rng.random_range(0..parts.len())])
+            } else {
+                Value::str(s)
+            }
+        }
+        AttrKind::Email => {
+            // Drop the domain: "mc@gm.com" → "mc".
+            Value::str(s.split('@').next().unwrap_or(s))
+        }
+        AttrKind::City | AttrKind::County => {
+            // Informal abbreviation: first letters of the tokens ("Murray
+            // Hill" → "MH", Fig. 1).
+            let initials: String = s.split(' ').filter_map(|t| t.chars().next()).collect();
+            if initials.len() >= 2 {
+                Value::from(initials)
+            } else {
+                Value::from(typo(rng, s))
+            }
+        }
+        AttrKind::Gender => Value::Null,
+        _ => Value::from(typo(rng, s)),
+    }
+}
+
+/// Keeps a random prefix or suffix of the tokens.
+fn truncate(rng: &mut StdRng, s: &str) -> Value {
+    let tokens: Vec<&str> = s.split(' ').collect();
+    if tokens.len() <= 1 {
+        let chars: Vec<char> = s.chars().collect();
+        let keep = chars.len().div_ceil(2);
+        return Value::from(chars[..keep].iter().collect::<String>());
+    }
+    let keep = rng.random_range(1..tokens.len());
+    if rng.random_bool(0.5) {
+        Value::from(tokens[..keep].join(" "))
+    } else {
+        Value::from(tokens[tokens.len() - keep..].join(" "))
+    }
+}
+
+/// Complete change: a fresh draw from the attribute's domain.
+fn replace_value(rng: &mut StdRng, kind: AttrKind) -> Value {
+    let pick = |rng: &mut StdRng, pool: &[&str]| -> String {
+        pool[rng.random_range(0..pool.len())].to_owned()
+    };
+    match kind {
+        AttrKind::GivenName => Value::from(pick(rng, catalog::FIRST_NAMES)),
+        AttrKind::LastName => Value::from(pick(rng, catalog::LAST_NAMES)),
+        AttrKind::Street => Value::from(format!(
+            "{} {} {}",
+            rng.random_range(1..9999u32),
+            pick(rng, catalog::STREET_NAMES),
+            pick(rng, catalog::STREET_SUFFIXES)
+        )),
+        AttrKind::City => {
+            Value::from(catalog::LOCALITIES[rng.random_range(0..catalog::LOCALITIES.len())].city)
+        }
+        AttrKind::County => {
+            Value::from(catalog::LOCALITIES[rng.random_range(0..catalog::LOCALITIES.len())].county)
+        }
+        AttrKind::State => {
+            Value::from(catalog::LOCALITIES[rng.random_range(0..catalog::LOCALITIES.len())].state)
+        }
+        AttrKind::Zip => Value::from(format!("{:05}", rng.random_range(0..100_000u32))),
+        AttrKind::Phone => Value::from(format!(
+            "{}-{:07}",
+            rng.random_range(201..990u32),
+            rng.random_range(0..10_000_000u32)
+        )),
+        AttrKind::Email => Value::from(format!(
+            "{}{}@{}",
+            pick(rng, catalog::FIRST_NAMES).to_lowercase(),
+            rng.random_range(0..1000u32),
+            pick(rng, catalog::EMAIL_DOMAINS)
+        )),
+        AttrKind::Gender => Value::from(if rng.random_bool(0.5) { "M" } else { "F" }),
+        AttrKind::Other => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchrules_core::paper;
+
+    fn small_dirty(persons: usize, seed: u64) -> (PaperSetting, DirtyData) {
+        let setting = paper::extended();
+        let cfg = NoiseConfig { seed, ..NoiseConfig::default() };
+        let data = generate_dirty(&setting, persons, &cfg);
+        (setting, data)
+    }
+
+    #[test]
+    fn sizes_follow_the_protocol() {
+        let (_s, data) = small_dirty(100, 1);
+        assert_eq!(data.credit.len(), 100);
+        assert_eq!(data.billing.len(), 180, "100 base + 80% duplicates");
+        assert_eq!(data.truth.credit_len(), 100);
+        assert_eq!(data.truth.billing_len(), 180);
+        assert_eq!(data.truth.total_true_pairs(), 180);
+    }
+
+    #[test]
+    fn truth_links_each_billing_to_its_person() {
+        let (setting, data) = small_dirty(50, 2);
+        let card_c = setting.pair.left().attr("c#").unwrap();
+        let card_b = setting.pair.right().attr("c#").unwrap();
+        // Base tuples (un-noised c#) agree with their credit tuple's card.
+        let mut verified = 0;
+        for (bi, bt) in data.billing.tuples().iter().enumerate() {
+            let entity = data.truth.billing_entity(bi) as usize;
+            let ct = &data.credit.tuples()[entity];
+            assert!(data.truth.is_match(entity, bi));
+            if bt.get(card_b) == ct.get(card_c) {
+                verified += 1;
+            }
+        }
+        // c# is not in Y2, so duplicates re-roll the purchase payload but
+        // keep the person's card number: every tuple should agree.
+        assert_eq!(verified, data.billing.len());
+    }
+
+    #[test]
+    fn duplicates_carry_errors_but_bases_are_clean() {
+        let (setting, data) = small_dirty(40, 3);
+        let fn_b = setting.pair.right().attr("FN").unwrap();
+        let fn_c = setting.pair.left().attr("FN").unwrap();
+        let mut clean = 0usize;
+        let mut dirty = 0usize;
+        for (bi, bt) in data.billing.tuples().iter().enumerate() {
+            let entity = data.truth.billing_entity(bi) as usize;
+            let ct = &data.credit.tuples()[entity];
+            if bt.get(fn_b) == ct.get(fn_c) {
+                clean += 1;
+            } else {
+                dirty += 1;
+            }
+        }
+        // All 40 base tuples agree; among the 32 duplicates roughly 80%
+        // corrupt FN. Allow slack for the random draw.
+        assert!(clean >= 40, "bases stay clean (clean={clean})");
+        assert!(dirty >= 10, "duplicates carry noise (dirty={dirty})");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_s1, d1) = small_dirty(30, 7);
+        let (_s2, d2) = small_dirty(30, 7);
+        for (a, b) in d1.billing.tuples().iter().zip(d2.billing.tuples()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_rates_disable_noise() {
+        let setting = paper::extended();
+        let cfg = NoiseConfig { duplicate_rate: 0.0, attr_error_prob: 0.0, seed: 1 };
+        let data = generate_dirty(&setting, 25, &cfg);
+        assert_eq!(data.billing.len(), 25);
+    }
+
+    #[test]
+    fn corruption_changes_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let v = Value::str("10 Oak Street");
+        let mut changed = 0;
+        for _ in 0..50 {
+            if corrupt(&mut rng, &v, AttrKind::Street) != v {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 45, "corruption almost always changes the value");
+    }
+
+    #[test]
+    fn typo_editing_distance_is_small() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let t = typo(&mut rng, "Clifford");
+            let d = matchrules_simdist::edit::damerau_levenshtein("Clifford", &t);
+            assert!(d <= 2, "typo {t:?} drifted {d} edits");
+        }
+    }
+
+    #[test]
+    fn format_variations_match_fig1_patterns() {
+        let mut rng = StdRng::seed_from_u64(17);
+        assert_eq!(
+            format_variation(&mut rng, "Mark", AttrKind::GivenName),
+            Value::str("M.")
+        );
+        assert_eq!(
+            format_variation(&mut rng, "10 Oak Street", AttrKind::Street),
+            Value::str("10 Oak St")
+        );
+        assert_eq!(
+            format_variation(&mut rng, "mc@gm.com", AttrKind::Email),
+            Value::str("mc")
+        );
+        let phone = format_variation(&mut rng, "908-1111111", AttrKind::Phone);
+        assert!(phone == Value::str("908") || phone == Value::str("1111111"));
+        assert_eq!(
+            format_variation(&mut rng, "Murray Hill", AttrKind::City),
+            Value::str("MH")
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! The dynamic semantics of MDs, executable (§2.1 and §3.1).
+//!
+//! The matching operator `⇌` is defined on **values**: "for any values x and
+//! y, x ⇌ y indicates that x and y are identified via updates". This module
+//! implements enforcement as a chase over *value classes*:
+//!
+//! * every distinct non-null value is a class (null cells are their own
+//!   singleton classes — unknown values are pairwise distinct);
+//! * whenever a tuple pair matches `LHS(φ)` (on current class
+//!   representatives), the classes of the RHS cells are merged;
+//! * iterate to fixpoint → the result is a **stable instance** `D'` for Σ:
+//!   `(D', D') |= Σ`.
+//!
+//! The representative of a merged class is its most informative member
+//! (non-null, then longest, then lexicographically greatest) — a
+//! deterministic stand-in for the paper's "a value V is to be found".
+//!
+//! [`satisfies`] checks the paper's `(D, D') |= φ` judgment literally:
+//! every pair matching `LHS(φ)` in `D` must (a) have its RHS attributes
+//! equal in `D'` and (b) still match `LHS(φ)` in `D'`.
+
+use crate::eval::RuntimeOps;
+use crate::relation::{InstancePair, Relation, Tuple};
+use crate::unionfind::UnionFind;
+use crate::value::Value;
+use matchrules_core::dependency::MatchingDependency;
+use matchrules_core::schema::Side;
+use std::collections::HashMap;
+
+/// Outcome of enforcing Σ on an instance pair.
+#[derive(Debug, Clone)]
+pub struct EnforceOutcome {
+    /// The stable instance `D'` (same tuple ids and order as `D`).
+    pub result: InstancePair,
+    /// Number of full passes over Σ × tuple pairs.
+    pub rounds: usize,
+    /// Number of value-class merges performed.
+    pub merges: usize,
+}
+
+/// Chases Σ on `instance` to a stable instance.
+pub fn enforce(
+    instance: &InstancePair,
+    sigma: &[MatchingDependency],
+    ops: &RuntimeOps,
+) -> EnforceOutcome {
+    let mut state = ChaseState::new(instance);
+    let mut rounds = 0usize;
+    let mut merges = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for md in sigma {
+            for li in 0..instance.left().len() {
+                for ri in 0..instance.right().len() {
+                    let lhs_ok = md.lhs().iter().all(|atom| {
+                        let a = state.current(Side::Left, li, atom.left);
+                        let b = state.current(Side::Right, ri, atom.right);
+                        ops.value_matches(atom.op, a, b)
+                    });
+                    if !lhs_ok {
+                        continue;
+                    }
+                    for ident in md.rhs() {
+                        let ca = state.cell(Side::Left, li, ident.left);
+                        let cb = state.cell(Side::Right, ri, ident.right);
+                        if state.merge(ca, cb) {
+                            merges += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    EnforceOutcome { result: state.materialize(instance), rounds, merges }
+}
+
+/// `(D, D') |= φ` (§2.1): for every `(t1, t2) ∈ D` matching `LHS(φ)` in `D`,
+/// (a) the RHS attributes are equal in `D'`, and (b) `(t1, t2)` still match
+/// `LHS(φ)` in `D'`. Tuples are correlated positionally (enforcement
+/// preserves order and ids).
+pub fn satisfies(
+    d: &InstancePair,
+    d_prime: &InstancePair,
+    md: &MatchingDependency,
+    ops: &RuntimeOps,
+) -> bool {
+    assert_eq!(d.left().len(), d_prime.left().len(), "D ⊑ D' must correlate tuples");
+    assert_eq!(d.right().len(), d_prime.right().len(), "D ⊑ D' must correlate tuples");
+    for (li, lt) in d.left().tuples().iter().enumerate() {
+        for (ri, rt) in d.right().tuples().iter().enumerate() {
+            if !ops.lhs_matches(md.lhs(), lt, rt) {
+                continue;
+            }
+            let lt2 = &d_prime.left().tuples()[li];
+            let rt2 = &d_prime.right().tuples()[ri];
+            let rhs_identified = md.rhs().iter().all(|p| {
+                let a = lt2.get(p.left);
+                let b = rt2.get(p.right);
+                !a.is_null() && a == b
+            });
+            if !rhs_identified || !ops.lhs_matches(md.lhs(), lt2, rt2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `(D, D') |= Σ`: every MD of Σ is satisfied.
+pub fn satisfies_all(
+    d: &InstancePair,
+    d_prime: &InstancePair,
+    sigma: &[MatchingDependency],
+    ops: &RuntimeOps,
+) -> bool {
+    sigma.iter().all(|md| satisfies(d, d_prime, md, ops))
+}
+
+/// Whether `D` is stable for Σ, i.e. `(D, D) |= Σ` (§3.1).
+pub fn is_stable(d: &InstancePair, sigma: &[MatchingDependency], ops: &RuntimeOps) -> bool {
+    satisfies_all(d, d, sigma, ops)
+}
+
+/// Cell-to-value-class bookkeeping for the chase.
+struct ChaseState {
+    /// Value slot of each cell: `cells[side][tuple][attr]`.
+    cells: [Vec<Vec<usize>>; 2],
+    /// Union-find over value slots.
+    uf: UnionFind,
+    /// Most informative value of each class, indexed by slot; valid at the
+    /// class root.
+    best: Vec<Value>,
+}
+
+impl ChaseState {
+    fn new(instance: &InstancePair) -> Self {
+        let mut interned: HashMap<Value, usize> = HashMap::new();
+        let mut best: Vec<Value> = Vec::new();
+        let mut intern = |v: &Value, best: &mut Vec<Value>| -> usize {
+            if v.is_null() {
+                // Each null is its own unknown.
+                best.push(Value::Null);
+                best.len() - 1
+            } else if let Some(&slot) = interned.get(v) {
+                slot
+            } else {
+                let slot = best.len();
+                best.push(v.clone());
+                interned.insert(v.clone(), slot);
+                slot
+            }
+        };
+        let mut cells = [Vec::new(), Vec::new()];
+        for (si, rel) in [instance.left(), instance.right()].into_iter().enumerate() {
+            cells[si] = rel
+                .tuples()
+                .iter()
+                .map(|t| t.values().iter().map(|v| intern(v, &mut best)).collect())
+                .collect();
+        }
+        let uf = UnionFind::new(best.len());
+        ChaseState { cells, uf, best }
+    }
+
+    fn side_index(side: Side) -> usize {
+        match side {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+
+    fn cell(&self, side: Side, tuple: usize, attr: usize) -> usize {
+        self.cells[Self::side_index(side)][tuple][attr]
+    }
+
+    /// Current representative value of a cell.
+    fn current(&self, side: Side, tuple: usize, attr: usize) -> &Value {
+        let root = self.uf.find_const(self.cell(side, tuple, attr));
+        &self.best[root]
+    }
+
+    /// Merges two value classes, keeping the most informative
+    /// representative. Returns whether anything changed.
+    fn merge(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.uf.find(a), self.uf.find(b));
+        if ra == rb {
+            return false;
+        }
+        let winner = better(&self.best[ra], &self.best[rb]).clone();
+        self.uf.union(ra, rb);
+        let root = self.uf.find(ra);
+        self.best[root] = winner;
+        true
+    }
+
+    /// Rewrites the instance with class representatives.
+    fn materialize(&self, instance: &InstancePair) -> InstancePair {
+        let rebuild = |side: Side, rel: &Relation| -> Relation {
+            let mut out = Relation::new(rel.schema().clone());
+            for (ti, t) in rel.tuples().iter().enumerate() {
+                let values =
+                    (0..t.values().len()).map(|a| self.current(side, ti, a).clone()).collect();
+                out.push(Tuple::new(t.id(), values));
+            }
+            out
+        };
+        InstancePair::new(
+            instance.schema_pair().clone(),
+            rebuild(Side::Left, instance.left()),
+            rebuild(Side::Right, instance.right()),
+        )
+    }
+}
+
+/// Preference order for class representatives: non-null, then longer, then
+/// lexicographically greater (deterministic).
+fn better<'a>(a: &'a Value, b: &'a Value) -> &'a Value {
+    match (a.as_str(), b.as_str()) {
+        (None, _) => b,
+        (_, None) => a,
+        (Some(x), Some(y)) => {
+            if (x.chars().count(), x) >= (y.chars().count(), y) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::paper_registry;
+    use crate::fig1;
+    use matchrules_core::operators::OperatorTable;
+    use matchrules_core::parser::parse_md_set;
+    use matchrules_core::schema::{Schema, SchemaPair};
+    use std::sync::Arc;
+
+    fn abc_setting() -> (SchemaPair, OperatorTable, Vec<MatchingDependency>, RuntimeOps) {
+        let r = Arc::new(Schema::text("R", &["A", "B", "C"]).unwrap());
+        let pair = SchemaPair::reflexive(r);
+        let mut ops_table = OperatorTable::new();
+        let sigma = parse_md_set(
+            "R[A] = R[A] -> R[B] <=> R[B]\nR[B] = R[B] -> R[C] <=> R[C]\n",
+            &pair,
+            &mut ops_table,
+        )
+        .unwrap();
+        let ops = RuntimeOps::resolve(&ops_table, &paper_registry()).unwrap();
+        (pair, ops_table, sigma, ops)
+    }
+
+    /// Figure 3 of the paper: enforcing ψ1 then ψ2 on D0 yields the stable
+    /// instance D2 where both B and C are identified.
+    #[test]
+    fn figure_3_chase() {
+        let (pair, _t, sigma, ops) = abc_setting();
+        let mut i0 = Relation::new(pair.left().clone());
+        i0.push_strs(1, &["a", "b1", "c1"]);
+        let mut i0r = Relation::new(pair.right().clone());
+        i0r.push_strs(2, &["a", "b2", "c2"]);
+        let d0 = InstancePair::new(pair.clone(), i0, i0r);
+
+        assert!(!is_stable(&d0, &sigma, &ops));
+        let outcome = enforce(&d0, &sigma, &ops);
+        let d2 = &outcome.result;
+        assert!(is_stable(d2, &sigma, &ops));
+        assert!(satisfies_all(&d0, d2, &sigma, &ops));
+        // s1[B] = s2[B] and s1[C] = s2[C] in D2.
+        let s1 = &d2.left().tuples()[0];
+        let s2 = &d2.right().tuples()[0];
+        assert_eq!(s1.get(1), s2.get(1));
+        assert_eq!(s1.get(2), s2.get(2));
+        // The chase needed the cascade: ψ2 fires only after ψ1's merge.
+        assert!(outcome.merges >= 2);
+        assert!(outcome.rounds >= 2);
+    }
+
+    /// Soundness of deduction on the chase: the deduced ψ3 (A=A → C⇌C)
+    /// holds on (D0, D') even though D0 ⊭ it statically — Example 3.3.
+    #[test]
+    fn deduced_md_holds_on_stable_instance() {
+        let (pair, mut table, sigma, _) = abc_setting();
+        let psi3 = parse_md_set("R[A] = R[A] -> R[C] <=> R[C]\n", &pair, &mut table).unwrap();
+        let ops = RuntimeOps::resolve(&table, &paper_registry()).unwrap();
+        assert!(matchrules_core::deduction::deduces(&sigma, &psi3[0]));
+
+        let mut i0 = Relation::new(pair.left().clone());
+        i0.push_strs(1, &["a", "b1", "c1"]);
+        let mut i0r = Relation::new(pair.right().clone());
+        i0r.push_strs(2, &["a", "b2", "c2"]);
+        let d0 = InstancePair::new(pair.clone(), i0, i0r);
+        let d_prime = enforce(&d0, &sigma, &ops).result;
+        assert!(satisfies(&d0, &d_prime, &psi3[0], &ops));
+    }
+
+    /// Enforcing ϕ2 on Fig. 1 identifies t1[addr] with t4[post] — the
+    /// Figure 2 walkthrough. The merged class keeps the informative full
+    /// address, not the truncated "NJ".
+    #[test]
+    fn figure_2_walkthrough() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let phi2 = &setting.sigma[1]; // tel = phn → addr ⇌ post
+        let outcome = enforce(&inst, std::slice::from_ref(phi2), &ops);
+        let d_prime = outcome.result;
+        let addr = setting.pair.left().attr("addr").unwrap();
+        let post = setting.pair.right().attr("post").unwrap();
+        let t1 = d_prime.left().by_id(fig1::ids::T1).unwrap();
+        let t4 = d_prime.right().by_id(fig1::ids::T4).unwrap();
+        assert_eq!(t1.get(addr), t4.get(post));
+        assert_eq!(t1.get(addr), &Value::str("10 Oak Street, MH, NJ 07974"));
+        assert!(satisfies(&inst, &d_prime, phi2, &ops));
+    }
+
+    /// Null cells are pairwise-distinct unknowns: enforcing nothing keeps
+    /// them null, and merging a null with a value adopts the value.
+    #[test]
+    fn null_handling() {
+        let r = Arc::new(Schema::text("R", &["k", "v"]).unwrap());
+        let pair = SchemaPair::reflexive(r);
+        let mut table = OperatorTable::new();
+        let sigma = parse_md_set("R[k] = R[k] -> R[v] <=> R[v]\n", &pair, &mut table).unwrap();
+        let ops = RuntimeOps::resolve(&table, &paper_registry()).unwrap();
+        let mut l = Relation::new(pair.left().clone());
+        l.push_strs(1, &["x", ""]);
+        l.push_strs(2, &["y", ""]);
+        let mut rr = Relation::new(pair.right().clone());
+        rr.push_strs(3, &["x", "value"]);
+        rr.push_strs(4, &["z", ""]);
+        let d = InstancePair::new(pair, l, rr);
+        let out = enforce(&d, &sigma, &ops);
+        // Tuple 1 (k=x) merged its null v with "value".
+        assert_eq!(out.result.left().by_id(1).unwrap().get(1), &Value::str("value"));
+        // Tuple 2 (k=y) matched nothing; its null stays.
+        assert!(out.result.left().by_id(2).unwrap().get(1).is_null());
+        // Tuple 4's null (k=z) stays too: nulls never match each other.
+        assert!(out.result.right().by_id(4).unwrap().get(1).is_null());
+    }
+
+    /// An instance that already satisfies Σ is a fixpoint: zero merges.
+    #[test]
+    fn stable_instance_is_fixpoint() {
+        let (pair, _t, sigma, ops) = abc_setting();
+        let mut l = Relation::new(pair.left().clone());
+        l.push_strs(1, &["a", "b", "c"]);
+        let mut r = Relation::new(pair.right().clone());
+        r.push_strs(2, &["a", "b", "c"]);
+        let d = InstancePair::new(pair, l, r);
+        assert!(is_stable(&d, &sigma, &ops));
+        let out = enforce(&d, &sigma, &ops);
+        assert_eq!(out.merges, 0);
+        assert_eq!(out.rounds, 1);
+    }
+}

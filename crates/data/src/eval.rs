@@ -1,0 +1,138 @@
+//! Binding symbolic operators to executable predicates, and evaluating MD
+//! atoms on tuples.
+//!
+//! The reasoning core treats operators as symbols; at matching/enforcement
+//! time each symbol must resolve to a [`SimilarityOp`] implementation. A
+//! [`RuntimeOps`] performs that resolution once (by operator *name*) and
+//! caches it per [`OperatorId`], so atom evaluation in hot loops is an array
+//! index plus the metric call.
+
+use crate::relation::Tuple;
+use crate::value::Value;
+use matchrules_core::dependency::SimilarityAtom;
+use matchrules_core::error::{CoreError, Result};
+use matchrules_core::operators::{OperatorId, OperatorTable};
+use matchrules_simdist::ops::{AliasOp, DamerauOp, OpRegistry, SimilarityOp};
+use std::sync::Arc;
+
+/// The paper's runtime registry: the standard metric set plus the alias
+/// `≈d` → Damerau–Levenshtein at θ = 0.75 (the intro example's name
+/// similarity: "Mark" ≈d "Marx", "Clifford" ≈d "Clivord").
+pub fn paper_registry() -> OpRegistry {
+    let mut reg = OpRegistry::standard();
+    reg.register(Arc::new(AliasOp::new("≈d", Arc::new(DamerauOp::with_threshold(0.75)))));
+    reg
+}
+
+/// Resolved operator bindings for one `OperatorTable`.
+pub struct RuntimeOps {
+    resolved: Vec<Arc<dyn SimilarityOp>>,
+}
+
+impl RuntimeOps {
+    /// Resolves every operator of `table` against `registry` by name.
+    /// Fails with [`CoreError::UnknownOperator`] if a symbol has no
+    /// executable binding.
+    pub fn resolve(table: &OperatorTable, registry: &OpRegistry) -> Result<Self> {
+        let mut resolved = Vec::with_capacity(table.len());
+        for id in table.ids() {
+            let name = table.name(id);
+            let op = registry
+                .get(name)
+                .ok_or_else(|| CoreError::UnknownOperator { name: name.to_owned() })?;
+            resolved.push(op.clone());
+        }
+        Ok(RuntimeOps { resolved })
+    }
+
+    /// Evaluates `a ≈op b` on values. `Null` matches nothing.
+    pub fn value_matches(&self, op: OperatorId, a: &Value, b: &Value) -> bool {
+        match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => self.resolved[op.0 as usize].matches(x, y),
+            _ => false,
+        }
+    }
+
+    /// Graded similarity of two values in `\[0, 1\]`; `Null` scores 0.
+    pub fn value_similarity(&self, op: OperatorId, a: &Value, b: &Value) -> f64 {
+        match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => self.resolved[op.0 as usize].similarity(x, y),
+            _ => 0.0,
+        }
+    }
+
+    /// Evaluates one LHS atom on a tuple pair.
+    pub fn atom_matches(&self, atom: &SimilarityAtom, t1: &Tuple, t2: &Tuple) -> bool {
+        self.value_matches(atom.op, t1.get(atom.left), t2.get(atom.right))
+    }
+
+    /// Evaluates a full LHS (conjunction) on a tuple pair.
+    pub fn lhs_matches(&self, lhs: &[SimilarityAtom], t1: &Tuple, t2: &Tuple) -> bool {
+        lhs.iter().all(|atom| self.atom_matches(atom, t1, t2))
+    }
+
+    /// Number of resolved operators.
+    pub fn len(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// Never empty: `=` is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchrules_core::operators::OperatorTable;
+
+    fn runtime() -> (OperatorTable, RuntimeOps) {
+        let mut table = OperatorTable::new();
+        table.intern("≈d");
+        let ops = RuntimeOps::resolve(&table, &paper_registry()).unwrap();
+        (table, ops)
+    }
+
+    #[test]
+    fn equality_and_dl_resolve() {
+        let (table, ops) = runtime();
+        assert_eq!(ops.len(), table.len());
+        assert!(!ops.is_empty());
+        let dl = table.get("≈d").unwrap();
+        assert!(ops.value_matches(OperatorId::EQ, &Value::str("x"), &Value::str("x")));
+        assert!(!ops.value_matches(OperatorId::EQ, &Value::str("x"), &Value::str("y")));
+        assert!(ops.value_matches(dl, &Value::str("Mark"), &Value::str("Marx")));
+        assert!(ops.value_matches(dl, &Value::str("Clifford"), &Value::str("Clivord")));
+        assert!(!ops.value_matches(dl, &Value::str("Mark"), &Value::str("David")));
+    }
+
+    #[test]
+    fn null_matches_nothing() {
+        let (_table, ops) = runtime();
+        assert!(!ops.value_matches(OperatorId::EQ, &Value::Null, &Value::Null));
+        assert!(!ops.value_matches(OperatorId::EQ, &Value::Null, &Value::str("x")));
+        assert_eq!(ops.value_similarity(OperatorId::EQ, &Value::Null, &Value::Null), 0.0);
+    }
+
+    #[test]
+    fn unknown_operator_fails_resolution() {
+        let mut table = OperatorTable::new();
+        table.intern("≈custom-unbound");
+        assert!(RuntimeOps::resolve(&table, &paper_registry()).is_err());
+    }
+
+    #[test]
+    fn atom_and_lhs_evaluation() {
+        let (table, ops) = runtime();
+        let dl = table.get("≈d").unwrap();
+        let t1 = Tuple::new(1, vec![Value::str("Mark"), Value::str("Clifford")]);
+        let t2 = Tuple::new(2, vec![Value::str("Marx"), Value::str("Clifford")]);
+        let a0 = SimilarityAtom::new(0, 0, dl);
+        let a1 = SimilarityAtom::eq(1, 1);
+        assert!(ops.atom_matches(&a0, &t1, &t2));
+        assert!(ops.lhs_matches(&[a0, a1], &t1, &t2));
+        let a_bad = SimilarityAtom::eq(0, 0);
+        assert!(!ops.lhs_matches(&[a_bad, a1], &t1, &t2));
+    }
+}

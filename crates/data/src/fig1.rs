@@ -1,0 +1,159 @@
+//! The instance of Figure 1 — the paper's running example data.
+//!
+//! Two credit tuples (t1, t2) and four billing tuples (t3–t6); t3–t6 all
+//! refer to the card holder of t1 but disagree with it on names, phones,
+//! e-mails and addresses in exactly the ways the deduced RCKs recover.
+
+use crate::relation::{InstancePair, Relation};
+use matchrules_core::paper::{example_1_1, PaperSetting};
+
+/// Tuple ids of Fig. 1, for readable assertions.
+pub mod ids {
+    /// credit t1 (Mark Clifford).
+    pub const T1: u64 = 1;
+    /// credit t2 (David Smith).
+    pub const T2: u64 = 2;
+    /// billing t3 (Marx Clifford, full address, partial phone/email).
+    pub const T3: u64 = 3;
+    /// billing t4 (Marx Clifford, truncated address, full phone).
+    pub const T4: u64 = 4;
+    /// billing t5 (M. Clivord, full address, partial phone, full email).
+    pub const T5: u64 = 5;
+    /// billing t6 (M. Clivord, truncated address, full phone and email).
+    pub const T6: u64 = 6;
+}
+
+/// Builds `(Dc = (Ic, Ib))` of Fig. 1 over the Example 1.1 schemas.
+pub fn instance(setting: &PaperSetting) -> InstancePair {
+    let mut credit = Relation::new(setting.pair.left().clone());
+    // c#, SSN, FN, LN, addr, tel, email, gender, type
+    credit.push_strs(
+        ids::T1,
+        &[
+            "111",
+            "079172485",
+            "Mark",
+            "Clifford",
+            "10 Oak Street, MH, NJ 07974",
+            "908-1111111",
+            "mc@gm.com",
+            "M",
+            "master",
+        ],
+    );
+    credit.push_strs(
+        ids::T2,
+        &[
+            "222",
+            "191843658",
+            "David",
+            "Smith",
+            "620 Elm Street, MH, NJ 07976",
+            "908-2222222",
+            "dsmith@hm.com",
+            "M",
+            "visa",
+        ],
+    );
+
+    let mut billing = Relation::new(setting.pair.right().clone());
+    // c#, FN, LN, post, phn, email, gender, item, price
+    billing.push_strs(
+        ids::T3,
+        &[
+            "111",
+            "Marx",
+            "Clifford",
+            "10 Oak Street, MH, NJ 07974",
+            "908",
+            "mc",
+            "null",
+            "iPod",
+            "169.99",
+        ],
+    );
+    billing.push_strs(
+        ids::T4,
+        &["111", "Marx", "Clifford", "NJ", "908-1111111", "mc", "null", "book", "19.99"],
+    );
+    billing.push_strs(
+        ids::T5,
+        &[
+            "111",
+            "M.",
+            "Clivord",
+            "10 Oak Street, MH, NJ 07974",
+            "1111111",
+            "mc@gm.com",
+            "null",
+            "PSP",
+            "269.99",
+        ],
+    );
+    billing.push_strs(
+        ids::T6,
+        &["111", "M.", "Clivord", "NJ", "908-1111111", "mc@gm.com", "null", "CD", "14.99"],
+    );
+
+    InstancePair::new(setting.pair.clone(), credit, billing)
+}
+
+/// Convenience: the Example 1.1 setting together with its Fig. 1 instance.
+pub fn setting_and_instance() -> (PaperSetting, InstancePair) {
+    let setting = example_1_1();
+    let inst = instance(&setting);
+    (setting, inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{paper_registry, RuntimeOps};
+    use matchrules_core::paper::example_2_4_rcks;
+
+    #[test]
+    fn instance_shape() {
+        let (_, inst) = setting_and_instance();
+        assert_eq!(inst.left().len(), 2);
+        assert_eq!(inst.right().len(), 4);
+        let gender = inst.schema_pair().right().attr("gender").unwrap();
+        assert!(inst.right().tuples().iter().all(|t| t.get(gender).is_null()));
+    }
+
+    /// Example 1.1's headline: with the given key (rck1) only t3 matches t1;
+    /// the deduced keys rck2/rck3/rck4 recover t4, t5 and t6.
+    #[test]
+    fn deduced_keys_add_value_on_fig1() {
+        let (setting, inst) = setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = example_2_4_rcks(&setting);
+        let t1 = inst.left().by_id(ids::T1).unwrap();
+        let matched_by = |key_idx: usize, bid: u64| {
+            let bt = inst.right().by_id(bid).unwrap();
+            ops.lhs_matches(rcks[key_idx].atoms(), t1, bt)
+        };
+        // rck1 = (LN, addr, FN): matches t3 only.
+        assert!(matched_by(0, ids::T3));
+        assert!(!matched_by(0, ids::T4) && !matched_by(0, ids::T5) && !matched_by(0, ids::T6));
+        // rck2 = (LN, tel, FN): matches t4 ("Marx" ≈d "Mark", same phone).
+        assert!(matched_by(1, ids::T4));
+        // rck3 = (email, addr): matches t5.
+        assert!(matched_by(2, ids::T5));
+        // rck4 = (email, tel): matches t6.
+        assert!(matched_by(3, ids::T6));
+    }
+
+    /// David Smith's tuple matches nothing on the billing side.
+    #[test]
+    fn non_matching_holder_stays_unmatched() {
+        let (setting, inst) = setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = example_2_4_rcks(&setting);
+        let t2 = inst.left().by_id(ids::T2).unwrap();
+        for key in &rcks {
+            for bt in inst.right().tuples() {
+                assert!(!ops.lhs_matches(key.atoms(), t2, bt));
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Clean synthetic data for the §6 evaluation schemas.
+//!
+//! Generates card holders ([`Person`]) with internally-consistent addresses
+//! (city/county/state/zip come from one [`Locality`](crate::catalog::Locality)),
+//! then materializes the extended `credit` (13 attributes) and `billing`
+//! (21 attributes) relations of [`matchrules_core::paper::extended`]:
+//! one credit tuple per person and one base billing tuple per purchase.
+//!
+//! This substitutes for the paper's Web-scraped seeds (see DESIGN.md §4);
+//! the duplicate/error protocol lives in [`crate::dirty`].
+
+use crate::catalog;
+use crate::relation::{Relation, Tuple};
+use crate::value::Value;
+use matchrules_core::paper::PaperSetting;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Entity identifier: index of the person a tuple refers to.
+pub type EntityId = u32;
+
+/// A synthetic card holder.
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// First name.
+    pub first: String,
+    /// Middle initial (with trailing period), possibly empty.
+    pub middle: String,
+    /// Last name.
+    pub last: String,
+    /// Street line, e.g. "10 Oak Street".
+    pub street: String,
+    /// City.
+    pub city: String,
+    /// County.
+    pub county: String,
+    /// Two-letter state.
+    pub state: String,
+    /// Five-digit zip.
+    pub zip: String,
+    /// Phone, `AAA-NNNNNNN`.
+    pub tel: String,
+    /// E-mail address.
+    pub email: String,
+    /// `"M"` or `"F"`.
+    pub gender: String,
+    /// Nine-digit SSN.
+    pub ssn: String,
+    /// Card number (12 digits).
+    pub card: String,
+}
+
+/// Fraction of persons generated as *family members* of the previous
+/// person: same surname, address and (landline) phone, distinct first
+/// name / e-mail / identifiers. Families create the realistic ambiguity
+/// that separates loose expert rules from minimal RCKs — two people at
+/// the same address with the same last name are NOT the same entity.
+const FAMILY_RATE: f64 = 0.18;
+
+/// Deterministically generates `count` persons from `seed`.
+pub fn generate_persons(count: usize, seed: u64) -> Vec<Person> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Person> = Vec::with_capacity(count);
+    for i in 0..count {
+        let person = match out.last() {
+            Some(prev) if rng.random_bool(FAMILY_RATE) => family_member(&mut rng, prev, i),
+            _ => random_person(&mut rng, i),
+        };
+        out.push(person);
+    }
+    out
+}
+
+/// A relative of `prev`: shares surname and household address; sometimes
+/// the household landline, usually an own (cell) phone.
+fn family_member(rng: &mut StdRng, prev: &Person, index: usize) -> Person {
+    let mut p = random_person(rng, index);
+    p.last = prev.last.clone();
+    p.street = prev.street.clone();
+    p.city = prev.city.clone();
+    p.county = prev.county.clone();
+    p.state = prev.state.clone();
+    p.zip = prev.zip.clone();
+    if rng.random_bool(0.3) {
+        p.tel = prev.tel.clone();
+    }
+    p.email = format!(
+        "{}{}{}@{}",
+        p.first.to_lowercase(),
+        p.last.to_lowercase(),
+        index,
+        catalog::EMAIL_DOMAINS[rng.random_range(0..catalog::EMAIL_DOMAINS.len())]
+    );
+    p
+}
+
+fn random_person(rng: &mut StdRng, index: usize) -> Person {
+    let first = (*pick(rng, catalog::FIRST_NAMES)).to_owned();
+    let last = (*pick(rng, catalog::LAST_NAMES)).to_owned();
+    let middle = if rng.random_bool(0.6) {
+        let letter = (b'A' + rng.random_range(0..26u8)) as char;
+        format!("{letter}.")
+    } else {
+        String::new()
+    };
+    let loc = pick(rng, catalog::LOCALITIES);
+    let street_no = rng.random_range(1..9999u32);
+    let street_name = pick(rng, catalog::STREET_NAMES);
+    let suffix = pick(rng, catalog::STREET_SUFFIXES);
+    let street = format!("{street_no} {street_name} {suffix}");
+    let zip = format!("{}{:02}", loc.zip3, rng.random_range(0..100u32));
+    let tel = format!("{}-{:07}", rng.random_range(201..990u32), rng.random_range(0..10_000_000u32));
+    // E-mails must be globally unique per person: they are strong
+    // identifiers in the MDs, so collisions would be false ground truth.
+    let email = format!(
+        "{}{}{}@{}",
+        first.to_lowercase(),
+        last.to_lowercase(),
+        index,
+        pick(rng, catalog::EMAIL_DOMAINS)
+    );
+    let gender = if rng.random_bool(0.5) { "M" } else { "F" }.to_owned();
+    let ssn = format!("{:09}", rng.random_range(1_000_000..999_999_999u64));
+    let card = format!("{:012}", rng.random_range(0..1_000_000_000_000u64));
+    Person {
+        first,
+        middle,
+        last,
+        street,
+        city: loc.city.to_owned(),
+        county: loc.county.to_owned(),
+        state: loc.state.to_owned(),
+        zip,
+        tel,
+        email,
+        gender,
+        ssn,
+        card,
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, pool: &'a [T]) -> &'a T {
+    &pool[rng.random_range(0..pool.len())]
+}
+
+fn opt_str(s: &str) -> Value {
+    if s.is_empty() {
+        Value::Null
+    } else {
+        Value::str(s)
+    }
+}
+
+/// Renders a person as a 13-attribute `credit` tuple of the extended
+/// schema: `c#, SSN, FN, MN, LN, street, city, county, state, zip, tel,
+/// email, gender`.
+pub fn credit_tuple(id: u64, p: &Person) -> Tuple {
+    Tuple::new(
+        id,
+        vec![
+            Value::str(&p.card),
+            Value::str(&p.ssn),
+            Value::str(&p.first),
+            opt_str(&p.middle),
+            Value::str(&p.last),
+            Value::str(&p.street),
+            Value::str(&p.city),
+            Value::str(&p.county),
+            Value::str(&p.state),
+            Value::str(&p.zip),
+            Value::str(&p.tel),
+            Value::str(&p.email),
+            Value::str(&p.gender),
+        ],
+    )
+}
+
+/// A purchase: the non-identity payload of a billing tuple.
+#[derive(Debug, Clone)]
+pub struct Purchase {
+    /// Item title.
+    pub item: String,
+    /// Item category.
+    pub category: String,
+    /// Price paid.
+    pub price: f64,
+    /// Quantity.
+    pub qty: u32,
+    /// Order date `YYYY-MM-DD`.
+    pub date: String,
+    /// Shipping state (usually the holder's).
+    pub ship_state: String,
+    /// Shipping zip.
+    pub ship_zip: String,
+    /// Store name.
+    pub store: String,
+    /// Payment channel.
+    pub payment: String,
+}
+
+/// Draws a random purchase for a person.
+pub fn random_purchase(rng: &mut StdRng, p: &Person) -> Purchase {
+    let item = pick(rng, catalog::ITEMS);
+    let qty = rng.random_range(1..4u32);
+    let date = format!(
+        "200{}-{:02}-{:02}",
+        rng.random_range(6..9u8),
+        rng.random_range(1..13u8),
+        rng.random_range(1..29u8)
+    );
+    Purchase {
+        item: item.title.to_owned(),
+        category: item.category.to_owned(),
+        price: item.price,
+        qty,
+        date,
+        ship_state: p.state.clone(),
+        ship_zip: p.zip.clone(),
+        store: (*pick(rng, catalog::STORES)).to_owned(),
+        payment: if rng.random_bool(0.8) { "online" } else { "phone" }.to_owned(),
+    }
+}
+
+/// Renders a person + purchase as a 21-attribute `billing` tuple:
+/// `c#, FN, MN, LN, street, city, county, state, zip, phn, email, gender,
+/// item, category, price, qty, order_date, ship_state, ship_zip, store,
+/// payment`.
+pub fn billing_tuple(id: u64, p: &Person, purchase: &Purchase) -> Tuple {
+    Tuple::new(
+        id,
+        vec![
+            Value::str(&p.card),
+            Value::str(&p.first),
+            opt_str(&p.middle),
+            Value::str(&p.last),
+            Value::str(&p.street),
+            Value::str(&p.city),
+            Value::str(&p.county),
+            Value::str(&p.state),
+            Value::str(&p.zip),
+            Value::str(&p.tel),
+            Value::str(&p.email),
+            Value::str(&p.gender),
+            Value::str(&purchase.item),
+            Value::str(&purchase.category),
+            Value::from(format!("{:.2}", purchase.price)),
+            Value::from(purchase.qty.to_string()),
+            Value::str(&purchase.date),
+            Value::str(&purchase.ship_state),
+            Value::str(&purchase.ship_zip),
+            Value::str(&purchase.store),
+            Value::str(&purchase.payment),
+        ],
+    )
+}
+
+/// A clean (pre-noise) dataset: relations plus per-tuple entity ids.
+#[derive(Debug, Clone)]
+pub struct CleanData {
+    /// Credit instance (one tuple per person, position == entity id).
+    pub credit: Relation,
+    /// Billing instance (one base purchase per person).
+    pub billing: Relation,
+    /// Entity of each credit tuple, by position.
+    pub credit_entities: Vec<EntityId>,
+    /// Entity of each billing tuple, by position.
+    pub billing_entities: Vec<EntityId>,
+    /// The generated persons (kept for noise injection).
+    pub persons: Vec<Person>,
+}
+
+/// Generates the clean base instances for `persons` card holders.
+pub fn generate_clean(setting: &PaperSetting, persons: usize, seed: u64) -> CleanData {
+    let people = generate_persons(persons, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut credit = Relation::new(setting.pair.left().clone());
+    let mut billing = Relation::new(setting.pair.right().clone());
+    let mut credit_entities = Vec::with_capacity(persons);
+    let mut billing_entities = Vec::with_capacity(persons);
+    for (i, p) in people.iter().enumerate() {
+        credit.push(credit_tuple(i as u64, p));
+        credit_entities.push(i as EntityId);
+        let purchase = random_purchase(&mut rng, p);
+        billing.push(billing_tuple(i as u64, p, &purchase));
+        billing_entities.push(i as EntityId);
+    }
+    CleanData { credit, billing, credit_entities, billing_entities, persons: people }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchrules_core::paper;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_persons(10, 42);
+        let b = generate_persons(10, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.email, y.email);
+            assert_eq!(x.street, y.street);
+        }
+        let c = generate_persons(10, 43);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.email != y.email));
+    }
+
+    #[test]
+    fn persons_are_internally_consistent() {
+        for p in generate_persons(50, 7) {
+            assert_eq!(p.zip.len(), 5);
+            assert_eq!(p.state.len(), 2);
+            assert!(p.email.contains('@'));
+            assert!(p.tel.contains('-'));
+            assert!(!p.first.is_empty() && !p.last.is_empty());
+            assert!(p.street.split(' ').count() >= 3);
+        }
+    }
+
+    #[test]
+    fn emails_are_unique() {
+        let people = generate_persons(200, 5);
+        let mut emails: Vec<&str> = people.iter().map(|p| p.email.as_str()).collect();
+        emails.sort_unstable();
+        emails.dedup();
+        assert_eq!(emails.len(), people.len());
+    }
+
+    #[test]
+    fn clean_dataset_matches_schemas() {
+        let setting = paper::extended();
+        let data = generate_clean(&setting, 20, 1);
+        assert_eq!(data.credit.len(), 20);
+        assert_eq!(data.billing.len(), 20);
+        assert_eq!(data.credit.schema().arity(), 13);
+        assert_eq!(data.billing.schema().arity(), 21);
+        assert_eq!(data.credit_entities, data.billing_entities);
+        // Identity attributes agree between a person's credit and billing.
+        let fn_c = setting.pair.left().attr("FN").unwrap();
+        let fn_b = setting.pair.right().attr("FN").unwrap();
+        for i in 0..20 {
+            assert_eq!(data.credit.tuples()[i].get(fn_c), data.billing.tuples()[i].get(fn_b));
+        }
+    }
+
+    #[test]
+    fn purchases_draw_from_catalog() {
+        let setting = paper::extended();
+        let data = generate_clean(&setting, 30, 9);
+        let item_attr = setting.pair.right().attr("item").unwrap();
+        for t in data.billing.tuples() {
+            let title = t.get(item_attr).as_str().unwrap();
+            assert!(crate::catalog::ITEMS.iter().any(|i| i.title == title));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # matchrules-data
+//!
+//! Data substrate for the `matchrules` reproduction of Fan et al.,
+//! *"Reasoning about Record Matching Rules"* (VLDB 2009):
+//!
+//! * [`value`] / [`relation`] — values, tuples, relations and instance
+//!   pairs `D = (I1, I2)`;
+//! * [`eval`] — binding symbolic similarity operators to executable metrics
+//!   and evaluating MD atoms on tuples;
+//! * [`enforce`] — the **dynamic semantics** of MDs as an executable chase:
+//!   stable instances, `(D, D') |= φ` checking;
+//! * [`fig1`] — the paper's Figure 1 instance;
+//! * [`catalog`] / [`gen`] / [`dirty`] — the §6 experimental data: synthetic
+//!   card holders on the extended 13/21-attribute schemas, plus the 80%
+//!   duplicates / 80% per-attribute error protocol with generator-held
+//!   ground truth;
+//! * [`mdgen`] — the random MD generator of the §6.1 scalability study;
+//! * [`unionfind`] — disjoint sets, shared by the chase and the matchers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod dirty;
+pub mod enforce;
+pub mod eval;
+pub mod fig1;
+pub mod gen;
+pub mod mdgen;
+pub mod relation;
+pub mod unionfind;
+pub mod value;
+
+pub use dirty::{DirtyData, GroundTruth, NoiseConfig};
+pub use eval::{paper_registry, RuntimeOps};
+pub use relation::{InstancePair, Relation, Tuple, TupleId};
+pub use unionfind::UnionFind;
+pub use value::Value;

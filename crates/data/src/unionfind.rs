@@ -1,0 +1,165 @@
+//! Disjoint-set (union-find) with path halving and union by size.
+//!
+//! Two consumers: the enforcement chase (value classes merged by the
+//! matching operator `⇌`) and the matchers (transitive closure of pairwise
+//! match decisions, as in merge/purge \[20\]).
+
+/// A disjoint-set forest over `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    classes: usize,
+}
+
+impl UnionFind {
+    /// `len` singleton classes.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            classes: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct classes.
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// Adds a fresh singleton, returning its index.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id as u32);
+        self.size.push(1);
+        self.classes += 1;
+        id
+    }
+
+    /// The representative of `x`'s class (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x as usize
+    }
+
+    /// Read-only find (no compression) for shared contexts.
+    pub fn find_const(&self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Merges the classes of `a` and `b`; returns `true` when they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.classes -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same class.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups all elements by representative, in first-seen order.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::HashMap;
+        let mut index: HashMap<usize, usize> = HashMap::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for x in 0..self.parent.len() {
+            let root = self.find(x);
+            let slot = *index.entry(root).or_insert_with(|| {
+                out.push(Vec::new());
+                out.len() - 1
+            });
+            out[slot].push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.class_count(), 5);
+        assert!(!uf.is_empty());
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.class_count(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn find_is_idempotent_and_consistent() {
+        let mut uf = UnionFind::new(8);
+        uf.union(2, 5);
+        uf.union(5, 7);
+        let root = uf.find(2);
+        assert_eq!(uf.find(5), root);
+        assert_eq!(uf.find(7), root);
+        assert_eq!(uf.find_const(7), root);
+    }
+
+    #[test]
+    fn push_appends_singletons() {
+        let mut uf = UnionFind::new(1);
+        let id = uf.push();
+        assert_eq!(id, 1);
+        assert_eq!(uf.class_count(), 2);
+        uf.union(0, 1);
+        assert_eq!(uf.class_count(), 1);
+    }
+
+    #[test]
+    fn groups_partition_everything() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(1, 4);
+        let groups = uf.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().any(|g| g.contains(&0) && g.contains(&3)));
+    }
+
+    #[test]
+    fn union_by_size_keeps_larger_root() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(0, 2); // class of size 3
+        let root = uf.find(0);
+        uf.union(3, 0);
+        assert_eq!(uf.find(3), root, "small class joins large class");
+    }
+}

@@ -1,0 +1,101 @@
+//! Attribute values.
+//!
+//! Record-matching data is overwhelmingly textual after standardization
+//! (§2.1 of the paper); numbers (prices, card numbers) are carried as their
+//! canonical string rendering so that every similarity operator applies
+//! uniformly. `Null` models missing data — Fig. 1's billing tuples have
+//! `null` genders — and matches nothing, not even another `Null`.
+
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Missing data. `Null` is not similar to anything, including itself:
+    /// an unknown gender is *unknown*, not equal to another unknown.
+    Null,
+    /// A textual value.
+    Str(Box<str>),
+}
+
+impl Value {
+    /// A textual value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(s.as_ref().into())
+    }
+
+    /// The string content, if present.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Null => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// Whether the value is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Length in characters (0 for `Null`), used by the `lt` statistic of
+    /// the cost model.
+    pub fn char_len(&self) -> usize {
+        self.as_str().map_or(0, |s| s.chars().count())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s.into_boxed_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::str("Mark");
+        assert_eq!(v.as_str(), Some("Mark"));
+        assert!(!v.is_null());
+        assert_eq!(v.char_len(), 4);
+        assert_eq!(Value::Null.char_len(), 0);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_str(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("café").to_string(), "café");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn ordering_puts_null_first() {
+        let mut vs = vec![Value::str("b"), Value::Null, Value::str("a")];
+        vs.sort();
+        assert_eq!(vs, vec![Value::Null, Value::str("a"), Value::str("b")]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Expectation–maximization for the Fellegi–Sunter model (\[17, 21\]).
+//!
+//! Candidate pairs are summarized as binary *comparison vectors*
+//! `γ ∈ {0,1}^d` (field-wise agreement). Under the classic conditional-
+//! independence model, a pair is a match with prior `p`, and field `i`
+//! agrees with probability `m_i` among matches and `u_i` among non-matches.
+//! EM estimates `(p, m, u)` without labels (Jaro 1989); the fitted model
+//! yields per-pair match weights `Σ γ_i·log(m_i/u_i) + (1−γ_i)·log((1−m_i)/(1−u_i))`
+//! and per-field discriminative powers used to pick comparison vectors —
+//! the paper's "EM algorithm … to estimate parameters such as weights and
+//! threshold" baseline (§6.2 Exp-2).
+
+/// Fitted Fellegi–Sunter parameters.
+#[derive(Debug, Clone)]
+pub struct EmModel {
+    /// Per-field P(agree | match).
+    pub m: Vec<f64>,
+    /// Per-field P(agree | non-match).
+    pub u: Vec<f64>,
+    /// Match prior.
+    pub p: f64,
+    /// EM iterations run.
+    pub iterations: usize,
+}
+
+/// EM configuration.
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on parameter movement.
+    pub tol: f64,
+    /// Initial match prior.
+    pub init_p: f64,
+    /// Initial `m` (agreement among matches).
+    pub init_m: f64,
+    /// Initial `u` (agreement among non-matches).
+    pub init_u: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig { max_iters: 100, tol: 1e-6, init_p: 0.1, init_m: 0.9, init_u: 0.1 }
+    }
+}
+
+const EPS: f64 = 1e-6;
+
+fn clamp(x: f64) -> f64 {
+    x.clamp(EPS, 1.0 - EPS)
+}
+
+impl EmModel {
+    /// Posterior match probability of a comparison vector.
+    pub fn posterior(&self, gamma: &[bool]) -> f64 {
+        let (mut lm, mut lu) = (self.p.ln(), (1.0 - self.p).ln());
+        for (i, &agree) in gamma.iter().enumerate() {
+            if agree {
+                lm += self.m[i].ln();
+                lu += self.u[i].ln();
+            } else {
+                lm += (1.0 - self.m[i]).ln();
+                lu += (1.0 - self.u[i]).ln();
+            }
+        }
+        let max = lm.max(lu);
+        let em = (lm - max).exp();
+        let eu = (lu - max).exp();
+        em / (em + eu)
+    }
+
+    /// Log-odds match weight of a comparison vector (base 2, as in the
+    /// record-linkage literature).
+    pub fn weight(&self, gamma: &[bool]) -> f64 {
+        gamma
+            .iter()
+            .enumerate()
+            .map(|(i, &agree)| {
+                if agree {
+                    (self.m[i] / self.u[i]).log2()
+                } else {
+                    ((1.0 - self.m[i]) / (1.0 - self.u[i])).log2()
+                }
+            })
+            .sum()
+    }
+
+    /// Per-field discriminative power: the gap between the agreement and
+    /// disagreement weights. High-power fields are the ones the EM baseline
+    /// "picks" for its comparison vector.
+    pub fn field_powers(&self) -> Vec<f64> {
+        (0..self.m.len())
+            .map(|i| {
+                let agree = (self.m[i] / self.u[i]).log2();
+                let disagree = ((1.0 - self.m[i]) / (1.0 - self.u[i])).log2();
+                agree - disagree
+            })
+            .collect()
+    }
+
+    /// Indices of the `k` most discriminative fields, best first.
+    pub fn top_fields(&self, k: usize) -> Vec<usize> {
+        let powers = self.field_powers();
+        let mut idx: Vec<usize> = (0..powers.len()).collect();
+        idx.sort_by(|&a, &b| powers[b].partial_cmp(&powers[a]).expect("finite powers"));
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Fits the model on comparison vectors (one per candidate pair).
+///
+/// # Panics
+///
+/// Panics when `vectors` is empty or the vectors disagree on dimension.
+pub fn fit(vectors: &[Vec<bool>], cfg: &EmConfig) -> EmModel {
+    assert!(!vectors.is_empty(), "EM needs at least one comparison vector");
+    let d = vectors[0].len();
+    assert!(vectors.iter().all(|v| v.len() == d), "ragged comparison vectors");
+    let n = vectors.len() as f64;
+
+    let mut p = clamp(cfg.init_p);
+    let mut m = vec![clamp(cfg.init_m); d];
+    let mut u = vec![clamp(cfg.init_u); d];
+
+    let mut iterations = 0;
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // E-step: posterior responsibility of the match class per vector.
+        let model = EmModel { m: m.clone(), u: u.clone(), p, iterations };
+        let w: Vec<f64> = vectors.iter().map(|g| model.posterior(g)).collect();
+
+        // M-step.
+        let sum_w: f64 = w.iter().sum();
+        let mut new_m = vec![0.0; d];
+        let mut new_u = vec![0.0; d];
+        for (g, &wi) in vectors.iter().zip(&w) {
+            for (i, &agree) in g.iter().enumerate() {
+                if agree {
+                    new_m[i] += wi;
+                    new_u[i] += 1.0 - wi;
+                }
+            }
+        }
+        let denom_m = sum_w.max(EPS);
+        let denom_u = (n - sum_w).max(EPS);
+        let mut delta: f64 = 0.0;
+        for i in 0..d {
+            let nm = clamp(new_m[i] / denom_m);
+            let nu = clamp(new_u[i] / denom_u);
+            delta = delta.max((nm - m[i]).abs()).max((nu - u[i]).abs());
+            m[i] = nm;
+            u[i] = nu;
+        }
+        let np = clamp(sum_w / n);
+        delta = delta.max((np - p).abs());
+        p = np;
+        if delta < cfg.tol {
+            break;
+        }
+    }
+    EmModel { m, u, p, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthesizes vectors from known (p, m, u) and checks EM recovers the
+    /// structure (matches agree often, non-matches rarely).
+    fn synthesize(p: f64, m: &[f64], u: &[f64], n: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let is_match = rng.random_bool(p);
+                (0..m.len())
+                    .map(|i| rng.random_bool(if is_match { m[i] } else { u[i] }))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_planted_structure() {
+        let true_m = [0.95, 0.9, 0.85];
+        let true_u = [0.05, 0.1, 0.2];
+        let vectors = synthesize(0.2, &true_m, &true_u, 20_000, 42);
+        let model = fit(&vectors, &EmConfig::default());
+        assert!((model.p - 0.2).abs() < 0.05, "p = {}", model.p);
+        for i in 0..3 {
+            assert!((model.m[i] - true_m[i]).abs() < 0.08, "m[{i}] = {}", model.m[i]);
+            assert!((model.u[i] - true_u[i]).abs() < 0.08, "u[{i}] = {}", model.u[i]);
+        }
+    }
+
+    #[test]
+    fn posterior_separates_classes() {
+        let vectors = synthesize(0.15, &[0.95, 0.9], &[0.05, 0.1], 5_000, 7);
+        let model = fit(&vectors, &EmConfig::default());
+        let all_agree = model.posterior(&[true, true]);
+        let none_agree = model.posterior(&[false, false]);
+        assert!(all_agree > 0.9, "all-agree posterior {all_agree}");
+        assert!(none_agree < 0.1, "none-agree posterior {none_agree}");
+        assert!(model.weight(&[true, true]) > model.weight(&[false, false]));
+    }
+
+    #[test]
+    fn field_powers_rank_informative_fields() {
+        // Field 0 is discriminative, field 1 is noise (agrees randomly).
+        let vectors = synthesize(0.2, &[0.95, 0.5], &[0.05, 0.5], 10_000, 9);
+        let model = fit(&vectors, &EmConfig::default());
+        let powers = model.field_powers();
+        assert!(powers[0] > powers[1]);
+        assert_eq!(model.top_fields(1), vec![0]);
+        assert_eq!(model.top_fields(5).len(), 2, "k caps at dimension");
+    }
+
+    #[test]
+    fn converges_and_reports_iterations() {
+        let vectors = synthesize(0.3, &[0.9], &[0.1], 2_000, 3);
+        let model = fit(&vectors, &EmConfig::default());
+        assert!(model.iterations < 100, "should converge before the cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_input_panics() {
+        let _ = fit(&[], &EmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_input_panics() {
+        let _ = fit(&[vec![true], vec![true, false]], &EmConfig::default());
+    }
+}

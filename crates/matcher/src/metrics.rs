@@ -1,0 +1,229 @@
+//! Match-quality metrics (§6.2).
+//!
+//! * **precision** — true matches correctly found / all matches returned;
+//! * **recall** — true matches correctly found / all true matches in the
+//!   data;
+//! * **pairs completeness** `PC = sM / nM` and **reduction ratio**
+//!   `RR = 1 − (sM + sU)/(nM + nU)` for blocking/windowing, where `sM`/`sU`
+//!   count matched/non-matched candidate pairs surviving the reduction and
+//!   `nM`/`nU` the same without it.
+
+use matchrules_data::dirty::GroundTruth;
+
+/// Confusion counts of a matcher's output against the generator's truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchQuality {
+    /// Pairs returned and true.
+    pub true_positives: usize,
+    /// Pairs returned but false.
+    pub false_positives: usize,
+    /// True pairs not returned.
+    pub false_negatives: usize,
+}
+
+impl MatchQuality {
+    /// Precision in `\[0, 1\]`; `1.0` when nothing was returned.
+    pub fn precision(&self) -> f64 {
+        let returned = self.true_positives + self.false_positives;
+        if returned == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / returned as f64
+        }
+    }
+
+    /// Recall in `\[0, 1\]`; `1.0` when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        let actual = self.true_positives + self.false_negatives;
+        if actual == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / actual as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores a set of returned (credit, billing) index pairs against the
+/// truth. Duplicate pairs in the input are counted once.
+pub fn evaluate_pairs(pairs: &[(usize, usize)], truth: &GroundTruth) -> MatchQuality {
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for &p in pairs {
+        if !seen.insert(p) {
+            continue;
+        }
+        if truth.is_match(p.0, p.1) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    let total_true = truth.total_true_pairs();
+    MatchQuality {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: total_true.saturating_sub(tp),
+    }
+}
+
+/// Pairs completeness and reduction ratio of a candidate-pair generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingQuality {
+    /// Matched candidate pairs surviving the reduction (`sM`).
+    pub surviving_matches: usize,
+    /// Non-matched candidate pairs surviving the reduction (`sU`).
+    pub surviving_non_matches: usize,
+    /// All true match pairs (`nM`).
+    pub total_matches: usize,
+    /// All non-match pairs (`nU`).
+    pub total_non_matches: usize,
+}
+
+impl BlockingQuality {
+    /// Evaluates a candidate set (deduplicated) against the truth over the
+    /// full cross product.
+    pub fn from_candidates<I>(candidates: I, truth: &GroundTruth) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut seen: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        let mut s_m = 0usize;
+        let mut s_u = 0usize;
+        for pair in candidates {
+            if !seen.insert(pair) {
+                continue;
+            }
+            if truth.is_match(pair.0, pair.1) {
+                s_m += 1;
+            } else {
+                s_u += 1;
+            }
+        }
+        let n_m = truth.total_true_pairs();
+        let total_pairs = truth.credit_len() * truth.billing_len();
+        BlockingQuality {
+            surviving_matches: s_m,
+            surviving_non_matches: s_u,
+            total_matches: n_m,
+            total_non_matches: total_pairs - n_m,
+        }
+    }
+
+    /// `PC = sM / nM`.
+    pub fn pairs_completeness(&self) -> f64 {
+        if self.total_matches == 0 {
+            1.0
+        } else {
+            self.surviving_matches as f64 / self.total_matches as f64
+        }
+    }
+
+    /// `RR = 1 − (sM + sU) / (nM + nU)`.
+    pub fn reduction_ratio(&self) -> f64 {
+        let total = self.total_matches + self.total_non_matches;
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - (self.surviving_matches + self.surviving_non_matches) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchrules_core::paper;
+    use matchrules_data::dirty::{generate_dirty, NoiseConfig};
+
+    fn truth_of(persons: usize) -> GroundTruth {
+        let setting = paper::extended();
+        let cfg = NoiseConfig { seed: 3, ..NoiseConfig::default() };
+        generate_dirty(&setting, persons, &cfg).truth
+    }
+
+    #[test]
+    fn quality_arithmetic() {
+        let q = MatchQuality { true_positives: 8, false_positives: 2, false_negatives: 8 };
+        assert!((q.precision() - 0.8).abs() < 1e-12);
+        assert!((q.recall() - 0.5).abs() < 1e-12);
+        assert!((q.f1() - (2.0 * 0.8 * 0.5 / 1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_quality() {
+        let empty = MatchQuality { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        let silent = MatchQuality { true_positives: 0, false_positives: 0, false_negatives: 5 };
+        assert_eq!(silent.precision(), 1.0);
+        assert_eq!(silent.recall(), 0.0);
+        assert_eq!(silent.f1(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_counts_and_dedups() {
+        let truth = truth_of(10);
+        // Billing tuple 0's entity — find its credit index.
+        let e = truth.billing_entity(0) as usize;
+        let pairs = vec![(e, 0), (e, 0), ((e + 1) % 10, 0)];
+        let q = evaluate_pairs(&pairs, &truth);
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 1);
+        assert_eq!(q.false_negatives, truth.total_true_pairs() - 1);
+    }
+
+    #[test]
+    fn perfect_matcher_scores_one() {
+        let truth = truth_of(8);
+        let mut pairs = Vec::new();
+        for b in 0..truth.billing_len() {
+            pairs.push((truth.billing_entity(b) as usize, b));
+        }
+        let q = evaluate_pairs(&pairs, &truth);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.f1(), 1.0);
+    }
+
+    #[test]
+    fn blocking_quality_bounds() {
+        let truth = truth_of(12);
+        // Candidate set = everything → PC = 1, RR = 0.
+        let all: Vec<(usize, usize)> = (0..truth.credit_len())
+            .flat_map(|c| (0..truth.billing_len()).map(move |b| (c, b)))
+            .collect();
+        let q = BlockingQuality::from_candidates(all, &truth);
+        assert_eq!(q.pairs_completeness(), 1.0);
+        assert!(q.reduction_ratio().abs() < 1e-12);
+
+        // Candidate set = nothing → PC = 0, RR = 1.
+        let q = BlockingQuality::from_candidates(std::iter::empty(), &truth);
+        assert_eq!(q.pairs_completeness(), 0.0);
+        assert!((q.reduction_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_quality_partial() {
+        let truth = truth_of(10);
+        // Only the true pairs as candidates: PC = 1, RR close to 1.
+        let pairs: Vec<(usize, usize)> = (0..truth.billing_len())
+            .map(|b| (truth.billing_entity(b) as usize, b))
+            .collect();
+        let q = BlockingQuality::from_candidates(pairs, &truth);
+        assert_eq!(q.pairs_completeness(), 1.0);
+        assert!(q.reduction_ratio() > 0.8);
+    }
+}

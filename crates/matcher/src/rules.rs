@@ -1,0 +1,112 @@
+//! Hand-written equational-theory rules — the SN baseline of §6.2 Exp-3.
+//!
+//! The paper runs Sorted Neighborhood with "the 25 rules used in \[20\]"
+//! (Hernández & Stolfo's merge/purge). Those rules are described in prose,
+//! not published as a machine-readable artifact, so this module provides a
+//! faithful stand-in: 25 expert-plausible person-matching rules over the
+//! extended credit/billing schemas, centred (like \[20\]) on names and
+//! addresses, with a spread of strictness. Being hand-written, the set
+//! both *misses* the phone/e-mail combinations that MD deduction discovers
+//! and *includes* looser rules that cost precision — the Fig. 10 contrast.
+
+use matchrules_core::dependency::SimilarityAtom;
+use matchrules_core::paper::PaperSetting;
+use matchrules_core::relative_key::RelativeKey;
+
+/// Builds the 25-rule baseline over the extended schemas.
+///
+/// Rules never mention `c#` or `SSN`: in the fraud-detection task the card
+/// number is the join condition under test, not evidence of identity.
+pub fn hernandez_stolfo_25(setting: &PaperSetting) -> Vec<RelativeKey> {
+    let l = |n: &str| setting.pair.left().attr(n).expect("extended schema attribute");
+    let r = |n: &str| setting.pair.right().attr(n).expect("extended schema attribute");
+    let dl = setting.dl;
+    let eq = |a: &str, b: &str| SimilarityAtom::eq(l(a), r(b));
+    let sim = |a: &str, b: &str| SimilarityAtom::new(l(a), r(b), dl);
+
+    let rules: Vec<Vec<SimilarityAtom>> = vec![
+        // --- tight name + full address rules ---
+        vec![eq("FN", "FN"), eq("LN", "LN"), eq("street", "street"), eq("city", "city")],
+        vec![sim("FN", "FN"), eq("LN", "LN"), eq("street", "street"), eq("zip", "zip")],
+        vec![eq("FN", "FN"), sim("LN", "LN"), eq("street", "street"), eq("city", "city")],
+        vec![sim("FN", "FN"), sim("LN", "LN"), eq("street", "street"), eq("zip", "zip")],
+        vec![eq("FN", "FN"), eq("LN", "LN"), sim("street", "street"), eq("zip", "zip")],
+        // --- name + partial address ---
+        vec![eq("FN", "FN"), eq("LN", "LN"), eq("zip", "zip")],
+        vec![sim("FN", "FN"), eq("LN", "LN"), eq("city", "city"), eq("state", "state")],
+        vec![eq("FN", "FN"), sim("LN", "LN"), eq("zip", "zip")],
+        vec![eq("MN", "MN"), eq("LN", "LN"), eq("street", "street")],
+        vec![sim("FN", "FN"), sim("LN", "LN"), eq("city", "city"), eq("county", "county")],
+        // --- address-dominant rules (households) ---
+        vec![eq("LN", "LN"), eq("street", "street"), eq("city", "city")],
+        vec![sim("LN", "LN"), eq("street", "street"), eq("zip", "zip")],
+        vec![eq("LN", "LN"), sim("street", "street"), eq("city", "city"), eq("state", "state")],
+        // --- phone-assisted (the expert set uses the phone sparingly) ---
+        vec![eq("FN", "FN"), eq("LN", "LN"), eq("tel", "phn")],
+        vec![sim("FN", "FN"), eq("LN", "LN"), eq("tel", "phn")],
+        // --- e-mail-assisted ---
+        vec![eq("email", "email"), eq("LN", "LN")],
+        vec![eq("email", "email"), sim("FN", "FN")],
+        // --- looser rules that a pragmatic expert adds for recall ---
+        vec![eq("FN", "FN"), eq("LN", "LN"), eq("city", "city")],
+        vec![sim("FN", "FN"), sim("LN", "LN"), eq("zip", "zip")],
+        vec![eq("LN", "LN"), eq("zip", "zip"), eq("gender", "gender")],
+        vec![eq("FN", "FN"), eq("LN", "LN"), eq("state", "state")],
+        vec![sim("LN", "LN"), eq("city", "city"), eq("gender", "gender"), eq("state", "state")],
+        vec![eq("LN", "LN"), eq("street", "street")],
+        vec![eq("FN", "FN"), eq("LN", "LN"), eq("gender", "gender")],
+        vec![sim("FN", "FN"), sim("LN", "LN"), eq("county", "county"), eq("gender", "gender")],
+    ];
+    assert_eq!(rules.len(), 25);
+    rules.into_iter().map(RelativeKey::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchrules_core::paper;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_25_distinct_rules() {
+        let setting = paper::extended();
+        let rules = hernandez_stolfo_25(&setting);
+        assert_eq!(rules.len(), 25);
+        let distinct: HashSet<_> = rules.iter().map(|k| k.atoms().to_vec()).collect();
+        assert_eq!(distinct.len(), 25, "rules must be pairwise distinct");
+    }
+
+    #[test]
+    fn rules_avoid_join_attributes() {
+        let setting = paper::extended();
+        let cn = setting.pair.left().attr("c#").unwrap();
+        let ssn = setting.pair.left().attr("SSN").unwrap();
+        for rule in hernandez_stolfo_25(&setting) {
+            for atom in rule.atoms() {
+                assert_ne!(atom.left, cn, "c# must not appear");
+                assert_ne!(atom.left, ssn, "SSN must not appear");
+            }
+        }
+    }
+
+    #[test]
+    fn rules_are_well_formed_over_the_schemas() {
+        let setting = paper::extended();
+        for rule in hernandez_stolfo_25(&setting) {
+            assert!(!rule.is_empty());
+            assert!(rule.len() <= 4);
+            for atom in rule.atoms() {
+                assert!(setting.pair.check_comparable(atom.left, atom.right).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn rule_set_uses_similarity_operators() {
+        let setting = paper::extended();
+        let rules = hernandez_stolfo_25(&setting);
+        let with_sim =
+            rules.iter().filter(|k| k.atoms().iter().any(|a| !a.op.is_eq())).count();
+        assert!(with_sim >= 8, "expert rules mix equality and similarity");
+    }
+}

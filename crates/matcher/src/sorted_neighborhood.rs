@@ -1,0 +1,218 @@
+//! The Sorted Neighborhood method (merge/purge, \[20\]) — §6.2 Exp-3.
+//!
+//! 1. merge both relations and sort by a key;
+//! 2. slide a fixed-size window, comparing only tuples inside it;
+//! 3. declare matches by an equational rule set (here: either the 25
+//!    hand-written rules of [`crate::rules`] or the union of deduced RCKs);
+//! 4. take the transitive closure of the pairwise decisions (union-find),
+//!    as the multi-pass merge/purge of \[20\] prescribes.
+
+use crate::key::KeyMatcher;
+use crate::sortkey::SortKey;
+use crate::windowing::multi_pass_window;
+use matchrules_data::relation::Relation;
+use matchrules_data::unionfind::UnionFind;
+
+/// Sorted Neighborhood configuration.
+#[derive(Debug, Clone)]
+pub struct SnConfig {
+    /// Window size (the paper fixes 10).
+    pub window: usize,
+    /// Sort keys, one per pass.
+    pub keys: Vec<SortKey>,
+}
+
+/// Result of an SN run.
+#[derive(Debug, Clone)]
+pub struct SnOutcome {
+    /// Matched (credit, billing) pairs after transitive closure.
+    pub pairs: Vec<(usize, usize)>,
+    /// Number of window pairs actually compared.
+    pub comparisons: usize,
+    /// Number of pairwise rule hits (before closure).
+    pub direct_matches: usize,
+}
+
+/// Runs Sorted Neighborhood.
+///
+/// # Panics
+///
+/// Panics when no sort key is configured.
+pub fn sorted_neighborhood(
+    credit: &Relation,
+    billing: &Relation,
+    rules: &KeyMatcher<'_>,
+    cfg: &SnConfig,
+) -> SnOutcome {
+    assert!(!cfg.keys.is_empty(), "SN needs at least one sort key");
+    let candidates = multi_pass_window(credit, billing, &cfg.keys, cfg.window);
+    let comparisons = candidates.len();
+
+    // Union-find over credit ⊎ billing: credit i ↦ i, billing j ↦ |C| + j.
+    let n_credit = credit.len();
+    let mut uf = UnionFind::new(n_credit + billing.len());
+    let mut direct = 0usize;
+    for (c, b) in candidates {
+        if rules.matches(&credit.tuples()[c], &billing.tuples()[b]) {
+            uf.union(c, n_credit + b);
+            direct += 1;
+        }
+    }
+
+    // Transitive closure: emit every cross pair sharing a class.
+    let mut pairs = Vec::with_capacity(direct);
+    let groups = uf.groups();
+    for group in groups {
+        if group.len() < 2 {
+            continue;
+        }
+        let credits: Vec<usize> = group.iter().copied().filter(|&x| x < n_credit).collect();
+        let billings: Vec<usize> =
+            group.iter().copied().filter(|&x| x >= n_credit).map(|x| x - n_credit).collect();
+        for &c in &credits {
+            for &b in &billings {
+                pairs.push((c, b));
+            }
+        }
+    }
+    SnOutcome { pairs, comparisons, direct_matches: direct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate_pairs;
+    use crate::rules::hernandez_stolfo_25;
+    use crate::sortkey::KeyField;
+    use matchrules_core::cost::CostModel;
+    use matchrules_core::paper;
+    use matchrules_core::rck::find_rcks;
+    use matchrules_data::dirty::{generate_dirty, DirtyData, NoiseConfig};
+    use matchrules_data::eval::{paper_registry, RuntimeOps};
+    use matchrules_data::fig1;
+
+    fn standard_keys(setting: &paper::PaperSetting) -> Vec<SortKey> {
+        let l = |n: &str| setting.pair.left().attr(n).unwrap();
+        let r = |n: &str| setting.pair.right().attr(n).unwrap();
+        vec![
+            SortKey::new(vec![
+                KeyField::soundex(l("LN"), r("LN")),
+                KeyField::text(l("FN"), r("FN"), 2),
+                KeyField::text(l("zip"), r("zip"), 3),
+            ]),
+            SortKey::new(vec![
+                KeyField::digits(l("tel"), r("phn"), 0),
+                KeyField::text(l("email"), r("email"), 6),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn fig1_smoke_with_rcks() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = paper::example_2_4_rcks(&setting);
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        let l = |n: &str| setting.pair.left().attr(n).unwrap();
+        let r = |n: &str| setting.pair.right().attr(n).unwrap();
+        let cfg = SnConfig {
+            window: 6,
+            keys: vec![SortKey::new(vec![KeyField::soundex(l("LN"), r("LN"))])],
+        };
+        let out = sorted_neighborhood(inst.left(), inst.right(), &matcher, &cfg);
+        // All four billing tuples link to t1 (credit index 0).
+        let mut pairs = out.pairs.clone();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(out.direct_matches, 4);
+        assert!(out.comparisons >= 4);
+    }
+
+    fn run_sn(
+        setting: &paper::PaperSetting,
+        data: &DirtyData,
+        rules: &[matchrules_core::relative_key::RelativeKey],
+        ops: &RuntimeOps,
+    ) -> SnOutcome {
+        let matcher = KeyMatcher::new(rules.iter(), ops);
+        let cfg = SnConfig { window: 10, keys: standard_keys(setting) };
+        sorted_neighborhood(&data.credit, &data.billing, &matcher, &cfg)
+    }
+
+    /// The Fig. 10 shape: SN with RCK rules beats SN with the 25 hand rules
+    /// on F1.
+    #[test]
+    fn snrck_beats_sn25() {
+        let setting = paper::extended();
+        let data = generate_dirty(&setting, 300, &NoiseConfig { seed: 31, ..Default::default() });
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+
+        let mut cost = CostModel::uniform();
+        let rcks = find_rcks(&setting.sigma, &setting.target, 5, &mut cost).keys;
+        let rck_out = run_sn(&setting, &data, &rcks, &ops);
+        let rck_q = evaluate_pairs(&rck_out.pairs, &data.truth);
+
+        let rules25 = hernandez_stolfo_25(&setting);
+        let base_out = run_sn(&setting, &data, &rules25, &ops);
+        let base_q = evaluate_pairs(&base_out.pairs, &data.truth);
+
+        assert!(
+            rck_q.f1() > base_q.f1(),
+            "SNrck F1 {} must beat SN F1 {}",
+            rck_q.f1(),
+            base_q.f1()
+        );
+        assert!(rck_q.precision() > 0.9, "SNrck precision {}", rck_q.precision());
+    }
+
+    /// RCK rule sets are smaller, so SNrck does less work per comparison.
+    #[test]
+    fn rck_rule_set_is_smaller() {
+        let setting = paper::extended();
+        let mut cost = CostModel::uniform();
+        let rcks = find_rcks(&setting.sigma, &setting.target, 5, &mut cost).keys;
+        assert!(rcks.len() <= 5);
+        assert!(hernandez_stolfo_25(&setting).len() == 25);
+    }
+
+    #[test]
+    fn transitive_closure_adds_cluster_pairs() {
+        // Two credit tuples of the same person (re-issued card) both match
+        // one billing tuple → closure links both.
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let mut credit2 = inst.left().clone();
+        // A re-issued card: same holder as t1, different card number.
+        let mut values = inst.left().by_id(fig1::ids::T1).unwrap().values().to_vec();
+        values[0] = matchrules_data::value::Value::str("333");
+        credit2.push(matchrules_data::relation::Tuple::new(99, values));
+
+        let rcks = paper::example_2_4_rcks(&setting);
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        let l = |n: &str| setting.pair.left().attr(n).unwrap();
+        let r = |n: &str| setting.pair.right().attr(n).unwrap();
+        let cfg = SnConfig {
+            window: 8,
+            keys: vec![SortKey::new(vec![KeyField::soundex(l("LN"), r("LN"))])],
+        };
+        let out = sorted_neighborhood(&credit2, inst.right(), &matcher, &cfg);
+        // Both credit 0 and credit 2 (the clone) pair with all 4 billings.
+        let with_clone: Vec<_> = out.pairs.iter().filter(|&&(c, _)| c == 2).collect();
+        assert_eq!(with_clone.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sort key")]
+    fn missing_keys_rejected() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = paper::example_2_4_rcks(&setting);
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        let _ = sorted_neighborhood(
+            inst.left(),
+            inst.right(),
+            &matcher,
+            &SnConfig { window: 10, keys: vec![] },
+        );
+    }
+}

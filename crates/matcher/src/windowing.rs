@@ -1,0 +1,144 @@
+//! Windowing (sorted-neighborhood candidate generation).
+//!
+//! Tuples of both relations are merged, sorted by a [`SortKey`], and a
+//! fixed-size window slides over the sorted list; only tuples within the
+//! same window are compared (§1 "Applications", \[20\]). Candidates are the
+//! cross-relation pairs inside windows; multiple passes with different keys
+//! union their candidates.
+
+use crate::sortkey::SortKey;
+use matchrules_data::relation::Relation;
+use std::collections::HashSet;
+
+/// Which relation a merged entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Credit(usize),
+    Billing(usize),
+}
+
+/// Generates candidate (credit, billing) index pairs with a sliding window
+/// of `window` tuples over the union of both relations sorted by `key`.
+///
+/// # Panics
+///
+/// Panics when `window < 2` (no pair fits in the window).
+pub fn window_candidates(
+    credit: &Relation,
+    billing: &Relation,
+    key: &SortKey,
+    window: usize,
+) -> Vec<(usize, usize)> {
+    assert!(window >= 2, "window must hold at least two tuples");
+    let mut entries: Vec<(String, Origin)> = Vec::with_capacity(credit.len() + billing.len());
+    for (i, t) in credit.tuples().iter().enumerate() {
+        entries.push((key.render_left(t), Origin::Credit(i)));
+    }
+    for (i, t) in billing.tuples().iter().enumerate() {
+        entries.push((key.render_right(t), Origin::Billing(i)));
+    }
+    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = Vec::new();
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for (i, (_, a)) in entries.iter().enumerate() {
+        for (_, b) in entries.iter().skip(i + 1).take(window - 1) {
+            let pair = match (a, b) {
+                (Origin::Credit(c), Origin::Billing(bi))
+                | (Origin::Billing(bi), Origin::Credit(c)) => (*c, *bi),
+                _ => continue,
+            };
+            if seen.insert(pair) {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
+
+/// Union of several windowing passes with different sort keys.
+pub fn multi_pass_window(
+    credit: &Relation,
+    billing: &Relation,
+    keys: &[SortKey],
+    window: usize,
+) -> Vec<(usize, usize)> {
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut out = Vec::new();
+    for key in keys {
+        for pair in window_candidates(credit, billing, key, window) {
+            if seen.insert(pair) {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sortkey::KeyField;
+    use matchrules_core::paper;
+    use matchrules_data::fig1;
+
+    fn ln_key(setting: &paper::PaperSetting) -> SortKey {
+        let ln_l = setting.pair.left().attr("LN").unwrap();
+        let ln_r = setting.pair.right().attr("LN").unwrap();
+        SortKey::new(vec![KeyField::text(ln_l, ln_r, 8)])
+    }
+
+    #[test]
+    fn window_brings_same_names_together() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let pairs = window_candidates(inst.left(), inst.right(), &ln_key(&setting), 4);
+        // t1 (Clifford) must meet t3/t4 (Clifford) in a width-4 window.
+        assert!(pairs.contains(&(0, inst
+            .right()
+            .tuples()
+            .iter()
+            .position(|t| t.id() == fig1::ids::T3)
+            .unwrap())));
+        // All pairs are cross-relation, within range.
+        for (c, b) in &pairs {
+            assert!(*c < inst.left().len());
+            assert!(*b < inst.right().len());
+        }
+    }
+
+    #[test]
+    fn window_size_bounds_candidates() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let narrow = window_candidates(inst.left(), inst.right(), &ln_key(&setting), 2);
+        let wide = window_candidates(inst.left(), inst.right(), &ln_key(&setting), 6);
+        assert!(narrow.len() <= wide.len());
+        // Width 6 covers the whole 6-element union: full cross product.
+        assert_eq!(wide.len(), inst.left().len() * inst.right().len());
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let pairs = window_candidates(inst.left(), inst.right(), &ln_key(&setting), 5);
+        let set: HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), pairs.len());
+    }
+
+    #[test]
+    fn multi_pass_unions() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let fn_l = setting.pair.left().attr("FN").unwrap();
+        let fn_r = setting.pair.right().attr("FN").unwrap();
+        let keys = vec![ln_key(&setting), SortKey::new(vec![KeyField::text(fn_l, fn_r, 8)])];
+        let union = multi_pass_window(inst.left(), inst.right(), &keys, 3);
+        let single = window_candidates(inst.left(), inst.right(), &keys[0], 3);
+        assert!(union.len() >= single.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let _ = window_candidates(inst.left(), inst.right(), &ln_key(&setting), 1);
+    }
+}

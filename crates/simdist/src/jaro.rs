@@ -1,0 +1,141 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! Jaro similarity was developed for the U.S. Census record-linkage systems
+//! that the paper's Fellegi–Sunter experiments build on (Jaro 1989, Winkler
+//! 2002 — references \[21\] and \[32\] of the paper). It scores two strings in
+//! `\[0, 1\]` based on the number of matching characters within a sliding
+//! half-length window and the number of transpositions among them;
+//! Jaro–Winkler boosts the score for strings sharing a common prefix.
+
+/// Computes the Jaro similarity of two strings in `\[0, 1\]`.
+///
+/// Two characters *match* when they are equal and at distance at most
+/// `max(|a|,|b|)/2 − 1`. With `m` matches and `t` transpositions the score is
+/// `(m/|a| + m/|b| + (m − t)/m) / 3`; zero matches score `0`, two empty
+/// strings score `1`.
+///
+/// ```
+/// use matchrules_simdist::jaro::jaro;
+/// assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-5);
+/// assert_eq!(jaro("abc", "abc"), 1.0);
+/// assert_eq!(jaro("abc", "xyz"), 0.0);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let (n, m) = (ac.len(), bc.len());
+    if n == 0 && m == 0 {
+        return 1.0;
+    }
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut b_used = vec![false; m];
+    let mut a_matched = vec![false; n];
+    let mut matches = 0usize;
+    for (i, ca) in ac.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(m);
+        for j in lo..hi {
+            if !b_used[j] && bc[j] == *ca {
+                b_used[j] = true;
+                a_matched[i] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions: matched characters taken in order from both sides.
+    let mut transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, ca) in ac.iter().enumerate() {
+        if !a_matched[i] {
+            continue;
+        }
+        while !b_used[j] {
+            j += 1;
+        }
+        if *ca != bc[j] {
+            transpositions += 1;
+        }
+        j += 1;
+    }
+    let m_f = matches as f64;
+    let t = (transpositions / 2) as f64;
+    (m_f / n as f64 + m_f / m as f64 + (m_f - t) / m_f) / 3.0
+}
+
+/// Computes the Jaro–Winkler similarity with the standard prefix scale
+/// `p = 0.1` and prefix length capped at 4.
+///
+/// ```
+/// use matchrules_simdist::jaro::jaro_winkler;
+/// assert!(jaro_winkler("MARTHA", "MARHTA") > 0.96);
+/// assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, 0.1)
+}
+
+/// Jaro–Winkler with an explicit prefix scale `p ∈ [0, 0.25]`.
+pub fn jaro_winkler_with(a: &str, b: &str, p: f64) -> f64 {
+    let base = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    base + prefix as f64 * p * (1.0 - base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(x: f64, y: f64) -> bool {
+        (x - y).abs() < 1e-6
+    }
+
+    #[test]
+    fn winkler_canonical_values() {
+        assert!(close(jaro("DWAYNE", "DUANE"), 0.822222));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.766667));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813333));
+        assert!(close(jaro_winkler("DWAYNE", "DUANE"), 0.84));
+    }
+
+    #[test]
+    fn empties() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("abc", "abcd"), ("x", "")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)));
+        }
+    }
+
+    #[test]
+    fn bounded_zero_one() {
+        for (a, b) in [("Mark", "Marx"), ("Clifford", "Clivord"), ("a", "b")] {
+            let s = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn winkler_boosts_shared_prefix() {
+        let j = jaro("Clifford", "Clivord");
+        let jw = jaro_winkler("Clifford", "Clivord");
+        assert!(jw >= j);
+    }
+}

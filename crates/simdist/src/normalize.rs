@@ -1,0 +1,94 @@
+//! Light-weight data standardization.
+//!
+//! The paper assumes (§2.1) that attribute pairs have been put into a common
+//! domain "by data standardization". This module provides the small set of
+//! transformations the examples rely on: case folding, whitespace collapsing,
+//! punctuation stripping and digit extraction (for phone numbers).
+
+/// Normalizes a string for comparison: trims, lower-cases and collapses any
+/// run of whitespace into a single space.
+///
+/// ```
+/// use matchrules_simdist::normalize::normalize_ws;
+/// assert_eq!(normalize_ws("  10 Oak   Street "), "10 oak street");
+/// ```
+pub fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for ch in s.trim().chars() {
+        if ch.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+        }
+    }
+    out
+}
+
+/// Strips every character that is not alphanumeric or whitespace.
+///
+/// ```
+/// use matchrules_simdist::normalize::strip_punct;
+/// assert_eq!(strip_punct("O'Brien, Jr."), "OBrien Jr");
+/// ```
+pub fn strip_punct(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_alphanumeric() || c.is_whitespace())
+        .collect()
+}
+
+/// Extracts only the ASCII digits of a string; the canonical form for phone
+/// numbers ("908-111-1111" and "(908) 111 1111" both become "9081111111").
+///
+/// ```
+/// use matchrules_simdist::normalize::digits_only;
+/// assert_eq!(digits_only("908-111-1111"), "9081111111");
+/// ```
+pub fn digits_only(s: &str) -> String {
+    s.chars().filter(|c| c.is_ascii_digit()).collect()
+}
+
+/// Full standardization used by the matching substrate: punctuation
+/// stripping followed by whitespace/case normalization.
+pub fn standardize(s: &str) -> String {
+    normalize_ws(&strip_punct(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_ws_collapses_and_lowercases() {
+        assert_eq!(normalize_ws("  A  B\tC  "), "a b c");
+        assert_eq!(normalize_ws(""), "");
+        assert_eq!(normalize_ws("   "), "");
+    }
+
+    #[test]
+    fn normalize_ws_handles_unicode_case() {
+        assert_eq!(normalize_ws("ÉLAN"), "élan");
+    }
+
+    #[test]
+    fn strip_punct_keeps_alnum_and_space() {
+        assert_eq!(strip_punct("a-b_c d!"), "abc d");
+    }
+
+    #[test]
+    fn digits_only_drops_everything_else() {
+        assert_eq!(digits_only("(908) 111-1111 x2"), "90811111112");
+        assert_eq!(digits_only("no digits"), "");
+    }
+
+    #[test]
+    fn standardize_composes() {
+        assert_eq!(standardize("10 Oak St., MH,  NJ 07974"), "10 oak st mh nj 07974");
+    }
+}

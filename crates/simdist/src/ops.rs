@@ -1,0 +1,525 @@
+//! Executable similarity operators and the operator registry.
+//!
+//! The reasoning core of `matchrules` treats similarity operators purely
+//! *symbolically*: deduction only relies on the generic axioms of §2.1
+//! (reflexivity, symmetry, subsumption of equality). At matching time those
+//! symbols must be bound to executable predicates; that binding is the
+//! [`OpRegistry`].
+//!
+//! Every [`SimilarityOp`] here satisfies the generic axioms by construction,
+//! and the crate's property tests verify them on arbitrary inputs.
+
+use crate::edit::{damerau_levenshtein_within, levenshtein_within};
+use crate::jaro::jaro_winkler;
+use crate::normalize::digits_only;
+use crate::phonetic::soundex_eq;
+use crate::qgram::dice;
+use crate::token::token_jaccard;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An executable similarity operator `≈ ∈ Θ`.
+///
+/// Implementations must be reflexive, symmetric and subsume equality; they
+/// need not be transitive (and thresholded edit-distance operators are not).
+pub trait SimilarityOp: Send + Sync + fmt::Debug {
+    /// Stable name of the operator, used to bind symbolic operators of the
+    /// reasoning core to this implementation (e.g. `"≈dl"`).
+    fn name(&self) -> &str;
+
+    /// The similarity predicate `a ≈ b`.
+    fn matches(&self, a: &str, b: &str) -> bool;
+
+    /// A graded similarity score in `\[0, 1\]` when the underlying metric has
+    /// one; defaults to the 0/1 predicate.
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        f64::from(self.matches(a, b))
+    }
+}
+
+/// Strict equality — the distinguished operator `=` of Θ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EqualityOp;
+
+impl SimilarityOp for EqualityOp {
+    fn name(&self) -> &str {
+        "="
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        a == b
+    }
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        f64::from(a == b)
+    }
+}
+
+/// The paper's DL operator: Damerau–Levenshtein distance at most
+/// `(1 − θ)·max(|a|, |b|)` (§6.2, θ = 0.8 in all experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct DamerauOp {
+    theta: f64,
+}
+
+impl DamerauOp {
+    /// Creates the operator with threshold `θ ∈ \[0, 1\]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when θ is outside `\[0, 1\]` or not finite.
+    pub fn with_threshold(theta: f64) -> Self {
+        assert!(theta.is_finite() && (0.0..=1.0).contains(&theta), "θ must be in [0,1]");
+        DamerauOp { theta }
+    }
+
+    /// The configured threshold θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl SimilarityOp for DamerauOp {
+    fn name(&self) -> &str {
+        "≈dl"
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return true;
+        }
+        let bound = ((1.0 - self.theta) * max_len as f64).floor() as usize;
+        damerau_levenshtein_within(a, b, bound).is_some()
+    }
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        crate::edit::damerau_similarity(a, b)
+    }
+}
+
+/// Thresholded Levenshtein operator (same rule as [`DamerauOp`] but without
+/// transpositions).
+#[derive(Debug, Clone, Copy)]
+pub struct LevenshteinOp {
+    theta: f64,
+}
+
+impl LevenshteinOp {
+    /// Creates the operator with threshold `θ ∈ \[0, 1\]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when θ is outside `\[0, 1\]` or not finite.
+    pub fn with_threshold(theta: f64) -> Self {
+        assert!(theta.is_finite() && (0.0..=1.0).contains(&theta), "θ must be in [0,1]");
+        LevenshteinOp { theta }
+    }
+}
+
+impl SimilarityOp for LevenshteinOp {
+    fn name(&self) -> &str {
+        "≈lev"
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        let max_len = a.chars().count().max(b.chars().count());
+        if max_len == 0 {
+            return true;
+        }
+        let bound = ((1.0 - self.theta) * max_len as f64).floor() as usize;
+        levenshtein_within(a, b, bound).is_some()
+    }
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        crate::edit::levenshtein_similarity(a, b)
+    }
+}
+
+/// Jaro–Winkler similarity above a minimum score.
+#[derive(Debug, Clone, Copy)]
+pub struct JaroWinklerOp {
+    min_sim: f64,
+}
+
+impl JaroWinklerOp {
+    /// Creates the operator accepting pairs with Jaro–Winkler score at least
+    /// `min_sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_sim` is outside `\[0, 1\]` or not finite.
+    pub fn with_min(min_sim: f64) -> Self {
+        assert!(min_sim.is_finite() && (0.0..=1.0).contains(&min_sim));
+        JaroWinklerOp { min_sim }
+    }
+}
+
+impl SimilarityOp for JaroWinklerOp {
+    fn name(&self) -> &str {
+        "≈jw"
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        a == b || jaro_winkler(a, b) >= self.min_sim
+    }
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro_winkler(a, b)
+    }
+}
+
+/// q-gram Dice coefficient above a minimum score.
+#[derive(Debug, Clone, Copy)]
+pub struct QgramOp {
+    q: usize,
+    min_sim: f64,
+}
+
+impl QgramOp {
+    /// Creates the operator for gram length `q` and minimum Dice score.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q == 0` or `min_sim` is outside `\[0, 1\]`.
+    pub fn new(q: usize, min_sim: f64) -> Self {
+        assert!(q >= 1);
+        assert!(min_sim.is_finite() && (0.0..=1.0).contains(&min_sim));
+        QgramOp { q, min_sim }
+    }
+}
+
+impl SimilarityOp for QgramOp {
+    fn name(&self) -> &str {
+        "≈qg"
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        a == b || dice(a, b, self.q) >= self.min_sim
+    }
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        dice(a, b, self.q)
+    }
+}
+
+/// Soundex equivalence of names.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoundexOp;
+
+impl SimilarityOp for SoundexOp {
+    fn name(&self) -> &str {
+        "≈sx"
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        a == b || soundex_eq(a, b)
+    }
+}
+
+/// Token-set Jaccard above a minimum score (multi-word fields).
+#[derive(Debug, Clone, Copy)]
+pub struct TokenJaccardOp {
+    min_sim: f64,
+}
+
+impl TokenJaccardOp {
+    /// Creates the operator with the given minimum Jaccard score.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_sim` is outside `\[0, 1\]` or not finite.
+    pub fn with_min(min_sim: f64) -> Self {
+        assert!(min_sim.is_finite() && (0.0..=1.0).contains(&min_sim));
+        TokenJaccardOp { min_sim }
+    }
+}
+
+impl SimilarityOp for TokenJaccardOp {
+    fn name(&self) -> &str {
+        "≈tok"
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        a == b || token_jaccard(a, b) >= self.min_sim
+    }
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        token_jaccard(a, b)
+    }
+}
+
+/// Equality of the digit content of two values — the standard comparison for
+/// phone numbers across formats ("908-111-1111" vs "(908) 111 1111").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DigitsEqOp;
+
+impl SimilarityOp for DigitsEqOp {
+    fn name(&self) -> &str {
+        "≈num"
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        a == b || (!digits_only(a).is_empty() && digits_only(a) == digits_only(b))
+    }
+}
+
+/// Synonym-table operator — the §8 "constant transformation" extension:
+/// `x ≈ y` when `x = y`, when the table links the canonical forms of `x` and
+/// `y` (e.g. "USA" ↔ "United States"), or when the wrapped inner operator
+/// accepts the pair.
+pub struct SynonymOp {
+    name: String,
+    classes: HashMap<String, u32>,
+    inner: Option<Arc<dyn SimilarityOp>>,
+}
+
+impl fmt::Debug for SynonymOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SynonymOp")
+            .field("name", &self.name)
+            .field("entries", &self.classes.len())
+            .field("inner", &self.inner.as_ref().map(|op| op.name().to_owned()))
+            .finish()
+    }
+}
+
+impl SynonymOp {
+    /// Builds the operator from groups of mutually-synonymous values.
+    /// Lookup is case- and whitespace-insensitive.
+    pub fn from_groups<I, G, S>(name: &str, groups: I) -> Self
+    where
+        I: IntoIterator<Item = G>,
+        G: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut classes = HashMap::new();
+        for (class_id, group) in groups.into_iter().enumerate() {
+            for value in group {
+                classes.insert(
+                    crate::normalize::normalize_ws(value.as_ref()),
+                    class_id as u32,
+                );
+            }
+        }
+        SynonymOp { name: name.to_owned(), classes, inner: None }
+    }
+
+    /// Also accept pairs matched by `inner` (e.g. synonyms *or* small typos).
+    #[must_use]
+    pub fn with_fallback(mut self, inner: Arc<dyn SimilarityOp>) -> Self {
+        self.inner = Some(inner);
+        self
+    }
+
+    fn class_of(&self, v: &str) -> Option<u32> {
+        self.classes.get(&crate::normalize::normalize_ws(v)).copied()
+    }
+}
+
+impl SimilarityOp for SynonymOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return true;
+        }
+        if let (Some(ca), Some(cb)) = (self.class_of(a), self.class_of(b)) {
+            if ca == cb {
+                return true;
+            }
+        }
+        self.inner.as_ref().is_some_and(|op| op.matches(a, b))
+    }
+}
+
+/// Re-exposes an operator under a different name, so symbolic operator
+/// names used in MDs (e.g. the paper's `≈d`) can bind to any configured
+/// implementation.
+pub struct AliasOp {
+    name: String,
+    inner: Arc<dyn SimilarityOp>,
+}
+
+impl AliasOp {
+    /// Wraps `inner` under `name`.
+    pub fn new(name: &str, inner: Arc<dyn SimilarityOp>) -> Self {
+        AliasOp { name: name.to_owned(), inner }
+    }
+}
+
+impl fmt::Debug for AliasOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AliasOp")
+            .field("name", &self.name)
+            .field("inner", &self.inner.name().to_owned())
+            .finish()
+    }
+}
+
+impl SimilarityOp for AliasOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn matches(&self, a: &str, b: &str) -> bool {
+        self.inner.matches(a, b)
+    }
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.inner.similarity(a, b)
+    }
+}
+
+/// Maps operator names to executable implementations.
+///
+/// The registry is the runtime companion of the reasoning core's symbolic
+/// operator table: an MD that mentions `≈dl` symbolically is evaluated on
+/// data by looking `"≈dl"` up here.
+#[derive(Debug, Clone, Default)]
+pub struct OpRegistry {
+    ops: HashMap<String, Arc<dyn SimilarityOp>>,
+}
+
+impl OpRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The registry used throughout the paper's experiments: `=`, the DL
+    /// operator at θ = 0.8, plus Levenshtein, Jaro–Winkler (0.9), bigram
+    /// Dice (0.8), Soundex, token-Jaccard (0.5) and digit equality.
+    pub fn standard() -> Self {
+        let mut reg = Self::new();
+        reg.register(Arc::new(EqualityOp));
+        reg.register(Arc::new(DamerauOp::with_threshold(0.8)));
+        reg.register(Arc::new(LevenshteinOp::with_threshold(0.8)));
+        reg.register(Arc::new(JaroWinklerOp::with_min(0.9)));
+        reg.register(Arc::new(QgramOp::new(2, 0.8)));
+        reg.register(Arc::new(SoundexOp));
+        reg.register(Arc::new(TokenJaccardOp::with_min(0.5)));
+        reg.register(Arc::new(DigitsEqOp));
+        reg
+    }
+
+    /// Registers (or replaces) an operator under its own name.
+    pub fn register(&mut self, op: Arc<dyn SimilarityOp>) {
+        self.ops.insert(op.name().to_owned(), op);
+    }
+
+    /// Looks an operator up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn SimilarityOp>> {
+        self.ops.get(name)
+    }
+
+    /// Names of all registered operators, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.ops.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operators are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_standard_ops() -> Vec<Arc<dyn SimilarityOp>> {
+        let reg = OpRegistry::standard();
+        reg.names().iter().map(|n| reg.get(n).unwrap().clone()).collect()
+    }
+
+    #[test]
+    fn standard_registry_contains_equality_and_dl() {
+        let reg = OpRegistry::standard();
+        assert!(reg.get("=").is_some());
+        assert!(reg.get("≈dl").is_some());
+        assert_eq!(reg.len(), 8);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn generic_axioms_on_samples() {
+        let samples = ["", "Mark", "Marx", "Clifford", "10 Oak Street, MH, NJ 07974", "908-111-1111"];
+        for op in all_standard_ops() {
+            for a in samples {
+                // reflexive
+                assert!(op.matches(a, a), "{} not reflexive on {a:?}", op.name());
+                for b in samples {
+                    // symmetric
+                    assert_eq!(op.matches(a, b), op.matches(b, a), "{} not symmetric", op.name());
+                    // subsumes equality
+                    if a == b {
+                        assert!(op.matches(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dl_operator_paper_behaviour() {
+        let op = DamerauOp::with_threshold(0.8);
+        assert!(op.matches("Clifford", "Cliford"));
+        assert!(!op.matches("Clifford", "Clivord")); // dl=2 > floor(0.2*8)
+        assert!(!op.matches("Mark", "David"));
+        assert!((op.theta() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digits_eq_across_formats() {
+        let op = DigitsEqOp;
+        assert!(op.matches("908-111-1111", "(908) 111 1111"));
+        assert!(!op.matches("908-111-1111", "908-111-1112"));
+        assert!(!op.matches("abc", "def"));
+        assert!(op.matches("abc", "abc"));
+    }
+
+    #[test]
+    fn synonym_groups_and_fallback() {
+        let op = SynonymOp::from_groups("≈country", [["USA", "United States", "U.S.A."].as_slice()]);
+        // Punctuation is NOT stripped by normalize_ws, so "U.S.A." only
+        // matches literally:
+        assert!(op.matches("usa", "United  STATES"));
+        assert!(op.matches("U.S.A.", "USA"));
+        assert!(!op.matches("USA", "Canada"));
+
+        let op = SynonymOp::from_groups("≈c", [["USA", "United States"].as_slice()])
+            .with_fallback(Arc::new(DamerauOp::with_threshold(0.8)));
+        assert!(op.matches("United States", "United Statex"));
+    }
+
+    #[test]
+    fn registry_replaces_by_name() {
+        let mut reg = OpRegistry::new();
+        reg.register(Arc::new(DamerauOp::with_threshold(0.5)));
+        reg.register(Arc::new(DamerauOp::with_threshold(0.9)));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn similarity_scores_bounded() {
+        for op in all_standard_ops() {
+            for (a, b) in [("Mark", "Marx"), ("", "x"), ("abc", "abc")] {
+                let s = op.similarity(a, b);
+                assert!((0.0..=1.0).contains(&s), "{} score {s} out of range", op.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn damerau_rejects_bad_theta() {
+        let _ = DamerauOp::with_threshold(1.5);
+    }
+
+    #[test]
+    fn alias_op_delegates() {
+        let inner: Arc<dyn SimilarityOp> = Arc::new(DamerauOp::with_threshold(0.75));
+        let alias = AliasOp::new("≈d", inner.clone());
+        assert_eq!(alias.name(), "≈d");
+        assert!(alias.matches("Mark", "Marx"));
+        assert_eq!(alias.matches("Mark", "Marx"), inner.matches("Mark", "Marx"));
+        assert!((alias.similarity("Mark", "Marx") - 0.75).abs() < 1e-12);
+        let mut reg = OpRegistry::new();
+        reg.register(Arc::new(alias));
+        assert!(reg.get("≈d").is_some());
+    }
+}

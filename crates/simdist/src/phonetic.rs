@@ -1,0 +1,129 @@
+//! Phonetic encodings, primarily Soundex.
+//!
+//! §6 Exp-4 of the paper builds blocking keys in which "one of the attributes
+//! is name, encoded by Soundex before blocking". Soundex maps a name to a
+//! letter followed by three digits so that names with similar English
+//! pronunciation collide ("Clifford" and "Clivord" both encode to `C416`).
+
+/// Returns the American Soundex code of `name` (a letter plus three digits),
+/// or `None` when the input contains no ASCII letter.
+///
+/// ```
+/// use matchrules_simdist::phonetic::soundex;
+/// assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+/// assert_eq!(soundex("Clifford"), soundex("Clivord"));
+/// assert_eq!(soundex("12345"), None);
+/// ```
+pub fn soundex(name: &str) -> Option<String> {
+    let letters: Vec<char> = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_digit = digit_of(first);
+    for &ch in &letters[1..] {
+        let d = digit_of(ch);
+        match d {
+            // Vowels (and Y) reset the adjacency rule; they are not coded.
+            b'0' => last_digit = b'0',
+            // H and W are skipped entirely: consonants around them merge.
+            b'-' => {}
+            d => {
+                if d != last_digit {
+                    code.push(d as char);
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                last_digit = d;
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Soundex digit classes; `b'0'` marks vowels/Y (uncoded, reset adjacency)
+/// and `b'-'` marks H/W (uncoded, transparent for adjacency).
+fn digit_of(c: char) -> u8 {
+    match c {
+        'B' | 'F' | 'P' | 'V' => b'1',
+        'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => b'2',
+        'D' | 'T' => b'3',
+        'L' => b'4',
+        'M' | 'N' => b'5',
+        'R' => b'6',
+        'H' | 'W' => b'-',
+        _ => b'0',
+    }
+}
+
+/// Predicate form: two names are Soundex-equivalent when both encode and the
+/// codes agree. Total on non-alphabetic inputs (falls back to equality).
+pub fn soundex_eq(a: &str, b: &str) -> bool {
+    match (soundex(a), soundex(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_codes() {
+        // Classic reference values from the National Archives specification.
+        assert_eq!(soundex("Washington").as_deref(), Some("W252"));
+        assert_eq!(soundex("Lee").as_deref(), Some("L000"));
+        assert_eq!(soundex("Gutierrez").as_deref(), Some("G362"));
+        // 'f' shares class 1 with the retained 'P' and is therefore dropped.
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Jackson").as_deref(), Some("J250"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+    }
+
+    #[test]
+    fn hw_are_transparent_vowels_reset() {
+        // 'h' between c..z in Tymczak/Ashcraft exercised above; check pairs:
+        assert_eq!(soundex("BOOTH"), soundex("BOTH"));
+        assert_ne!(soundex("BRIDGE"), soundex("BRICK"));
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        assert_eq!(soundex("o'brien"), soundex("OBRIEN"));
+        assert_eq!(soundex("McDonald"), soundex("MCDONALD"));
+    }
+
+    #[test]
+    fn paper_name_variants_collide() {
+        assert_eq!(soundex("Clifford"), soundex("Clivord"));
+        // Mark / Marx differ in the final consonant class (R,K vs R,X→2):
+        assert_eq!(soundex("Mark").as_deref(), Some("M620"));
+        assert_eq!(soundex("Marx").as_deref(), Some("M620"));
+    }
+
+    #[test]
+    fn non_alpha_inputs() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert!(soundex_eq("123", "123"));
+        assert!(!soundex_eq("123", "124"));
+    }
+
+    #[test]
+    fn soundex_eq_is_reflexive_and_symmetric() {
+        for (a, b) in [("Robert", "Rupert"), ("Smith", "Smythe"), ("a", "b")] {
+            assert!(soundex_eq(a, a));
+            assert_eq!(soundex_eq(a, b), soundex_eq(b, a));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! q-gram profiles and set-overlap similarity coefficients.
+//!
+//! q-grams are one of the similarity metrics the paper names as admissible
+//! operators in Θ (§2.1, citing the Elmagarmid et al. survey \[14\]). A string
+//! is decomposed into its multiset of length-`q` substrings, padded with
+//! `q − 1` sentinel characters on each side so that prefixes and suffixes
+//! carry weight; profiles are then compared with Dice, Jaccard or overlap
+//! coefficients.
+
+use std::collections::HashMap;
+
+/// The multiset of padded q-grams of a string.
+///
+/// Padding uses `'#'` on the left and `'$'` on the right, the conventional
+/// sentinels in the record-matching literature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QgramProfile {
+    q: usize,
+    grams: HashMap<Vec<char>, u32>,
+    total: u32,
+}
+
+impl QgramProfile {
+    /// Builds the q-gram profile of `s` for gram length `q ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(s: &str, q: usize) -> Self {
+        assert!(q >= 1, "q-gram length must be at least 1");
+        let chars: Vec<char> = s.chars().collect();
+        let mut padded = Vec::with_capacity(chars.len() + 2 * (q - 1));
+        padded.extend(std::iter::repeat_n('#', q - 1));
+        padded.extend_from_slice(&chars);
+        padded.extend(std::iter::repeat_n('$', q - 1));
+        let mut grams: HashMap<Vec<char>, u32> = HashMap::new();
+        let mut total = 0u32;
+        if padded.len() >= q {
+            for w in padded.windows(q) {
+                *grams.entry(w.to_vec()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        QgramProfile { q, grams, total }
+    }
+
+    /// Gram length of this profile.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Total number of grams (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Whether the profile holds no grams (only possible for the empty
+    /// string with `q == 1`).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Multiset intersection size with another profile.
+    pub fn intersection(&self, other: &Self) -> usize {
+        let (small, large) = if self.grams.len() <= other.grams.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .grams
+            .iter()
+            .map(|(g, &c)| c.min(large.grams.get(g).copied().unwrap_or(0)) as usize)
+            .sum()
+    }
+}
+
+/// Dice coefficient of the q-gram profiles: `2·|A ∩ B| / (|A| + |B|)`.
+///
+/// ```
+/// use matchrules_simdist::qgram::dice;
+/// assert_eq!(dice("night", "night", 2), 1.0);
+/// assert!(dice("night", "nacht", 2) > 0.0);
+/// ```
+pub fn dice(a: &str, b: &str, q: usize) -> f64 {
+    let pa = QgramProfile::new(a, q);
+    let pb = QgramProfile::new(b, q);
+    let denom = pa.len() + pb.len();
+    if denom == 0 {
+        return 1.0;
+    }
+    2.0 * pa.intersection(&pb) as f64 / denom as f64
+}
+
+/// Jaccard coefficient of the q-gram profiles: `|A ∩ B| / |A ∪ B|`.
+pub fn jaccard(a: &str, b: &str, q: usize) -> f64 {
+    let pa = QgramProfile::new(a, q);
+    let pb = QgramProfile::new(b, q);
+    let inter = pa.intersection(&pb);
+    let union = pa.len() + pb.len() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap(a: &str, b: &str, q: usize) -> f64 {
+    let pa = QgramProfile::new(a, q);
+    let pb = QgramProfile::new(b, q);
+    let denom = pa.len().min(pb.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    pa.intersection(&pb) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_padded_grams() {
+        let p = QgramProfile::new("ab", 2);
+        // #a, ab, b$
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn profile_multiset_intersection() {
+        let p1 = QgramProfile::new("aaa", 2); // #a, aa, aa, a$
+        let p2 = QgramProfile::new("aa", 2); // #a, aa, a$
+        assert_eq!(p1.intersection(&p2), 3);
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        for s in ["", "a", "night", "10 Oak Street"] {
+            assert_eq!(dice(s, s, 2), 1.0, "{s}");
+            assert_eq!(jaccard(s, s, 2), 1.0, "{s}");
+            assert_eq!(overlap(s, s, 2), 1.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(dice("aaa", "zzz", 2), 0.0);
+        assert_eq!(jaccard("aaa", "zzz", 2), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("night", "nacht"), ("Mark", "Marx"), ("", "abc")] {
+            assert_eq!(dice(a, b, 2), dice(b, a, 2));
+            assert_eq!(jaccard(a, b, 2), jaccard(b, a, 2));
+            assert_eq!(overlap(a, b, 2), overlap(b, a, 2));
+        }
+    }
+
+    #[test]
+    fn dice_dominates_jaccard() {
+        for (a, b) in [("night", "nacht"), ("Clifford", "Clivord")] {
+            assert!(dice(a, b, 2) >= jaccard(a, b, 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "q-gram length")]
+    fn zero_q_panics() {
+        let _ = QgramProfile::new("abc", 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Token-level similarity for multi-word fields.
+//!
+//! Addresses and item titles are compared more robustly token-by-token than
+//! character-by-character: "10 Oak Street, MH, NJ 07974" and
+//! "10 Oak Street MH NJ 07974" are token-identical. This module provides the
+//! token-set coefficients used by the matching substrate for such fields,
+//! plus Monge–Elkan-style soft matching where tokens themselves are compared
+//! with an inner character metric.
+
+use crate::edit::levenshtein_similarity;
+use std::collections::HashSet;
+
+/// Splits a string into lowercase alphanumeric tokens.
+pub fn tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Jaccard similarity of the token *sets* of `a` and `b`.
+///
+/// ```
+/// use matchrules_simdist::token::token_jaccard;
+/// assert_eq!(token_jaccard("10 Oak Street, NJ", "NJ 10 Oak Street"), 1.0);
+/// assert_eq!(token_jaccard("", ""), 1.0);
+/// ```
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta: HashSet<String> = tokens(a).into_iter().collect();
+    let tb: HashSet<String> = tokens(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Containment coefficient: fraction of the smaller token set contained in
+/// the larger. Useful for truncated addresses ("NJ" ⊂ "10 Oak Street NJ").
+pub fn token_containment(a: &str, b: &str) -> f64 {
+    let ta: HashSet<String> = tokens(a).into_iter().collect();
+    let tb: HashSet<String> = tokens(b).into_iter().collect();
+    let denom = ta.len().min(tb.len());
+    if denom == 0 {
+        return f64::from(ta.is_empty() && tb.is_empty());
+    }
+    let (small, large) = if ta.len() <= tb.len() { (&ta, &tb) } else { (&tb, &ta) };
+    small.iter().filter(|t| large.contains(*t)).count() as f64 / denom as f64
+}
+
+/// Monge–Elkan similarity: each token of `a` is aligned with its best
+/// Levenshtein-similarity counterpart in `b`, averaged over `a`'s tokens,
+/// then symmetrized by taking the maximum of both directions.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| levenshtein_similarity(x, y))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    dir(&ta, &tb).max(dir(&tb, &ta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_lowercased_alnum() {
+        assert_eq!(tokens("10 Oak St., MH"), vec!["10", "oak", "st", "mh"]);
+        assert!(tokens("---").is_empty());
+    }
+
+    #[test]
+    fn jaccard_order_insensitive() {
+        assert_eq!(token_jaccard("a b c", "c b a"), 1.0);
+        assert!(token_jaccard("a b c", "a b") < 1.0);
+        assert_eq!(token_jaccard("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn containment_of_truncation() {
+        assert_eq!(token_containment("NJ 07974", "10 Oak Street MH NJ 07974"), 1.0);
+        assert_eq!(token_containment("", "x"), 0.0);
+        assert_eq!(token_containment("", ""), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_soft_matching() {
+        let s = monge_elkan("10 Oak Street", "10 Oak Stret");
+        assert!(s > 0.9, "got {s}");
+        assert_eq!(monge_elkan("abc", "abc"), 1.0);
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn all_metrics_symmetric() {
+        for (a, b) in [("10 Oak Street", "Oak 10"), ("x y", "y z"), ("", "a")] {
+            assert_eq!(token_jaccard(a, b), token_jaccard(b, a));
+            assert_eq!(token_containment(a, b), token_containment(b, a));
+            assert!((monge_elkan(a, b) - monge_elkan(b, a)).abs() < 1e-12);
+        }
+    }
+}

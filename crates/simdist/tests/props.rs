@@ -1,0 +1,133 @@
+//! Property-based tests for the similarity metric substrate.
+
+use matchrules_simdist::edit::{
+    damerau_levenshtein, damerau_similarity, levenshtein, levenshtein_similarity,
+    levenshtein_within,
+};
+use matchrules_simdist::jaro::{jaro, jaro_winkler};
+use matchrules_simdist::normalize::{digits_only, normalize_ws, standardize};
+use matchrules_simdist::phonetic::soundex;
+use matchrules_simdist::qgram::{dice, jaccard, overlap, QgramProfile};
+use matchrules_simdist::token::{token_containment, token_jaccard};
+use proptest::prelude::*;
+
+proptest! {
+    // ----- edit distances -----
+
+    #[test]
+    fn levenshtein_identity_of_indiscernibles(a in ".{0,12}", b in ".{0,12}") {
+        let d = levenshtein(&a, &b);
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_length(a in ".{0,12}", b in ".{0,12}") {
+        let d = levenshtein(&a, &b);
+        let max = a.chars().count().max(b.chars().count());
+        prop_assert!(d <= max);
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn banded_levenshtein_agrees_with_exact(a in "[a-e]{0,10}", b in "[a-e]{0,10}", bound in 0usize..12) {
+        let exact = levenshtein(&a, &b);
+        match levenshtein_within(&a, &b, bound) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d <= bound);
+            }
+            None => prop_assert!(exact > bound),
+        }
+    }
+
+    #[test]
+    fn damerau_symmetric(a in ".{0,10}", b in ".{0,10}") {
+        prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn single_transposition_costs_one(s in "[a-z]{2,10}", i in 0usize..8) {
+        let chars: Vec<char> = s.chars().collect();
+        let i = i % (chars.len() - 1);
+        if chars[i] != chars[i + 1] {
+            let mut swapped = chars.clone();
+            swapped.swap(i, i + 1);
+            let t: String = swapped.into_iter().collect();
+            prop_assert_eq!(damerau_levenshtein(&s, &t), 1);
+            prop_assert!(levenshtein(&s, &t) <= 2);
+        }
+    }
+
+    #[test]
+    fn similarities_are_unit_interval(a in ".{0,10}", b in ".{0,10}") {
+        for s in [
+            levenshtein_similarity(&a, &b),
+            damerau_similarity(&a, &b),
+            jaro(&a, &b),
+            jaro_winkler(&a, &b),
+            dice(&a, &b, 2),
+            jaccard(&a, &b, 2),
+            overlap(&a, &b, 2),
+            token_jaccard(&a, &b),
+            token_containment(&a, &b),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "score {s} for {a:?}/{b:?}");
+        }
+    }
+
+    // ----- q-grams -----
+
+    #[test]
+    fn qgram_profile_size(s in "[a-d]{0,12}", q in 1usize..4) {
+        let p = QgramProfile::new(&s, q);
+        let n = s.chars().count();
+        // Padded length n + 2(q-1) yields n + q - 1 windows.
+        prop_assert_eq!(p.len(), n + q - 1);
+        prop_assert_eq!(p.q(), q);
+    }
+
+    #[test]
+    fn dice_at_least_jaccard(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+        prop_assert!(dice(&a, &b, 2) + 1e-12 >= jaccard(&a, &b, 2));
+    }
+
+    // ----- phonetic -----
+
+    #[test]
+    fn soundex_shape(s in "[A-Za-z]{1,12}") {
+        let code = soundex(&s).expect("alphabetic input encodes");
+        prop_assert_eq!(code.len(), 4);
+        let mut chars = code.chars();
+        prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+        prop_assert!(chars.all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn soundex_case_insensitive(s in "[A-Za-z]{1,12}") {
+        prop_assert_eq!(soundex(&s), soundex(&s.to_lowercase()));
+        prop_assert_eq!(soundex(&s), soundex(&s.to_uppercase()));
+    }
+
+    // ----- normalization -----
+
+    #[test]
+    fn normalize_ws_is_idempotent(s in ".{0,24}") {
+        let once = normalize_ws(&s);
+        prop_assert_eq!(&normalize_ws(&once), &once);
+        prop_assert!(!once.contains("  "));
+    }
+
+    #[test]
+    fn standardize_is_idempotent(s in ".{0,24}") {
+        let once = standardize(&s);
+        prop_assert_eq!(&standardize(&once), &once);
+    }
+
+    #[test]
+    fn digits_only_keeps_digits(s in ".{0,24}") {
+        let d = digits_only(&s);
+        prop_assert!(d.chars().all(|c| c.is_ascii_digit()));
+        let count = s.chars().filter(char::is_ascii_digit).count();
+        prop_assert_eq!(d.len(), count);
+    }
+}

@@ -1,0 +1,104 @@
+//! A tour of MD reasoning: dynamic semantics, deduction vs implication,
+//! the MDClosure trace of Example 4.1, and enforcement to a stable
+//! instance (Figures 2 and 3 of the paper).
+//!
+//! Run with: `cargo run --release --example md_reasoning`
+
+use matchrules::core::deduction::{closure_for, deduces};
+use matchrules::core::operators::OperatorTable;
+use matchrules::core::paper;
+use matchrules::core::parser::parse_md_set;
+use matchrules::core::schema::{Schema, SchemaPair};
+use matchrules::data::enforce::{enforce, is_stable, satisfies};
+use matchrules::data::eval::{paper_registry, RuntimeOps};
+use matchrules::data::fig1;
+use matchrules::data::relation::{InstancePair, Relation};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    example_3_1_deduction_vs_implication()?;
+    example_4_1_closure_trace();
+    figure_2_enforcement()?;
+    Ok(())
+}
+
+/// Example 3.1/3.3: Σ0 = {ψ1, ψ2} deduces ψ3 even though classical
+/// implication fails, and the chase of Figure 3 exhibits the stable
+/// instance D2.
+fn example_3_1_deduction_vs_implication() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Example 3.1: deduction, not implication ==");
+    let r = Arc::new(Schema::text("R", &["A", "B", "C"])?);
+    let pair = SchemaPair::reflexive(r);
+    let mut table = OperatorTable::new();
+    let sigma = parse_md_set(
+        "R[A] = R[A] -> R[B] <=> R[B]\nR[B] = R[B] -> R[C] <=> R[C]\n",
+        &pair,
+        &mut table,
+    )?;
+    let psi3 = parse_md_set("R[A] = R[A] -> R[C] <=> R[C]\n", &pair, &mut table)?.remove(0);
+    println!("  Sigma0 |=m psi3?  {}", deduces(&sigma, &psi3));
+
+    // The chase of Figure 3: D0 -> (enforce ψ1, ψ2) -> stable D2.
+    let ops = RuntimeOps::resolve(&table, &paper_registry())?;
+    let mut i1 = Relation::new(pair.left().clone());
+    i1.push_strs(1, &["a", "b1", "c1"]);
+    let mut i2 = Relation::new(pair.right().clone());
+    i2.push_strs(2, &["a", "b2", "c2"]);
+    let d0 = InstancePair::new(pair, i1, i2);
+    let outcome = enforce(&d0, &sigma, &ops);
+    println!(
+        "  chase: {} merges in {} rounds; result stable: {}",
+        outcome.merges,
+        outcome.rounds,
+        is_stable(&outcome.result, &sigma, &ops)
+    );
+    println!(
+        "  (D0, D2) |= psi3: {}",
+        satisfies(&d0, &outcome.result, &psi3, &ops)
+    );
+    println!("  s1 in D2: {:?}", outcome.result.left().tuples()[0].values());
+    println!("  s2 in D2: {:?}\n", outcome.result.right().tuples()[0].values());
+    Ok(())
+}
+
+/// Example 4.1: the MDClosure run deducing rck4 from Σc, with its trace.
+fn example_4_1_closure_trace() {
+    println!("== Example 4.1: MDClosure deduces rck4 ==");
+    let setting = paper::example_1_1();
+    let rck4 = paper::example_2_4_rcks(&setting).remove(3);
+    let phi = rck4.to_md(&setting.target);
+    println!("  candidate: {}", phi.display(&setting.pair, &setting.ops));
+    let closure = closure_for(&setting.sigma, &phi);
+    println!("  fired MDs (by Σc index, normal-form steps): {:?}", closure.fired());
+    println!("  deduced facts:");
+    for fact in closure.facts() {
+        println!(
+            "    {} {} {}",
+            setting.pair.display_ref(fact.a),
+            setting.ops.name(fact.op),
+            setting.pair.display_ref(fact.b),
+        );
+    }
+    println!("  Sigma_c |=m rck4?  {}\n", deduces(&setting.sigma, &phi));
+}
+
+/// Figure 2: enforcing ϕ2 on the Fig. 1 instance identifies t1[addr] with
+/// t4[post].
+fn figure_2_enforcement() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 2: enforcing phi2 on Fig. 1 ==");
+    let (setting, instance) = fig1::setting_and_instance();
+    let ops = RuntimeOps::resolve(&setting.ops, &paper_registry())?;
+    let phi2 = &setting.sigma[1];
+    println!("  rule: {}", phi2.display(&setting.pair, &setting.ops));
+    let addr = setting.pair.left().attr("addr")?;
+    let post = setting.pair.right().attr("post")?;
+    let before = instance.right().by_id(fig1::ids::T4).unwrap().get(post).clone();
+    let outcome = enforce(&instance, std::slice::from_ref(phi2), &ops);
+    let after = outcome.result.right().by_id(fig1::ids::T4).unwrap().get(post).clone();
+    let t1_addr = outcome.result.left().by_id(fig1::ids::T1).unwrap().get(addr).clone();
+    println!("  t4[post] before: {before}");
+    println!("  t4[post] after:  {after}");
+    println!("  t1[addr] after:  {t1_addr}");
+    println!("  identified: {}", after == t1_addr);
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # matchrules
+//!
+//! A from-scratch Rust implementation of
+//!
+//! > Wenfei Fan, Xibei Jia, Jianzhong Li, Shuai Ma.
+//! > *Reasoning about Record Matching Rules.* VLDB 2009.
+//!
+//! Matching dependencies (MDs) declare, over a pair of possibly different
+//! and unreliable relations, that *if certain attributes are pairwise
+//! similar, certain other attributes identify the same real-world value*.
+//! Reasoning about MDs (the deduction relation `Σ |=m ϕ`, decided by the
+//! MDClosure algorithm) derives **relative candidate keys (RCKs)** — minimal
+//! lists of attributes to compare, and the operators to compare them with —
+//! which improve the quality and efficiency of record matching, blocking
+//! and windowing.
+//!
+//! This facade crate re-exports the four workspace layers:
+//!
+//! * [`core`] (`matchrules-core`) — schemas, MDs, RCKs, MDClosure,
+//!   findRCKs, the axiom system, the MD parser and the paper's settings;
+//! * [`simdist`] (`matchrules-simdist`) — similarity metrics and operators
+//!   (Damerau–Levenshtein, Jaro–Winkler, q-grams, Soundex, …);
+//! * [`data`] (`matchrules-data`) — relations, the dynamic (enforcement)
+//!   semantics, the Fig. 1 instance, and the §6 synthetic-data protocol;
+//! * [`matcher`] (`matchrules-matcher`) — Fellegi–Sunter + EM, Sorted
+//!   Neighborhood, blocking, windowing and quality metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use matchrules::core::{paper, cost::CostModel, rck::find_rcks};
+//!
+//! let setting = paper::example_1_1();
+//! let mut cost = CostModel::uniform();
+//! let rcks = find_rcks(&setting.sigma, &setting.target, 10, &mut cost);
+//! assert!(rcks.keys.len() >= 4);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the harness regenerating every figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use matchrules_core as core;
+pub use matchrules_data as data;
+pub use matchrules_matcher as matcher;
+pub use matchrules_simdist as simdist;

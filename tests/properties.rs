@@ -1,0 +1,381 @@
+//! Property-based tests (proptest) for the cross-crate invariants:
+//! similarity axioms, closure soundness against the executable dynamic
+//! semantics, findRCKs minimality/completeness, and parser round-trips.
+
+use matchrules::core::cost::CostModel;
+use matchrules::core::deduction::deduces;
+use matchrules::core::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
+use matchrules::core::operators::OperatorTable;
+use matchrules::core::parser::parse_md;
+use matchrules::core::rck::{find_rcks, minimize};
+use matchrules::core::relative_key::{RelativeKey, Target};
+use matchrules::core::schema::{Schema, SchemaPair};
+use matchrules::data::enforce::{enforce, is_stable, satisfies};
+use matchrules::data::eval::{paper_registry, RuntimeOps};
+use matchrules::data::mdgen::{generate, MdGenConfig};
+use matchrules::data::relation::{InstancePair, Relation, Tuple};
+use matchrules::data::value::Value;
+use matchrules::simdist::ops::{OpRegistry, SimilarityOp};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Similarity-operator generic axioms (§2.1) on arbitrary inputs.
+// ---------------------------------------------------------------------
+
+fn standard_ops() -> Vec<Arc<dyn SimilarityOp>> {
+    let reg = OpRegistry::standard();
+    reg.names().iter().map(|n| reg.get(n).unwrap().clone()).collect()
+}
+
+proptest! {
+    #[test]
+    fn operators_are_reflexive(s in ".{0,24}") {
+        for op in standard_ops() {
+            prop_assert!(op.matches(&s, &s), "{} not reflexive on {s:?}", op.name());
+        }
+    }
+
+    #[test]
+    fn operators_are_symmetric(a in ".{0,16}", b in ".{0,16}") {
+        for op in standard_ops() {
+            prop_assert_eq!(
+                op.matches(&a, &b),
+                op.matches(&b, &a),
+                "{} not symmetric on {:?}/{:?}", op.name(), &a, &b
+            );
+        }
+    }
+
+    #[test]
+    fn equality_implies_similarity(a in ".{0,16}") {
+        let b = a.clone();
+        for op in standard_ops() {
+            prop_assert!(op.matches(&a, &b), "{} rejects equal values", op.name());
+        }
+    }
+
+    #[test]
+    fn similarity_scores_in_unit_interval(a in ".{0,16}", b in ".{0,16}") {
+        for op in standard_ops() {
+            let s = op.similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{} score {s}", op.name());
+        }
+    }
+
+    #[test]
+    fn edit_distance_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        use matchrules::simdist::edit::levenshtein;
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn damerau_is_at_most_levenshtein(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+        use matchrules::simdist::edit::{damerau_levenshtein, levenshtein};
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deduction: monotonicity, self-deduction, soundness against the chase.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every MD of a generated Σ deduces itself, and deduction is
+    /// monotone under enlarging Σ.
+    #[test]
+    fn deduction_reflexive_and_monotone(seed in 0u64..5000, card in 2usize..20) {
+        let setting = generate(&MdGenConfig::fig8(card, 4, seed));
+        for phi in &setting.sigma {
+            prop_assert!(deduces(&setting.sigma, phi));
+        }
+        let half = &setting.sigma[..setting.sigma.len() / 2];
+        for phi in half {
+            prop_assert!(deduces(half, phi));
+            prop_assert!(deduces(&setting.sigma, phi), "monotonicity violated");
+        }
+    }
+
+    /// Augmenting the LHS of a deduced MD keeps it deduced (Lemma 3.1).
+    #[test]
+    fn deduction_closed_under_augmentation(seed in 0u64..5000, card in 2usize..16) {
+        let setting = generate(&MdGenConfig::fig8(card, 4, seed));
+        let phi = &setting.sigma[0];
+        let mut lhs = phi.lhs().to_vec();
+        lhs.push(SimilarityAtom::eq(0, 0));
+        let stronger =
+            MatchingDependency::new(&setting.pair, lhs, phi.rhs().to_vec()).unwrap();
+        prop_assert!(deduces(&setting.sigma, &stronger));
+    }
+}
+
+/// Builds a small random instance pair over schemas (R1(a0..), R2(b0..))
+/// with values drawn from a tiny alphabet so equalities actually occur.
+fn tiny_instance(
+    pair: &SchemaPair,
+    values: &[u8],
+    rows: usize,
+) -> InstancePair {
+    let arity_l = pair.left().arity();
+    let arity_r = pair.right().arity();
+    let mut left = Relation::new(pair.left().clone());
+    let mut right = Relation::new(pair.right().clone());
+    let mut k = 0usize;
+    let mut next = || {
+        let v = values[k % values.len()];
+        k += 1;
+        Value::str(format!("v{v}"))
+    };
+    for i in 0..rows {
+        left.push(Tuple::new(i as u64, (0..arity_l).map(|_| next()).collect()));
+        right.push(Tuple::new(i as u64, (0..arity_r).map(|_| next()).collect()));
+    }
+    InstancePair::new(pair.clone(), left, right)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Soundness of MDClosure w.r.t. the dynamic semantics: with
+    /// equality-only MDs (where enforcement preserves every LHS), any
+    /// deduced MD holds on (D, enforce(D)) for arbitrary instances.
+    #[test]
+    fn deduced_mds_hold_on_stable_instances(
+        seed in 0u64..2000,
+        card in 1usize..8,
+        values in proptest::collection::vec(0u8..3, 8..40),
+    ) {
+        let mut cfg = MdGenConfig::fig8(card, 3, seed);
+        cfg.arity = 5;
+        cfg.sim_ops = 0; // equality-only Σ
+        let setting = generate(&cfg);
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let d = tiny_instance(&setting.pair, &values, 3);
+        let outcome = enforce(&d, &setting.sigma, &ops);
+        prop_assert!(is_stable(&outcome.result, &setting.sigma, &ops));
+
+        // Candidate MDs: the trivial key and every single-pair projection.
+        let mut candidates = vec![setting.target.trivial_key().to_md(&setting.target)];
+        for i in 0..3usize {
+            candidates.push(
+                MatchingDependency::new(
+                    &setting.pair,
+                    vec![SimilarityAtom::eq(i, i)],
+                    vec![IdentPair::new((i + 1) % 3, (i + 1) % 3)],
+                )
+                .unwrap(),
+            );
+        }
+        for phi in &candidates {
+            if deduces(&setting.sigma, phi) {
+                prop_assert!(
+                    satisfies(&d, &outcome.result, phi, &ops),
+                    "deduced MD violated on a stable instance: {phi:?}"
+                );
+            }
+        }
+    }
+
+    /// The chase is idempotent: enforcing on a stable instance changes
+    /// nothing.
+    #[test]
+    fn chase_is_idempotent(
+        seed in 0u64..2000,
+        card in 1usize..8,
+        values in proptest::collection::vec(0u8..3, 8..40),
+    ) {
+        let mut cfg = MdGenConfig::fig8(card, 3, seed);
+        cfg.arity = 5;
+        cfg.sim_ops = 0;
+        let setting = generate(&cfg);
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let d = tiny_instance(&setting.pair, &values, 3);
+        let first = enforce(&d, &setting.sigma, &ops);
+        let second = enforce(&first.result, &setting.sigma, &ops);
+        prop_assert_eq!(second.merges, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// findRCKs: minimality, completeness, antichain.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every key returned by findRCKs deduces the target and is minimal;
+    /// Γ is an antichain; a complete Γ satisfies Proposition 5.1.
+    #[test]
+    fn find_rcks_invariants(seed in 0u64..2000, card in 1usize..24) {
+        let setting = generate(&MdGenConfig::fig8(card, 5, seed));
+        let mut cost = CostModel::uniform();
+        let outcome = find_rcks(&setting.sigma, &setting.target, 64, &mut cost);
+        prop_assert!(!outcome.keys.is_empty());
+        for key in &outcome.keys {
+            prop_assert!(deduces(&setting.sigma, &key.to_md(&setting.target)));
+            for atom in key.atoms() {
+                let sub = key.without(atom);
+                prop_assert!(
+                    sub.is_empty() || !deduces(&setting.sigma, &sub.to_md(&setting.target))
+                );
+            }
+        }
+        for (i, a) in outcome.keys.iter().enumerate() {
+            for (j, b) in outcome.keys.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.covers(b), "Γ is not an antichain");
+                }
+            }
+        }
+        if outcome.complete {
+            for key in &outcome.keys {
+                for phi in &setting.sigma {
+                    let applied = key.apply(phi);
+                    prop_assert!(
+                        outcome.keys.iter().any(|k| k.covers(&applied)),
+                        "Proposition 5.1 violated"
+                    );
+                }
+            }
+        }
+    }
+
+    /// minimize is sound (result still deduces) and produces a subset of
+    /// the input key.
+    #[test]
+    fn minimize_soundness(seed in 0u64..2000, card in 1usize..16) {
+        let setting = generate(&MdGenConfig::fig8(card, 5, seed));
+        let cost = CostModel::uniform();
+        let trivial = setting.target.trivial_key();
+        let minimized = minimize(trivial.clone(), &setting.sigma, &setting.target, &cost);
+        prop_assert!(deduces(&setting.sigma, &minimized.to_md(&setting.target)));
+        prop_assert!(minimized.covers(&trivial), "minimize must not invent atoms");
+    }
+}
+
+// ---------------------------------------------------------------------
+// RelativeKey algebra.
+// ---------------------------------------------------------------------
+
+fn arb_key() -> impl Strategy<Value = RelativeKey> {
+    proptest::collection::vec((0usize..4, 0usize..4, 0u16..3), 1..6).prop_map(|atoms| {
+        RelativeKey::new(
+            atoms
+                .into_iter()
+                .map(|(l, r, op)| SimilarityAtom::new(l, r, matchrules::core::OperatorId(op)))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn covers_is_a_partial_order(a in arb_key(), b in arb_key(), c in arb_key()) {
+        prop_assert!(a.covers(&a), "reflexive");
+        if a.covers(&b) && b.covers(&c) {
+            prop_assert!(a.covers(&c), "transitive");
+        }
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(&a, &b, "antisymmetric");
+        }
+    }
+
+    #[test]
+    fn without_shrinks_by_one(a in arb_key()) {
+        for atom in a.atoms() {
+            let sub = a.without(atom);
+            prop_assert_eq!(sub.len(), a.len() - 1);
+            prop_assert!(sub.covers(&a));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser round-trip on generated MDs.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_roundtrips_generated_mds(seed in 0u64..5000, card in 1usize..12) {
+        let setting = generate(&MdGenConfig::fig8(card, 4, seed));
+        let mut ops = setting.ops.clone();
+        for md in &setting.sigma {
+            let text = md.display(&setting.pair, &ops).to_string();
+            let reparsed = parse_md(&text, &setting.pair, &mut ops).unwrap();
+            prop_assert_eq!(md, &reparsed, "round-trip failed for {}", text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Union-find invariants.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn union_find_partitions(
+        n in 1usize..40,
+        unions in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+    ) {
+        use matchrules::data::unionfind::UnionFind;
+        let mut uf = UnionFind::new(n);
+        for (a, b) in unions {
+            let (a, b) = (a % n, b % n);
+            uf.union(a, b);
+            prop_assert!(uf.same(a, b));
+        }
+        let groups = uf.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(groups.len(), uf.class_count());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Closure over hand-built chains: a = chain of k MDs reaches the end.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn chained_mds_deduce_transitively(k in 1usize..12) {
+        let names: Vec<String> = (0..=k).map(|i| format!("a{i}")).collect();
+        let schema = Arc::new(
+            Schema::text("R", &names.iter().map(String::as_str).collect::<Vec<_>>()).unwrap(),
+        );
+        let pair = SchemaPair::reflexive(schema);
+        let sigma: Vec<MatchingDependency> = (0..k)
+            .map(|i| {
+                MatchingDependency::new(
+                    &pair,
+                    vec![SimilarityAtom::eq(i, i)],
+                    vec![IdentPair::new(i + 1, i + 1)],
+                )
+                .unwrap()
+            })
+            .collect();
+        let phi = MatchingDependency::new(
+            &pair,
+            vec![SimilarityAtom::eq(0, 0)],
+            vec![IdentPair::new(k, k)],
+        )
+        .unwrap();
+        prop_assert!(deduces(&sigma, &phi));
+        // And the reverse direction is NOT deducible.
+        let rev = MatchingDependency::new(
+            &pair,
+            vec![SimilarityAtom::eq(k, k)],
+            vec![IdentPair::new(0, 0)],
+        )
+        .unwrap();
+        prop_assert!(k == 0 || !deduces(&sigma, &rev));
+        let _ = OperatorTable::new();
+        let _ = Target::new(&pair, vec![0], vec![0]).unwrap();
+    }
+}
