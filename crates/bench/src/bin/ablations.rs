@@ -9,6 +9,7 @@
 //!
 //! Usage: `cargo run --release -p matchrules-bench --bin ablations [quick|paper]`
 
+use matchrules::engine::preset::standard_sort_keys;
 use matchrules_bench::experiments::workload;
 use matchrules_bench::table::Table;
 use matchrules_bench::{time, Scale};
@@ -18,7 +19,6 @@ use matchrules_core::rck::find_rcks;
 use matchrules_data::mdgen::{generate, MdGenConfig};
 use matchrules_matcher::key::KeyMatcher;
 use matchrules_matcher::metrics::evaluate_pairs;
-use matchrules_matcher::pipeline::{standard_sort_keys, top_rcks};
 use matchrules_matcher::sorted_neighborhood::{sorted_neighborhood, SnConfig};
 use std::collections::HashSet;
 
@@ -38,11 +38,11 @@ fn main() {
 fn union_of_keys(k: usize) {
     println!("== Ablation: single RCK vs union of top-k (K = {k}) ==\n");
     let w = workload(k, 0xab1);
-    let rcks = top_rcks(&w.setting, &w.data, 5);
-    let cfg = SnConfig { window: 10, keys: standard_sort_keys(&w.setting) };
+    let rcks = w.engine.plan().rcks();
+    let cfg = SnConfig { window: 10, keys: standard_sort_keys(w.engine.plan().pair()) };
     let mut table = Table::new(&["keys", "precision", "recall", "F1"]);
     for take in 1..=rcks.len() {
-        let matcher = KeyMatcher::new(rcks.iter().take(take), &w.ops);
+        let matcher = KeyMatcher::new(rcks.iter().take(take), w.engine.runtime());
         let out = sorted_neighborhood(&w.data.credit, &w.data.billing, &matcher, &cfg);
         let q = evaluate_pairs(&out.pairs, &w.data.truth);
         table.row(vec![
@@ -62,8 +62,7 @@ fn union_of_keys(k: usize) {
 fn cost_weights(_k: usize) {
     println!("== Ablation: cost-model weights (generated Σ, card = 120, m = 12) ==\n");
     let setting = generate(&MdGenConfig::fig8(120, 10, 0xab2));
-    let mut table =
-        Table::new(&["weights (w1,w2,w3)", "distinct pairs", "max pair reuse"]);
+    let mut table = Table::new(&["weights (w1,w2,w3)", "distinct pairs", "max pair reuse"]);
     for (label, mut cost) in [
         ("1,1,1 (uniform)", CostModel::uniform()),
         ("0,1,1 (no diversity)", CostModel::new(0.0, 1.0, 1.0)),
@@ -79,11 +78,7 @@ fn cost_weights(_k: usize) {
         }
         let pairs: HashSet<(usize, usize)> = reuse.keys().copied().collect();
         let max_reuse = reuse.values().copied().max().unwrap_or(0);
-        table.row(vec![
-            label.to_owned(),
-            pairs.len().to_string(),
-            max_reuse.to_string(),
-        ]);
+        table.row(vec![label.to_owned(), pairs.len().to_string(), max_reuse.to_string()]);
     }
     println!("{}", table.render());
     println!("Expected: with w1 > 0 keys spread over more pairs (lower max reuse)\n");
@@ -93,11 +88,11 @@ fn cost_weights(_k: usize) {
 fn window_size(k: usize) {
     println!("== Ablation: window size (K = {k}) ==\n");
     let w = workload(k, 0xab3);
-    let rcks = top_rcks(&w.setting, &w.data, 5);
+    let rcks = w.engine.plan().rcks();
     let mut table = Table::new(&["window", "comparisons", "precision", "recall"]);
     for window in [2usize, 5, 10, 20, 40] {
-        let cfg = SnConfig { window, keys: standard_sort_keys(&w.setting) };
-        let matcher = KeyMatcher::new(rcks.iter(), &w.ops);
+        let cfg = SnConfig { window, keys: standard_sort_keys(w.engine.plan().pair()) };
+        let matcher = KeyMatcher::new(rcks.iter(), w.engine.runtime());
         let out = sorted_neighborhood(&w.data.credit, &w.data.billing, &matcher, &cfg);
         let q = evaluate_pairs(&out.pairs, &w.data.truth);
         table.row(vec![
@@ -125,8 +120,7 @@ fn closure_index(scale: Scale) {
         Scale::Paper => &[500, 1000, 2000, 4000],
         Scale::Quick => &[250, 500, 1000, 2000],
     };
-    let mut table =
-        Table::new(&["workload", "card(Sigma)", "indexed (s)", "naive (s)", "speedup"]);
+    let mut table = Table::new(&["workload", "card(Sigma)", "indexed (s)", "naive (s)", "speedup"]);
     for &n in sizes {
         // Deep chain.
         let chain = chain_sigma(n);

@@ -16,11 +16,11 @@ fn main() {
     };
     println!("Exp-4 — windowing with vs without RCK sort keys (window = 10)\n");
     let mut rows: Vec<(usize, ReductionRow, ReductionRow)> = Vec::with_capacity(ks.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ks
             .iter()
             .map(|&k| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let w = workload(k, 0xe4 + k as u64);
                     let (manual, rck) = exp4_windowing(&w);
                     (k, manual, rck)
@@ -30,12 +30,10 @@ fn main() {
         for h in handles {
             rows.push(h.join().expect("experiment thread"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     rows.sort_by_key(|r| r.0);
 
-    let mut table =
-        Table::new(&["K", "manual PC", "RCK PC", "manual RR", "RCK RR"]);
+    let mut table = Table::new(&["K", "manual PC", "RCK PC", "manual RR", "RCK RR"]);
     for (k, manual, rck) in rows {
         table.row(vec![
             k.to_string(),

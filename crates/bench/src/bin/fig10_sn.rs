@@ -15,11 +15,11 @@ fn main() {
     };
     println!("Fig. 10(a-c) — Sorted Neighborhood with vs without RCKs\n");
     let mut rows: Vec<(usize, MethodRow, MethodRow)> = Vec::with_capacity(ks.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ks
             .iter()
             .map(|&k| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let w = workload(k, 0x105 + k as u64);
                     let (sn, sn_rck) = fig10_sn(&w);
                     (k, sn, sn_rck)
@@ -29,13 +29,11 @@ fn main() {
         for h in handles {
             rows.push(h.join().expect("experiment thread"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     rows.sort_by_key(|r| r.0);
 
-    let mut table = Table::new(&[
-        "K", "SN prec", "SNrck prec", "SN rec", "SNrck rec", "SN sec", "SNrck sec",
-    ]);
+    let mut table =
+        Table::new(&["K", "SN prec", "SNrck prec", "SN rec", "SNrck rec", "SN sec", "SNrck sec"]);
     for (k, sn, rck) in rows {
         table.row(vec![
             k.to_string(),

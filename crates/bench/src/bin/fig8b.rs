@@ -16,9 +16,8 @@ fn main() {
         Scale::Quick => (600, vec![5, 15, 25], vec![6, 10]),
     };
     println!("Fig. 8(b) — findRCKs runtime (seconds) vs m, card(Sigma) = {card}\n");
-    let header: Vec<String> = std::iter::once("m".to_owned())
-        .chain(y_lens.iter().map(|y| format!("|Y|={y}")))
-        .collect();
+    let header: Vec<String> =
+        std::iter::once("m".to_owned()).chain(y_lens.iter().map(|y| format!("|Y|={y}"))).collect();
     let mut table = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for &m in &ms {
         let mut cells = vec![m.to_string()];

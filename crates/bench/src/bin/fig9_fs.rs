@@ -3,7 +3,7 @@
 //! (FSrck).
 //!
 //! K sweeps the paper's 10k..80k at `paper` scale. Points are computed in
-//! parallel with crossbeam scoped threads.
+//! parallel with std scoped threads.
 //!
 //! Usage: `cargo run --release -p matchrules-bench --bin fig9_fs [quick|paper]`
 
@@ -19,11 +19,11 @@ fn main() {
     };
     println!("Fig. 9(a-c) — Fellegi-Sunter with vs without RCKs\n");
     let mut rows: Vec<(usize, MethodRow, MethodRow)> = Vec::with_capacity(ks.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ks
             .iter()
             .map(|&k| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let w = workload(k, 0x9f5 + k as u64);
                     let (fs, fs_rck) = fig9_fs(&w);
                     (k, fs, fs_rck)
@@ -33,13 +33,11 @@ fn main() {
         for h in handles {
             rows.push(h.join().expect("experiment thread"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     rows.sort_by_key(|r| r.0);
 
-    let mut table = Table::new(&[
-        "K", "FS prec", "FSrck prec", "FS rec", "FSrck rec", "FS sec", "FSrck sec",
-    ]);
+    let mut table =
+        Table::new(&["K", "FS prec", "FSrck prec", "FS rec", "FSrck rec", "FS sec", "FSrck sec"]);
     for (k, fs, rck) in rows {
         table.row(vec![
             k.to_string(),

@@ -16,11 +16,11 @@ fn main() {
     };
     println!("Fig. 9(d)/10(d) — blocking with vs without RCK keys\n");
     let mut rows: Vec<(usize, ReductionRow, ReductionRow)> = Vec::with_capacity(ks.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = ks
             .iter()
             .map(|&k| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let w = workload(k, 0x9d + k as u64);
                     let (manual, rck) = fig9d_10d_blocking(&w);
                     (k, manual, rck)
@@ -30,12 +30,10 @@ fn main() {
         for h in handles {
             rows.push(h.join().expect("experiment thread"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     rows.sort_by_key(|r| r.0);
 
-    let mut table =
-        Table::new(&["K", "manual PC", "RCK PC", "manual RR", "RCK RR"]);
+    let mut table = Table::new(&["K", "manual PC", "RCK PC", "manual RR", "RCK RR"]);
     for (k, manual, rck) in rows {
         table.row(vec![
             k.to_string(),

@@ -3,12 +3,17 @@
 //! Every figure of the paper maps to one function here; the `fig*` binaries
 //! sweep the paper's parameter ranges and print the series, the criterion
 //! benches sample reduced points. See DESIGN.md §2 for the index.
+//!
+//! Workloads run through the schema-agnostic engine API: the `Extended`
+//! preset is compiled once into a `MatchPlan` (with data-calibrated cost
+//! statistics) and the experiments read its RCKs, derived keys and resolved
+//! operators — no `PaperSetting` internals, no hardcoded attribute names.
 
+use matchrules::engine::preset::{manual_block_key, standard_sort_keys};
+use matchrules::engine::{MatchEngine, Preset};
 use matchrules_core::cost::CostModel;
-use matchrules_core::paper::{self, PaperSetting};
 use matchrules_core::rck::find_rcks;
 use matchrules_data::dirty::{generate_dirty, DirtyData, NoiseConfig};
-use matchrules_data::eval::{paper_registry, RuntimeOps};
 use matchrules_data::mdgen::{generate, MdGenConfig};
 use matchrules_matcher::blocking::block_candidates;
 use matchrules_matcher::fellegi_sunter::{
@@ -16,9 +21,6 @@ use matchrules_matcher::fellegi_sunter::{
 };
 use matchrules_matcher::key::KeyMatcher;
 use matchrules_matcher::metrics::{evaluate_pairs, BlockingQuality, MatchQuality};
-use matchrules_matcher::pipeline::{
-    manual_block_key, rck_block_key, rck_sort_keys, standard_sort_keys, top_rcks,
-};
 use matchrules_matcher::rules::hernandez_stolfo_25;
 use matchrules_matcher::sorted_neighborhood::{sorted_neighborhood, SnConfig};
 use matchrules_matcher::windowing::multi_pass_window;
@@ -47,23 +49,36 @@ pub fn fig8c_total_rcks(card: usize, y_len: usize, seed: u64) -> usize {
     outcome.keys.len()
 }
 
-/// A prepared §6 matching workload: dirty data plus resolved operators.
+/// A prepared §6 matching workload: dirty data plus the compiled engine.
 pub struct Workload {
-    /// The evaluation setting (schemas, MDs, target).
-    pub setting: PaperSetting,
+    /// The compiled, data-calibrated match engine over the `Extended`
+    /// preset (top-5 RCKs, the paper's union size).
+    pub engine: MatchEngine,
     /// Generated instances + truth.
     pub data: DirtyData,
-    /// Resolved operator bindings.
-    pub ops: RuntimeOps,
 }
 
-/// Builds the §6 workload for `k` base tuples per relation.
+/// Builds the §6 workload for `k` base tuples per relation: generate the
+/// dirty data over the preset's schemas, then compile the plan with `lt`
+/// statistics measured on that data.
 pub fn workload(k: usize, seed: u64) -> Workload {
-    let setting = paper::extended();
-    let data = generate_dirty(&setting, k, &NoiseConfig { seed, ..Default::default() });
-    let ops = RuntimeOps::resolve(&setting.ops, &paper_registry())
-        .expect("paper registry covers the setting's operators");
-    Workload { setting, data, ops }
+    // Shape-only compile: top_k(0) skips the RCK enumeration, we only
+    // need the preset's schema pair and target to generate data.
+    let shape = Preset::Extended.builder().top_k(0).compile().expect("preset compiles");
+    let data = generate_dirty(
+        shape.pair(),
+        shape.target(),
+        k,
+        &NoiseConfig { seed, ..Default::default() },
+    );
+    let engine = Preset::Extended
+        .builder()
+        .top_k(5)
+        .window(WINDOW)
+        .statistics_from(&data.credit, &data.billing)
+        .build()
+        .expect("preset engine builds");
+    Workload { engine, data }
 }
 
 /// One method's quality and runtime at one K.
@@ -74,8 +89,7 @@ pub struct MethodRow {
     /// Recall in `\[0, 1\]`.
     pub recall: f64,
     /// Wall-clock seconds for the matching phase (excludes data
-    /// generation, includes key derivation/fitting — the "compile time" the
-    /// paper attributes to the tools).
+    /// generation and plan compilation, includes model fitting).
     pub seconds: f64,
 }
 
@@ -88,7 +102,9 @@ impl MethodRow {
 /// Fig. 9(a–c) point: Fellegi–Sunter with the EM-picked equality vector
 /// (`FS`) vs the top-5-RCK vector (`FSrck`).
 pub fn fig9_fs(w: &Workload) -> (MethodRow, MethodRow) {
-    let keys = standard_sort_keys(&w.setting);
+    let plan = w.engine.plan();
+    let ops = w.engine.runtime();
+    let keys = standard_sort_keys(plan.pair());
     let cfg = FsConfig::default();
 
     let start = std::time::Instant::now();
@@ -97,28 +113,27 @@ pub fn fig9_fs(w: &Workload) -> (MethodRow, MethodRow) {
 
     let start = std::time::Instant::now();
     let base = FsMatcher::fit(
-        equality_comparison_vector(&w.setting.target),
+        equality_comparison_vector(plan.target()),
         &w.data.credit,
         &w.data.billing,
         &candidates,
-        &w.ops,
+        ops,
         &cfg,
     );
-    let base_pairs = base.classify(&w.data.credit, &w.data.billing, &candidates, &w.ops);
+    let base_pairs = base.classify(&w.data.credit, &w.data.billing, &candidates, ops);
     let base_secs = candidate_secs + start.elapsed().as_secs_f64();
     let base_q = evaluate_pairs(&base_pairs, &w.data.truth);
 
     let start = std::time::Instant::now();
-    let rcks = top_rcks(&w.setting, &w.data, 5);
     let rck = FsMatcher::fit(
-        rck_comparison_vector(&rcks),
+        rck_comparison_vector(plan.rcks()),
         &w.data.credit,
         &w.data.billing,
         &candidates,
-        &w.ops,
+        ops,
         &cfg,
     );
-    let rck_pairs = rck.classify(&w.data.credit, &w.data.billing, &candidates, &w.ops);
+    let rck_pairs = rck.classify(&w.data.credit, &w.data.billing, &candidates, ops);
     let rck_secs = candidate_secs + start.elapsed().as_secs_f64();
     let rck_q = evaluate_pairs(&rck_pairs, &w.data.truth);
 
@@ -128,18 +143,20 @@ pub fn fig9_fs(w: &Workload) -> (MethodRow, MethodRow) {
 /// Fig. 10(a–c) point: Sorted Neighborhood with the 25 hand rules (`SN`)
 /// vs the top-5 RCK rule set (`SNrck`).
 pub fn fig10_sn(w: &Workload) -> (MethodRow, MethodRow) {
-    let cfg = SnConfig { window: WINDOW, keys: standard_sort_keys(&w.setting) };
+    let plan = w.engine.plan();
+    let ops = w.engine.runtime();
+    let cfg = SnConfig { window: WINDOW, keys: standard_sort_keys(plan.pair()) };
 
-    let rules25 = hernandez_stolfo_25(&w.setting);
+    let dl = plan.ops().get("≈d").expect("preset interns ≈d");
+    let rules25 = hernandez_stolfo_25(plan.pair(), dl);
     let start = std::time::Instant::now();
-    let matcher = KeyMatcher::new(rules25.iter(), &w.ops);
+    let matcher = KeyMatcher::new(rules25.iter(), ops);
     let base_out = sorted_neighborhood(&w.data.credit, &w.data.billing, &matcher, &cfg);
     let base_secs = start.elapsed().as_secs_f64();
     let base_q = evaluate_pairs(&base_out.pairs, &w.data.truth);
 
     let start = std::time::Instant::now();
-    let rcks = top_rcks(&w.setting, &w.data, 5);
-    let matcher = KeyMatcher::new(rcks.iter(), &w.ops);
+    let matcher = KeyMatcher::new(plan.rcks().iter(), ops);
     let rck_out = sorted_neighborhood(&w.data.credit, &w.data.billing, &matcher, &cfg);
     let rck_secs = start.elapsed().as_secs_f64();
     let rck_q = evaluate_pairs(&rck_out.pairs, &w.data.truth);
@@ -156,14 +173,14 @@ pub struct ReductionRow {
     pub rr: f64,
 }
 
-/// Fig. 9(d)/10(d) point: blocking with an RCK-derived key vs the manual
-/// key (both three attributes, name Soundex-encoded).
+/// Fig. 9(d)/10(d) point: blocking with the plan's RCK-derived key vs the
+/// manual key (both three attributes, name Soundex-encoded).
 pub fn fig9d_10d_blocking(w: &Workload) -> (ReductionRow, ReductionRow) {
-    let rcks = top_rcks(&w.setting, &w.data, 5);
-    let rck_key = rck_block_key(&w.setting, &rcks);
-    let manual_key = manual_block_key(&w.setting);
+    let plan = w.engine.plan();
+    let rck_key = plan.block_key().expect("preset plan has keys");
+    let manual_key = manual_block_key(plan.pair());
     let rck_q = BlockingQuality::from_candidates(
-        block_candidates(&w.data.credit, &w.data.billing, &rck_key),
+        block_candidates(&w.data.credit, &w.data.billing, rck_key),
         &w.data.truth,
     );
     let manual_q = BlockingQuality::from_candidates(
@@ -179,11 +196,10 @@ pub fn fig9d_10d_blocking(w: &Workload) -> (ReductionRow, ReductionRow) {
 /// Exp-4 windowing point: PC/RR of window candidates under manual vs
 /// RCK-derived sort keys.
 pub fn exp4_windowing(w: &Workload) -> (ReductionRow, ReductionRow) {
-    let rcks = top_rcks(&w.setting, &w.data, 5);
-    let rck_keys = rck_sort_keys(&w.setting, &rcks);
-    let manual_keys = vec![manual_block_key(&w.setting)];
+    let plan = w.engine.plan();
+    let manual_keys = vec![manual_block_key(plan.pair())];
     let rck_q = BlockingQuality::from_candidates(
-        multi_pass_window(&w.data.credit, &w.data.billing, &rck_keys, WINDOW),
+        w.engine.window(&w.data.credit, &w.data.billing).expect("plan has sort keys"),
         &w.data.truth,
     );
     let manual_q = BlockingQuality::from_candidates(
@@ -221,5 +237,15 @@ mod tests {
         let (wm, wr) = exp4_windowing(&w);
         assert!(wr.pc >= wm.pc - 0.05);
         assert!(wm.rr > 0.5 && wr.rr > 0.5);
+    }
+
+    #[test]
+    fn engine_report_matches_on_the_workload() {
+        let w = workload(150, 9);
+        let report = w.engine.match_pairs(&w.data.credit, &w.data.billing).unwrap();
+        let q = report.score(&w.data.truth);
+        assert!(q.precision() >= 0.9, "engine precision {}", q.precision());
+        assert!(q.recall() >= 0.5, "engine recall {}", q.recall());
+        assert!(report.reduction_ratio() > 0.5);
     }
 }

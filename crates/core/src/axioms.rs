@@ -52,13 +52,7 @@ pub fn strengthen_guard(
     let lhs: Vec<SimilarityAtom> = phi
         .lhs()
         .iter()
-        .map(|a| {
-            if a == atom {
-                SimilarityAtom::eq(a.left, a.right)
-            } else {
-                *a
-            }
-        })
+        .map(|a| if a == atom { SimilarityAtom::eq(a.left, a.right) } else { *a })
         .collect();
     Some(MatchingDependency::new_unchecked(lhs, phi.rhs().to_vec()))
 }
@@ -125,11 +119,7 @@ mod tests {
         (SchemaPair::new(r1, r2), OperatorTable::new())
     }
 
-    fn md(
-        pair: &SchemaPair,
-        lhs: Vec<SimilarityAtom>,
-        rhs: Vec<IdentPair>,
-    ) -> MatchingDependency {
+    fn md(pair: &SchemaPair, lhs: Vec<SimilarityAtom>, rhs: Vec<IdentPair>) -> MatchingDependency {
         MatchingDependency::new(pair, lhs, rhs).unwrap()
     }
 

@@ -180,9 +180,8 @@ impl Closure {
                 if applied[ri] {
                     continue;
                 }
-                let lhs_holds = rule.lhs.iter().all(|atom| {
-                    engine.m.holds(atom.left, atom.right, atom.op)
-                });
+                let lhs_holds =
+                    rule.lhs.iter().all(|atom| engine.m.holds(atom.left, atom.right, atom.op));
                 if !lhs_holds {
                     continue;
                 }
@@ -513,8 +512,7 @@ mod tests {
             md(&pair, vec![SimilarityAtom::eq(a, a)], vec![IdentPair::new(b, b)]),
             md(&pair, vec![SimilarityAtom::eq(b, b)], vec![IdentPair::new(c, c)]),
         ];
-        let closure =
-            Closure::compute(&sigma, &[SimilarityAtom::eq(a, a)], &[]);
+        let closure = Closure::compute(&sigma, &[SimilarityAtom::eq(a, a)], &[]);
         assert!(closure.holds(b, b, OperatorId::EQ));
         assert!(closure.holds(c, c, OperatorId::EQ));
         assert_eq!(closure.fired(), &[0, 1]);
@@ -523,11 +521,7 @@ mod tests {
     #[test]
     fn no_firing_without_lhs() {
         let pair = abc_pair();
-        let sigma = vec![md(
-            &pair,
-            vec![SimilarityAtom::eq(0, 0)],
-            vec![IdentPair::new(1, 1)],
-        )];
+        let sigma = vec![md(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(1, 1)])];
         let closure = Closure::compute(&sigma, &[SimilarityAtom::eq(2, 2)], &[]);
         assert!(!closure.holds(1, 1, OperatorId::EQ));
         assert!(closure.fired().is_empty());
@@ -540,11 +534,8 @@ mod tests {
         let pair = abc_pair();
         let mut ops = OperatorTable::new();
         let dl = ops.intern("≈dl");
-        let sigma = vec![md(
-            &pair,
-            vec![SimilarityAtom::new(0, 0, dl)],
-            vec![IdentPair::new(1, 1)],
-        )];
+        let sigma =
+            vec![md(&pair, vec![SimilarityAtom::new(0, 0, dl)], vec![IdentPair::new(1, 1)])];
         let closure = Closure::compute(&sigma, &[SimilarityAtom::eq(0, 0)], &[]);
         assert!(closure.holds(1, 1, OperatorId::EQ));
     }
@@ -556,11 +547,7 @@ mod tests {
         let pair = abc_pair();
         let mut ops = OperatorTable::new();
         let dl = ops.intern("≈dl");
-        let sigma = vec![md(
-            &pair,
-            vec![SimilarityAtom::eq(0, 0)],
-            vec![IdentPair::new(1, 1)],
-        )];
+        let sigma = vec![md(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(1, 1)])];
         let closure = Closure::compute(&sigma, &[SimilarityAtom::new(0, 0, dl)], &[]);
         assert!(!closure.holds(1, 1, OperatorId::EQ));
         assert!(closure.holds(0, 0, dl));

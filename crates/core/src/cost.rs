@@ -74,10 +74,7 @@ impl CostModel {
     ///
     /// Panics if `accuracy` is not in `(0, 1]` or `avg_len` is negative.
     pub fn set_stats(&mut self, left: AttrId, right: AttrId, stats: PairStats) {
-        assert!(
-            stats.accuracy > 0.0 && stats.accuracy <= 1.0,
-            "accuracy must be in (0, 1]"
-        );
+        assert!(stats.accuracy > 0.0 && stats.accuracy <= 1.0, "accuracy must be in (0, 1]");
         assert!(stats.avg_len >= 0.0, "avg_len must be non-negative");
         self.stats.insert((left, right), stats);
     }

@@ -40,11 +40,8 @@ pub fn deduces(sigma: &[MatchingDependency], phi: &MatchingDependency) -> bool {
 /// Computes the closure of Σ and LHS(ϕ), with ϕ's RHS attributes forced into
 /// the universe so they can be queried (used by traces and diagnostics).
 pub fn closure_for(sigma: &[MatchingDependency], phi: &MatchingDependency) -> Closure {
-    let extra: Vec<AttrRef> = phi
-        .rhs()
-        .iter()
-        .flat_map(|p| [AttrRef::left(p.left), AttrRef::right(p.right)])
-        .collect();
+    let extra: Vec<AttrRef> =
+        phi.rhs().iter().flat_map(|p| [AttrRef::left(p.left), AttrRef::right(p.right)]).collect();
     Closure::compute(sigma, phi.lhs(), &extra)
 }
 

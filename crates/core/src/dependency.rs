@@ -76,11 +76,7 @@ pub struct MatchingDependency {
 impl MatchingDependency {
     /// Builds an MD, validating comparability against the schema pair and
     /// canonicalizing both sides.
-    pub fn new(
-        pair: &SchemaPair,
-        lhs: Vec<SimilarityAtom>,
-        rhs: Vec<IdentPair>,
-    ) -> Result<Self> {
+    pub fn new(pair: &SchemaPair, lhs: Vec<SimilarityAtom>, rhs: Vec<IdentPair>) -> Result<Self> {
         if lhs.is_empty() || rhs.is_empty() {
             return Err(CoreError::EmptyDependency);
         }
@@ -104,10 +100,7 @@ impl MatchingDependency {
 
     /// Builds an MD from already-validated parts (used internally where the
     /// atoms are known to come from a validated MD).
-    pub(crate) fn new_unchecked(
-        mut lhs: Vec<SimilarityAtom>,
-        mut rhs: Vec<IdentPair>,
-    ) -> Self {
+    pub(crate) fn new_unchecked(mut lhs: Vec<SimilarityAtom>, mut rhs: Vec<IdentPair>) -> Self {
         lhs.sort_unstable();
         lhs.dedup();
         rhs.sort_unstable();
@@ -157,11 +150,7 @@ impl MatchingDependency {
     }
 
     /// Pretty-printer bound to naming context.
-    pub fn display<'a>(
-        &'a self,
-        pair: &'a SchemaPair,
-        ops: &'a OperatorTable,
-    ) -> MdDisplay<'a> {
+    pub fn display<'a>(&'a self, pair: &'a SchemaPair, ops: &'a OperatorTable) -> MdDisplay<'a> {
         MdDisplay { md: self, pair, ops }
     }
 }
@@ -217,12 +206,10 @@ mod tests {
     use std::sync::Arc;
 
     fn pair() -> SchemaPair {
-        let credit = Arc::new(
-            Schema::text("credit", &["c#", "FN", "LN", "addr", "tel", "email"]).unwrap(),
-        );
-        let billing = Arc::new(
-            Schema::text("billing", &["c#", "FN", "LN", "post", "phn", "email"]).unwrap(),
-        );
+        let credit =
+            Arc::new(Schema::text("credit", &["c#", "FN", "LN", "addr", "tel", "email"]).unwrap());
+        let billing =
+            Arc::new(Schema::text("billing", &["c#", "FN", "LN", "post", "phn", "email"]).unwrap());
         SchemaPair::new(credit, billing)
     }
 

@@ -75,10 +75,7 @@ impl FunctionalDependency {
 /// Computes the attribute closure `X⁺` under Σ with the linear-time
 /// counter algorithm of Beeri & Bernstein (the structure our MDClosure's
 /// rule index generalizes).
-pub fn attribute_closure(
-    attrs: &AttrSet,
-    sigma: &[FunctionalDependency],
-) -> AttrSet {
+pub fn attribute_closure(attrs: &AttrSet, sigma: &[FunctionalDependency]) -> AttrSet {
     let mut closure = attrs.clone();
     // Counters of unsatisfied LHS attributes per FD; work queue of newly
     // added attributes.
@@ -187,10 +184,10 @@ pub mod armstrong {
         first: &FunctionalDependency,
         second: &FunctionalDependency,
     ) -> Option<FunctionalDependency> {
-        second.lhs.is_subset(&first.rhs).then(|| FunctionalDependency {
-            lhs: first.lhs.clone(),
-            rhs: second.rhs.clone(),
-        })
+        second
+            .lhs
+            .is_subset(&first.rhs)
+            .then(|| FunctionalDependency { lhs: first.lhs.clone(), rhs: second.rhs.clone() })
     }
 }
 
@@ -238,10 +235,18 @@ mod tests {
 
         let pair = SchemaPair::reflexive(s);
         let sigma0 = vec![
-            MatchingDependency::new(&pair, vec![SimilarityAtom::eq(0, 0)], vec![IdentPair::new(1, 1)])
-                .unwrap(),
-            MatchingDependency::new(&pair, vec![SimilarityAtom::eq(1, 1)], vec![IdentPair::new(2, 2)])
-                .unwrap(),
+            MatchingDependency::new(
+                &pair,
+                vec![SimilarityAtom::eq(0, 0)],
+                vec![IdentPair::new(1, 1)],
+            )
+            .unwrap(),
+            MatchingDependency::new(
+                &pair,
+                vec![SimilarityAtom::eq(1, 1)],
+                vec![IdentPair::new(2, 2)],
+            )
+            .unwrap(),
         ];
         let psi3 = MatchingDependency::new(
             &pair,
@@ -255,8 +260,7 @@ mod tests {
     #[test]
     fn empty_lhs_fds_are_constants() {
         let s = abc();
-        let sigma =
-            vec![FunctionalDependency::new(&s, [], [1]).unwrap()];
+        let sigma = vec![FunctionalDependency::new(&s, [], [1]).unwrap()];
         let empty: AttrSet = AttrSet::new();
         let closure = attribute_closure(&empty, &sigma);
         assert!(closure.contains(&1));
@@ -275,10 +279,7 @@ mod tests {
     #[test]
     fn invalid_fds_rejected() {
         let s = abc();
-        assert!(matches!(
-            FunctionalDependency::new(&s, [0], []),
-            Err(CoreError::EmptyDependency)
-        ));
+        assert!(matches!(FunctionalDependency::new(&s, [0], []), Err(CoreError::EmptyDependency)));
         assert!(FunctionalDependency::new(&s, [9], [0]).is_err());
         assert!(FunctionalDependency::named(&s, &["A"], &["nope"]).is_err());
     }

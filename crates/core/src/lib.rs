@@ -75,4 +75,4 @@ pub use error::{CoreError, Result};
 pub use operators::{OperatorId, OperatorTable};
 pub use rck::{find_rcks, RckOutcome};
 pub use relative_key::{RelativeKey, Target};
-pub use schema::{AttrId, AttrRef, Attribute, Domain, Schema, SchemaPair, Side};
+pub use schema::{AttrId, AttrKind, AttrRef, Attribute, Domain, Schema, SchemaPair, Side};

@@ -143,10 +143,7 @@ mod tests {
     #[test]
     fn empty_rules_rejected() {
         let p = pair();
-        assert!(matches!(
-            NegativeRule::new(&p, "x", vec![]),
-            Err(CoreError::EmptyDependency)
-        ));
+        assert!(matches!(NegativeRule::new(&p, "x", vec![]), Err(CoreError::EmptyDependency)));
     }
 
     #[test]

@@ -12,8 +12,38 @@ use crate::dependency::{IdentPair, MatchingDependency, SimilarityAtom};
 use crate::operators::{OperatorId, OperatorTable};
 use crate::parser::parse_md_set;
 use crate::relative_key::Target;
-use crate::schema::{Schema, SchemaPair};
+use crate::schema::{AttrKind, Schema, SchemaPair};
 use std::sync::Arc;
+
+/// The kind metadata of the paper's attribute names — the *only* place the
+/// system maps hardcoded names to semantics. Everything downstream
+/// (sort/block-key encodings, the noise model's error ladder) dispatches on
+/// [`AttrKind`], so user schemas get the same machinery by declaring kinds
+/// instead of imitating the paper's names.
+fn paper_kind(name: &str) -> AttrKind {
+    match name {
+        "FN" | "MN" => AttrKind::GivenName,
+        "LN" => AttrKind::Surname,
+        "street" | "addr" | "post" => AttrKind::Street,
+        "city" => AttrKind::City,
+        "county" => AttrKind::County,
+        "state" | "ship_state" => AttrKind::State,
+        "zip" | "ship_zip" => AttrKind::Zip,
+        "tel" | "phn" => AttrKind::Phone,
+        "email" => AttrKind::Email,
+        "gender" => AttrKind::Gender,
+        "c#" | "SSN" => AttrKind::Id,
+        "order_date" => AttrKind::Date,
+        "price" => AttrKind::Money,
+        _ => AttrKind::FreeText,
+    }
+}
+
+/// Builds one of the paper's schemas with kind metadata attached.
+fn paper_schema(name: &str, attrs: &[&str]) -> Arc<Schema> {
+    let kinded: Vec<(&str, AttrKind)> = attrs.iter().map(|&a| (a, paper_kind(a))).collect();
+    Arc::new(Schema::kinded(name, &kinded).expect("static schema"))
+}
 
 /// A bundled reasoning setting: schemas, operators, MDs and the target
 /// lists the paper matches on.
@@ -40,19 +70,13 @@ pub struct PaperSetting {
 ///
 /// with Σc of Example 2.1 and `Yc/Yb = [FN, LN, addr|post, tel|phn, gender]`.
 pub fn example_1_1() -> PaperSetting {
-    let credit = Arc::new(
-        Schema::text(
-            "credit",
-            &["c#", "SSN", "FN", "LN", "addr", "tel", "email", "gender", "type"],
-        )
-        .expect("static schema"),
+    let credit = paper_schema(
+        "credit",
+        &["c#", "SSN", "FN", "LN", "addr", "tel", "email", "gender", "type"],
     );
-    let billing = Arc::new(
-        Schema::text(
-            "billing",
-            &["c#", "FN", "LN", "post", "phn", "email", "gender", "item", "price"],
-        )
-        .expect("static schema"),
+    let billing = paper_schema(
+        "billing",
+        &["c#", "FN", "LN", "post", "phn", "email", "gender", "item", "price"],
     );
     let pair = SchemaPair::new(credit, billing);
     let mut ops = OperatorTable::new();
@@ -111,26 +135,38 @@ pub fn example_2_4_rcks(setting: &PaperSetting) -> Vec<crate::relative_key::Rela
 /// `billing` (21 attributes) schemas, 11-attribute identity lists, and 7
 /// simple MDs specifying matching rules for card holders.
 pub fn extended() -> PaperSetting {
-    let credit = Arc::new(
-        Schema::text(
-            "credit",
-            &[
-                "c#", "SSN", "FN", "MN", "LN", "street", "city", "county", "state", "zip",
-                "tel", "email", "gender",
-            ],
-        )
-        .expect("static schema"),
+    let credit = paper_schema(
+        "credit",
+        &[
+            "c#", "SSN", "FN", "MN", "LN", "street", "city", "county", "state", "zip", "tel",
+            "email", "gender",
+        ],
     );
-    let billing = Arc::new(
-        Schema::text(
-            "billing",
-            &[
-                "c#", "FN", "MN", "LN", "street", "city", "county", "state", "zip", "phn",
-                "email", "gender", "item", "category", "price", "qty", "order_date",
-                "ship_state", "ship_zip", "store", "payment",
-            ],
-        )
-        .expect("static schema"),
+    let billing = paper_schema(
+        "billing",
+        &[
+            "c#",
+            "FN",
+            "MN",
+            "LN",
+            "street",
+            "city",
+            "county",
+            "state",
+            "zip",
+            "phn",
+            "email",
+            "gender",
+            "item",
+            "category",
+            "price",
+            "qty",
+            "order_date",
+            "ship_state",
+            "ship_zip",
+            "store",
+            "payment",
+        ],
     );
     assert_eq!(credit.arity(), 13);
     assert_eq!(billing.arity(), 21);
@@ -195,11 +231,7 @@ mod tests {
     fn example_2_4_keys_are_deduced_keys() {
         let s = example_1_1();
         for (i, key) in example_2_4_rcks(&s).iter().enumerate() {
-            assert!(
-                deduces(&s.sigma, &key.to_md(&s.target)),
-                "rck{} not deduced",
-                i + 1
-            );
+            assert!(deduces(&s.sigma, &key.to_md(&s.target)), "rck{} not deduced", i + 1);
         }
     }
 
@@ -210,6 +242,27 @@ mod tests {
         assert_eq!(s.target.len(), 11);
         assert_eq!(s.pair.left().arity(), 13);
         assert_eq!(s.pair.right().arity(), 21);
+    }
+
+    #[test]
+    fn preset_schemas_carry_kind_metadata() {
+        use crate::schema::AttrKind;
+        let s = extended();
+        let left = s.pair.left();
+        let right = s.pair.right();
+        let kind =
+            |schema: &crate::schema::Schema, n: &str| schema.attr_kind(schema.attr(n).unwrap());
+        assert_eq!(kind(left, "FN"), AttrKind::GivenName);
+        assert_eq!(kind(left, "LN"), AttrKind::Surname);
+        assert_eq!(kind(left, "tel"), AttrKind::Phone);
+        assert_eq!(kind(right, "phn"), AttrKind::Phone);
+        assert_eq!(kind(right, "ship_zip"), AttrKind::Zip);
+        assert_eq!(kind(right, "order_date"), AttrKind::Date);
+        assert_eq!(kind(right, "item"), AttrKind::FreeText);
+        let e = example_1_1();
+        assert_eq!(kind(e.pair.left(), "addr"), AttrKind::Street);
+        assert_eq!(kind(e.pair.right(), "post"), AttrKind::Street);
+        assert_eq!(kind(e.pair.left(), "SSN"), AttrKind::Id);
     }
 
     #[test]

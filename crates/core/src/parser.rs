@@ -93,11 +93,8 @@ impl Parser<'_> {
                 right: right_attrs.len(),
             });
         }
-        let rhs = left_attrs
-            .into_iter()
-            .zip(right_attrs)
-            .map(|(l, r)| IdentPair::new(l, r))
-            .collect();
+        let rhs =
+            left_attrs.into_iter().zip(right_attrs).map(|(l, r)| IdentPair::new(l, r)).collect();
         MatchingDependency::new(self.pair, lhs, rhs)
     }
 
@@ -194,10 +191,8 @@ impl Parser<'_> {
 
     fn skip_ws(&mut self) {
         let rest = &self.input[self.pos..];
-        let skipped = rest
-            .char_indices()
-            .find(|(_, c)| !c.is_whitespace())
-            .map_or(rest.len(), |(i, _)| i);
+        let skipped =
+            rest.char_indices().find(|(_, c)| !c.is_whitespace()).map_or(rest.len(), |(i, _)| i);
         self.pos += skipped;
     }
 
@@ -280,12 +275,8 @@ mod tests {
     fn hash_in_attribute_names() {
         let p = pair();
         let mut ops = OperatorTable::new();
-        let md = parse_md(
-            "credit[c#] = billing[c#] -> credit[FN] <=> billing[FN]",
-            &p,
-            &mut ops,
-        )
-        .unwrap();
+        let md = parse_md("credit[c#] = billing[c#] -> credit[FN] <=> billing[FN]", &p, &mut ops)
+            .unwrap();
         assert_eq!(md.lhs()[0].left, 0);
     }
 

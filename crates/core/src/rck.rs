@@ -293,11 +293,7 @@ mod tests {
             assert!(
                 outcome.keys.contains(want),
                 "{name} missing from {:?}",
-                outcome
-                    .keys
-                    .iter()
-                    .map(|k| k.display(&pair, &ops).to_string())
-                    .collect::<Vec<_>>()
+                outcome.keys.iter().map(|k| k.display(&pair, &ops).to_string()).collect::<Vec<_>>()
             );
         }
         // rck1 appears either with ≈d or as its =-strengthened variant.
@@ -404,10 +400,7 @@ mod tests {
         let outcome = find_rcks(&sigma, &target, 8, &mut cost);
         let l = |n: &str| pair.left().attr(n).unwrap();
         let r = |n: &str| pair.right().attr(n).unwrap();
-        let total: u32 = pairing(&sigma, &target)
-            .iter()
-            .map(|&(a, b)| cost.counter(a, b))
-            .sum();
+        let total: u32 = pairing(&sigma, &target).iter().map(|&(a, b)| cost.counter(a, b)).sum();
         let expected: usize = outcome.keys.iter().map(RelativeKey::len).sum();
         assert_eq!(total as usize, expected);
         // The email pair participates in at least one selected key.

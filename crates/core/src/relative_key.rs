@@ -131,21 +131,15 @@ impl RelativeKey {
 
     /// The key without one atom (used by `minimize`, Fig. 7).
     pub fn without(&self, atom: &SimilarityAtom) -> RelativeKey {
-        RelativeKey {
-            atoms: self.atoms.iter().copied().filter(|a| a != atom).collect(),
-        }
+        RelativeKey { atoms: self.atoms.iter().copied().filter(|a| a != atom).collect() }
     }
 
     /// `apply(γ, φ)` of §5: removes from the key every atom whose attribute
     /// pair is identified by `RHS(φ)` and adds the atoms of `LHS(φ)` — the
     /// relative key obtained by "applying" MD φ to γ.
     pub fn apply(&self, md: &MatchingDependency) -> RelativeKey {
-        let mut atoms: Vec<SimilarityAtom> = self
-            .atoms
-            .iter()
-            .copied()
-            .filter(|a| !md.rhs().contains(&a.pair()))
-            .collect();
+        let mut atoms: Vec<SimilarityAtom> =
+            self.atoms.iter().copied().filter(|a| !md.rhs().contains(&a.pair())).collect();
         atoms.extend_from_slice(md.lhs());
         RelativeKey::new(atoms)
     }
@@ -156,11 +150,7 @@ impl RelativeKey {
     }
 
     /// Pretty-printer in the paper's `(X1, X2 ‖ C)` notation.
-    pub fn display<'a>(
-        &'a self,
-        pair: &'a SchemaPair,
-        ops: &'a OperatorTable,
-    ) -> KeyDisplay<'a> {
+    pub fn display<'a>(&'a self, pair: &'a SchemaPair, ops: &'a OperatorTable) -> KeyDisplay<'a> {
         KeyDisplay { key: self, pair, ops }
     }
 }
@@ -265,10 +255,8 @@ mod tests {
         // γ = ([LN, addr], ‖ =,=); φ2: tel = phn → addr ⇌ post.
         let ln_l = p.left().attr("LN").unwrap();
         let ln_r = p.right().attr("LN").unwrap();
-        let gamma = RelativeKey::new(vec![
-            SimilarityAtom::eq(ln_l, ln_r),
-            SimilarityAtom::eq(addr, post),
-        ]);
+        let gamma =
+            RelativeKey::new(vec![SimilarityAtom::eq(ln_l, ln_r), SimilarityAtom::eq(addr, post)]);
         let phi2 = MatchingDependency::new(
             &p,
             vec![SimilarityAtom::eq(tel, phn)],

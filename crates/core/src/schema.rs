@@ -35,22 +35,99 @@ impl fmt::Display for Domain {
     }
 }
 
+/// The semantic class of an attribute's values — *schema metadata*, not a
+/// domain: two attributes of different kinds may still be comparable.
+///
+/// Kinds drive everything that used to be hardcoded on attribute names:
+/// sort/block-key encodings (names get Soundex, phones/zips digit
+/// extraction), and the format-aware error ladder of the synthetic-data
+/// generator. User schemas default to [`AttrKind::FreeText`] and may opt
+/// into richer behavior attribute by attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AttrKind {
+    /// A given (first/middle) name — Soundex-encoded in keys, abbreviated
+    /// to an initial by the noise model.
+    GivenName,
+    /// A surname — Soundex-encoded in keys.
+    Surname,
+    /// A street line ("10 Oak Street").
+    Street,
+    /// A city name.
+    City,
+    /// A county name.
+    County,
+    /// A state / region code.
+    State,
+    /// A postal code — digit-extracted in keys.
+    Zip,
+    /// A phone number — digit-extracted in keys.
+    Phone,
+    /// An e-mail address.
+    Email,
+    /// A gender marker.
+    Gender,
+    /// An opaque identifier (card number, SSN, SKU).
+    Id,
+    /// A calendar date.
+    Date,
+    /// A monetary amount.
+    Money,
+    /// Anything else.
+    #[default]
+    FreeText,
+}
+
+impl fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AttrKind::GivenName => "given-name",
+            AttrKind::Surname => "surname",
+            AttrKind::Street => "street",
+            AttrKind::City => "city",
+            AttrKind::County => "county",
+            AttrKind::State => "state",
+            AttrKind::Zip => "zip",
+            AttrKind::Phone => "phone",
+            AttrKind::Email => "email",
+            AttrKind::Gender => "gender",
+            AttrKind::Id => "id",
+            AttrKind::Date => "date",
+            AttrKind::Money => "money",
+            AttrKind::FreeText => "free-text",
+        };
+        write!(f, "{name}")
+    }
+}
+
 /// A named, typed attribute of a relation schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
     name: String,
     domain: Domain,
+    kind: AttrKind,
 }
 
 impl Attribute {
     /// Creates a text attribute — the common case in record matching.
     pub fn text(name: &str) -> Self {
-        Attribute { name: name.to_owned(), domain: Domain::Text }
+        Attribute { name: name.to_owned(), domain: Domain::Text, kind: AttrKind::FreeText }
     }
 
     /// Creates an attribute with an explicit domain.
     pub fn new(name: &str, domain: Domain) -> Self {
-        Attribute { name: name.to_owned(), domain }
+        Attribute { name: name.to_owned(), domain, kind: AttrKind::FreeText }
+    }
+
+    /// Creates a text attribute with a semantic kind.
+    pub fn kinded(name: &str, kind: AttrKind) -> Self {
+        Attribute { name: name.to_owned(), domain: Domain::Text, kind }
+    }
+
+    /// Sets the attribute's semantic kind.
+    #[must_use]
+    pub fn with_kind(mut self, kind: AttrKind) -> Self {
+        self.kind = kind;
+        self
     }
 
     /// The attribute's name.
@@ -61,6 +138,11 @@ impl Attribute {
     /// The attribute's domain.
     pub fn domain(&self) -> Domain {
         self.domain
+    }
+
+    /// The attribute's semantic kind.
+    pub fn kind(&self) -> AttrKind {
+        self.kind
     }
 }
 
@@ -99,6 +181,20 @@ impl Schema {
         Schema::new(name, attribute_names.iter().map(|n| Attribute::text(n)).collect())
     }
 
+    /// Convenience constructor for all-text schemas with semantic kinds:
+    /// `Schema::kinded("crm", &[("surname", AttrKind::Surname), …])`.
+    pub fn kinded(name: &str, attributes: &[(&str, AttrKind)]) -> Result<Self> {
+        Schema::new(name, attributes.iter().map(|&(n, k)| Attribute::kinded(n, k)).collect())
+    }
+
+    /// Returns a copy with the kind of one attribute replaced.
+    pub fn with_attr_kind(&self, attr: &str, kind: AttrKind) -> Result<Self> {
+        let id = self.attr(attr)?;
+        let mut attributes = self.attributes.clone();
+        attributes[id].kind = kind;
+        Ok(Schema { name: self.name.clone(), attributes, by_name: self.by_name.clone() })
+    }
+
     /// The schema's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -129,16 +225,21 @@ impl Schema {
 
     /// The attribute at `id`, if in range.
     pub fn attribute(&self, id: AttrId) -> Result<&Attribute> {
-        self.attributes.get(id).ok_or_else(|| CoreError::AttributeOutOfRange {
-            schema: self.name.clone(),
-            index: id,
-        })
+        self.attributes
+            .get(id)
+            .ok_or_else(|| CoreError::AttributeOutOfRange { schema: self.name.clone(), index: id })
     }
 
     /// The name of attribute `id`; panics if out of range (internal use with
     /// already-validated ids).
     pub fn attr_name(&self, id: AttrId) -> &str {
         self.attributes[id].name()
+    }
+
+    /// The semantic kind of attribute `id`; panics if out of range
+    /// (internal use with already-validated ids).
+    pub fn attr_kind(&self, id: AttrId) -> AttrKind {
+        self.attributes[id].kind()
     }
 }
 
@@ -356,5 +457,40 @@ mod tests {
     fn side_flip() {
         assert_eq!(Side::Left.flip(), Side::Right);
         assert_eq!(Side::Right.flip(), Side::Left);
+    }
+
+    #[test]
+    fn kinds_default_to_free_text() {
+        let s = credit();
+        assert!((0..s.arity()).all(|i| s.attr_kind(i) == AttrKind::FreeText));
+        assert_eq!(Attribute::text("x").kind(), AttrKind::FreeText);
+    }
+
+    #[test]
+    fn kinded_constructors_carry_kinds() {
+        let s =
+            Schema::kinded("crm", &[("surname", AttrKind::Surname), ("phone", AttrKind::Phone)])
+                .unwrap();
+        assert_eq!(s.attr_kind(s.attr("surname").unwrap()), AttrKind::Surname);
+        assert_eq!(s.attr_kind(s.attr("phone").unwrap()), AttrKind::Phone);
+        let a = Attribute::text("zip").with_kind(AttrKind::Zip);
+        assert_eq!(a.kind(), AttrKind::Zip);
+        assert_eq!(Attribute::kinded("e", AttrKind::Email).kind(), AttrKind::Email);
+    }
+
+    #[test]
+    fn with_attr_kind_rebinds_one_attribute() {
+        let s = credit();
+        let s2 = s.with_attr_kind("tel", AttrKind::Phone).unwrap();
+        assert_eq!(s2.attr_kind(s2.attr("tel").unwrap()), AttrKind::Phone);
+        assert_eq!(s2.attr_kind(s2.attr("FN").unwrap()), AttrKind::FreeText);
+        assert!(s.with_attr_kind("nope", AttrKind::Phone).is_err());
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(AttrKind::GivenName.to_string(), "given-name");
+        assert_eq!(AttrKind::FreeText.to_string(), "free-text");
+        assert_eq!(AttrKind::Zip.to_string(), "zip");
     }
 }

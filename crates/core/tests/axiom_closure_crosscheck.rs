@@ -12,18 +12,12 @@ use proptest::prelude::*;
 /// Random normal-form MDs over an aligned pair pool of `arity` pairs and
 /// `ops` operators (operator 0 is `=`).
 fn arb_md(arity: usize, ops: u16) -> impl Strategy<Value = MatchingDependency> {
-    (
-        proptest::collection::vec((0..arity, 0..ops), 1..4),
-        0..arity,
-    )
-        .prop_map(|(lhs, rhs)| {
-            MatchingDependency::from_validated_parts(
-                lhs.into_iter()
-                    .map(|(i, op)| SimilarityAtom::new(i, i, OperatorId(op)))
-                    .collect(),
-                vec![IdentPair::new(rhs, rhs)],
-            )
-        })
+    (proptest::collection::vec((0..arity, 0..ops), 1..4), 0..arity).prop_map(|(lhs, rhs)| {
+        MatchingDependency::from_validated_parts(
+            lhs.into_iter().map(|(i, op)| SimilarityAtom::new(i, i, OperatorId(op))).collect(),
+            vec![IdentPair::new(rhs, rhs)],
+        )
+    })
 }
 
 fn arb_sigma() -> impl Strategy<Value = Vec<MatchingDependency>> {

@@ -10,12 +10,10 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn pair() -> SchemaPair {
-    let credit = Arc::new(
-        Schema::text("credit", &["c#", "FN", "LN", "addr", "tel", "email"]).unwrap(),
-    );
-    let billing = Arc::new(
-        Schema::text("billing", &["c#", "FN", "LN", "post", "phn", "email"]).unwrap(),
-    );
+    let credit =
+        Arc::new(Schema::text("credit", &["c#", "FN", "LN", "addr", "tel", "email"]).unwrap());
+    let billing =
+        Arc::new(Schema::text("billing", &["c#", "FN", "LN", "post", "phn", "email"]).unwrap());
     SchemaPair::new(credit, billing)
 }
 
@@ -88,12 +86,9 @@ fn whitespace_variations_parse() {
         "credit[ tel ] = billing[ phn ] -> credit[ addr ] <=> billing[ post ]",
         "  credit[tel]   =   billing[phn]   ->\n credit[addr] <=> billing[post]  ",
     ];
-    let expected = parse_md(
-        "credit[tel] = billing[phn] -> credit[addr] <=> billing[post]",
-        &p,
-        &mut ops,
-    )
-    .unwrap();
+    let expected =
+        parse_md("credit[tel] = billing[phn] -> credit[addr] <=> billing[post]", &p, &mut ops)
+            .unwrap();
     for v in variants {
         // The parser is line-oriented only via parse_md_set; embedded
         // newlines inside one call are plain whitespace.
@@ -111,7 +106,10 @@ fn structured_failures() {
         ("", "empty input"),
         ("credit[tel]", "missing arrow"),
         ("-> credit[a] <=> billing[b]", "missing LHS"),
-        ("credit[tel] ~ billing[phn] -> credit[addr] <=> billing[post]", "bare tilde is an operator with empty suffix — allowed"),
+        (
+            "credit[tel] ~ billing[phn] -> credit[addr] <=> billing[post]",
+            "bare tilde is an operator with empty suffix — allowed",
+        ),
         ("credit[] = billing[phn] -> credit[addr] <=> billing[post]", "empty attr list"),
     ];
     for (input, label) in cases {

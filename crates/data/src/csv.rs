@@ -52,11 +52,8 @@ pub fn read_relation(schema: Arc<Schema>, csv: &str) -> Result<Relation> {
         }
         let mut values = vec![Value::Null; schema.arity()];
         for (field, &attr) in row.into_iter().zip(&column_attr) {
-            values[attr] = if field.is_empty() || field == "null" {
-                Value::Null
-            } else {
-                Value::from(field)
-            };
+            values[attr] =
+                if field.is_empty() || field == "null" { Value::Null } else { Value::from(field) };
         }
         relation.push(Tuple::new(row_idx as u64, values));
     }

@@ -19,8 +19,8 @@ use crate::catalog;
 use crate::gen::{self, CleanData, EntityId};
 use crate::relation::{Relation, Tuple};
 use crate::value::Value;
-use matchrules_core::paper::PaperSetting;
-use matchrules_core::schema::AttrId;
+use matchrules_core::relative_key::Target;
+use matchrules_core::schema::{AttrId, AttrKind, SchemaPair};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -107,63 +107,43 @@ pub struct DirtyData {
     pub truth: GroundTruth,
 }
 
-/// Semantic classes of the identity attributes, driving format-aware noise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AttrKind {
-    GivenName,
-    LastName,
-    Street,
-    City,
-    County,
-    State,
-    Zip,
-    Phone,
-    Email,
-    Gender,
-    Other,
-}
-
-fn kind_of(name: &str) -> AttrKind {
-    match name {
-        "FN" | "MN" => AttrKind::GivenName,
-        "LN" => AttrKind::LastName,
-        "street" => AttrKind::Street,
-        "city" => AttrKind::City,
-        "county" => AttrKind::County,
-        "state" | "ship_state" => AttrKind::State,
-        "zip" | "ship_zip" => AttrKind::Zip,
-        "tel" | "phn" => AttrKind::Phone,
-        "email" => AttrKind::Email,
-        "gender" => AttrKind::Gender,
-        _ => AttrKind::Other,
-    }
-}
-
 /// Generates the full §6 dataset: `persons` base billing tuples (one per
 /// person, mirroring a credit tuple each) plus `duplicate_rate` noisy
-/// duplicates.
-pub fn generate_dirty(setting: &PaperSetting, persons: usize, cfg: &NoiseConfig) -> DirtyData {
-    let clean = gen::generate_clean(setting, persons, cfg.seed);
-    dirty_from_clean(setting, clean, cfg)
+/// duplicates. The format-aware error ladder dispatches on the schemas'
+/// [`AttrKind`] metadata, not on attribute names.
+///
+/// The *clean-data* generator underneath is specific to the §6 extended
+/// schemas (13/21 attributes, [`gen::generate_clean`]'s tuple layout) and
+/// panics on other pairs; the noise protocol itself ([`dirty_from_clean`])
+/// works on any pair whose `CleanData` you provide.
+pub fn generate_dirty(
+    pair: &SchemaPair,
+    target: &Target,
+    persons: usize,
+    cfg: &NoiseConfig,
+) -> DirtyData {
+    let clean = gen::generate_clean(pair, persons, cfg.seed);
+    dirty_from_clean(pair, target, clean, cfg)
 }
 
 /// Applies the duplicate/noise protocol to an existing clean dataset.
 pub fn dirty_from_clean(
-    setting: &PaperSetting,
+    pair: &SchemaPair,
+    target: &Target,
     clean: CleanData,
     cfg: &NoiseConfig,
 ) -> DirtyData {
     assert!((0.0..=10.0).contains(&cfg.duplicate_rate), "unreasonable duplicate rate");
     assert!((0.0..=1.0).contains(&cfg.attr_error_prob), "error probability must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBAD_C0FFEE);
-    let billing_schema = setting.pair.right();
+    let billing_schema = pair.right();
 
     // Identity attributes (the Y2 list) get the error ladder; the others
     // are simply re-rolled on duplicates ("changing some of their
     // attributes that are not in Y1 or Y2").
-    let y2: Vec<AttrId> = setting.target.y2().to_vec();
+    let y2: Vec<AttrId> = target.y2().to_vec();
     let kinds: Vec<AttrKind> =
-        (0..billing_schema.arity()).map(|i| kind_of(billing_schema.attr_name(i))).collect();
+        (0..billing_schema.arity()).map(|i| billing_schema.attr_kind(i)).collect();
 
     let base_count = clean.billing.len();
     let n_dups = (cfg.duplicate_rate * base_count as f64).round() as usize;
@@ -240,8 +220,8 @@ fn corrupt(rng: &mut StdRng, value: &Value, kind: AttrKind) -> Value {
 /// 1–2 random character edits (insert / delete / substitute / transpose).
 /// Digit strings receive digit edits so phones/zips stay digit-shaped.
 fn typo(rng: &mut StdRng, s: &str) -> String {
-    let digity = !s.is_empty()
-        && s.chars().filter(|c| c.is_ascii_digit()).count() * 2 >= s.chars().count();
+    let digity =
+        !s.is_empty() && s.chars().filter(|c| c.is_ascii_digit()).count() * 2 >= s.chars().count();
     let mut chars: Vec<char> = s.chars().collect();
     let edits = if chars.len() > 8 && rng.random_bool(0.3) { 2 } else { 1 };
     for _ in 0..edits {
@@ -344,7 +324,7 @@ fn replace_value(rng: &mut StdRng, kind: AttrKind) -> Value {
     };
     match kind {
         AttrKind::GivenName => Value::from(pick(rng, catalog::FIRST_NAMES)),
-        AttrKind::LastName => Value::from(pick(rng, catalog::LAST_NAMES)),
+        AttrKind::Surname => Value::from(pick(rng, catalog::LAST_NAMES)),
         AttrKind::Street => Value::from(format!(
             "{} {} {}",
             rng.random_range(1..9999u32),
@@ -373,7 +353,8 @@ fn replace_value(rng: &mut StdRng, kind: AttrKind) -> Value {
             pick(rng, catalog::EMAIL_DOMAINS)
         )),
         AttrKind::Gender => Value::from(if rng.random_bool(0.5) { "M" } else { "F" }),
-        AttrKind::Other => Value::Null,
+        // Ids, dates, money and free text have no semantic replacement pool.
+        _ => Value::Null,
     }
 }
 
@@ -382,10 +363,10 @@ mod tests {
     use super::*;
     use matchrules_core::paper;
 
-    fn small_dirty(persons: usize, seed: u64) -> (PaperSetting, DirtyData) {
+    fn small_dirty(persons: usize, seed: u64) -> (paper::PaperSetting, DirtyData) {
         let setting = paper::extended();
         let cfg = NoiseConfig { seed, ..NoiseConfig::default() };
-        let data = generate_dirty(&setting, persons, &cfg);
+        let data = generate_dirty(&setting.pair, &setting.target, persons, &cfg);
         (setting, data)
     }
 
@@ -454,7 +435,7 @@ mod tests {
     fn zero_rates_disable_noise() {
         let setting = paper::extended();
         let cfg = NoiseConfig { duplicate_rate: 0.0, attr_error_prob: 0.0, seed: 1 };
-        let data = generate_dirty(&setting, 25, &cfg);
+        let data = generate_dirty(&setting.pair, &setting.target, 25, &cfg);
         assert_eq!(data.billing.len(), 25);
     }
 
@@ -484,23 +465,14 @@ mod tests {
     #[test]
     fn format_variations_match_fig1_patterns() {
         let mut rng = StdRng::seed_from_u64(17);
-        assert_eq!(
-            format_variation(&mut rng, "Mark", AttrKind::GivenName),
-            Value::str("M.")
-        );
+        assert_eq!(format_variation(&mut rng, "Mark", AttrKind::GivenName), Value::str("M."));
         assert_eq!(
             format_variation(&mut rng, "10 Oak Street", AttrKind::Street),
             Value::str("10 Oak St")
         );
-        assert_eq!(
-            format_variation(&mut rng, "mc@gm.com", AttrKind::Email),
-            Value::str("mc")
-        );
+        assert_eq!(format_variation(&mut rng, "mc@gm.com", AttrKind::Email), Value::str("mc"));
         let phone = format_variation(&mut rng, "908-1111111", AttrKind::Phone);
         assert!(phone == Value::str("908") || phone == Value::str("1111111"));
-        assert_eq!(
-            format_variation(&mut rng, "Murray Hill", AttrKind::City),
-            Value::str("MH")
-        );
+        assert_eq!(format_variation(&mut rng, "Murray Hill", AttrKind::City), Value::str("MH"));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::relation::{InstancePair, Relation};
 use matchrules_core::paper::{example_1_1, PaperSetting};
+use matchrules_core::schema::SchemaPair;
 
 /// Tuple ids of Fig. 1, for readable assertions.
 pub mod ids {
@@ -25,7 +26,13 @@ pub mod ids {
 
 /// Builds `(Dc = (Ic, Ib))` of Fig. 1 over the Example 1.1 schemas.
 pub fn instance(setting: &PaperSetting) -> InstancePair {
-    let mut credit = Relation::new(setting.pair.left().clone());
+    instance_for_pair(&setting.pair)
+}
+
+/// Builds the Fig. 1 instance directly over an Example 1.1-shaped schema
+/// pair (the engine-API path, which carries no `PaperSetting`).
+pub fn instance_for_pair(pair: &SchemaPair) -> InstancePair {
+    let mut credit = Relation::new(pair.left().clone());
     // c#, SSN, FN, LN, addr, tel, email, gender, type
     credit.push_strs(
         ids::T1,
@@ -56,7 +63,7 @@ pub fn instance(setting: &PaperSetting) -> InstancePair {
         ],
     );
 
-    let mut billing = Relation::new(setting.pair.right().clone());
+    let mut billing = Relation::new(pair.right().clone());
     // c#, FN, LN, post, phn, email, gender, item, price
     billing.push_strs(
         ids::T3,
@@ -95,7 +102,7 @@ pub fn instance(setting: &PaperSetting) -> InstancePair {
         &["111", "M.", "Clivord", "NJ", "908-1111111", "mc@gm.com", "null", "CD", "14.99"],
     );
 
-    InstancePair::new(setting.pair.clone(), credit, billing)
+    InstancePair::new(pair.clone(), credit, billing)
 }
 
 /// Convenience: the Example 1.1 setting together with its Fig. 1 instance.

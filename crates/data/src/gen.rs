@@ -12,7 +12,7 @@
 use crate::catalog;
 use crate::relation::{Relation, Tuple};
 use crate::value::Value;
-use matchrules_core::paper::PaperSetting;
+use matchrules_core::schema::SchemaPair;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -109,7 +109,8 @@ fn random_person(rng: &mut StdRng, index: usize) -> Person {
     let suffix = pick(rng, catalog::STREET_SUFFIXES);
     let street = format!("{street_no} {street_name} {suffix}");
     let zip = format!("{}{:02}", loc.zip3, rng.random_range(0..100u32));
-    let tel = format!("{}-{:07}", rng.random_range(201..990u32), rng.random_range(0..10_000_000u32));
+    let tel =
+        format!("{}-{:07}", rng.random_range(201..990u32), rng.random_range(0..10_000_000u32));
     // E-mails must be globally unique per person: they are strong
     // identifiers in the MDs, so collisions would be false ground truth.
     let email = format!(
@@ -269,12 +270,16 @@ pub struct CleanData {
     pub persons: Vec<Person>,
 }
 
-/// Generates the clean base instances for `persons` card holders.
-pub fn generate_clean(setting: &PaperSetting, persons: usize, seed: u64) -> CleanData {
+/// Generates the clean base instances for `persons` card holders over the
+/// extended `(credit, billing)` schema pair (13/21 attributes, tuple layout
+/// of [`credit_tuple`] / [`billing_tuple`]).
+pub fn generate_clean(pair: &SchemaPair, persons: usize, seed: u64) -> CleanData {
+    assert_eq!(pair.left().arity(), 13, "generator targets the extended credit schema");
+    assert_eq!(pair.right().arity(), 21, "generator targets the extended billing schema");
     let people = generate_persons(persons, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    let mut credit = Relation::new(setting.pair.left().clone());
-    let mut billing = Relation::new(setting.pair.right().clone());
+    let mut credit = Relation::new(pair.left().clone());
+    let mut billing = Relation::new(pair.right().clone());
     let mut credit_entities = Vec::with_capacity(persons);
     let mut billing_entities = Vec::with_capacity(persons);
     for (i, p) in people.iter().enumerate() {
@@ -328,7 +333,7 @@ mod tests {
     #[test]
     fn clean_dataset_matches_schemas() {
         let setting = paper::extended();
-        let data = generate_clean(&setting, 20, 1);
+        let data = generate_clean(&setting.pair, 20, 1);
         assert_eq!(data.credit.len(), 20);
         assert_eq!(data.billing.len(), 20);
         assert_eq!(data.credit.schema().arity(), 13);
@@ -345,7 +350,7 @@ mod tests {
     #[test]
     fn purchases_draw_from_catalog() {
         let setting = paper::extended();
-        let data = generate_clean(&setting, 30, 9);
+        let data = generate_clean(&setting.pair, 30, 9);
         let item_attr = setting.pair.right().attr("item").unwrap();
         for t in data.billing.tuples() {
             let title = t.get(item_attr).as_str().unwrap();

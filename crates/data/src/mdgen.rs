@@ -90,8 +90,7 @@ pub fn generate(cfg: &MdGenConfig) -> GeneratedSetting {
     let pair = SchemaPair::new(r1, r2);
 
     let mut ops = OperatorTable::new();
-    let sim_ids: Vec<OperatorId> =
-        (0..cfg.sim_ops).map(|i| ops.intern(&format!("≈{i}"))).collect();
+    let sim_ids: Vec<OperatorId> = (0..cfg.sim_ops).map(|i| ops.intern(&format!("≈{i}"))).collect();
 
     let target = Target::new(&pair, (0..cfg.y_len).collect(), (0..cfg.y_len).collect())
         .expect("aligned target");
@@ -124,9 +123,8 @@ pub fn generate(cfg: &MdGenConfig) -> GeneratedSetting {
                 IdentPair::new(i, i)
             })
             .collect();
-        sigma.push(
-            MatchingDependency::new(&pair, lhs, rhs).expect("generated MDs are well-formed"),
-        );
+        sigma
+            .push(MatchingDependency::new(&pair, lhs, rhs).expect("generated MDs are well-formed"));
     }
     GeneratedSetting { pair, ops, sigma, target }
 }

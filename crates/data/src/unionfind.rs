@@ -15,11 +15,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// `len` singleton classes.
     pub fn new(len: usize) -> Self {
-        UnionFind {
-            parent: (0..len as u32).collect(),
-            size: vec![1; len],
-            classes: len,
-        }
+        UnionFind { parent: (0..len as u32).collect(), size: vec![1; len], classes: len }
     }
 
     /// Number of elements.

@@ -109,7 +109,12 @@ mod tests {
     #[test]
     fn multi_pass_improves_pairs_completeness() {
         let setting = paper::extended();
-        let data = generate_dirty(&setting, 150, &NoiseConfig { seed: 5, ..Default::default() });
+        let data = generate_dirty(
+            &setting.pair,
+            &setting.target,
+            150,
+            &NoiseConfig { seed: 5, ..Default::default() },
+        );
         let l = |n: &str| setting.pair.left().attr(n).unwrap();
         let r = |n: &str| setting.pair.right().attr(n).unwrap();
         let key1 = SortKey::new(vec![
@@ -132,7 +137,12 @@ mod tests {
     #[test]
     fn blocking_reduces_comparisons_substantially() {
         let setting = paper::extended();
-        let data = generate_dirty(&setting, 200, &NoiseConfig { seed: 6, ..Default::default() });
+        let data = generate_dirty(
+            &setting.pair,
+            &setting.target,
+            200,
+            &NoiseConfig { seed: 6, ..Default::default() },
+        );
         let l = |n: &str| setting.pair.left().attr(n).unwrap();
         let r = |n: &str| setting.pair.right().attr(n).unwrap();
         let key = SortKey::new(vec![

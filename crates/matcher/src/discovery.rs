@@ -85,9 +85,7 @@ pub fn discover(
         .map(|atom| {
             sample
                 .iter()
-                .map(|&(c, b)| {
-                    ops.atom_matches(atom, &credit.tuples()[c], &billing.tuples()[b])
-                })
+                .map(|&(c, b)| ops.atom_matches(atom, &credit.tuples()[c], &billing.tuples()[b]))
                 .collect()
         })
         .collect();
@@ -117,8 +115,7 @@ pub fn discover(
                 if idxs.iter().any(|&i| atoms[i].pair() == *rhs) {
                     continue;
                 }
-                let hits =
-                    mask.iter().zip(eq_bits.iter()).filter(|(&m, &e)| m && e).count();
+                let hits = mask.iter().zip(eq_bits.iter()).filter(|(&m, &e)| m && e).count();
                 let confidence = hits as f64 / support as f64;
                 if confidence >= cfg.min_confidence {
                     let lhs: Vec<SimilarityAtom> = idxs.iter().map(|&i| atoms[i]).collect();
@@ -186,7 +183,8 @@ mod tests {
     fn setup() -> (paper::PaperSetting, matchrules_data::DirtyData, RuntimeOps) {
         let setting = paper::extended();
         let data = generate_dirty(
-            &setting,
+            &setting.pair,
+            &setting.target,
             250,
             &NoiseConfig { duplicate_rate: 0.8, attr_error_prob: 0.3, seed: 0xD15C },
         );
@@ -195,13 +193,7 @@ mod tests {
     }
 
     fn pairs_of(setting: &paper::PaperSetting) -> Vec<(AttrId, AttrId)> {
-        setting
-            .target
-            .y1()
-            .iter()
-            .zip(setting.target.y2())
-            .map(|(&l, &r)| (l, r))
-            .collect()
+        setting.target.y1().iter().zip(setting.target.y2()).map(|(&l, &r)| (l, r)).collect()
     }
 
     #[test]
@@ -227,9 +219,7 @@ mod tests {
         let email = setting.pair.left().attr("email").unwrap();
         let ln_l = setting.pair.left().attr("LN").unwrap();
         let found = mined.iter().any(|d| {
-            d.md.lhs().len() == 1
-                && d.md.lhs()[0].left == email
-                && d.md.rhs()[0].left == ln_l
+            d.md.lhs().len() == 1 && d.md.lhs()[0].left == email && d.md.rhs()[0].left == ln_l
         });
         assert!(found, "email → LN not mined: {:?}", mined.iter().take(8).collect::<Vec<_>>());
     }
@@ -258,9 +248,7 @@ mod tests {
             .map(|c| {
                 // base billing tuples were generated aligned with persons,
                 // but shuffled; use truth to align a clean sample.
-                let b = (0..data.billing.len())
-                    .find(|&b| data.truth.is_match(c, b))
-                    .unwrap();
+                let b = (0..data.billing.len()).find(|&b| data.truth.is_match(c, b)).unwrap();
                 (c, b)
             })
             .collect();
@@ -276,8 +264,7 @@ mod tests {
         let sigma: Vec<MatchingDependency> = mined.iter().map(|d| d.md.clone()).collect();
         // The mined Σ admits RCK deduction.
         let mut cost = matchrules_core::cost::CostModel::uniform();
-        let outcome =
-            matchrules_core::rck::find_rcks(&sigma, &setting.target, 8, &mut cost);
+        let outcome = matchrules_core::rck::find_rcks(&sigma, &setting.target, 8, &mut cost);
         assert!(!outcome.keys.is_empty());
     }
 
@@ -285,7 +272,13 @@ mod tests {
     #[should_panic(expected = "attribute pairs")]
     fn empty_pairs_rejected() {
         let (_setting, data, ops) = setup();
-        let _ = discover(&data.credit, &data.billing, &[], &[(0, 0)], &ops,
-                         &DiscoveryConfig::default());
+        let _ = discover(
+            &data.credit,
+            &data.billing,
+            &[],
+            &[(0, 0)],
+            &ops,
+            &DiscoveryConfig::default(),
+        );
     }
 }

@@ -175,9 +175,7 @@ mod tests {
         (0..n)
             .map(|_| {
                 let is_match = rng.random_bool(p);
-                (0..m.len())
-                    .map(|i| rng.random_bool(if is_match { m[i] } else { u[i] }))
-                    .collect()
+                (0..m.len()).map(|i| rng.random_bool(if is_match { m[i] } else { u[i] })).collect()
             })
             .collect()
     }

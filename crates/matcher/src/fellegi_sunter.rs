@@ -44,12 +44,7 @@ pub struct FsMatcher {
 /// Builds the baseline comparison vector: every target pair compared with
 /// equality (EM weighting then decides what matters).
 pub fn equality_comparison_vector(target: &Target) -> Vec<SimilarityAtom> {
-    target
-        .y1()
-        .iter()
-        .zip(target.y2())
-        .map(|(&l, &r)| SimilarityAtom::eq(l, r))
-        .collect()
+    target.y1().iter().zip(target.y2()).map(|(&l, &r)| SimilarityAtom::eq(l, r)).collect()
 }
 
 /// Builds the RCK comparison vector: the union of the atoms of `keys`
@@ -84,9 +79,7 @@ impl FsMatcher {
             .iter()
             .step_by(step)
             .take(cfg.em_sample)
-            .map(|&(c, b)| {
-                compare(&fields, &credit.tuples()[c], &billing.tuples()[b], ops)
-            })
+            .map(|&(c, b)| compare(&fields, &credit.tuples()[c], &billing.tuples()[b], ops))
             .collect();
         let model = em::fit(&sample, &cfg.em);
         FsMatcher { fields, model, threshold: cfg.posterior_threshold }
@@ -114,8 +107,7 @@ impl FsMatcher {
             .iter()
             .copied()
             .filter(|&(c, b)| {
-                let gamma =
-                    compare(&self.fields, &credit.tuples()[c], &billing.tuples()[b], ops);
+                let gamma = compare(&self.fields, &credit.tuples()[c], &billing.tuples()[b], ops);
                 self.model.posterior(&gamma) >= self.threshold
             })
             .collect()
@@ -133,8 +125,7 @@ impl FsMatcher {
         candidates
             .iter()
             .map(|&(c, b)| {
-                let gamma =
-                    compare(&self.fields, &credit.tuples()[c], &billing.tuples()[b], ops);
+                let gamma = compare(&self.fields, &credit.tuples()[c], &billing.tuples()[b], ops);
                 ((c, b), self.model.posterior(&gamma))
             })
             .collect()
@@ -198,15 +189,17 @@ mod tests {
 
     fn setup(persons: usize, seed: u64) -> (paper::PaperSetting, DirtyData, RuntimeOps) {
         let setting = paper::extended();
-        let data = generate_dirty(&setting, persons, &NoiseConfig { seed, ..Default::default() });
+        let data = generate_dirty(
+            &setting.pair,
+            &setting.target,
+            persons,
+            &NoiseConfig { seed, ..Default::default() },
+        );
         let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
         (setting, data, ops)
     }
 
-    fn standard_window(
-        setting: &paper::PaperSetting,
-        data: &DirtyData,
-    ) -> Vec<(usize, usize)> {
+    fn standard_window(setting: &paper::PaperSetting, data: &DirtyData) -> Vec<(usize, usize)> {
         let l = |n: &str| setting.pair.left().attr(n).unwrap();
         let r = |n: &str| setting.pair.right().attr(n).unwrap();
         let key = SortKey::new(vec![
@@ -349,11 +342,7 @@ mod tests {
         assert_eq!(scored.len(), candidates.len());
         assert!(scored.iter().all(|&(_, s)| (0.0..=1.0).contains(&s)));
 
-        let curve = precision_recall_curve(
-            &scored,
-            &data.truth,
-            &[0.1, 0.5, 0.9, 0.99],
-        );
+        let curve = precision_recall_curve(&scored, &data.truth, &[0.1, 0.5, 0.9, 0.99]);
         assert_eq!(curve.len(), 4);
         // Recall is non-increasing in the threshold.
         for w in curve.windows(2) {

@@ -44,13 +44,15 @@ impl<'a> KeyMatcher<'a> {
     /// Whether `(t1, t2)` match: some key accepts and no negative rule
     /// vetoes.
     pub fn matches(&self, t1: &Tuple, t2: &Tuple) -> bool {
-        if !self.keys.iter().any(|key| self.ops.lhs_matches(key.atoms(), t1, t2)) {
-            return false;
-        }
-        !self
-            .negatives
-            .iter()
-            .any(|rule| rule.vetoes(|atom| self.ops.atom_matches(atom, t1, t2)))
+        self.keys.iter().any(|key| self.ops.lhs_matches(key.atoms(), t1, t2))
+            && !self.vetoed(t1, t2)
+    }
+
+    /// Whether a negative rule vetoes the pair (independent of the keys) —
+    /// lets callers that already hold a [`Self::matching_key`] result
+    /// finish the decision without re-evaluating the key disjunction.
+    pub fn vetoed(&self, t1: &Tuple, t2: &Tuple) -> bool {
+        self.negatives.iter().any(|rule| rule.vetoes(|atom| self.ops.atom_matches(atom, t1, t2)))
     }
 
     /// Which key (by position) first accepts the pair, ignoring negatives —

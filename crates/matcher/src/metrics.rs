@@ -98,8 +98,7 @@ impl BlockingQuality {
     where
         I: IntoIterator<Item = (usize, usize)>,
     {
-        let mut seen: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
         let mut s_m = 0usize;
         let mut s_u = 0usize;
         for pair in candidates {
@@ -151,7 +150,7 @@ mod tests {
     fn truth_of(persons: usize) -> GroundTruth {
         let setting = paper::extended();
         let cfg = NoiseConfig { seed: 3, ..NoiseConfig::default() };
-        generate_dirty(&setting, persons, &cfg).truth
+        generate_dirty(&setting.pair, &setting.target, persons, &cfg).truth
     }
 
     #[test]
@@ -219,9 +218,8 @@ mod tests {
     fn blocking_quality_partial() {
         let truth = truth_of(10);
         // Only the true pairs as candidates: PC = 1, RR close to 1.
-        let pairs: Vec<(usize, usize)> = (0..truth.billing_len())
-            .map(|b| (truth.billing_entity(b) as usize, b))
-            .collect();
+        let pairs: Vec<(usize, usize)> =
+            (0..truth.billing_len()).map(|b| (truth.billing_entity(b) as usize, b)).collect();
         let q = BlockingQuality::from_candidates(pairs, &truth);
         assert_eq!(q.pairs_completeness(), 1.0);
         assert!(q.reduction_ratio() > 0.8);

@@ -1,22 +1,24 @@
 //! End-to-end wiring: data statistics → cost model → RCKs → sort/block keys.
 //!
-//! The benchmark harness and the examples all follow the same recipe; this
-//! module keeps it in one place:
+//! Every function here is **schema-agnostic**: inputs are the MD set, the
+//! target lists and the relations/schema pair under consideration. Encoding
+//! choices (Soundex for names, digit extraction for phones and zips) are
+//! driven by the schemas' [`AttrKind`] metadata — attribute names never
+//! appear. The paper's concrete configurations (its manual baselines and
+//! fixed windowing keys) live with the presets in the facade crate.
 //!
 //! 1. compute per-pair `lt` statistics from the instances (the cost model's
 //!    length term);
 //! 2. run `findRCKs` for the top-k keys;
-//! 3. derive windowing/blocking keys either from RCK attributes (the
-//!    paper's RCK-based configurations) or from the fixed manual choices
-//!    (the baselines).
+//! 3. derive windowing/blocking keys from RCK attributes (the paper's
+//!    RCK-based configurations).
 
 use crate::sortkey::{Encoding, KeyField, SortKey};
 use matchrules_core::cost::{CostModel, PairStats};
-use matchrules_core::paper::PaperSetting;
+use matchrules_core::dependency::MatchingDependency;
 use matchrules_core::rck::find_rcks;
-use matchrules_core::relative_key::RelativeKey;
-use matchrules_core::schema::AttrId;
-use matchrules_data::dirty::DirtyData;
+use matchrules_core::relative_key::{RelativeKey, Target};
+use matchrules_core::schema::{AttrId, AttrKind, SchemaPair};
 use matchrules_data::relation::Relation;
 
 /// Builds the §5 cost model with `lt` statistics measured on the data and
@@ -25,88 +27,87 @@ use matchrules_data::relation::Relation;
 /// Lengths are scaled into `\[0, 1\]` (divided by the longest average) so the
 /// three cost terms stay commensurable.
 pub fn cost_model_from_data(
-    setting: &PaperSetting,
-    credit: &Relation,
-    billing: &Relation,
+    sigma: &[MatchingDependency],
+    target: &Target,
+    left: &Relation,
+    right: &Relation,
 ) -> CostModel {
     let mut model = CostModel::uniform();
-    let left_lens = credit.avg_lengths();
-    let right_lens = billing.avg_lengths();
-    let pairs = matchrules_core::rck::pairing(&setting.sigma, &setting.target);
-    let max_len = pairs
-        .iter()
-        .map(|&(l, r)| (left_lens[l] + right_lens[r]) / 2.0)
-        .fold(1.0f64, f64::max);
+    apply_length_stats(&mut model, sigma, target, &left.avg_lengths(), &right.avg_lengths());
+    model
+}
+
+/// Installs scaled `lt` statistics into an existing cost model from
+/// per-attribute average lengths (one entry per schema attribute, as
+/// produced by [`Relation::avg_lengths`]). Shared by
+/// [`cost_model_from_data`] and the engine builder so the normalization
+/// cannot diverge between the two paths.
+pub fn apply_length_stats(
+    model: &mut CostModel,
+    sigma: &[MatchingDependency],
+    target: &Target,
+    left_lens: &[f64],
+    right_lens: &[f64],
+) {
+    let pairs = matchrules_core::rck::pairing(sigma, target);
+    let max_len =
+        pairs.iter().map(|&(l, r)| (left_lens[l] + right_lens[r]) / 2.0).fold(1.0f64, f64::max);
     for (l, r) in pairs {
         let avg = (left_lens[l] + right_lens[r]) / 2.0;
         model.set_stats(l, r, PairStats { avg_len: avg / max_len, accuracy: 1.0 });
     }
-    model
 }
 
 /// Runs findRCKs with data-driven statistics and returns the top `k` keys.
-pub fn top_rcks(setting: &PaperSetting, data: &DirtyData, k: usize) -> Vec<RelativeKey> {
-    let mut cost = cost_model_from_data(setting, &data.credit, &data.billing);
-    find_rcks(&setting.sigma, &setting.target, k, &mut cost).keys
+pub fn top_rcks(
+    sigma: &[MatchingDependency],
+    target: &Target,
+    left: &Relation,
+    right: &Relation,
+    k: usize,
+) -> Vec<RelativeKey> {
+    let mut cost = cost_model_from_data(sigma, target, left, right);
+    find_rcks(sigma, target, k, &mut cost).keys
 }
 
 /// Encoding chosen per attribute kind when turning key atoms into sort/block
 /// fields: names get Soundex, phones/zips digits, the rest standardized
-/// text.
-fn field_for(setting: &PaperSetting, left: AttrId, right: AttrId) -> KeyField {
-    let name = setting.pair.left().attr_name(left);
-    match name {
-        "FN" | "MN" | "LN" => KeyField { left, right, encoding: Encoding::Soundex, prefix: 4 },
+/// text. The kind is read from the *left* schema's metadata (comparable
+/// attributes share semantics by construction).
+pub fn field_for(pair: &SchemaPair, left: AttrId, right: AttrId) -> KeyField {
+    match pair.left().attr_kind(left) {
+        AttrKind::GivenName | AttrKind::Surname => {
+            KeyField { left, right, encoding: Encoding::Soundex, prefix: 4 }
+        }
         // Short prefixes absorb trailing typos — blocking keys must survive
         // the error ladder, not identify tuples.
-        "tel" | "zip" => KeyField { left, right, encoding: Encoding::Digits, prefix: 3 },
+        AttrKind::Phone | AttrKind::Zip => {
+            KeyField { left, right, encoding: Encoding::Digits, prefix: 3 }
+        }
         _ => KeyField { left, right, encoding: Encoding::Standardized, prefix: 4 },
     }
 }
 
-/// The fixed windowing keys used by Exp-2 and Exp-3 ("the same set of
-/// windowing keys were used in these experiments to make the evaluation
-/// fair"): one name/zip pass and one phone/e-mail pass.
-pub fn standard_sort_keys(setting: &PaperSetting) -> Vec<SortKey> {
-    let l = |n: &str| setting.pair.left().attr(n).expect("extended schema");
-    let r = |n: &str| setting.pair.right().attr(n).expect("extended schema");
-    vec![
-        SortKey::new(vec![
-            KeyField::soundex(l("LN"), r("LN")),
-            KeyField::text(l("FN"), r("FN"), 2),
-            KeyField::text(l("zip"), r("zip"), 3),
-        ]),
-        SortKey::new(vec![
-            KeyField::digits(l("tel"), r("phn"), 0),
-            KeyField::text(l("email"), r("email"), 6),
-        ]),
-    ]
-}
-
 /// Sort keys derived from the top RCKs (Exp-4's RCK-based windowing): the
 /// leading atoms of the first two keys become fields.
-pub fn rck_sort_keys(setting: &PaperSetting, rcks: &[RelativeKey]) -> Vec<SortKey> {
+pub fn rck_sort_keys(pair: &SchemaPair, rcks: &[RelativeKey]) -> Vec<SortKey> {
     rcks.iter()
         .take(2)
         .map(|key| {
-            let fields: Vec<KeyField> = key
-                .atoms()
-                .iter()
-                .take(3)
-                .map(|a| field_for(setting, a.left, a.right))
-                .collect();
+            let fields: Vec<KeyField> =
+                key.atoms().iter().take(3).map(|a| field_for(pair, a.left, a.right)).collect();
             SortKey::new(fields)
         })
         .collect()
 }
 
 /// The Exp-4 RCK blocking key: three attributes drawn from the top two
-/// RCKs, name component Soundex-encoded.
-pub fn rck_block_key(setting: &PaperSetting, rcks: &[RelativeKey]) -> SortKey {
+/// RCKs, name components Soundex-encoded.
+pub fn rck_block_key(pair: &SchemaPair, rcks: &[RelativeKey]) -> SortKey {
     let mut fields: Vec<KeyField> = Vec::new();
     for key in rcks.iter().take(2) {
         for atom in key.atoms() {
-            let f = field_for(setting, atom.left, atom.right);
+            let f = field_for(pair, atom.left, atom.right);
             if !fields.iter().any(|x| x.left == f.left && x.right == f.right) {
                 fields.push(f);
             }
@@ -118,19 +119,6 @@ pub fn rck_block_key(setting: &PaperSetting, rcks: &[RelativeKey]) -> SortKey {
     SortKey::new(fields)
 }
 
-/// The Exp-4 manual blocking key: "three attributes manually chosen", one
-/// being the Soundex-encoded name — a plausible expert choice of name +
-/// city + state.
-pub fn manual_block_key(setting: &PaperSetting) -> SortKey {
-    let l = |n: &str| setting.pair.left().attr(n).expect("extended schema");
-    let r = |n: &str| setting.pair.right().attr(n).expect("extended schema");
-    SortKey::new(vec![
-        KeyField::soundex(l("LN"), r("LN")),
-        KeyField::text(l("city"), r("city"), 6),
-        KeyField::text(l("state"), r("state"), 2),
-    ])
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,8 +128,10 @@ mod tests {
     #[test]
     fn cost_model_carries_scaled_lengths() {
         let setting = paper::extended();
-        let data = generate_dirty(&setting, 60, &NoiseConfig { seed: 2, ..Default::default() });
-        let model = cost_model_from_data(&setting, &data.credit, &data.billing);
+        let cfg = NoiseConfig { seed: 2, ..Default::default() };
+        let data = generate_dirty(&setting.pair, &setting.target, 60, &cfg);
+        let model =
+            cost_model_from_data(&setting.sigma, &setting.target, &data.credit, &data.billing);
         let l = |n: &str| setting.pair.left().attr(n).unwrap();
         let r = |n: &str| setting.pair.right().attr(n).unwrap();
         // street values are longer than state values → higher cost.
@@ -153,34 +143,56 @@ mod tests {
     #[test]
     fn top_rcks_produces_keys() {
         let setting = paper::extended();
-        let data = generate_dirty(&setting, 40, &NoiseConfig { seed: 3, ..Default::default() });
-        let rcks = top_rcks(&setting, &data, 5);
+        let cfg = NoiseConfig { seed: 3, ..Default::default() };
+        let data = generate_dirty(&setting.pair, &setting.target, 40, &cfg);
+        let rcks = top_rcks(&setting.sigma, &setting.target, &data.credit, &data.billing, 5);
         assert!(!rcks.is_empty() && rcks.len() <= 5);
     }
 
     #[test]
     fn derived_keys_are_well_formed() {
         let setting = paper::extended();
-        let data = generate_dirty(&setting, 40, &NoiseConfig { seed: 4, ..Default::default() });
-        let rcks = top_rcks(&setting, &data, 5);
-        let sort_keys = rck_sort_keys(&setting, &rcks);
+        let cfg = NoiseConfig { seed: 4, ..Default::default() };
+        let data = generate_dirty(&setting.pair, &setting.target, 40, &cfg);
+        let rcks = top_rcks(&setting.sigma, &setting.target, &data.credit, &data.billing, 5);
+        let sort_keys = rck_sort_keys(&setting.pair, &rcks);
         assert!(!sort_keys.is_empty());
-        let block = rck_block_key(&setting, &rcks);
+        let block = rck_block_key(&setting.pair, &rcks);
         assert!(block.fields().len() <= 3 && !block.fields().is_empty());
-        let manual = manual_block_key(&setting);
-        assert_eq!(manual.fields().len(), 3);
-        assert_eq!(standard_sort_keys(&setting).len(), 2);
     }
 
     #[test]
-    fn name_fields_get_soundex_encoding() {
+    fn encodings_dispatch_on_kind_not_name() {
+        use matchrules_core::schema::{AttrKind, Schema, SchemaPair};
+        use std::sync::Arc;
+        // A schema with *none* of the paper's attribute names.
+        let products = Arc::new(
+            Schema::kinded(
+                "products",
+                &[
+                    ("maker_contact", AttrKind::Phone),
+                    ("brand_owner", AttrKind::Surname),
+                    ("postcode", AttrKind::Zip),
+                    ("blurb", AttrKind::FreeText),
+                ],
+            )
+            .unwrap(),
+        );
+        let pair = SchemaPair::reflexive(products);
+        assert_eq!(field_for(&pair, 0, 0).encoding, Encoding::Digits);
+        assert_eq!(field_for(&pair, 1, 1).encoding, Encoding::Soundex);
+        assert_eq!(field_for(&pair, 2, 2).encoding, Encoding::Digits);
+        assert_eq!(field_for(&pair, 3, 3).encoding, Encoding::Standardized);
+    }
+
+    #[test]
+    fn paper_kinds_reproduce_paper_encodings() {
         let setting = paper::extended();
         let l = setting.pair.left().attr("LN").unwrap();
         let r = setting.pair.right().attr("LN").unwrap();
-        let f = field_for(&setting, l, r);
-        assert_eq!(f.encoding, Encoding::Soundex);
+        assert_eq!(field_for(&setting.pair, l, r).encoding, Encoding::Soundex);
         let lt = setting.pair.left().attr("tel").unwrap();
         let rt = setting.pair.right().attr("phn").unwrap();
-        assert_eq!(field_for(&setting, lt, rt).encoding, Encoding::Digits);
+        assert_eq!(field_for(&setting.pair, lt, rt).encoding, Encoding::Digits);
     }
 }

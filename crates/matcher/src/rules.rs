@@ -10,17 +10,21 @@
 //! and *includes* looser rules that cost precision — the Fig. 10 contrast.
 
 use matchrules_core::dependency::SimilarityAtom;
-use matchrules_core::paper::PaperSetting;
+use matchrules_core::operators::OperatorId;
 use matchrules_core::relative_key::RelativeKey;
+use matchrules_core::schema::SchemaPair;
 
 /// Builds the 25-rule baseline over the extended schemas.
 ///
+/// `pair` must be the extended `(credit, billing)` preset pair and `dl` the
+/// interned `≈d` operator; the rule texts are inherently tied to the
+/// paper's attribute names (they are the *hand-written* baseline).
+///
 /// Rules never mention `c#` or `SSN`: in the fraud-detection task the card
 /// number is the join condition under test, not evidence of identity.
-pub fn hernandez_stolfo_25(setting: &PaperSetting) -> Vec<RelativeKey> {
-    let l = |n: &str| setting.pair.left().attr(n).expect("extended schema attribute");
-    let r = |n: &str| setting.pair.right().attr(n).expect("extended schema attribute");
-    let dl = setting.dl;
+pub fn hernandez_stolfo_25(pair: &SchemaPair, dl: OperatorId) -> Vec<RelativeKey> {
+    let l = |n: &str| pair.left().attr(n).expect("extended schema attribute");
+    let r = |n: &str| pair.right().attr(n).expect("extended schema attribute");
     let eq = |a: &str, b: &str| SimilarityAtom::eq(l(a), r(b));
     let sim = |a: &str, b: &str| SimilarityAtom::new(l(a), r(b), dl);
 
@@ -70,7 +74,7 @@ mod tests {
     #[test]
     fn exactly_25_distinct_rules() {
         let setting = paper::extended();
-        let rules = hernandez_stolfo_25(&setting);
+        let rules = hernandez_stolfo_25(&setting.pair, setting.dl);
         assert_eq!(rules.len(), 25);
         let distinct: HashSet<_> = rules.iter().map(|k| k.atoms().to_vec()).collect();
         assert_eq!(distinct.len(), 25, "rules must be pairwise distinct");
@@ -81,7 +85,7 @@ mod tests {
         let setting = paper::extended();
         let cn = setting.pair.left().attr("c#").unwrap();
         let ssn = setting.pair.left().attr("SSN").unwrap();
-        for rule in hernandez_stolfo_25(&setting) {
+        for rule in hernandez_stolfo_25(&setting.pair, setting.dl) {
             for atom in rule.atoms() {
                 assert_ne!(atom.left, cn, "c# must not appear");
                 assert_ne!(atom.left, ssn, "SSN must not appear");
@@ -92,7 +96,7 @@ mod tests {
     #[test]
     fn rules_are_well_formed_over_the_schemas() {
         let setting = paper::extended();
-        for rule in hernandez_stolfo_25(&setting) {
+        for rule in hernandez_stolfo_25(&setting.pair, setting.dl) {
             assert!(!rule.is_empty());
             assert!(rule.len() <= 4);
             for atom in rule.atoms() {
@@ -104,9 +108,8 @@ mod tests {
     #[test]
     fn rule_set_uses_similarity_operators() {
         let setting = paper::extended();
-        let rules = hernandez_stolfo_25(&setting);
-        let with_sim =
-            rules.iter().filter(|k| k.atoms().iter().any(|a| !a.op.is_eq())).count();
+        let rules = hernandez_stolfo_25(&setting.pair, setting.dl);
+        let with_sim = rules.iter().filter(|k| k.atoms().iter().any(|a| !a.op.is_eq())).count();
         assert!(with_sim >= 8, "expert rules mix equality and similarity");
     }
 }

@@ -144,7 +144,12 @@ mod tests {
     #[test]
     fn snrck_beats_sn25() {
         let setting = paper::extended();
-        let data = generate_dirty(&setting, 300, &NoiseConfig { seed: 31, ..Default::default() });
+        let data = generate_dirty(
+            &setting.pair,
+            &setting.target,
+            300,
+            &NoiseConfig { seed: 31, ..Default::default() },
+        );
         let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
 
         let mut cost = CostModel::uniform();
@@ -152,7 +157,7 @@ mod tests {
         let rck_out = run_sn(&setting, &data, &rcks, &ops);
         let rck_q = evaluate_pairs(&rck_out.pairs, &data.truth);
 
-        let rules25 = hernandez_stolfo_25(&setting);
+        let rules25 = hernandez_stolfo_25(&setting.pair, setting.dl);
         let base_out = run_sn(&setting, &data, &rules25, &ops);
         let base_q = evaluate_pairs(&base_out.pairs, &data.truth);
 
@@ -172,7 +177,7 @@ mod tests {
         let mut cost = CostModel::uniform();
         let rcks = find_rcks(&setting.sigma, &setting.target, 5, &mut cost).keys;
         assert!(rcks.len() <= 5);
-        assert!(hernandez_stolfo_25(&setting).len() == 25);
+        assert!(hernandez_stolfo_25(&setting.pair, setting.dl).len() == 25);
     }
 
     #[test]

@@ -117,10 +117,7 @@ mod tests {
     fn tuple(values: &[&str]) -> Tuple {
         Tuple::new(
             0,
-            values
-                .iter()
-                .map(|s| if s.is_empty() { Value::Null } else { Value::str(s) })
-                .collect(),
+            values.iter().map(|s| if s.is_empty() { Value::Null } else { Value::str(s) }).collect(),
         )
     }
 

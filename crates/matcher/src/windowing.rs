@@ -93,12 +93,10 @@ mod tests {
         let (setting, inst) = fig1::setting_and_instance();
         let pairs = window_candidates(inst.left(), inst.right(), &ln_key(&setting), 4);
         // t1 (Clifford) must meet t3/t4 (Clifford) in a width-4 window.
-        assert!(pairs.contains(&(0, inst
-            .right()
-            .tuples()
-            .iter()
-            .position(|t| t.id() == fig1::ids::T3)
-            .unwrap())));
+        assert!(pairs.contains(&(
+            0,
+            inst.right().tuples().iter().position(|t| t.id() == fig1::ids::T3).unwrap()
+        )));
         // All pairs are cross-relation, within range.
         for (c, b) in &pairs {
             assert!(*c < inst.left().len());

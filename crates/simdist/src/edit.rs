@@ -277,8 +277,8 @@ mod tests {
         assert!(dl_matches("Mark", "Marx", 0.75)); // 1 <= 0.25*4
         assert!(!dl_matches("Mark", "Marx", 0.8)); // 1 > 0.2*4 = 0.8
         assert!(dl_matches("Clifford", "Cliford", 0.8)); // dl=1 <= floor(1.6)
-        // dl("Clifford","Clivord") = 2 > floor(0.2*8) = 1, so θ=0.8 rejects it
-        // but the looser θ=0.7 of the paper's ≈d examples accepts it:
+                                                         // dl("Clifford","Clivord") = 2 > floor(0.2*8) = 1, so θ=0.8 rejects it
+                                                         // but the looser θ=0.7 of the paper's ≈d examples accepts it:
         assert!(!dl_matches("Clifford", "Clivord", 0.8));
         assert!(dl_matches("Clifford", "Clivord", 0.7));
         assert!(dl_matches("", "", 0.8));

@@ -84,12 +84,7 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 /// Jaro–Winkler with an explicit prefix scale `p ∈ [0, 0.25]`.
 pub fn jaro_winkler_with(a: &str, b: &str, p: f64) -> f64 {
     let base = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     base + prefix as f64 * p * (1.0 - base)
 }
 

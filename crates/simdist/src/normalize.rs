@@ -38,9 +38,7 @@ pub fn normalize_ws(s: &str) -> String {
 /// assert_eq!(strip_punct("O'Brien, Jr."), "OBrien Jr");
 /// ```
 pub fn strip_punct(s: &str) -> String {
-    s.chars()
-        .filter(|c| c.is_alphanumeric() || c.is_whitespace())
-        .collect()
+    s.chars().filter(|c| c.is_alphanumeric() || c.is_whitespace()).collect()
 }
 
 /// Extracts only the ASCII digits of a string; the canonical form for phone

@@ -283,10 +283,7 @@ impl SynonymOp {
         let mut classes = HashMap::new();
         for (class_id, group) in groups.into_iter().enumerate() {
             for value in group {
-                classes.insert(
-                    crate::normalize::normalize_ws(value.as_ref()),
-                    class_id as u32,
-                );
+                classes.insert(crate::normalize::normalize_ws(value.as_ref()), class_id as u32);
             }
         }
         SynonymOp { name: name.to_owned(), classes, inner: None }
@@ -437,7 +434,8 @@ mod tests {
 
     #[test]
     fn generic_axioms_on_samples() {
-        let samples = ["", "Mark", "Marx", "Clifford", "10 Oak Street, MH, NJ 07974", "908-111-1111"];
+        let samples =
+            ["", "Mark", "Marx", "Clifford", "10 Oak Street, MH, NJ 07974", "908-111-1111"];
         for op in all_standard_ops() {
             for a in samples {
                 // reflexive
@@ -474,7 +472,8 @@ mod tests {
 
     #[test]
     fn synonym_groups_and_fallback() {
-        let op = SynonymOp::from_groups("≈country", [["USA", "United States", "U.S.A."].as_slice()]);
+        let op =
+            SynonymOp::from_groups("≈country", [["USA", "United States", "U.S.A."].as_slice()]);
         // Punctuation is NOT stripped by normalize_ws, so "U.S.A." only
         // matches literally:
         assert!(op.matches("usa", "United  STATES"));

@@ -16,11 +16,8 @@
 /// assert_eq!(soundex("12345"), None);
 /// ```
 pub fn soundex(name: &str) -> Option<String> {
-    let letters: Vec<char> = name
-        .chars()
-        .filter(|c| c.is_ascii_alphabetic())
-        .map(|c| c.to_ascii_uppercase())
-        .collect();
+    let letters: Vec<char> =
+        name.chars().filter(|c| c.is_ascii_alphabetic()).map(|c| c.to_ascii_uppercase()).collect();
     let first = *letters.first()?;
     let mut code = String::with_capacity(4);
     code.push(first);

@@ -62,11 +62,8 @@ impl QgramProfile {
 
     /// Multiset intersection size with another profile.
     pub fn intersection(&self, other: &Self) -> usize {
-        let (small, large) = if self.grams.len() <= other.grams.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
+        let (small, large) =
+            if self.grams.len() <= other.grams.len() { (self, other) } else { (other, self) };
         small
             .grams
             .iter()

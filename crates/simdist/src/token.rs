@@ -63,11 +63,7 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
     }
     let dir = |xs: &[String], ys: &[String]| -> f64 {
         xs.iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| levenshtein_similarity(x, y))
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|x| ys.iter().map(|y| levenshtein_similarity(x, y)).fold(0.0f64, f64::max))
             .sum::<f64>()
             / xs.len() as f64
     };

@@ -1,29 +1,37 @@
 //! Census-style statistical matching: Fellegi–Sunter with EM, comparing
-//! the EM-picked equality comparison vector against the RCK-derived one
-//! (§6.2 Exp-2).
+//! the EM-picked equality comparison vector against the plan's RCK-derived
+//! one (§6.2 Exp-2), with candidates from the engine's windowing.
 //!
 //! Run with: `cargo run --release --example census_dedup`
 
-use matchrules::core::paper;
 use matchrules::data::dirty::{generate_dirty, NoiseConfig};
-use matchrules::data::eval::{paper_registry, RuntimeOps};
+use matchrules::engine::preset::standard_sort_keys;
+use matchrules::engine::Preset;
 use matchrules::matcher::fellegi_sunter::{
     equality_comparison_vector, rck_comparison_vector, FsConfig, FsMatcher,
 };
 use matchrules::matcher::metrics::evaluate_pairs;
-use matchrules::matcher::pipeline::{standard_sort_keys, top_rcks};
 use matchrules::matcher::windowing::multi_pass_window;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const RECORDS: usize = 3_000;
-    let setting = paper::extended();
-    let data =
-        generate_dirty(&setting, RECORDS, &NoiseConfig { seed: 0xCE45, ..Default::default() });
-    let ops = RuntimeOps::resolve(&setting.ops, &paper_registry())?;
+    // Shape-only compile: top_k(0) skips the RCK enumeration, we only
+    // need the preset's schema pair and target to generate data.
+    let shape = Preset::Extended.builder().top_k(0).compile()?;
+    let data = generate_dirty(
+        shape.pair(),
+        shape.target(),
+        RECORDS,
+        &NoiseConfig { seed: 0xCE45, ..Default::default() },
+    );
+    let engine =
+        Preset::Extended.builder().top_k(5).statistics_from(&data.credit, &data.billing).build()?;
+    let plan = engine.plan();
+    let ops = engine.runtime();
 
     // Candidate pairs from windowing (window 10, shared keys for fairness).
     let candidates =
-        multi_pass_window(&data.credit, &data.billing, &standard_sort_keys(&setting), 10);
+        multi_pass_window(&data.credit, &data.billing, &standard_sort_keys(plan.pair()), 10);
     println!(
         "{} candidate pairs from windowing ({} x {} total)",
         candidates.len(),
@@ -34,17 +42,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Baseline: equality comparison vector over the identity lists.
     let fs = FsMatcher::fit(
-        equality_comparison_vector(&setting.target),
+        equality_comparison_vector(plan.target()),
         &data.credit,
         &data.billing,
         &candidates,
-        &ops,
+        ops,
         &cfg,
     );
-    let fs_pairs = fs.classify(&data.credit, &data.billing, &candidates, &ops);
+    let fs_pairs = fs.classify(&data.credit, &data.billing, &candidates, ops);
     let fs_q = evaluate_pairs(&fs_pairs, &data.truth);
     println!("\nFS   (equality vector, {} fields):", fs.fields().len());
-    println!("  precision {:.3}  recall {:.3}  F1 {:.3}", fs_q.precision(), fs_q.recall(), fs_q.f1());
+    println!(
+        "  precision {:.3}  recall {:.3}  F1 {:.3}",
+        fs_q.precision(),
+        fs_q.recall(),
+        fs_q.f1()
+    );
     let powers = fs.model().field_powers();
     let best = fs.model().top_fields(3);
     println!(
@@ -52,27 +65,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.iter()
             .map(|&i| {
                 let atom = fs.fields()[i];
-                format!(
-                    "{} ({:.1} bits)",
-                    setting.pair.left().attr_name(atom.left),
-                    powers[i]
-                )
+                format!("{} ({:.1} bits)", plan.pair().left().attr_name(atom.left), powers[i])
             })
             .collect::<Vec<_>>()
             .join(", ")
     );
 
-    // RCK comparison vector: the union of the top-5 deduced keys.
-    let rcks = top_rcks(&setting, &data, 5);
+    // RCK comparison vector: the union of the plan's top-5 deduced keys.
     let fs_rck = FsMatcher::fit(
-        rck_comparison_vector(&rcks),
+        rck_comparison_vector(plan.rcks()),
         &data.credit,
         &data.billing,
         &candidates,
-        &ops,
+        ops,
         &cfg,
     );
-    let rck_pairs = fs_rck.classify(&data.credit, &data.billing, &candidates, &ops);
+    let rck_pairs = fs_rck.classify(&data.credit, &data.billing, &candidates, ops);
     let rck_q = evaluate_pairs(&rck_pairs, &data.truth);
     println!("\nFSrck (union of top-5 RCKs, {} fields):", fs_rck.fields().len());
     println!(

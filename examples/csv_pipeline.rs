@@ -1,21 +1,16 @@
-//! Loading external data: CSV in, matches out.
+//! Loading external data: CSV in, matches out — on a schema the paper has
+//! never seen.
 //!
 //! Demonstrates the adoption path for a downstream user with their own
-//! files — parse CSV into relations, declare MDs in the textual syntax,
-//! deduce keys, match, and export the linked pairs back to CSV.
+//! files: declare schemas with [`AttrKind`] metadata, parse CSV into
+//! relations, declare MDs in the textual syntax, compile the engine once,
+//! match, and export the linked pairs back to CSV.
 //!
 //! Run with: `cargo run --release --example csv_pipeline`
 
-use matchrules::core::cost::CostModel;
-use matchrules::core::operators::OperatorTable;
-use matchrules::core::parser::parse_md_set;
-use matchrules::core::rck::find_rcks;
-use matchrules::core::relative_key::Target;
-use matchrules::core::schema::{Schema, SchemaPair};
+use matchrules::core::schema::{AttrKind, Schema};
 use matchrules::data::csv::{read_relation, write_relation};
-use matchrules::data::eval::{paper_registry, RuntimeOps};
-use matchrules::matcher::key::KeyMatcher;
-use std::sync::Arc;
+use matchrules::engine::EngineBuilder;
 
 const CRM_CSV: &str = "\
 name,surname,street,zip,phone,email
@@ -33,52 +28,61 @@ Laura,Chen,\"4 Mpale Avenue\",10001,,lchen@web.com
 ";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Schemas for the two files — note the different attribute names.
-    let crm = Arc::new(Schema::text(
+    // 1. Schemas for the two files — note the different attribute names,
+    //    with per-attribute kinds replacing any name conventions.
+    let crm = Schema::kinded(
         "crm",
-        &["name", "surname", "street", "zip", "phone", "email"],
-    )?);
-    let orders = Arc::new(Schema::text(
+        &[
+            ("name", AttrKind::GivenName),
+            ("surname", AttrKind::Surname),
+            ("street", AttrKind::Street),
+            ("zip", AttrKind::Zip),
+            ("phone", AttrKind::Phone),
+            ("email", AttrKind::Email),
+        ],
+    )?;
+    let orders = Schema::kinded(
         "orders",
-        &["recipient", "family", "address", "postcode", "contact", "mail"],
-    )?);
-    let pair = SchemaPair::new(crm.clone(), orders.clone());
+        &[
+            ("recipient", AttrKind::GivenName),
+            ("family", AttrKind::Surname),
+            ("address", AttrKind::Street),
+            ("postcode", AttrKind::Zip),
+            ("contact", AttrKind::Phone),
+            ("mail", AttrKind::Email),
+        ],
+    )?;
 
-    // 2. Load the CSV documents.
-    let crm_rel = read_relation(crm, CRM_CSV)?;
-    let orders_rel = read_relation(orders, ORDERS_CSV)?;
+    // 2. Compile the matching knowledge once.
+    let engine = EngineBuilder::new()
+        .schemas(crm, orders)
+        .md_text(
+            "crm[surname] = orders[family] /\\ crm[street] ~d orders[address] /\\ \
+             crm[name] ~d orders[recipient] -> \
+               crm[name,surname,street,zip,phone] <=> orders[recipient,family,address,postcode,contact]\n\
+             crm[phone] = orders[contact] -> crm[street,zip] <=> orders[address,postcode]\n\
+             crm[email] = orders[mail] -> crm[name,surname] <=> orders[recipient,family]\n",
+        )
+        .target(
+            &["name", "surname", "street", "zip", "phone"],
+            &["recipient", "family", "address", "postcode", "contact"],
+        )
+        .top_k(8)
+        .build()?;
+    println!("{}", engine.plan().describe());
+
+    // 3. Load the CSV documents against the compiled schemas.
+    let crm_rel = read_relation(engine.plan().pair().left().clone(), CRM_CSV)?;
+    let orders_rel = read_relation(engine.plan().pair().right().clone(), ORDERS_CSV)?;
     println!("loaded {} CRM rows, {} order rows", crm_rel.len(), orders_rel.len());
 
-    // 3. Declare the matching knowledge and deduce keys.
-    let mut ops = OperatorTable::new();
-    let sigma = parse_md_set(
-        "crm[surname] = orders[family] /\\ crm[street] ~d orders[address] /\\ \
-         crm[name] ~d orders[recipient] -> \
-           crm[name,surname,street,zip,phone] <=> orders[recipient,family,address,postcode,contact]\n\
-         crm[phone] = orders[contact] -> crm[street,zip] <=> orders[address,postcode]\n\
-         crm[email] = orders[mail] -> crm[name,surname] <=> orders[recipient,family]\n",
-        &pair,
-        &mut ops,
-    )?;
-    let target = Target::by_names(
-        &pair,
-        &["name", "surname", "street", "zip", "phone"],
-        &["recipient", "family", "address", "postcode", "contact"],
-    )?;
-    let mut cost = CostModel::uniform();
-    let keys = find_rcks(&sigma, &target, 8, &mut cost);
-    println!("deduced {} keys (complete: {})", keys.keys.len(), keys.complete);
-
     // 4. Match and print the linked pairs as CSV.
-    let runtime = RuntimeOps::resolve(&ops, &paper_registry())?;
-    let matcher = KeyMatcher::new(keys.keys.iter(), &runtime);
+    let report = engine.match_all(&crm_rel, &orders_rel)?;
     println!("\ncrm_row,order_row,crm_name,order_recipient");
-    for (ci, ct) in crm_rel.tuples().iter().enumerate() {
-        for (oi, ot) in orders_rel.tuples().iter().enumerate() {
-            if matcher.matches(ct, ot) {
-                println!("{ci},{oi},{} {},{} {}", ct.get(0), ct.get(1), ot.get(0), ot.get(1));
-            }
-        }
+    for m in report.pairs() {
+        let ct = &crm_rel.tuples()[m.left];
+        let ot = &orders_rel.tuples()[m.right];
+        println!("{},{},{} {},{} {}", m.left, m.right, ct.get(0), ct.get(1), ot.get(0), ot.get(1));
     }
 
     // 5. Relations round-trip back to CSV for downstream tools.

@@ -1,57 +1,52 @@
 //! Deduplication within a single relation using the reflexive schema pair
-//! `(R, R)` — the merge/purge setting of [20], with MDs doing the rule
-//! work. Shows Example 2.3/3.1's `(R, R)` formulation on real tuples.
+//! `(R, R)` — the merge/purge setting of \[20\], with MDs doing the rule
+//! work and the engine's `dedup` method clustering the matches.
 //!
 //! Run with: `cargo run --release --example dedup_single_relation`
 
-use matchrules::core::cost::CostModel;
-use matchrules::core::operators::OperatorTable;
-use matchrules::core::parser::parse_md_set;
-use matchrules::core::rck::find_rcks;
-use matchrules::core::relative_key::Target;
-use matchrules::core::schema::{Schema, SchemaPair};
-use matchrules::data::eval::{paper_registry, RuntimeOps};
+use matchrules::core::schema::{AttrKind, Schema};
 use matchrules::data::relation::Relation;
-use matchrules::data::unionfind::UnionFind;
-use matchrules::matcher::key::KeyMatcher;
-use std::sync::Arc;
+use matchrules::engine::EngineBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let contacts = Arc::new(Schema::text(
+    let contacts = Schema::kinded(
         "contacts",
-        &["name", "surname", "street", "zip", "phone", "email"],
-    )?);
-    let pair = SchemaPair::reflexive(contacts.clone());
+        &[
+            ("name", AttrKind::GivenName),
+            ("surname", AttrKind::Surname),
+            ("street", AttrKind::Street),
+            ("zip", AttrKind::Zip),
+            ("phone", AttrKind::Phone),
+            ("email", AttrKind::Email),
+        ],
+    )?;
 
     // Dedup rules: same phone fixes the address; same email fixes the name;
     // surname + street + similar name is a match for the whole record.
-    let mut ops = OperatorTable::new();
-    let sigma = parse_md_set(
-        "contacts[phone] = contacts[phone] -> \
-           contacts[street,zip] <=> contacts[street,zip]\n\
-         contacts[email] = contacts[email] -> \
-           contacts[name,surname] <=> contacts[name,surname]\n\
-         contacts[surname] = contacts[surname] /\\ contacts[street] ~d contacts[street] /\\ \
-         contacts[name] ~d contacts[name] -> \
-           contacts[name,surname,street,zip,phone] <=> contacts[name,surname,street,zip,phone]\n",
-        &pair,
-        &mut ops,
-    )?;
-
-    let target = Target::by_names(
-        &pair,
-        &["name", "surname", "street", "zip", "phone"],
-        &["name", "surname", "street", "zip", "phone"],
-    )?;
-    let mut cost = CostModel::uniform();
-    let keys = find_rcks(&sigma, &target, 8, &mut cost);
+    let engine = EngineBuilder::new()
+        .dedup_schema(contacts)
+        .md_text(
+            "contacts[phone] = contacts[phone] -> \
+               contacts[street,zip] <=> contacts[street,zip]\n\
+             contacts[email] = contacts[email] -> \
+               contacts[name,surname] <=> contacts[name,surname]\n\
+             contacts[surname] = contacts[surname] /\\ contacts[street] ~d contacts[street] /\\ \
+             contacts[name] ~d contacts[name] -> \
+               contacts[name,surname,street,zip,phone] <=> contacts[name,surname,street,zip,phone]\n",
+        )
+        .target(
+            &["name", "surname", "street", "zip", "phone"],
+            &["name", "surname", "street", "zip", "phone"],
+        )
+        .top_k(8)
+        .build()?;
     println!("Deduced dedup keys:");
-    for key in &keys.keys {
-        println!("  {}", key.display(&pair, &ops));
+    for key in engine.plan().rcks() {
+        println!("  {}", key.display(engine.plan().pair(), engine.plan().ops()));
     }
 
     // A messy address book.
-    let mut book = Relation::new(contacts);
+    let mut book = Relation::new(engine.plan().pair().left().clone());
     book.push_strs(0, &["Anna", "Kovacs", "12 Birch Lane", "07974", "908-5551234", "ak@mail.com"]);
     book.push_strs(1, &["Ana", "Kovacs", "12 Birch Lne", "07974", "", "anna.k@web.com"]);
     book.push_strs(2, &["A.", "Kovacs", "", "", "908-5551234", "ak@mail.com"]);
@@ -59,20 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     book.push_strs(4, &["Bella", "Nagy", "7 Cedar Crt", "07976", "", "bn@mail.com"]);
     book.push_strs(5, &["Carl", "Weiss", "3 Elm Street", "10001", "212-5550000", "cw@mail.com"]);
 
-    // Pairwise matching (i < j) + union-find clustering.
-    let runtime = RuntimeOps::resolve(&ops, &paper_registry())?;
-    let matcher = KeyMatcher::new(keys.keys.iter(), &runtime);
-    let mut clusters = UnionFind::new(book.len());
-    for i in 0..book.len() {
-        for j in (i + 1)..book.len() {
-            if matcher.matches(&book.tuples()[i], &book.tuples()[j]) {
-                clusters.union(i, j);
-            }
-        }
-    }
-
-    println!("\nClusters:");
-    for group in clusters.groups() {
+    // Windowed pairwise matching + transitive closure, in one call.
+    let outcome = engine.dedup(&book)?;
+    println!("\nClusters ({}):", outcome.report);
+    for group in &outcome.clusters {
         let names: Vec<String> = group
             .iter()
             .map(|&i| {
@@ -82,10 +67,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         println!("  {}", names.join("  |  "));
     }
-    println!(
-        "\n{} records -> {} entities",
-        book.len(),
-        clusters.class_count()
-    );
+    println!("\n{} records -> {} entities", book.len(), outcome.entity_count());
     Ok(())
 }

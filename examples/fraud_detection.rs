@@ -1,42 +1,46 @@
-//! Payment-fraud screening — the paper's §1 motivating scenario at scale.
+//! Payment-fraud screening — the paper's §1 motivating scenario at scale,
+//! run through the engine API.
 //!
 //! A bank cross-checks billing records against card-holder master data: a
-//! billing tuple whose `c#` exists in `credit` but whose holder attributes
-//! do NOT match any identity key is suspicious. This example generates a
-//! noisy workload, derives RCKs from the 7 §6 MDs, screens every billing
-//! record, and reports precision/recall of the screening.
+//! billing tuple whose holder attributes do NOT match any identity key is
+//! suspicious. This example generates a noisy workload, compiles the
+//! `Extended` preset into a plan (top-5 RCKs), screens every billing
+//! record with the engine, and reports precision/recall of the screening.
 //!
 //! Run with: `cargo run --release --example fraud_detection`
 
-use matchrules::core::paper;
 use matchrules::data::dirty::{generate_dirty, NoiseConfig};
-use matchrules::data::eval::{paper_registry, RuntimeOps};
-use matchrules::matcher::key::KeyMatcher;
-use matchrules::matcher::pipeline::{standard_sort_keys, top_rcks};
-use matchrules::matcher::sorted_neighborhood::{sorted_neighborhood, SnConfig};
+use matchrules::engine::Preset;
 use std::collections::HashSet;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const HOLDERS: usize = 2_000;
-    let setting = paper::extended();
-    let data = generate_dirty(&setting, HOLDERS, &NoiseConfig { seed: 0xF4A0D, ..Default::default() });
-    let ops = RuntimeOps::resolve(&setting.ops, &paper_registry())?;
+    // Shape-only compile: top_k(0) skips the RCK enumeration, we only
+    // need the preset's schema pair and target to generate data.
+    let shape = Preset::Extended.builder().top_k(0).compile()?;
+    let data = generate_dirty(
+        shape.pair(),
+        shape.target(),
+        HOLDERS,
+        &NoiseConfig { seed: 0xF4A0D, ..Default::default() },
+    );
 
-    // Compile time: derive the matching keys once from the MDs.
-    let rcks = top_rcks(&setting, &data, 5);
-    println!("Derived {} RCKs from {} MDs:", rcks.len(), setting.sigma.len());
-    for key in &rcks {
-        println!("  {}", key.display(&setting.pair, &setting.ops));
+    // Compile time: derive the matching keys once from the MDs, with cost
+    // statistics calibrated on the instances.
+    let engine =
+        Preset::Extended.builder().top_k(5).statistics_from(&data.credit, &data.billing).build()?;
+    let plan = engine.plan();
+    println!("Derived {} RCKs from {} MDs:", plan.rcks().len(), plan.sigma().len());
+    for key in plan.rcks() {
+        println!("  {}", key.display(plan.pair(), plan.ops()));
     }
 
     // Run time: link every billing record to a card holder.
-    let matcher = KeyMatcher::new(rcks.iter(), &ops);
-    let cfg = SnConfig { window: 10, keys: standard_sort_keys(&setting) };
-    let outcome = sorted_neighborhood(&data.credit, &data.billing, &matcher, &cfg);
+    let report = engine.match_pairs(&data.credit, &data.billing)?;
 
-    // A billing record is *cleared* when it links to the holder whose card
-    // it charges; otherwise it goes to fraud review.
-    let linked: HashSet<usize> = outcome.pairs.iter().map(|&(_, b)| b).collect();
+    // A billing record is *cleared* when it links to a holder; otherwise it
+    // goes to fraud review.
+    let linked: HashSet<usize> = report.pairs().iter().map(|m| m.right).collect();
     let flagged = data.billing.len() - linked.len();
     println!(
         "\nScreened {} billing records against {} card holders:",
@@ -45,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  {} cleared, {} sent to review", linked.len(), flagged);
 
-    let q = matchrules::matcher::metrics::evaluate_pairs(&outcome.pairs, &data.truth);
+    let q = report.score(&data.truth);
     println!(
         "  linkage precision {:.3}, recall {:.3}, F1 {:.3}",
         q.precision(),
@@ -53,10 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         q.f1()
     );
     println!(
-        "  ({} window comparisons for {} x {} possible pairs)",
-        outcome.comparisons,
+        "  ({} window comparisons for {} x {} possible pairs, {:.1}% skipped)",
+        report.comparisons(),
         data.credit.len(),
-        data.billing.len()
+        data.billing.len(),
+        report.reduction_ratio() * 100.0,
     );
     Ok(())
 }

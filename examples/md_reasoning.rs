@@ -1,23 +1,24 @@
 //! A tour of MD reasoning: dynamic semantics, deduction vs implication,
 //! the MDClosure trace of Example 4.1, and enforcement to a stable
-//! instance (Figures 2 and 3 of the paper).
+//! instance (Figures 2 and 3 of the paper) — driven through the engine's
+//! compiled plan instead of raw paper internals.
 //!
 //! Run with: `cargo run --release --example md_reasoning`
 
 use matchrules::core::deduction::{closure_for, deduces};
 use matchrules::core::operators::OperatorTable;
-use matchrules::core::paper;
 use matchrules::core::parser::parse_md_set;
 use matchrules::core::schema::{Schema, SchemaPair};
-use matchrules::data::enforce::{enforce, is_stable, satisfies};
+use matchrules::data::enforce::{is_stable, satisfies};
 use matchrules::data::eval::{paper_registry, RuntimeOps};
 use matchrules::data::fig1;
 use matchrules::data::relation::{InstancePair, Relation};
+use matchrules::engine::Preset;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     example_3_1_deduction_vs_implication()?;
-    example_4_1_closure_trace();
+    example_4_1_closure_trace()?;
     figure_2_enforcement()?;
     Ok(())
 }
@@ -45,55 +46,58 @@ fn example_3_1_deduction_vs_implication() -> Result<(), Box<dyn std::error::Erro
     let mut i2 = Relation::new(pair.right().clone());
     i2.push_strs(2, &["a", "b2", "c2"]);
     let d0 = InstancePair::new(pair, i1, i2);
-    let outcome = enforce(&d0, &sigma, &ops);
+    let outcome = matchrules::data::enforce::enforce(&d0, &sigma, &ops);
     println!(
         "  chase: {} merges in {} rounds; result stable: {}",
         outcome.merges,
         outcome.rounds,
         is_stable(&outcome.result, &sigma, &ops)
     );
-    println!(
-        "  (D0, D2) |= psi3: {}",
-        satisfies(&d0, &outcome.result, &psi3, &ops)
-    );
+    println!("  (D0, D2) |= psi3: {}", satisfies(&d0, &outcome.result, &psi3, &ops));
     println!("  s1 in D2: {:?}", outcome.result.left().tuples()[0].values());
     println!("  s2 in D2: {:?}\n", outcome.result.right().tuples()[0].values());
     Ok(())
 }
 
-/// Example 4.1: the MDClosure run deducing rck4 from Σc, with its trace.
-fn example_4_1_closure_trace() {
+/// Example 4.1: the MDClosure run deducing rck4 from Σc, with its trace —
+/// everything read off the compiled plan.
+fn example_4_1_closure_trace() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Example 4.1: MDClosure deduces rck4 ==");
-    let setting = paper::example_1_1();
-    let rck4 = paper::example_2_4_rcks(&setting).remove(3);
-    let phi = rck4.to_md(&setting.target);
-    println!("  candidate: {}", phi.display(&setting.pair, &setting.ops));
-    let closure = closure_for(&setting.sigma, &phi);
+    let plan = Preset::Example11.builder().top_k(10).compile()?;
+    // rck4 = ([email, tel], [email, phn] || [=, =]) — the shortest plan key.
+    let rck4 = plan.rcks().iter().min_by_key(|k| k.len()).expect("plan has keys");
+    let phi = rck4.to_md(plan.target());
+    println!("  candidate: {}", phi.display(plan.pair(), plan.ops()));
+    let closure = closure_for(plan.sigma(), &phi);
     println!("  fired MDs (by Σc index, normal-form steps): {:?}", closure.fired());
     println!("  deduced facts:");
     for fact in closure.facts() {
         println!(
             "    {} {} {}",
-            setting.pair.display_ref(fact.a),
-            setting.ops.name(fact.op),
-            setting.pair.display_ref(fact.b),
+            plan.pair().display_ref(fact.a),
+            plan.ops().name(fact.op),
+            plan.pair().display_ref(fact.b),
         );
     }
-    println!("  Sigma_c |=m rck4?  {}\n", deduces(&setting.sigma, &phi));
+    println!("  Sigma_c |=m rck4?  {}\n", deduces(plan.sigma(), &phi));
+    Ok(())
 }
 
-/// Figure 2: enforcing ϕ2 on the Fig. 1 instance identifies t1[addr] with
-/// t4[post].
+/// Figure 2: enforcing the plan's MDs on the Fig. 1 instance identifies
+/// t1[addr] with t4[post] (ϕ2 fires on the shared phone) —
+/// `MatchEngine::enforce` is the chase.
 fn figure_2_enforcement() -> Result<(), Box<dyn std::error::Error>> {
-    println!("== Figure 2: enforcing phi2 on Fig. 1 ==");
-    let (setting, instance) = fig1::setting_and_instance();
-    let ops = RuntimeOps::resolve(&setting.ops, &paper_registry())?;
-    let phi2 = &setting.sigma[1];
-    println!("  rule: {}", phi2.display(&setting.pair, &setting.ops));
-    let addr = setting.pair.left().attr("addr")?;
-    let post = setting.pair.right().attr("post")?;
+    println!("== Figure 2: enforcing Sigma_c on Fig. 1 ==");
+    let engine = Preset::Example11.builder().build()?;
+    let plan = engine.plan();
+    let instance = fig1::instance_for_pair(plan.pair());
+    let phi2 = &plan.sigma()[1];
+    println!("  key rule: {}", phi2.display(plan.pair(), plan.ops()));
+    // ϕ2's RHS pair is exactly the (addr, post) identification.
+    let ident = phi2.rhs()[0];
+    let (addr, post) = (ident.left, ident.right);
     let before = instance.right().by_id(fig1::ids::T4).unwrap().get(post).clone();
-    let outcome = enforce(&instance, std::slice::from_ref(phi2), &ops);
+    let outcome = engine.enforce(&instance);
     let after = outcome.result.right().by_id(fig1::ids::T4).unwrap().get(post).clone();
     let t1_addr = outcome.result.left().by_id(fig1::ids::T1).unwrap().get(addr).clone();
     println!("  t4[post] before: {before}");

@@ -1,76 +1,36 @@
-//! Quickstart: declare MDs, deduce RCKs, and match the paper's Fig. 1 data.
+//! Quickstart: compile the paper's Example 1.1 preset into a match plan,
+//! inspect the deduced RCKs, and run the engine on the Fig. 1 instance.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use matchrules::core::cost::CostModel;
-use matchrules::core::parser::parse_md_set;
-use matchrules::core::rck::find_rcks;
-use matchrules::core::relative_key::Target;
-use matchrules::core::schema::{Schema, SchemaPair};
-use matchrules::data::eval::{paper_registry, RuntimeOps};
 use matchrules::data::fig1;
-use matchrules::matcher::key::KeyMatcher;
-use std::sync::Arc;
+use matchrules::engine::Preset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Schemas: two unreliable sources describing card holders.
-    let credit = Arc::new(Schema::text(
-        "credit",
-        &["c#", "SSN", "FN", "LN", "addr", "tel", "email", "gender", "type"],
-    )?);
-    let billing = Arc::new(Schema::text(
-        "billing",
-        &["c#", "FN", "LN", "post", "phn", "email", "gender", "item", "price"],
-    )?);
-    let pair = SchemaPair::new(credit, billing);
+    // 1. Compile once: schemas + MDs + target -> closure -> RCKs -> plan.
+    let engine = Preset::Example11.builder().top_k(10).build()?;
+    let plan = engine.plan();
 
-    // 2. Matching dependencies — domain knowledge as rules (Example 2.1).
-    let mut ops = matchrules::core::operators::OperatorTable::new();
-    let sigma = parse_md_set(
-        "credit[LN] = billing[LN] /\\ credit[addr] = billing[post] /\\ \
-         credit[FN] ~d billing[FN] -> \
-         credit[FN,LN,addr,tel,gender] <=> billing[FN,LN,post,phn,gender]\n\
-         credit[tel] = billing[phn] -> credit[addr] <=> billing[post]\n\
-         credit[email] = billing[email] -> credit[FN,LN] <=> billing[FN,LN]\n",
-        &pair,
-        &mut ops,
-    )?;
     println!("Given MDs:");
-    for md in &sigma {
-        println!("  {}", md.display(&pair, &ops));
+    for md in plan.sigma() {
+        println!("  {}", md.display(plan.pair(), plan.ops()));
     }
+    println!("\nCompiled plan:\n{}", plan.describe());
 
-    // 3. Deduce relative candidate keys for identifying card holders.
-    let target = Target::by_names(
-        &pair,
-        &["FN", "LN", "addr", "tel", "gender"],
-        &["FN", "LN", "post", "phn", "gender"],
-    )?;
-    let mut cost = CostModel::uniform();
-    let outcome = find_rcks(&sigma, &target, 10, &mut cost);
-    println!("\nDeduced RCKs (complete: {}):", outcome.complete);
-    for key in &outcome.keys {
-        println!("  {}", key.display(&pair, &ops));
-    }
-
-    // 4. Match the Fig. 1 instance with the union of the deduced keys.
-    let setting = matchrules::core::paper::example_1_1();
-    let instance = fig1::instance(&setting);
-    let runtime = RuntimeOps::resolve(&ops, &paper_registry())?;
-    let matcher = KeyMatcher::new(outcome.keys.iter(), &runtime);
-    println!("\nMatches on the Fig. 1 instance:");
-    for ct in instance.left().tuples() {
-        for bt in instance.right().tuples() {
-            if matcher.matches(ct, bt) {
-                println!(
-                    "  credit t{} <-> billing t{}  ({} {})",
-                    ct.id(),
-                    bt.id(),
-                    ct.get(2),
-                    ct.get(3),
-                );
-            }
-        }
+    // 2. Run anywhere: the Fig. 1 instance of the plan's schema pair.
+    let instance = fig1::instance_for_pair(plan.pair());
+    let report = engine.match_all(instance.left(), instance.right())?;
+    println!("Matches on the Fig. 1 instance ({report}):");
+    for m in report.pairs() {
+        let ct = &instance.left().tuples()[m.left];
+        println!(
+            "  credit t{} <-> billing t{}  (via key #{}: {})",
+            m.left_id,
+            m.right_id,
+            m.key + 1,
+            plan.rcks()[m.key].display(plan.pair(), plan.ops()),
+        );
+        let _ = ct;
     }
     Ok(())
 }

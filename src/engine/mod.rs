@@ -1,0 +1,35 @@
+//! The schema-agnostic match engine: **compile once, match anywhere**.
+//!
+//! The paper's reasoning (MDClosure → relative candidate keys) is generic
+//! over schemas and similarity operators; this module packages it as a
+//! configurable rule engine:
+//!
+//! 1. [`EngineBuilder`] collects a schema pair (with per-attribute
+//!    [`AttrKind`](matchrules_core::schema::AttrKind) metadata), an
+//!    operator registry, MDs (textual or programmatic), and the target
+//!    identity lists;
+//! 2. [`EngineBuilder::compile`] runs the reasoning **once**, producing an
+//!    immutable [`MatchPlan`] — the deduced top-k RCKs, the sort/block
+//!    keys derived from them via attribute kinds, and the cost model's
+//!    provenance;
+//! 3. a cheap, reusable [`MatchEngine`] executes the plan over any
+//!    [`Relation`](matchrules_data::relation::Relation) pair instantiating
+//!    the schemas — [`MatchEngine::match_pairs`], [`MatchEngine::dedup`],
+//!    [`MatchEngine::block`], [`MatchEngine::window`] — returning
+//!    structured [`MatchReport`]s.
+//!
+//! The paper's own settings are just two [`Preset`] configurations of this
+//! engine; nothing in the pipeline dispatches on the paper's attribute
+//! names.
+
+mod builder;
+mod plan;
+mod report;
+
+/// The paper's ready-made configurations, expressed through the builder.
+pub mod preset;
+
+pub use builder::{EngineBuilder, EngineError};
+pub use plan::MatchPlan;
+pub use preset::Preset;
+pub use report::{DedupReport, MatchEngine, MatchReport, MatchedPair};

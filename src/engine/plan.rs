@@ -1,0 +1,138 @@
+//! [`MatchPlan`]: the immutable artifact of compiling MDs into keys.
+
+use matchrules_core::dependency::MatchingDependency;
+use matchrules_core::negation::NegativeRule;
+use matchrules_core::operators::OperatorTable;
+use matchrules_core::relative_key::{RelativeKey, Target};
+use matchrules_core::schema::SchemaPair;
+use matchrules_matcher::sortkey::SortKey;
+use std::fmt::Write as _;
+
+/// The compiled match plan: schemas, the MD set, the deduced top-k RCKs,
+/// and the sort/block keys derived from them via attribute kinds.
+///
+/// A plan is immutable and carries no references to instance data; compile
+/// it once (an `O(closure)` reasoning step) and execute it over any number
+/// of relation pairs through a
+/// [`MatchEngine`](crate::engine::MatchEngine).
+#[derive(Debug, Clone)]
+pub struct MatchPlan {
+    pair: SchemaPair,
+    ops: OperatorTable,
+    sigma: Vec<MatchingDependency>,
+    target: Target,
+    rcks: Vec<RelativeKey>,
+    complete: bool,
+    negatives: Vec<NegativeRule>,
+    sort_keys: Vec<SortKey>,
+    block_key: Option<SortKey>,
+    window: usize,
+}
+
+impl MatchPlan {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        pair: SchemaPair,
+        ops: OperatorTable,
+        sigma: Vec<MatchingDependency>,
+        target: Target,
+        rcks: Vec<RelativeKey>,
+        complete: bool,
+        negatives: Vec<NegativeRule>,
+        sort_keys: Vec<SortKey>,
+        block_key: Option<SortKey>,
+        window: usize,
+    ) -> Self {
+        MatchPlan {
+            pair,
+            ops,
+            sigma,
+            target,
+            rcks,
+            complete,
+            negatives,
+            sort_keys,
+            block_key,
+            window,
+        }
+    }
+
+    /// The schema pair the plan was compiled for.
+    pub fn pair(&self) -> &SchemaPair {
+        &self.pair
+    }
+
+    /// The symbolic operator table (for rendering keys and MDs).
+    pub fn ops(&self) -> &OperatorTable {
+        &self.ops
+    }
+
+    /// The given MD set Σ.
+    pub fn sigma(&self) -> &[MatchingDependency] {
+        &self.sigma
+    }
+
+    /// The target identity lists `(Y1, Y2)`.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The deduced relative candidate keys, in quality order.
+    pub fn rcks(&self) -> &[RelativeKey] {
+        &self.rcks
+    }
+
+    /// Whether the RCK enumeration was exhaustive (Proposition 5.1: the
+    /// plan then holds *every* key deducible from Σ).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The §8 negative rules guarding the match keys.
+    pub fn negatives(&self) -> &[NegativeRule] {
+        &self.negatives
+    }
+
+    /// Sort keys derived from the top RCKs (multi-pass windowing).
+    pub fn sort_keys(&self) -> &[SortKey] {
+        &self.sort_keys
+    }
+
+    /// The blocking key derived from the top RCKs, when any key exists.
+    pub fn block_key(&self) -> Option<&SortKey> {
+        self.block_key.as_ref()
+    }
+
+    /// The configured sliding-window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Human-readable provenance: schemas, Σ, and the deduced keys — what
+    /// a report means by "plan".
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan over ({}/{} attrs, {}/{} attrs): {} MDs -> {} RCKs{}",
+            self.pair.left().name(),
+            self.pair.left().arity(),
+            self.pair.right().name(),
+            self.pair.right().arity(),
+            self.sigma.len(),
+            self.rcks.len(),
+            if self.complete { " (complete)" } else { "" },
+        );
+        for key in &self.rcks {
+            let _ = writeln!(out, "  {}", key.display(&self.pair, &self.ops));
+        }
+        let _ = writeln!(
+            out,
+            "  derived: {} sort key(s), {} block key, window {}",
+            self.sort_keys.len(),
+            if self.block_key.is_some() { "1" } else { "no" },
+            self.window,
+        );
+        out
+    }
+}

@@ -1,0 +1,336 @@
+//! [`MatchEngine`]: execute a compiled [`MatchPlan`] over relation pairs;
+//! [`MatchReport`]: what came back.
+
+use crate::engine::builder::EngineError;
+use crate::engine::plan::MatchPlan;
+use matchrules_core::schema::Side;
+use matchrules_data::dirty::GroundTruth;
+use matchrules_data::enforce::{enforce, EnforceOutcome};
+use matchrules_data::eval::RuntimeOps;
+use matchrules_data::relation::{InstancePair, Relation, TupleId};
+use matchrules_data::unionfind::UnionFind;
+use matchrules_matcher::blocking::multi_pass_block;
+use matchrules_matcher::key::KeyMatcher;
+use matchrules_matcher::metrics::{evaluate_pairs, MatchQuality};
+use matchrules_matcher::windowing::multi_pass_window;
+use matchrules_simdist::ops::OpRegistry;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One matched tuple pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchedPair {
+    /// Position of the left tuple in its relation.
+    pub left: usize,
+    /// Position of the right tuple in its relation.
+    pub right: usize,
+    /// Id of the left tuple.
+    pub left_id: TupleId,
+    /// Id of the right tuple.
+    pub right_id: TupleId,
+    /// Index (into the plan's RCK list) of the first key that matched.
+    pub key: usize,
+}
+
+/// The structured result of one engine run.
+#[derive(Debug, Clone)]
+pub struct MatchReport {
+    pairs: Vec<MatchedPair>,
+    candidates: usize,
+    comparisons: usize,
+    total_pairs: usize,
+    elapsed: Duration,
+    plan_rcks: usize,
+}
+
+impl MatchReport {
+    /// The matched pairs.
+    pub fn pairs(&self) -> &[MatchedPair] {
+        &self.pairs
+    }
+
+    /// The matched pairs as `(left, right)` position pairs — the shape the
+    /// metrics helpers consume.
+    pub fn index_pairs(&self) -> Vec<(usize, usize)> {
+        self.pairs.iter().map(|p| (p.left, p.right)).collect()
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Candidate pairs the reduction strategy produced.
+    pub fn candidates(&self) -> usize {
+        self.candidates
+    }
+
+    /// Pairs actually compared (= candidates for the engine's methods).
+    pub fn comparisons(&self) -> usize {
+        self.comparisons
+    }
+
+    /// Size of the full comparison space `|I1| · |I2|`.
+    pub fn total_pairs(&self) -> usize {
+        self.total_pairs
+    }
+
+    /// `1 − candidates / total`: how much of the comparison space the
+    /// plan's keys skipped.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            1.0 - self.candidates as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Wall-clock time of the run (matching only; the plan was compiled
+    /// beforehand).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Number of RCKs in the plan that produced this report.
+    pub fn plan_rcks(&self) -> usize {
+        self.plan_rcks
+    }
+
+    /// Scores the report against generator-held ground truth.
+    pub fn score(&self, truth: &GroundTruth) -> MatchQuality {
+        evaluate_pairs(&self.index_pairs(), truth)
+    }
+}
+
+impl fmt::Display for MatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} matches from {} candidates ({} possible pairs, {:.1}% skipped) in {:?} via {} keys",
+            self.pairs.len(),
+            self.candidates,
+            self.total_pairs,
+            self.reduction_ratio() * 100.0,
+            self.elapsed,
+            self.plan_rcks,
+        )
+    }
+}
+
+/// A deduplication result: matched pairs plus their transitive closure
+/// into entity clusters.
+#[derive(Debug, Clone)]
+pub struct DedupReport {
+    /// The pairwise report (`left`/`right` are positions in the one
+    /// relation; `left < right`).
+    pub report: MatchReport,
+    /// Entity clusters (every tuple position appears in exactly one).
+    pub clusters: Vec<Vec<usize>>,
+}
+
+impl DedupReport {
+    /// Number of distinct entities after merging.
+    pub fn entity_count(&self) -> usize {
+        self.clusters.len()
+    }
+}
+
+/// The reusable executor of one [`MatchPlan`]: resolved similarity
+/// operators plus the plan, cheap to clone and share.
+#[derive(Clone)]
+pub struct MatchEngine {
+    plan: Arc<MatchPlan>,
+    runtime: Arc<RuntimeOps>,
+}
+
+impl fmt::Debug for MatchEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MatchEngine")
+            .field("plan", &self.plan)
+            .field("operators", &self.runtime.len())
+            .finish()
+    }
+}
+
+impl MatchEngine {
+    /// Resolves the plan's symbolic operators against `registry`.
+    pub fn from_plan(plan: MatchPlan, registry: &OpRegistry) -> Result<Self, EngineError> {
+        let runtime = RuntimeOps::resolve(plan.ops(), registry)?;
+        Ok(MatchEngine { plan: Arc::new(plan), runtime: Arc::new(runtime) })
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &MatchPlan {
+        &self.plan
+    }
+
+    /// The resolved operator bindings.
+    pub fn runtime(&self) -> &RuntimeOps {
+        &self.runtime
+    }
+
+    fn check_side(&self, side: Side, relation: &Relation) -> Result<(), EngineError> {
+        let expected = self.plan.pair().schema_of(side);
+        let got = relation.schema();
+        // Structural check (attribute names, order and domains): a
+        // same-named, same-arity schema with reordered attributes would
+        // otherwise silently compare the wrong columns.
+        if !Arc::ptr_eq(got, expected) && !crate::engine::builder::schemas_compatible(got, expected)
+        {
+            return Err(EngineError::SchemaMismatch {
+                expected: format!("{}/{}", expected.name(), expected.arity()),
+                got: format!("{}/{}", got.name(), got.arity()),
+            });
+        }
+        Ok(())
+    }
+
+    fn matcher(&self) -> KeyMatcher<'_> {
+        KeyMatcher::new(self.plan.rcks().iter(), &self.runtime)
+            .with_negatives(self.plan.negatives())
+    }
+
+    fn run(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        candidates: Vec<(usize, usize)>,
+    ) -> MatchReport {
+        let start = Instant::now();
+        let matcher = self.matcher();
+        let mut pairs = Vec::new();
+        for &(l, r) in &candidates {
+            let (lt, rt) = (&left.tuples()[l], &right.tuples()[r]);
+            // One pass over the key disjunction, then only the negative
+            // rules — `matches()` would re-evaluate every key.
+            if let Some(key) = matcher.matching_key(lt, rt) {
+                if !matcher.vetoed(lt, rt) {
+                    pairs.push(MatchedPair {
+                        left: l,
+                        right: r,
+                        left_id: lt.id(),
+                        right_id: rt.id(),
+                        key,
+                    });
+                }
+            }
+        }
+        MatchReport {
+            pairs,
+            candidates: candidates.len(),
+            comparisons: candidates.len(),
+            total_pairs: left.len() * right.len(),
+            elapsed: start.elapsed(),
+            plan_rcks: self.plan.rcks().len(),
+        }
+    }
+
+    /// Matches a relation pair using the plan's windowed candidate
+    /// generation (multi-pass over the RCK-derived sort keys). Falls back
+    /// to the exhaustive comparison when the plan has no sort keys.
+    pub fn match_pairs(
+        &self,
+        left: &Relation,
+        right: &Relation,
+    ) -> Result<MatchReport, EngineError> {
+        self.check_side(Side::Left, left)?;
+        self.check_side(Side::Right, right)?;
+        if self.plan.sort_keys().is_empty() {
+            return self.match_all(left, right);
+        }
+        let candidates = multi_pass_window(left, right, self.plan.sort_keys(), self.plan.window());
+        Ok(self.run(left, right, candidates))
+    }
+
+    /// Matches every pair of the cross product (small instances,
+    /// correctness baselines).
+    pub fn match_all(&self, left: &Relation, right: &Relation) -> Result<MatchReport, EngineError> {
+        self.check_side(Side::Left, left)?;
+        self.check_side(Side::Right, right)?;
+        let candidates: Vec<(usize, usize)> =
+            (0..left.len()).flat_map(|l| (0..right.len()).map(move |r| (l, r))).collect();
+        Ok(self.run(left, right, candidates))
+    }
+
+    /// Matches caller-provided candidate pairs (bring your own blocking).
+    pub fn match_candidates(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        candidates: &[(usize, usize)],
+    ) -> Result<MatchReport, EngineError> {
+        self.check_side(Side::Left, left)?;
+        self.check_side(Side::Right, right)?;
+        Ok(self.run(left, right, candidates.to_vec()))
+    }
+
+    /// Deduplicates one relation over a reflexive plan: windowed candidate
+    /// pairs `i < j`, pairwise matching, then transitive closure into
+    /// entity clusters (merge/purge).
+    pub fn dedup(&self, relation: &Relation) -> Result<DedupReport, EngineError> {
+        self.check_side(Side::Left, relation)?;
+        self.check_side(Side::Right, relation)?;
+        let candidates: Vec<(usize, usize)> = if self.plan.sort_keys().is_empty() {
+            (0..relation.len()).flat_map(|i| (i + 1..relation.len()).map(move |j| (i, j))).collect()
+        } else {
+            multi_pass_window(relation, relation, self.plan.sort_keys(), self.plan.window())
+                .into_iter()
+                .filter_map(|(i, j)| match i.cmp(&j) {
+                    std::cmp::Ordering::Less => Some((i, j)),
+                    std::cmp::Ordering::Greater => Some((j, i)),
+                    std::cmp::Ordering::Equal => None,
+                })
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        };
+        let mut report = self.run(relation, relation, candidates);
+        // The cross product of a dedup run is the unordered pair count.
+        report.total_pairs = relation.len() * relation.len().saturating_sub(1) / 2;
+        let mut uf = UnionFind::new(relation.len());
+        for p in report.pairs() {
+            uf.union(p.left, p.right);
+        }
+        Ok(DedupReport { clusters: uf.groups(), report })
+    }
+
+    /// Candidate `(left, right)` pairs sharing the plan's RCK-derived
+    /// blocking key.
+    pub fn block(
+        &self,
+        left: &Relation,
+        right: &Relation,
+    ) -> Result<Vec<(usize, usize)>, EngineError> {
+        self.check_side(Side::Left, left)?;
+        self.check_side(Side::Right, right)?;
+        let key = self.plan.block_key().ok_or(EngineError::NoKeys)?;
+        Ok(multi_pass_block(left, right, std::slice::from_ref(key)))
+    }
+
+    /// Candidate `(left, right)` pairs from multi-pass windowing over the
+    /// plan's RCK-derived sort keys.
+    pub fn window(
+        &self,
+        left: &Relation,
+        right: &Relation,
+    ) -> Result<Vec<(usize, usize)>, EngineError> {
+        self.check_side(Side::Left, left)?;
+        self.check_side(Side::Right, right)?;
+        if self.plan.sort_keys().is_empty() {
+            return Err(EngineError::NoKeys);
+        }
+        Ok(multi_pass_window(left, right, self.plan.sort_keys(), self.plan.window()))
+    }
+
+    /// Enforces the plan's MDs on an instance pair — the paper's dynamic
+    /// semantics (chase to a stable instance).
+    pub fn enforce(&self, d: &InstancePair) -> EnforceOutcome {
+        enforce(d, self.plan.sigma(), &self.runtime)
+    }
+}

@@ -14,27 +14,72 @@
 //! which improve the quality and efficiency of record matching, blocking
 //! and windowing.
 //!
-//! This facade crate re-exports the four workspace layers:
+//! ## Quickstart: the match engine
 //!
-//! * [`core`] (`matchrules-core`) — schemas, MDs, RCKs, MDClosure,
-//!   findRCKs, the axiom system, the MD parser and the paper's settings;
+//! The top-level API is the schema-agnostic [`engine`]: declare *your*
+//! schemas (with per-attribute [`AttrKind`](core::schema::AttrKind)
+//! metadata), your MDs and your identity lists; compile them **once** into
+//! a [`MatchPlan`](engine::MatchPlan); then run the cheap, reusable
+//! [`MatchEngine`](engine::MatchEngine) over any relation pair:
+//!
+//! ```
+//! use matchrules::engine::EngineBuilder;
+//! use matchrules::core::schema::{AttrKind, Schema};
+//! use matchrules::data::relation::Relation;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Schemas — none of the paper's attribute names, just kinds.
+//! let crm = Schema::kinded("crm", &[
+//!     ("first", AttrKind::GivenName),
+//!     ("last", AttrKind::Surname),
+//!     ("mobile", AttrKind::Phone),
+//!     ("mail", AttrKind::Email),
+//! ])?;
+//! let orders = Schema::kinded("orders", &[
+//!     ("fname", AttrKind::GivenName),
+//!     ("lname", AttrKind::Surname),
+//!     ("contact", AttrKind::Phone),
+//!     ("email", AttrKind::Email),
+//! ])?;
+//!
+//! // 2. Compile MDs -> RCKs -> match plan, once.
+//! let engine = EngineBuilder::new()
+//!     .schemas(crm.clone(), orders.clone())
+//!     .md_text(
+//!         "crm[mail] = orders[email] -> crm[first,last] <=> orders[fname,lname]\n\
+//!          crm[last] = orders[lname] /\\ crm[first] ~d orders[fname] /\\ \
+//!          crm[mobile] = orders[contact] -> \
+//!          crm[first,last,mobile] <=> orders[fname,lname,contact]\n",
+//!     )
+//!     .target(&["first", "last", "mobile"], &["fname", "lname", "contact"])
+//!     .build()?;
+//! assert!(!engine.plan().rcks().is_empty());
+//!
+//! // 3. Run the plan on any instances of the schemas.
+//! let mut left = Relation::new(engine.plan().pair().left().clone());
+//! left.push_strs(1, &["Mark", "Clifford", "908-1111111", "mc@gm.com"]);
+//! let mut right = Relation::new(engine.plan().pair().right().clone());
+//! right.push_strs(1, &["Marx", "Clifford", "908-1111111", "mc@gm.com"]);
+//! let report = engine.match_all(&left, &right)?;
+//! assert_eq!(report.len(), 1);
+//! # Ok(()) }
+//! ```
+//!
+//! The paper's own settings are two [`engine::Preset`]s of the same
+//! machinery (`Preset::Example11.builder()`, `Preset::Extended.builder()`).
+//!
+//! ## Workspace layers
+//!
+//! * [`core`] (`matchrules-core`) — schemas (+ `AttrKind` metadata), MDs,
+//!   RCKs, MDClosure, findRCKs, the axiom system, the MD parser and the
+//!   paper's preset settings;
 //! * [`simdist`] (`matchrules-simdist`) — similarity metrics and operators
 //!   (Damerau–Levenshtein, Jaro–Winkler, q-grams, Soundex, …);
 //! * [`data`] (`matchrules-data`) — relations, the dynamic (enforcement)
 //!   semantics, the Fig. 1 instance, and the §6 synthetic-data protocol;
 //! * [`matcher`] (`matchrules-matcher`) — Fellegi–Sunter + EM, Sorted
-//!   Neighborhood, blocking, windowing and quality metrics.
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use matchrules::core::{paper, cost::CostModel, rck::find_rcks};
-//!
-//! let setting = paper::example_1_1();
-//! let mut cost = CostModel::uniform();
-//! let rcks = find_rcks(&setting.sigma, &setting.target, 10, &mut cost);
-//! assert!(rcks.keys.len() >= 4);
-//! ```
+//!   Neighborhood, blocking, windowing and quality metrics;
+//! * [`engine`] — the schema-agnostic compile-once API over all of it.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every figure of the paper's evaluation.
@@ -42,7 +87,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+
 pub use matchrules_core as core;
 pub use matchrules_data as data;
 pub use matchrules_matcher as matcher;
 pub use matchrules_simdist as simdist;
+
+pub use engine::{EngineBuilder, MatchEngine, MatchPlan, MatchReport, Preset};

@@ -1,44 +1,60 @@
 //! End-to-end pipeline tests on generated dirty data: MDs → RCKs →
-//! matchers → metrics, plus the blocking/windowing quality gates.
+//! matchers → metrics, plus the blocking/windowing quality gates — all
+//! driven through the compiled engine plan.
 
-use matchrules::core::paper;
 use matchrules::data::dirty::{generate_dirty, NoiseConfig};
-use matchrules::data::eval::{paper_registry, RuntimeOps};
+use matchrules::data::DirtyData;
+use matchrules::engine::preset::{manual_block_key, standard_sort_keys};
+use matchrules::engine::{MatchEngine, Preset};
 use matchrules::matcher::blocking::block_candidates;
 use matchrules::matcher::fellegi_sunter::{rck_comparison_vector, FsConfig, FsMatcher};
 use matchrules::matcher::key::KeyMatcher;
 use matchrules::matcher::metrics::{evaluate_pairs, BlockingQuality};
-use matchrules::matcher::pipeline::{
-    manual_block_key, rck_block_key, rck_sort_keys, standard_sort_keys, top_rcks,
-};
 use matchrules::matcher::rules::hernandez_stolfo_25;
 use matchrules::matcher::sorted_neighborhood::{sorted_neighborhood, SnConfig};
 use matchrules::matcher::windowing::multi_pass_window;
 
 const K: usize = 400;
 
-fn workload() -> (paper::PaperSetting, matchrules::data::DirtyData, RuntimeOps) {
-    let setting = paper::extended();
-    let data = generate_dirty(&setting, K, &NoiseConfig { seed: 0xE2E, ..Default::default() });
-    let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
-    (setting, data, ops)
+fn workload_seeded(k: usize, seed: u64) -> (MatchEngine, DirtyData) {
+    // Shape-only compile: top_k(0) skips the RCK enumeration.
+    let shape = Preset::Extended.builder().top_k(0).compile().unwrap();
+    let data = generate_dirty(
+        shape.pair(),
+        shape.target(),
+        k,
+        &NoiseConfig { seed, ..Default::default() },
+    );
+    let engine = Preset::Extended
+        .builder()
+        .top_k(5)
+        .statistics_from(&data.credit, &data.billing)
+        .build()
+        .unwrap();
+    (engine, data)
+}
+
+fn workload() -> (MatchEngine, DirtyData) {
+    workload_seeded(K, 0xE2E)
 }
 
 /// The full Exp-3 pipeline hits paper-grade quality: SNrck precision ≥ 0.95
 /// and recall ≥ 0.7, beating the 25-rule baseline on F1.
 #[test]
 fn sn_pipeline_quality_gates() {
-    let (setting, data, ops) = workload();
-    let rcks = top_rcks(&setting, &data, 5);
-    assert!(!rcks.is_empty());
-    let cfg = SnConfig { window: 10, keys: standard_sort_keys(&setting) };
+    let (engine, data) = workload();
+    let plan = engine.plan();
+    let ops = engine.runtime();
+    assert!(!plan.rcks().is_empty());
+    let cfg = SnConfig { window: 10, keys: standard_sort_keys(plan.pair()) };
 
-    let rck_matcher = KeyMatcher::new(rcks.iter(), &ops);
+    let rck_matcher = KeyMatcher::new(plan.rcks().iter(), ops);
     let rck_out = sorted_neighborhood(&data.credit, &data.billing, &rck_matcher, &cfg);
     let rck_q = evaluate_pairs(&rck_out.pairs, &data.truth);
 
-    let rules = hernandez_stolfo_25(&setting);
-    let base_matcher = KeyMatcher::new(rules.iter(), &ops);
+    let dl = plan.ops().get("≈d").unwrap();
+    let rules = hernandez_stolfo_25(plan.pair(), dl);
+    let base_matcher = KeyMatcher::new(rules.iter(), ops);
     let base_out = sorted_neighborhood(&data.credit, &data.billing, &base_matcher, &cfg);
     let base_q = evaluate_pairs(&base_out.pairs, &data.truth);
 
@@ -51,36 +67,36 @@ fn sn_pipeline_quality_gates() {
 /// the default posterior threshold.
 #[test]
 fn fs_pipeline_quality_gates() {
-    let (setting, data, ops) = workload();
+    let (engine, data) = workload();
+    let plan = engine.plan();
     let candidates =
-        multi_pass_window(&data.credit, &data.billing, &standard_sort_keys(&setting), 10);
-    let rcks = top_rcks(&setting, &data, 5);
+        multi_pass_window(&data.credit, &data.billing, &standard_sort_keys(plan.pair()), 10);
     let fs = FsMatcher::fit(
-        rck_comparison_vector(&rcks),
+        rck_comparison_vector(plan.rcks()),
         &data.credit,
         &data.billing,
         &candidates,
-        &ops,
+        engine.runtime(),
         &FsConfig::default(),
     );
-    let pairs = fs.classify(&data.credit, &data.billing, &candidates, &ops);
+    let pairs = fs.classify(&data.credit, &data.billing, &candidates, engine.runtime());
     let q = evaluate_pairs(&pairs, &data.truth);
     assert!(q.recall() >= 0.85, "recall {}", q.recall());
     assert!(q.precision() >= 0.6, "precision {}", q.precision());
 }
 
-/// Exp-4 blocking: the RCK key's PC beats the manual key's at comparable
-/// RR, and both reduce the space by > 99%.
+/// Exp-4 blocking: the plan's RCK key's PC beats the manual key's at
+/// comparable RR, and both reduce the space by > 99%.
 #[test]
 fn blocking_quality_gates() {
-    let (setting, data, _ops) = workload();
-    let rcks = top_rcks(&setting, &data, 5);
+    let (engine, data) = workload();
+    let plan = engine.plan();
     let rck_q = BlockingQuality::from_candidates(
-        block_candidates(&data.credit, &data.billing, &rck_block_key(&setting, &rcks)),
+        block_candidates(&data.credit, &data.billing, plan.block_key().unwrap()),
         &data.truth,
     );
     let manual_q = BlockingQuality::from_candidates(
-        block_candidates(&data.credit, &data.billing, &manual_block_key(&setting)),
+        block_candidates(&data.credit, &data.billing, &manual_block_key(plan.pair())),
         &data.truth,
     );
     assert!(rck_q.pairs_completeness() > manual_q.pairs_completeness());
@@ -88,33 +104,31 @@ fn blocking_quality_gates() {
     assert!(manual_q.reduction_ratio() > 0.99);
 }
 
-/// Exp-4 windowing: RCK sort keys dominate the manual key's PC.
+/// Exp-4 windowing: the engine's RCK sort keys dominate the manual key's
+/// PC.
 #[test]
 fn windowing_quality_gates() {
-    let (setting, data, _ops) = workload();
-    let rcks = top_rcks(&setting, &data, 5);
+    let (engine, data) = workload();
+    let plan = engine.plan();
     let rck_q = BlockingQuality::from_candidates(
-        multi_pass_window(&data.credit, &data.billing, &rck_sort_keys(&setting, &rcks), 10),
+        engine.window(&data.credit, &data.billing).unwrap(),
         &data.truth,
     );
     let manual_q = BlockingQuality::from_candidates(
-        multi_pass_window(&data.credit, &data.billing, &[manual_block_key(&setting)], 10),
+        multi_pass_window(&data.credit, &data.billing, &[manual_block_key(plan.pair())], 10),
         &data.truth,
     );
     assert!(rck_q.pairs_completeness() > manual_q.pairs_completeness());
     assert!(rck_q.reduction_ratio() > 0.9);
 }
 
-/// Determinism: the whole pipeline is reproducible from the seed.
+/// Determinism: the whole engine pipeline is reproducible from the seed.
 #[test]
 fn pipeline_is_deterministic() {
     let run = || {
-        let (setting, data, ops) = workload();
-        let rcks = top_rcks(&setting, &data, 5);
-        let cfg = SnConfig { window: 10, keys: standard_sort_keys(&setting) };
-        let matcher = KeyMatcher::new(rcks.iter(), &ops);
-        let out = sorted_neighborhood(&data.credit, &data.billing, &matcher, &cfg);
-        let mut pairs = out.pairs;
+        let (engine, data) = workload();
+        let report = engine.match_pairs(&data.credit, &data.billing).unwrap();
+        let mut pairs = report.index_pairs();
         pairs.sort_unstable();
         pairs
     };
@@ -126,20 +140,30 @@ fn pipeline_is_deterministic() {
 #[test]
 fn ordering_stable_across_sizes() {
     for (k, seed) in [(150usize, 7u64), (500, 8)] {
-        let setting = paper::extended();
-        let data = generate_dirty(&setting, k, &NoiseConfig { seed, ..Default::default() });
-        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
-        let cfg = SnConfig { window: 10, keys: standard_sort_keys(&setting) };
-        let rcks = top_rcks(&setting, &data, 5);
+        let (engine, data) = workload_seeded(k, seed);
+        let plan = engine.plan();
+        let ops = engine.runtime();
+        let cfg = SnConfig { window: 10, keys: standard_sort_keys(plan.pair()) };
         let rck_q = evaluate_pairs(
-            &sorted_neighborhood(&data.credit, &data.billing, &KeyMatcher::new(rcks.iter(), &ops), &cfg)
-                .pairs,
+            &sorted_neighborhood(
+                &data.credit,
+                &data.billing,
+                &KeyMatcher::new(plan.rcks().iter(), ops),
+                &cfg,
+            )
+            .pairs,
             &data.truth,
         );
-        let rules = hernandez_stolfo_25(&setting);
+        let dl = plan.ops().get("≈d").unwrap();
+        let rules = hernandez_stolfo_25(plan.pair(), dl);
         let base_q = evaluate_pairs(
-            &sorted_neighborhood(&data.credit, &data.billing, &KeyMatcher::new(rules.iter(), &ops), &cfg)
-                .pairs,
+            &sorted_neighborhood(
+                &data.credit,
+                &data.billing,
+                &KeyMatcher::new(rules.iter(), ops),
+                &cfg,
+            )
+            .pairs,
             &data.truth,
         );
         assert!(rck_q.precision() > base_q.precision(), "K={k}");

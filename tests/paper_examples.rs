@@ -25,13 +25,7 @@ fn example_1_1_added_value() {
     let both = KeyMatcher::new(rcks.iter(), &ops);
 
     let matched = |m: &KeyMatcher<'_>| -> Vec<u64> {
-        instance
-            .right()
-            .tuples()
-            .iter()
-            .filter(|bt| m.matches(t1, bt))
-            .map(|bt| bt.id())
-            .collect()
+        instance.right().tuples().iter().filter(|bt| m.matches(t1, bt)).map(|bt| bt.id()).collect()
     };
     assert_eq!(matched(&given), vec![fig1::ids::T3]);
     assert_eq!(matched(&deduced), vec![fig1::ids::T4, fig1::ids::T5, fig1::ids::T6]);

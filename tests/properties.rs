@@ -116,11 +116,7 @@ proptest! {
 
 /// Builds a small random instance pair over schemas (R1(a0..), R2(b0..))
 /// with values drawn from a tiny alphabet so equalities actually occur.
-fn tiny_instance(
-    pair: &SchemaPair,
-    values: &[u8],
-    rows: usize,
-) -> InstancePair {
+fn tiny_instance(pair: &SchemaPair, values: &[u8], rows: usize) -> InstancePair {
     let arity_l = pair.left().arity();
     let arity_r = pair.right().arity();
     let mut left = Relation::new(pair.left().clone());

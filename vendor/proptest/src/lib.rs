@@ -1,0 +1,562 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses: the `proptest!` runner macro, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, `any`, `proptest::collection::vec`, integer-range
+//! and regex-literal strategies, tuple strategies and `prop_map`.
+//!
+//! The build environment has no crates.io access; this shim runs each
+//! property for a configurable number of deterministic pseudo-random cases
+//! (seeded from the test name, so failures reproduce) and panics with the
+//! failing message. It does not shrink counterexamples.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (SplitMix64) — self-contained, no dependencies.
+// ---------------------------------------------------------------------
+
+/// The runner's random source, handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        (self.next_u64() as u128 % bound as u128) as u64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Errors and config.
+// ---------------------------------------------------------------------
+
+/// A failed property case (carried by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim trades depth for CI time.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives the cases of one property (used by the `proptest!` expansion).
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Seeds the runner deterministically from the property name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config, rng: TestRng::from_seed(seed) }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The shared random source.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy.
+// ---------------------------------------------------------------------
+
+/// A generator of test values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+/// Regex-literal strategies: `".{0,24}"`, `"[a-c]{0,8}"`, `"[A-Za-z]{1,12}"`.
+///
+/// Supported subset: a sequence of atoms, each `.` (arbitrary character) or
+/// a character class of singles and ranges, with an optional `{n}` /
+/// `{n,m}` repetition. This covers every pattern in the workspace's tests.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// An assortment of "interesting" arbitrary characters for `.`: mostly
+/// printable ASCII, with control characters and multi-byte code points
+/// mixed in to stress parsers and metrics.
+const EXOTIC: &[char] =
+    &['\n', '\t', '\u{1}', 'é', 'ß', 'Ω', 'ツ', '漢', '🦀', '\u{200b}', '´', '\''];
+
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => EXOTIC[rng.below(EXOTIC.len() as u64) as usize],
+        _ => char::from(0x20 + rng.below(0x5F) as u8), // printable ASCII
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut out = String::new();
+    while i < chars.len() {
+        // Parse one atom.
+        enum Atom {
+            Any,
+            Class(Vec<(char, char)>),
+        }
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            other => {
+                i += 1;
+                Atom::Class(vec![(other, other)])
+            }
+        };
+        // Parse an optional repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close =
+                chars[i..].iter().position(|&c| c == '}').expect("unterminated repetition") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse::<usize>().expect("bad repetition bound"),
+                    hi.parse::<usize>().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.parse::<usize>().expect("bad repetition bound");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Any => out.push(arbitrary_char(rng)),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = (hi as u32) - (lo as u32) + 1;
+                    let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                        .expect("class range stays in valid scalar values");
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Union of same-typed strategies (the `prop_oneof!` backing type).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from boxed arms (at least one).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// An empty union — must gain at least one arm via [`Union::or`]
+    /// before generating (the `prop_oneof!` expansion guarantees this).
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds one arm.
+    #[must_use]
+    pub fn or(mut self, arm: impl Strategy<Value = V> + 'static) -> Self {
+        self.arms.push(Box::new(arm));
+        self
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical arbitrary strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait ArbitraryValue {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitraryValue for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        arbitrary_char(rng)
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------
+// Collections.
+// ---------------------------------------------------------------------
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy for vectors with lengths drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `vec(element, min..max)`: vectors of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, min: len.start, max: len.end - 1 }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let mut runner = $crate::TestRunner::new($cfg, stringify!($name));
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)*
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        let _: () = $body;
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            runner.cases(),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} != {:?})", format!($($fmt)+), l, r);
+    }};
+}
+
+/// Uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::empty()$(.or($arm))+
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{collection, TestRng, TestRunner};
+
+    fn rng() -> TestRng {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "shim-self-test");
+        runner.rng().clone()
+    }
+
+    #[test]
+    fn pattern_strategies_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = Strategy::generate(&".{0,24}", &mut rng);
+            assert!(t.chars().count() <= 24);
+            let u = Strategy::generate(&"[A-Za-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&u.chars().count()));
+            assert!(u.chars().all(|c| c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_vec_and_map() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = Strategy::generate(&(0usize..4, 0usize..4, 0u16..3), &mut rng);
+            assert!(v.0 < 4 && v.1 < 4 && v.2 < 3);
+            let xs = Strategy::generate(&collection::vec(0u8..3, 8..40), &mut rng);
+            assert!((8..40).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 3));
+            let mapped = Strategy::generate(&(0u64..10).prop_map(|x| x * 2), &mut rng);
+            assert!(mapped < 20 && mapped % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let mut rng = rng();
+        let strat = prop_oneof![Just("a".to_owned()), Just("b".to_owned())];
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == "a" || v == "b");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro path itself: generated values respect their strategies.
+        #[test]
+        fn macro_roundtrip(x in 3u64..9, s in "[a-b]{2,4}") {
+            prop_assert!((3..9).contains(&x));
+            prop_assert_eq!(s.chars().filter(|c| *c == 'a' || *c == 'b').count(), s.chars().count());
+        }
+    }
+
+    #[test]
+    fn prop_assert_produces_errors() {
+        let check = |x: u64| -> Result<(), crate::TestCaseError> {
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        };
+        assert!(check(200).is_ok());
+        let err = check(5).unwrap_err();
+        assert!(err.to_string().contains("x was 5"));
+    }
+}
