@@ -1,0 +1,128 @@
+//! Runtime scaling: end-to-end `match_pairs` over the §6 synthetic
+//! catalog, swept from 1 thread to the hardware parallelism on one
+//! compiled plan (`MatchEngine::with_exec` — no recompilation between
+//! points). Verifies that every parallel run is byte-identical to the
+//! serial baseline and emits the series as `BENCH_runtime.json`.
+//!
+//! Usage:
+//! `cargo run --release -p matchrules-bench --bin runtime_scaling \
+//!    [quick|paper] [out.json]`
+//!
+//! `paper` scale matches ≥ 50k rows (20k credit holders → 20k + 36k
+//! tuples); `quick` is a CI-sized smoke run.
+
+use matchrules::engine::{ExecConfig, MatchReport};
+use matchrules_bench::experiments::workload;
+use matchrules_bench::json::Json;
+use matchrules_bench::table::Table;
+use matchrules_bench::Scale;
+
+/// Timed runs per sweep point; the minimum is reported.
+const REPEATS: usize = 2;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_runtime.json".to_owned());
+    let persons = match scale {
+        Scale::Paper => 20_000,
+        Scale::Quick => 1_200,
+    };
+    let hardware =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let mut sweep: Vec<usize> = vec![1, 2, 4];
+    if hardware > 4 {
+        sweep.push(hardware);
+    }
+
+    println!("runtime scaling — end-to-end match_pairs, {persons} holders per relation");
+    let w = workload(persons, 0x5CA1E);
+    let rows = w.data.credit.len() + w.data.billing.len();
+    println!(
+        "catalog: {} credit + {} billing = {rows} rows; hardware threads: {hardware}\n",
+        w.data.credit.len(),
+        w.data.billing.len()
+    );
+
+    let mut table = Table::new(&[
+        "threads",
+        "seconds",
+        "speedup",
+        "window s",
+        "match s",
+        "matches",
+        "identical",
+    ]);
+    let mut points: Vec<Json> = Vec::new();
+    let mut baseline: Option<(f64, MatchReport)> = None;
+    for &threads in &sweep {
+        let engine = w.engine.with_exec(ExecConfig::fixed(threads));
+        let mut best: Option<MatchReport> = None;
+        for _ in 0..REPEATS {
+            let report = engine.match_pairs(&w.data.credit, &w.data.billing).expect("engine runs");
+            if best.as_ref().is_none_or(|b| report.elapsed() < b.elapsed()) {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("at least one repeat ran");
+        let seconds = report.elapsed().as_secs_f64();
+        let identical = match &baseline {
+            None => true, // this IS the serial baseline
+            Some((_, serial)) => serial.pairs() == report.pairs(),
+        };
+        assert!(identical, "parallel output diverged from serial at {threads} threads");
+        let speedup = baseline.as_ref().map_or(1.0, |(s, _)| s / seconds);
+        let stage = |name: &str| -> f64 {
+            report
+                .stages()
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.elapsed.as_secs_f64())
+                .unwrap_or(0.0)
+        };
+        table.row(vec![
+            threads.to_string(),
+            format!("{seconds:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{:.3}", stage("window")),
+            format!("{:.3}", stage("match")),
+            report.len().to_string(),
+            if identical { "yes".to_owned() } else { "NO".to_owned() },
+        ]);
+        points.push(
+            Json::obj()
+                .field("threads", threads)
+                .field("seconds", seconds)
+                .field("speedup_vs_serial", speedup)
+                .field("window_seconds", stage("window"))
+                .field("match_seconds", stage("match"))
+                .field("matches", report.len())
+                .field("candidates", report.candidates())
+                .field("identical_to_serial", identical),
+        );
+        if baseline.is_none() {
+            baseline = Some((seconds, report));
+        }
+    }
+    println!("{}", table.render());
+
+    let doc = Json::obj()
+        .field("bench", "runtime_scaling")
+        .field(
+            "scale",
+            match scale {
+                Scale::Paper => "paper",
+                Scale::Quick => "quick",
+            },
+        )
+        .field("persons", persons)
+        .field("rows", rows)
+        .field("hardware_threads", hardware)
+        .field("plan_rcks", w.engine.plan().rcks().len())
+        .field("window", w.engine.plan().window())
+        .field("sweep", points);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");
+    println!("\nwrote {out_path}");
+    if hardware == 1 {
+        println!("note: single-core host — speedups require hardware parallelism.");
+    }
+}

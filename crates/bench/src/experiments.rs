@@ -62,15 +62,10 @@ pub struct Workload {
 /// dirty data over the preset's schemas, then compile the plan with `lt`
 /// statistics measured on that data.
 pub fn workload(k: usize, seed: u64) -> Workload {
-    // Shape-only compile: top_k(0) skips the RCK enumeration, we only
-    // need the preset's schema pair and target to generate data.
-    let shape = Preset::Extended.builder().top_k(0).compile().expect("preset compiles");
-    let data = generate_dirty(
-        shape.pair(),
-        shape.target(),
-        k,
-        &NoiseConfig { seed, ..Default::default() },
-    );
+    // Shapes only: the preset's schema pair and target, no compiled plan.
+    let shape = Preset::Extended.paper_setting();
+    let data =
+        generate_dirty(&shape.pair, &shape.target, k, &NoiseConfig { seed, ..Default::default() });
     let engine = Preset::Extended
         .builder()
         .top_k(5)

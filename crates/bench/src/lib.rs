@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 /// Scale presets shared by the figure binaries.

@@ -6,10 +6,21 @@
 //! "encoded by Soundex before blocking". Multiple passes with different
 //! keys union their candidate pairs, which is how blocking is typically
 //! repeated "to improve match quality" (§1).
+//!
+//! Every function takes a [`WorkPool`]-parameterized `_in` form; the plain
+//! forms run on a serial pool. Key rendering and per-block pair emission
+//! are chunked over the pool, blocks are processed in ascending key order
+//! (a `BTreeMap` partition, never hash-iteration order), and multi-pass
+//! unions merge pass results in key order — so the candidate list is
+//! deterministic and a parallel run is byte-identical to a serial one.
 
 use crate::sortkey::SortKey;
 use matchrules_data::relation::Relation;
-use std::collections::{HashMap, HashSet};
+use matchrules_runtime::{ordered_reduce, WorkPool};
+use std::collections::{BTreeMap, HashSet};
+
+/// One block: the tuples of each side sharing a key.
+type Block = (Vec<usize>, Vec<usize>);
 
 /// Generates candidate (credit, billing) pairs sharing a block key.
 /// Tuples whose key is entirely empty (all fields null) are skipped — an
@@ -19,29 +30,59 @@ pub fn block_candidates(
     billing: &Relation,
     key: &SortKey,
 ) -> Vec<(usize, usize)> {
+    block_candidates_in(&WorkPool::serial(), credit, billing, key)
+}
+
+/// [`block_candidates`] on a [`WorkPool`]: keys render in parallel, the
+/// partition is assembled in key order, and blocks emit their cross
+/// products concurrently with results concatenated in block order.
+pub fn block_candidates_in(
+    pool: &WorkPool,
+    credit: &Relation,
+    billing: &Relation,
+    key: &SortKey,
+) -> Vec<(usize, usize)> {
     let empty_key_len = key.fields().len(); // separators only
-    let mut blocks: HashMap<String, (Vec<usize>, Vec<usize>)> = HashMap::new();
-    for (i, t) in credit.tuples().iter().enumerate() {
-        let k = key.render_left(t);
+    let credit_keys: Vec<String> = pool.par_map_collect(credit.tuples(), |_, t| key.render_left(t));
+    let billing_keys: Vec<String> =
+        pool.par_map_collect(billing.tuples(), |_, t| key.render_right(t));
+
+    let mut blocks: BTreeMap<&str, Block> = BTreeMap::new();
+    for (i, k) in credit_keys.iter().enumerate() {
         if k.chars().count() > empty_key_len {
             blocks.entry(k).or_default().0.push(i);
         }
     }
-    for (i, t) in billing.tuples().iter().enumerate() {
-        let k = key.render_right(t);
+    for (i, k) in billing_keys.iter().enumerate() {
         if k.chars().count() > empty_key_len {
             blocks.entry(k).or_default().1.push(i);
         }
     }
-    let mut out = Vec::new();
-    for (_, (cs, bs)) in blocks {
-        for &c in &cs {
-            for &b in &bs {
-                out.push((c, b));
+
+    // Cross products per block, evaluated concurrently but reduced in
+    // ascending key order.
+    let blocks: Vec<Block> = blocks.into_values().collect();
+    ordered_reduce(
+        pool,
+        &blocks,
+        16,
+        |_, chunk| {
+            let mut out = Vec::new();
+            for (cs, bs) in chunk {
+                for &c in cs {
+                    for &b in bs {
+                        out.push((c, b));
+                    }
+                }
             }
-        }
-    }
-    out
+            out
+        },
+        Vec::new(),
+        |mut out: Vec<(usize, usize)>, chunk| {
+            out.extend(chunk);
+            out
+        },
+    )
 }
 
 /// Union of several blocking passes.
@@ -50,10 +91,25 @@ pub fn multi_pass_block(
     billing: &Relation,
     keys: &[SortKey],
 ) -> Vec<(usize, usize)> {
+    multi_pass_block_in(&WorkPool::serial(), credit, billing, keys)
+}
+
+/// [`multi_pass_block`] on a [`WorkPool`]: one pass per worker
+/// ([`WorkPool::split`] shares the threads), pass results union in key
+/// order — identical to the serial union.
+pub fn multi_pass_block_in(
+    pool: &WorkPool,
+    credit: &Relation,
+    billing: &Relation,
+    keys: &[SortKey],
+) -> Vec<(usize, usize)> {
+    let inner = pool.split(keys.len());
+    let passes: Vec<Vec<(usize, usize)>> =
+        pool.par_tasks(keys.len(), |i| block_candidates_in(&inner, credit, billing, &keys[i]));
     let mut seen: HashSet<(usize, usize)> = HashSet::new();
     let mut out = Vec::new();
-    for key in keys {
-        for pair in block_candidates(credit, billing, key) {
+    for pass in passes {
+        for pair in pass {
             if seen.insert(pair) {
                 out.push(pair);
             }
@@ -155,5 +211,28 @@ mod tests {
         );
         assert!(q.reduction_ratio() > 0.9);
         assert!(q.pairs_completeness() > 0.3);
+    }
+
+    #[test]
+    fn parallel_pools_reproduce_serial_output() {
+        let setting = paper::extended();
+        let data = generate_dirty(
+            &setting.pair,
+            &setting.target,
+            120,
+            &NoiseConfig { seed: 9, ..Default::default() },
+        );
+        let l = |n: &str| setting.pair.left().attr(n).unwrap();
+        let r = |n: &str| setting.pair.right().attr(n).unwrap();
+        let keys = [
+            SortKey::new(vec![KeyField::soundex(l("LN"), r("LN"))]),
+            SortKey::new(vec![KeyField::digits(l("tel"), r("phn"), 0)]),
+        ];
+        let serial = multi_pass_block(&data.credit, &data.billing, &keys);
+        for threads in [2, 3, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let parallel = multi_pass_block_in(&pool, &data.credit, &data.billing, &keys);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
     }
 }

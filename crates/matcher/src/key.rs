@@ -11,6 +11,13 @@ use matchrules_core::relative_key::RelativeKey;
 use matchrules_data::eval::RuntimeOps;
 use matchrules_data::relation::Tuple;
 
+/// Minimum candidate-pairs-per-chunk when a [`KeyMatcher`] is evaluated
+/// over a work pool: one evaluation runs a full key disjunction, so
+/// chunks this size already amortize chunk claiming. Shared by every
+/// parallel pairwise-evaluation site (sorted neighborhood, the engine)
+/// so their chunk policy cannot drift apart.
+pub const PAR_MATCH_MIN_CHUNK: usize = 64;
+
 /// A compiled disjunction of keys with optional negative-rule vetoes.
 pub struct KeyMatcher<'a> {
     keys: Vec<&'a RelativeKey>,

@@ -117,7 +117,10 @@ impl BlockingQuality {
             surviving_matches: s_m,
             surviving_non_matches: s_u,
             total_matches: n_m,
-            total_non_matches: total_pairs - n_m,
+            // Saturating: an empty comparison space must stay at zero,
+            // never wrap (the ratios below each guard their own zero
+            // denominators, so the whole struct is NaN-free).
+            total_non_matches: total_pairs.saturating_sub(n_m),
         }
     }
 
@@ -212,6 +215,39 @@ mod tests {
         let q = BlockingQuality::from_candidates(std::iter::empty(), &truth);
         assert_eq!(q.pairs_completeness(), 0.0);
         assert!((q.reduction_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relations_never_produce_nan() {
+        // Truth over zero credit and billing tuples: every denominator in
+        // the §6.2 metrics is zero.
+        let setting = paper::extended();
+        let cfg = NoiseConfig { duplicate_rate: 0.0, attr_error_prob: 0.0, seed: 1 };
+        let empty = generate_dirty(&setting.pair, &setting.target, 0, &cfg).truth;
+        assert_eq!(empty.total_true_pairs(), 0);
+
+        let q = evaluate_pairs(&[], &empty);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert!(q.f1().is_finite());
+
+        let b = BlockingQuality::from_candidates(std::iter::empty(), &empty);
+        assert!(b.pairs_completeness().is_finite());
+        assert!(b.reduction_ratio().is_finite());
+        assert_eq!(b.pairs_completeness(), 1.0, "nothing to find => complete");
+        assert_eq!(b.reduction_ratio(), 0.0, "empty space => nothing reduced");
+    }
+
+    #[test]
+    fn zero_candidate_totals_stay_finite() {
+        // A silent matcher against a populated truth: recall 0, f1 0 —
+        // finite, never 0/0.
+        let truth = truth_of(6);
+        let q = evaluate_pairs(&[], &truth);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 0.0);
+        assert_eq!(q.f1(), 0.0);
+        assert!(q.f1().is_finite());
     }
 
     #[test]

@@ -6,12 +6,17 @@
 //!    hand-written rules of [`crate::rules`] or the union of deduced RCKs);
 //! 4. take the transitive closure of the pairwise decisions (union-find),
 //!    as the multi-pass merge/purge of \[20\] prescribes.
+//!
+//! [`sorted_neighborhood_in`] runs the same algorithm over a
+//! [`WorkPool`] — parallel passes, parallel pairwise decisions — with a
+//! deterministic, serial-identical outcome.
 
-use crate::key::KeyMatcher;
+use crate::key::{KeyMatcher, PAR_MATCH_MIN_CHUNK};
 use crate::sortkey::SortKey;
-use crate::windowing::multi_pass_window;
+use crate::windowing::multi_pass_window_in;
 use matchrules_data::relation::Relation;
 use matchrules_data::unionfind::UnionFind;
+use matchrules_runtime::{ordered_reduce, WorkPool};
 
 /// Sorted Neighborhood configuration.
 #[derive(Debug, Clone)]
@@ -44,20 +49,54 @@ pub fn sorted_neighborhood(
     rules: &KeyMatcher<'_>,
     cfg: &SnConfig,
 ) -> SnOutcome {
+    sorted_neighborhood_in(&WorkPool::serial(), credit, billing, rules, cfg)
+}
+
+/// [`sorted_neighborhood`] on a [`WorkPool`]: multi-pass windowing runs
+/// one pass per worker, pairwise rule evaluation is chunked over the
+/// pool, and the matched pairs merge into the union-find **in candidate
+/// order** — the closure (and hence the output) is byte-identical to the
+/// serial run.
+///
+/// # Panics
+///
+/// Panics when no sort key is configured.
+pub fn sorted_neighborhood_in(
+    pool: &WorkPool,
+    credit: &Relation,
+    billing: &Relation,
+    rules: &KeyMatcher<'_>,
+    cfg: &SnConfig,
+) -> SnOutcome {
     assert!(!cfg.keys.is_empty(), "SN needs at least one sort key");
-    let candidates = multi_pass_window(credit, billing, &cfg.keys, cfg.window);
+    let candidates = multi_pass_window_in(pool, credit, billing, &cfg.keys, cfg.window);
     let comparisons = candidates.len();
 
-    // Union-find over credit ⊎ billing: credit i ↦ i, billing j ↦ |C| + j.
+    // Pairwise decisions in parallel, reduced into the union-find over
+    // credit ⊎ billing (credit i ↦ i, billing j ↦ |C| + j). The ordered
+    // reduce folds chunk hits in chunk order, so the union sequence —
+    // and hence the closure — is the serial one.
     let n_credit = credit.len();
-    let mut uf = UnionFind::new(n_credit + billing.len());
-    let mut direct = 0usize;
-    for (c, b) in candidates {
-        if rules.matches(&credit.tuples()[c], &billing.tuples()[b]) {
-            uf.union(c, n_credit + b);
-            direct += 1;
-        }
-    }
+    let (mut uf, direct) = ordered_reduce(
+        pool,
+        &candidates,
+        PAR_MATCH_MIN_CHUNK,
+        |_, chunk| {
+            chunk
+                .iter()
+                .filter(|&&(c, b)| rules.matches(&credit.tuples()[c], &billing.tuples()[b]))
+                .copied()
+                .collect::<Vec<_>>()
+        },
+        (UnionFind::new(n_credit + billing.len()), 0usize),
+        |(mut uf, mut direct), hits| {
+            for (c, b) in hits {
+                uf.union(c, n_credit + b);
+                direct += 1;
+            }
+            (uf, direct)
+        },
+    );
 
     // Transitive closure: emit every cross pair sharing a class.
     let mut pairs = Vec::with_capacity(direct);
@@ -204,6 +243,31 @@ mod tests {
         // Both credit 0 and credit 2 (the clone) pair with all 4 billings.
         let with_clone: Vec<_> = out.pairs.iter().filter(|&&(c, _)| c == 2).collect();
         assert_eq!(with_clone.len(), 4);
+    }
+
+    #[test]
+    fn parallel_pools_reproduce_serial_outcome() {
+        let setting = paper::extended();
+        let data = generate_dirty(
+            &setting.pair,
+            &setting.target,
+            150,
+            &NoiseConfig { seed: 41, ..Default::default() },
+        );
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let mut cost = CostModel::uniform();
+        let rcks = find_rcks(&setting.sigma, &setting.target, 5, &mut cost).keys;
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        let cfg = SnConfig { window: 10, keys: standard_keys(&setting) };
+        let serial = sorted_neighborhood(&data.credit, &data.billing, &matcher, &cfg);
+        for threads in [2, 4, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let parallel =
+                sorted_neighborhood_in(&pool, &data.credit, &data.billing, &matcher, &cfg);
+            assert_eq!(parallel.pairs, serial.pairs, "threads = {threads}");
+            assert_eq!(parallel.comparisons, serial.comparisons);
+            assert_eq!(parallel.direct_matches, serial.direct_matches);
+        }
     }
 
     #[test]

@@ -5,10 +5,23 @@
 //! same window are compared (§1 "Applications", \[20\]). Candidates are the
 //! cross-relation pairs inside windows; multiple passes with different keys
 //! union their candidates.
+//!
+//! Every function takes a [`WorkPool`]-parameterized `_in` form; the plain
+//! forms run on a serial pool. The parallel decomposition is deterministic
+//! end to end — key rendering and the window scan are chunked with results
+//! merged in chunk order, the sort uses the total order *(rendered key,
+//! merged position)* so ties cannot reorder, and multi-pass unions merge
+//! pass results in key order. A parallel run is byte-identical to a serial
+//! one.
 
 use crate::sortkey::SortKey;
 use matchrules_data::relation::Relation;
+use matchrules_runtime::WorkPool;
 use std::collections::HashSet;
+
+/// Minimum window-scan chunk: window pair emission is cheap per start
+/// index, so small chunks would be all claiming overhead.
+const SCAN_MIN_CHUNK: usize = 256;
 
 /// Which relation a merged entry came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +29,10 @@ enum Origin {
     Credit(usize),
     Billing(usize),
 }
+
+/// One merged entry: rendered key, merged position (the sort tie-break),
+/// origin.
+type Entry = (String, u32, Origin);
 
 /// Generates candidate (credit, billing) index pairs with a sliding window
 /// of `window` tuples over the union of both relations sorted by `key`.
@@ -29,31 +46,81 @@ pub fn window_candidates(
     key: &SortKey,
     window: usize,
 ) -> Vec<(usize, usize)> {
-    assert!(window >= 2, "window must hold at least two tuples");
-    let mut entries: Vec<(String, Origin)> = Vec::with_capacity(credit.len() + billing.len());
-    for (i, t) in credit.tuples().iter().enumerate() {
-        entries.push((key.render_left(t), Origin::Credit(i)));
-    }
-    for (i, t) in billing.tuples().iter().enumerate() {
-        entries.push((key.render_right(t), Origin::Billing(i)));
-    }
-    entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    window_candidates_in(&WorkPool::serial(), credit, billing, key, window)
+}
 
-    let mut out = Vec::new();
+/// [`window_candidates`] on a [`WorkPool`]: parallel key rendering,
+/// parallel chunk sort + k-way merge, and a chunked window scan whose
+/// per-chunk pair lists are deduplicated in chunk order — the output is
+/// identical to the serial run.
+pub fn window_candidates_in(
+    pool: &WorkPool,
+    credit: &Relation,
+    billing: &Relation,
+    key: &SortKey,
+    window: usize,
+) -> Vec<(usize, usize)> {
+    assert!(window >= 2, "window must hold at least two tuples");
+    let mut entries = render_entries(pool, credit, billing, key);
+    // Total order: ties on the rendered key fall back to the merged
+    // position, so no sort algorithm (serial, parallel, stable or not)
+    // can reorder equal keys differently.
+    pool.par_sort_by(&mut entries, |a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    // Window scan, chunked over start-index ranges. Each chunk emits its
+    // raw cross-relation pairs in scan order; concatenating chunks in
+    // order reproduces the serial scan sequence, so first-seen
+    // deduplication gives the serial output.
+    let chunks: Vec<Vec<(usize, usize)>> =
+        pool.par_ranges(entries.len(), SCAN_MIN_CHUNK, |_, range| {
+            let mut out = Vec::new();
+            for i in range {
+                let a = entries[i].2;
+                for entry in entries.iter().skip(i + 1).take(window - 1) {
+                    let pair = match (a, entry.2) {
+                        (Origin::Credit(c), Origin::Billing(bi))
+                        | (Origin::Billing(bi), Origin::Credit(c)) => (c, bi),
+                        _ => continue,
+                    };
+                    out.push(pair);
+                }
+            }
+            out
+        });
+
     let mut seen: HashSet<(usize, usize)> = HashSet::new();
-    for (i, (_, a)) in entries.iter().enumerate() {
-        for (_, b) in entries.iter().skip(i + 1).take(window - 1) {
-            let pair = match (a, b) {
-                (Origin::Credit(c), Origin::Billing(bi))
-                | (Origin::Billing(bi), Origin::Credit(c)) => (*c, *bi),
-                _ => continue,
-            };
+    let mut out = Vec::new();
+    for chunk in chunks {
+        for pair in chunk {
             if seen.insert(pair) {
                 out.push(pair);
             }
         }
     }
     out
+}
+
+/// Renders the merged `(key, position, origin)` entries, both relations
+/// chunked over the pool.
+fn render_entries(
+    pool: &WorkPool,
+    credit: &Relation,
+    billing: &Relation,
+    key: &SortKey,
+) -> Vec<Entry> {
+    let n_credit = credit.len();
+    // The sort tie-break stores merged positions as u32 for compactness;
+    // beyond that the total order (and determinism) would silently wrap.
+    assert!(
+        n_credit + billing.len() <= u32::MAX as usize,
+        "windowing supports at most u32::MAX merged tuples"
+    );
+    let mut entries: Vec<Entry> = pool
+        .par_map_collect(credit.tuples(), |i, t| (key.render_left(t), i as u32, Origin::Credit(i)));
+    entries.extend(pool.par_map_collect(billing.tuples(), |i, t| {
+        (key.render_right(t), (n_credit + i) as u32, Origin::Billing(i))
+    }));
+    entries
 }
 
 /// Union of several windowing passes with different sort keys.
@@ -63,10 +130,27 @@ pub fn multi_pass_window(
     keys: &[SortKey],
     window: usize,
 ) -> Vec<(usize, usize)> {
+    multi_pass_window_in(&WorkPool::serial(), credit, billing, keys, window)
+}
+
+/// [`multi_pass_window`] on a [`WorkPool`]: one pass per worker, each
+/// pass sorting/scanning with its share of the threads
+/// ([`WorkPool::split`]); pass results union in key order, so the output
+/// equals the serial multi-pass union.
+pub fn multi_pass_window_in(
+    pool: &WorkPool,
+    credit: &Relation,
+    billing: &Relation,
+    keys: &[SortKey],
+    window: usize,
+) -> Vec<(usize, usize)> {
+    let inner = pool.split(keys.len());
+    let passes: Vec<Vec<(usize, usize)>> = pool
+        .par_tasks(keys.len(), |i| window_candidates_in(&inner, credit, billing, &keys[i], window));
     let mut seen: HashSet<(usize, usize)> = HashSet::new();
     let mut out = Vec::new();
-    for key in keys {
-        for pair in window_candidates(credit, billing, key, window) {
+    for pass in passes {
+        for pair in pass {
             if seen.insert(pair) {
                 out.push(pair);
             }
@@ -131,6 +215,20 @@ mod tests {
         let union = multi_pass_window(inst.left(), inst.right(), &keys, 3);
         let single = window_candidates(inst.left(), inst.right(), &keys[0], 3);
         assert!(union.len() >= single.len());
+    }
+
+    #[test]
+    fn parallel_pools_reproduce_serial_output() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let fn_l = setting.pair.left().attr("FN").unwrap();
+        let fn_r = setting.pair.right().attr("FN").unwrap();
+        let keys = vec![ln_key(&setting), SortKey::new(vec![KeyField::text(fn_l, fn_r, 8)])];
+        let serial = multi_pass_window(inst.left(), inst.right(), &keys, 3);
+        for threads in [2, 4, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let parallel = multi_pass_window_in(&pool, inst.left(), inst.right(), &keys, 3);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
     }
 
     #[test]

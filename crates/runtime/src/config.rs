@@ -1,0 +1,81 @@
+//! Execution configuration: how many threads a pool may use.
+
+use std::fmt;
+
+/// Thread-count policy of a [`WorkPool`](crate::WorkPool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Use the hardware parallelism reported by the OS
+    /// ([`std::thread::available_parallelism`]), falling back to 1 when
+    /// it cannot be queried.
+    #[default]
+    Auto,
+    /// Use exactly `n` threads (clamped to at least 1 on resolution; a
+    /// fixed count above the hardware parallelism is honored — useful
+    /// for oversubscription experiments).
+    Fixed(usize),
+}
+
+impl fmt::Display for Threads {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Threads::Auto => write!(f, "auto"),
+            Threads::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Execution configuration surfaced on the engine builder and carried by
+/// compiled match plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecConfig {
+    /// Thread-count policy.
+    pub threads: Threads,
+}
+
+impl ExecConfig {
+    /// A serial configuration (one thread, everything inline).
+    pub fn serial() -> Self {
+        ExecConfig { threads: Threads::Fixed(1) }
+    }
+
+    /// A fixed-width configuration.
+    pub fn fixed(n: usize) -> Self {
+        ExecConfig { threads: Threads::Fixed(n) }
+    }
+
+    /// Resolves the policy to a concrete thread count (always ≥ 1).
+    pub fn resolve(&self) -> usize {
+        match self.threads {
+            Threads::Auto => {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+            }
+            Threads::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_resolves_verbatim() {
+        assert_eq!(ExecConfig::fixed(4).resolve(), 4);
+        assert_eq!(ExecConfig::serial().resolve(), 1);
+        // Fixed(0) is clamped, never a zero-width pool.
+        assert_eq!(ExecConfig::fixed(0).resolve(), 1);
+    }
+
+    #[test]
+    fn auto_resolves_positive() {
+        assert!(ExecConfig::default().resolve() >= 1);
+        assert_eq!(ExecConfig::default().threads, Threads::Auto);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Threads::Auto.to_string(), "auto");
+        assert_eq!(Threads::Fixed(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,277 @@
+//! The work pool: chunk-claiming parallelism over scoped threads.
+
+use crate::config::ExecConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// How many chunks each worker should see on average: enough that an
+/// uneven chunk (one giant block, one expensive window) does not leave
+/// the other workers idle, few enough that claiming stays cheap.
+const OVERSUBSCRIPTION: usize = 4;
+
+/// A work-chunking thread pool over [`std::thread::scope`].
+///
+/// The pool holds no OS resources — it is a resolved thread count plus a
+/// chunking policy. Every operation spawns scoped workers that claim
+/// contiguous chunks from a shared atomic cursor and deposit results
+/// into per-chunk slots, so the output order is **always the input
+/// order**, independent of scheduling. A one-thread pool runs everything
+/// inline on the caller's stack; parallel and serial execution share one
+/// code path.
+///
+/// Scoped threads may borrow from the caller, which is what keeps the
+/// pool std-only and free of `unsafe`: no `'static` bounds, no channels,
+/// no lifetime laundering — the scope joins all workers before any
+/// borrow expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl WorkPool {
+    /// A pool honoring `cfg` (resolved once, at construction).
+    pub fn new(cfg: ExecConfig) -> Self {
+        WorkPool { threads: cfg.resolve() }
+    }
+
+    /// A single-threaded pool: every primitive executes inline.
+    pub fn serial() -> Self {
+        WorkPool { threads: 1 }
+    }
+
+    /// A pool with exactly `n` threads (clamped to ≥ 1).
+    pub fn with_threads(n: usize) -> Self {
+        WorkPool { threads: n.max(1) }
+    }
+
+    /// The resolved thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A pool for one of `ways` concurrent sub-tasks: the threads are
+    /// divided evenly (at least one each), so nesting — e.g. one sort
+    /// pass per worker, each pass sorting with its own share — cannot
+    /// oversubscribe by more than the rounding.
+    pub fn split(&self, ways: usize) -> WorkPool {
+        WorkPool { threads: self.threads.div_ceil(ways.max(1)) }
+    }
+
+    /// The chunk length used for a slice of `n` items with a floor of
+    /// `min_chunk` items per chunk.
+    fn chunk_len(&self, n: usize, min_chunk: usize) -> usize {
+        n.div_ceil(self.threads * OVERSUBSCRIPTION).max(min_chunk).max(1)
+    }
+
+    /// Runs `f` over contiguous index ranges covering `0..n` (each at
+    /// least `min_chunk` long, except possibly the last) and returns the
+    /// per-range results **in range order**. Workers claim ranges
+    /// dynamically, so uneven costs balance out. This is the base
+    /// primitive — [`WorkPool::par_chunks`] and
+    /// [`WorkPool::par_map_collect`] are views of it, so the chunk
+    /// geometry is computed in exactly one place.
+    pub fn par_ranges<U, F>(&self, n: usize, min_chunk: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> U + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let len = self.chunk_len(n, min_chunk);
+        let chunks = n.div_ceil(len);
+        let range_of = |i: usize| (i * len)..((i + 1) * len).min(n);
+        let workers = self.threads.min(chunks);
+        if workers <= 1 {
+            return (0..chunks).map(|i| f(i, range_of(i))).collect();
+        }
+        let results: Mutex<Vec<Option<U>>> = Mutex::new((0..chunks).map(|_| None).collect());
+        let cursor = AtomicUsize::new(0);
+        let work = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= chunks {
+                break;
+            }
+            let out = f(i, range_of(i));
+            results.lock().expect("result slots poisoned")[i] = Some(out);
+        };
+        thread::scope(|scope| {
+            // The caller claims chunks too: `workers` includes it, so
+            // only `workers - 1` threads are spawned and nobody idles
+            // at the join.
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+        results
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every chunk was claimed"))
+            .collect()
+    }
+
+    /// Runs `f` over contiguous chunks of `items` (each at least
+    /// `min_chunk` long, except possibly the last) and returns the
+    /// per-chunk results **in chunk order**. `f` receives the chunk
+    /// index and the chunk. Workers claim chunks dynamically, so uneven
+    /// chunk costs balance out.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], min_chunk: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> U + Sync,
+    {
+        self.par_ranges(items.len(), min_chunk, |i, range| f(i, &items[range]))
+    }
+
+    /// Maps every element of `items` through `f` (which receives the
+    /// element index) and collects the results in input order.
+    pub fn par_map_collect<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let nested: Vec<Vec<U>> = self.par_ranges(items.len(), 1, |_, range| {
+            let base = range.start;
+            items[range].iter().enumerate().map(|(i, item)| f(base + i, item)).collect()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for v in nested {
+            out.extend(v);
+        }
+        out
+    }
+
+    /// Runs `count` independent tasks (task index → result), results in
+    /// task order. Meant for coarse units — one windowing pass, one
+    /// blocking pass — where each task may itself use
+    /// [`WorkPool::split`] for its inner work.
+    pub fn par_tasks<U, F>(&self, count: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(count);
+        if workers <= 1 {
+            return (0..count).map(f).collect();
+        }
+        let results: Mutex<Vec<Option<U>>> = Mutex::new((0..count).map(|_| None).collect());
+        let cursor = AtomicUsize::new(0);
+        let work = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            let out = f(i);
+            results.lock().expect("result slots poisoned")[i] = Some(out);
+        };
+        thread::scope(|scope| {
+            // As in par_ranges: the caller is one of the workers.
+            for _ in 1..workers {
+                scope.spawn(work);
+            }
+            work();
+        });
+        results
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every task was claimed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_chunks_preserves_chunk_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let items: Vec<usize> = (0..1000).collect();
+            let sums = pool.par_chunks(&items, 1, |i, chunk| (i, chunk.iter().sum::<usize>()));
+            // Chunk indices are ascending and the total is preserved.
+            for (k, (i, _)) in sums.iter().enumerate() {
+                assert_eq!(k, *i);
+            }
+            let total: usize = sums.iter().map(|(_, s)| s).sum();
+            assert_eq!(total, 1000 * 999 / 2);
+        }
+    }
+
+    #[test]
+    fn par_map_collect_matches_serial_map() {
+        let items: Vec<u64> = (0..507).collect();
+        let expected: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        for threads in [1, 2, 4, 16] {
+            let pool = WorkPool::with_threads(threads);
+            let got = pool.par_map_collect(&items, |i, &x| x * 3 + i as u64);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_tasks_runs_every_task_once() {
+        let pool = WorkPool::with_threads(4);
+        let counter = AtomicUsize::new(0);
+        let out = pool.par_tasks(17, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i * i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 17);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let pool = WorkPool::with_threads(4);
+        let out: Vec<usize> = pool.par_chunks(&[] as &[usize], 1, |_, c| c.len());
+        assert!(out.is_empty());
+        let out: Vec<usize> = pool.par_map_collect(&[] as &[usize], |_, &x| x);
+        assert!(out.is_empty());
+        let out: Vec<usize> = pool.par_tasks(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn min_chunk_floors_chunk_count() {
+        let pool = WorkPool::with_threads(8);
+        let items: Vec<usize> = (0..100).collect();
+        let chunks = pool.par_chunks(&items, 64, |_, c| c.len());
+        // 100 items with a 64-item floor → exactly two chunks.
+        assert_eq!(chunks, vec![64, 36]);
+    }
+
+    #[test]
+    fn par_ranges_cover_exactly_once() {
+        for threads in [1, 3, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let ranges = pool.par_ranges(1000, 1, |i, r| (i, r));
+            let mut next = 0usize;
+            for (k, (i, r)) in ranges.iter().enumerate() {
+                assert_eq!(k, *i);
+                assert_eq!(r.start, next, "ranges must tile 0..n gaplessly");
+                next = r.end;
+            }
+            assert_eq!(next, 1000);
+        }
+    }
+
+    #[test]
+    fn split_divides_threads() {
+        let pool = WorkPool::with_threads(8);
+        assert_eq!(pool.split(2).threads(), 4);
+        assert_eq!(pool.split(3).threads(), 3);
+        assert_eq!(pool.split(100).threads(), 1);
+        assert_eq!(WorkPool::serial().split(2).threads(), 1);
+    }
+}

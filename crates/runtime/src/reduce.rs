@@ -1,0 +1,67 @@
+//! Deterministic ordered reduction: parallel chunk map, serial fold in
+//! chunk order.
+
+use crate::pool::WorkPool;
+
+/// Maps contiguous chunks of `items` through `map` in parallel, then
+/// folds the chunk results **in chunk order** with `fold`, starting from
+/// `init`. Because the fold order is the chunk order — not the
+/// completion order — the reduction is deterministic even for
+/// non-commutative folds (e.g. merging matched pairs into a union-find,
+/// deduplicating candidates while keeping first-seen order).
+pub fn ordered_reduce<T, A, B, M, F>(
+    pool: &WorkPool,
+    items: &[T],
+    min_chunk: usize,
+    map: M,
+    init: B,
+    mut fold: F,
+) -> B
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    F: FnMut(B, A) -> B,
+{
+    pool.par_chunks(items, min_chunk, map).into_iter().fold(init, &mut fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_commutative_fold_is_deterministic() {
+        let items: Vec<u32> = (0..2_000).collect();
+        let serial: String =
+            items.iter().filter(|x| *x % 97 == 0).map(|x| format!("{x},")).collect();
+        for threads in [1, 2, 5, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let got = ordered_reduce(
+                &pool,
+                &items,
+                1,
+                |_, chunk| {
+                    chunk
+                        .iter()
+                        .filter(|x| *x % 97 == 0)
+                        .map(|x| format!("{x},"))
+                        .collect::<String>()
+                },
+                String::new(),
+                |mut acc, s: String| {
+                    acc.push_str(&s);
+                    acc
+                },
+            );
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_init() {
+        let pool = WorkPool::with_threads(4);
+        let got = ordered_reduce(&pool, &[] as &[u8], 1, |_, _| 1u64, 10u64, |a, b| a + b);
+        assert_eq!(got, 10);
+    }
+}

@@ -1,0 +1,166 @@
+//! Parallel stable sort: per-chunk sort + k-way merge.
+//!
+//! The merge breaks ties by run index (earlier run first), so the result
+//! is exactly the serial **stable** sort of the input — callers can swap
+//! serial and parallel sorting without changing a single output byte.
+
+use crate::pool::WorkPool;
+use std::cmp::Ordering;
+use std::thread;
+
+/// Below this length the scoped-thread spawn cost dominates; sort
+/// inline.
+const PAR_SORT_MIN: usize = 4 * 1024;
+
+impl WorkPool {
+    /// Sorts `v` by `cmp`, in parallel when the pool and the input are
+    /// large enough. Always equivalent to `v.sort_by(cmp)` (the stable
+    /// serial sort).
+    pub fn par_sort_by<T, F>(&self, v: &mut Vec<T>, cmp: F)
+    where
+        T: Send,
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let n = v.len();
+        if self.threads() <= 1 || n < PAR_SORT_MIN {
+            v.sort_by(cmp);
+            return;
+        }
+
+        // Split into one run per thread (contiguous, ~equal length —
+        // comparison cost is uniform enough that static assignment
+        // beats chunk claiming here).
+        let runs_wanted = self.threads().min(n);
+        let run_len = n.div_ceil(runs_wanted);
+        let mut rest = std::mem::take(v);
+        let mut runs: Vec<Vec<T>> = Vec::with_capacity(runs_wanted);
+        while rest.len() > run_len {
+            let tail = rest.split_off(run_len);
+            runs.push(rest);
+            rest = tail;
+        }
+        runs.push(rest);
+
+        thread::scope(|scope| {
+            // The caller sorts the first run itself while the spawned
+            // threads take the rest.
+            let (first, rest) = runs.split_first_mut().expect("at least one run");
+            for run in rest {
+                let cmp = &cmp;
+                scope.spawn(move || run.sort_by(cmp));
+            }
+            first.sort_by(&cmp);
+        });
+
+        *v = merge_runs(runs, &cmp);
+    }
+}
+
+/// K-way merge of sorted runs; ties go to the earliest run (stability).
+/// `k` is at most the pool width, so the linear head scan stays cheaper
+/// than a binary heap's bookkeeping. Runs are reversed so the current
+/// head is `last()` (peeked immutably) and consuming it is a `pop()`.
+fn merge_runs<T>(mut runs: Vec<Vec<T>>, cmp: &impl Fn(&T, &T) -> Ordering) -> Vec<T> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    for run in &mut runs {
+        run.reverse();
+    }
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..runs.len() {
+            let Some(candidate) = runs[i].last() else { continue };
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    // Strict `Less` only: an equal later run must not
+                    // win, or stability breaks.
+                    let head = runs[b].last().expect("best run is non-empty");
+                    if cmp(candidate, head) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(i) => out.push(runs[i].pop().expect("peeked head exists")),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random u64s (SplitMix64).
+    fn noise(n: usize, mut state: u64) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_sort_equals_serial_sort() {
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let mut a = noise(10_000, 42);
+            let mut b = a.clone();
+            pool.par_sort_by(&mut a, |x, y| x.cmp(y));
+            b.sort();
+            assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_is_stable() {
+        // Keys collide heavily; payloads record the input order.
+        let items: Vec<(u8, usize)> =
+            noise(20_000, 7).into_iter().enumerate().map(|(i, v)| ((v % 5) as u8, i)).collect();
+        for threads in [2, 4, 7] {
+            let pool = WorkPool::with_threads(threads);
+            let mut a = items.clone();
+            let mut b = items.clone();
+            pool.par_sort_by(&mut a, |x, y| x.0.cmp(&y.0));
+            b.sort_by_key(|x| x.0);
+            assert_eq!(a, b, "stable order diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_sort_handles_reverse_orders() {
+        let pool = WorkPool::with_threads(4);
+        let mut a: Vec<u64> = noise(8_192, 3);
+        let mut b = a.clone();
+        pool.par_sort_by(&mut a, |x, y| y.cmp(x));
+        b.sort_by_key(|x| std::cmp::Reverse(*x));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        let pool = WorkPool::with_threads(8);
+        let mut v: Vec<u32> = Vec::new();
+        pool.par_sort_by(&mut v, |a, b| a.cmp(b));
+        assert!(v.is_empty());
+        let mut v = vec![3u32, 1, 2];
+        pool.par_sort_by(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_runs_merges_in_order() {
+        let runs = vec![vec![1, 4, 7], vec![2, 5, 8], vec![], vec![0, 3, 6, 9]];
+        let merged = merge_runs(runs, &|a: &i32, b: &i32| a.cmp(b));
+        assert_eq!(merged, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -15,12 +15,11 @@ use matchrules::matcher::windowing::multi_pass_window;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const RECORDS: usize = 3_000;
-    // Shape-only compile: top_k(0) skips the RCK enumeration, we only
-    // need the preset's schema pair and target to generate data.
-    let shape = Preset::Extended.builder().top_k(0).compile()?;
+    // Shapes only: the preset's schema pair and target, no compiled plan.
+    let shape = Preset::Extended.paper_setting();
     let data = generate_dirty(
-        shape.pair(),
-        shape.target(),
+        &shape.pair,
+        &shape.target,
         RECORDS,
         &NoiseConfig { seed: 0xCE45, ..Default::default() },
     );

@@ -14,6 +14,7 @@ use matchrules_core::schema::{AttrKind, Schema, SchemaPair, Side};
 use matchrules_data::eval::{paper_registry, RuntimeOps};
 use matchrules_data::relation::Relation;
 use matchrules_matcher::pipeline::{apply_length_stats, rck_block_key, rck_sort_keys};
+use matchrules_runtime::{ExecConfig, Threads};
 use matchrules_simdist::ops::OpRegistry;
 use std::fmt;
 use std::sync::Arc;
@@ -116,6 +117,7 @@ pub struct EngineBuilder {
     window: usize,
     weights: (f64, f64, f64),
     stats: Option<MeasuredStats>,
+    exec: ExecConfig,
 }
 
 impl Default for EngineBuilder {
@@ -142,6 +144,7 @@ impl EngineBuilder {
             window: 10,
             weights: (1.0, 1.0, 1.0),
             stats: None,
+            exec: ExecConfig::default(),
         }
     }
 
@@ -264,6 +267,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Execution configuration: how many threads the engine's runtime
+    /// pool uses (defaults to `Threads::Auto`, the hardware
+    /// parallelism). Parallel output is byte-identical to serial.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Shorthand for [`EngineBuilder::exec`] with a fixed thread count.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.exec = ExecConfig { threads: Threads::Fixed(n) };
+        self
+    }
+
     /// Measures per-attribute average lengths on concrete instances,
     /// feeding the cost model's `lt` term (optional — the plan compiles
     /// with uniform statistics otherwise). The relations must instantiate
@@ -286,6 +305,22 @@ impl EngineBuilder {
         if self.window < 2 {
             return Err(EngineError::InvalidConfig {
                 message: format!("window must hold at least two tuples, got {}", self.window),
+            });
+        }
+        if self.exec.threads == Threads::Fixed(0) {
+            return Err(EngineError::InvalidConfig {
+                message: "threads must be at least 1 (use Threads::Auto for the hardware \
+                          parallelism)"
+                    .to_owned(),
+            });
+        }
+        if self.top_k == 0 {
+            return Err(EngineError::InvalidConfig {
+                message: "top_k must be at least 1: a plan with no RCKs derives no match, \
+                          sort or block keys and silently matches nothing (for the schema \
+                          pair and target alone, use Preset::paper_setting or keep the \
+                          builder uncompiled)"
+                    .to_owned(),
             });
         }
         let mut pair = self.pair.ok_or(EngineError::MissingSchemas)?;
@@ -372,6 +407,7 @@ impl EngineBuilder {
             sort_keys,
             block_key,
             self.window,
+            self.exec,
         ))
     }
 

@@ -18,6 +18,14 @@
 //!    [`MatchEngine::block`], [`MatchEngine::window`] — returning
 //!    structured [`MatchReport`]s.
 //!
+//! Execution is parallel by default: the engine runs windowing, blocking
+//! and pairwise key evaluation on a std-only work pool
+//! (`matchrules-runtime`), configured through [`ExecConfig`] on the
+//! builder ([`EngineBuilder::exec`]/[`EngineBuilder::threads`]) or per
+//! engine via [`MatchEngine::with_exec`]. Parallel output is
+//! **byte-identical** to serial; reports carry per-stage timings and the
+//! thread count ([`MatchReport::stages`], [`MatchReport::threads`]).
+//!
 //! The paper's own settings are just two [`Preset`] configurations of this
 //! engine; nothing in the pipeline dispatches on the paper's attribute
 //! names.
@@ -30,6 +38,7 @@ mod report;
 pub mod preset;
 
 pub use builder::{EngineBuilder, EngineError};
+pub use matchrules_runtime::{ExecConfig, Threads};
 pub use plan::MatchPlan;
 pub use preset::Preset;
-pub use report::{DedupReport, MatchEngine, MatchReport, MatchedPair};
+pub use report::{DedupReport, MatchEngine, MatchReport, MatchedPair, Stage};

@@ -6,6 +6,7 @@ use matchrules_core::operators::OperatorTable;
 use matchrules_core::relative_key::{RelativeKey, Target};
 use matchrules_core::schema::SchemaPair;
 use matchrules_matcher::sortkey::SortKey;
+use matchrules_runtime::ExecConfig;
 use std::fmt::Write as _;
 
 /// The compiled match plan: schemas, the MD set, the deduced top-k RCKs,
@@ -27,6 +28,7 @@ pub struct MatchPlan {
     sort_keys: Vec<SortKey>,
     block_key: Option<SortKey>,
     window: usize,
+    exec: ExecConfig,
 }
 
 impl MatchPlan {
@@ -42,6 +44,7 @@ impl MatchPlan {
         sort_keys: Vec<SortKey>,
         block_key: Option<SortKey>,
         window: usize,
+        exec: ExecConfig,
     ) -> Self {
         MatchPlan {
             pair,
@@ -54,6 +57,7 @@ impl MatchPlan {
             sort_keys,
             block_key,
             window,
+            exec,
         }
     }
 
@@ -108,6 +112,13 @@ impl MatchPlan {
         self.window
     }
 
+    /// The execution configuration (thread policy) the plan was compiled
+    /// with; [`MatchEngine::with_exec`](crate::engine::MatchEngine::with_exec)
+    /// can override it per engine without recompiling.
+    pub fn exec(&self) -> ExecConfig {
+        self.exec
+    }
+
     /// Human-readable provenance: schemas, Σ, and the deduced keys — what
     /// a report means by "plan".
     pub fn describe(&self) -> String {
@@ -128,10 +139,11 @@ impl MatchPlan {
         }
         let _ = writeln!(
             out,
-            "  derived: {} sort key(s), {} block key, window {}",
+            "  derived: {} sort key(s), {} block key, window {}, threads {}",
             self.sort_keys.len(),
             if self.block_key.is_some() { "1" } else { "no" },
             self.window,
+            self.exec.threads,
         );
         out
     }

@@ -27,11 +27,18 @@ impl Preset {
     /// metadata attached), operator table, MDs and target — ready to
     /// customize (`top_k`, `window`, statistics) and compile.
     pub fn builder(self) -> EngineBuilder {
-        let setting = match self {
+        let setting = self.paper_setting();
+        EngineBuilder::from_parts(setting.pair, setting.ops, setting.sigma, setting.target)
+    }
+
+    /// The raw paper setting (schema pair, operator table, Σ, target) —
+    /// for callers that need the shapes without compiling a plan, e.g.
+    /// generating synthetic data over the preset's schemas.
+    pub fn paper_setting(self) -> paper::PaperSetting {
+        match self {
             Preset::Example11 => paper::example_1_1(),
             Preset::Extended => paper::extended(),
-        };
-        EngineBuilder::from_parts(setting.pair, setting.ops, setting.sigma, setting.target)
+        }
     }
 }
 

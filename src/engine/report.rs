@@ -9,10 +9,11 @@ use matchrules_data::enforce::{enforce, EnforceOutcome};
 use matchrules_data::eval::RuntimeOps;
 use matchrules_data::relation::{InstancePair, Relation, TupleId};
 use matchrules_data::unionfind::UnionFind;
-use matchrules_matcher::blocking::multi_pass_block;
-use matchrules_matcher::key::KeyMatcher;
+use matchrules_matcher::blocking::multi_pass_block_in;
+use matchrules_matcher::key::{KeyMatcher, PAR_MATCH_MIN_CHUNK};
 use matchrules_matcher::metrics::{evaluate_pairs, MatchQuality};
-use matchrules_matcher::windowing::multi_pass_window;
+use matchrules_matcher::windowing::multi_pass_window_in;
+use matchrules_runtime::{ordered_reduce, ExecConfig, WorkPool};
 use matchrules_simdist::ops::OpRegistry;
 use std::fmt;
 use std::sync::Arc;
@@ -33,6 +34,16 @@ pub struct MatchedPair {
     pub key: usize,
 }
 
+/// Wall-clock timing of one named stage of an engine run (candidate
+/// generation, pairwise matching, transitive closure…).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage name (`"window"`, `"block"`, `"match"`, `"closure"`…).
+    pub name: &'static str,
+    /// Wall-clock time the stage took.
+    pub elapsed: Duration,
+}
+
 /// The structured result of one engine run.
 #[derive(Debug, Clone)]
 pub struct MatchReport {
@@ -42,6 +53,8 @@ pub struct MatchReport {
     total_pairs: usize,
     elapsed: Duration,
     plan_rcks: usize,
+    stages: Vec<Stage>,
+    threads: usize,
 }
 
 impl MatchReport {
@@ -91,10 +104,21 @@ impl MatchReport {
         }
     }
 
-    /// Wall-clock time of the run (matching only; the plan was compiled
-    /// beforehand).
+    /// Wall-clock time of the whole run — candidate generation included;
+    /// the plan was compiled beforehand.
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Per-stage wall-clock breakdown of the run, in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Execution provenance: how many runtime threads the engine's pool
+    /// was configured with for this run.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of RCKs in the plan that produced this report.
@@ -112,13 +136,15 @@ impl fmt::Display for MatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} matches from {} candidates ({} possible pairs, {:.1}% skipped) in {:?} via {} keys",
+            "{} matches from {} candidates ({} possible pairs, {:.1}% skipped) in {:?} via {} keys on {} thread{}",
             self.pairs.len(),
             self.candidates,
             self.total_pairs,
             self.reduction_ratio() * 100.0,
             self.elapsed,
             self.plan_rcks,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
         )
     }
 }
@@ -142,11 +168,13 @@ impl DedupReport {
 }
 
 /// The reusable executor of one [`MatchPlan`]: resolved similarity
-/// operators plus the plan, cheap to clone and share.
+/// operators, the runtime pool, plus the plan — cheap to clone and
+/// share.
 #[derive(Clone)]
 pub struct MatchEngine {
     plan: Arc<MatchPlan>,
     runtime: Arc<RuntimeOps>,
+    pool: WorkPool,
 }
 
 impl fmt::Debug for MatchEngine {
@@ -154,15 +182,31 @@ impl fmt::Debug for MatchEngine {
         f.debug_struct("MatchEngine")
             .field("plan", &self.plan)
             .field("operators", &self.runtime.len())
+            .field("threads", &self.pool.threads())
             .finish()
     }
 }
 
 impl MatchEngine {
-    /// Resolves the plan's symbolic operators against `registry`.
+    /// Resolves the plan's symbolic operators against `registry`; the
+    /// runtime pool follows the plan's [`ExecConfig`].
     pub fn from_plan(plan: MatchPlan, registry: &OpRegistry) -> Result<Self, EngineError> {
         let runtime = RuntimeOps::resolve(plan.ops(), registry)?;
-        Ok(MatchEngine { plan: Arc::new(plan), runtime: Arc::new(runtime) })
+        let pool = WorkPool::new(plan.exec());
+        Ok(MatchEngine { plan: Arc::new(plan), runtime: Arc::new(runtime), pool })
+    }
+
+    /// The same engine (shared plan and operators) with a different
+    /// execution configuration — no recompilation, so thread sweeps
+    /// reuse one reasoning pass. Parallel output is byte-identical to
+    /// serial, only [`MatchReport::threads`] and timings change.
+    #[must_use]
+    pub fn with_exec(&self, exec: ExecConfig) -> MatchEngine {
+        MatchEngine {
+            plan: self.plan.clone(),
+            runtime: self.runtime.clone(),
+            pool: WorkPool::new(exec),
+        }
     }
 
     /// The compiled plan.
@@ -173,6 +217,11 @@ impl MatchEngine {
     /// The resolved operator bindings.
     pub fn runtime(&self) -> &RuntimeOps {
         &self.runtime
+    }
+
+    /// The runtime pool's thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     fn check_side(&self, side: Side, relation: &Relation) -> Result<(), EngineError> {
@@ -196,39 +245,69 @@ impl MatchEngine {
             .with_negatives(self.plan.negatives())
     }
 
+    /// Pairwise key evaluation over the candidates, chunked on the pool
+    /// with per-chunk results concatenated in chunk order — the matched
+    /// pairs come back exactly as a serial scan would produce them.
     fn run(
         &self,
         left: &Relation,
         right: &Relation,
         candidates: Vec<(usize, usize)>,
+        started: Instant,
+        mut stages: Vec<Stage>,
     ) -> MatchReport {
-        let start = Instant::now();
+        let match_started = Instant::now();
         let matcher = self.matcher();
-        let mut pairs = Vec::new();
-        for &(l, r) in &candidates {
-            let (lt, rt) = (&left.tuples()[l], &right.tuples()[r]);
-            // One pass over the key disjunction, then only the negative
-            // rules — `matches()` would re-evaluate every key.
-            if let Some(key) = matcher.matching_key(lt, rt) {
-                if !matcher.vetoed(lt, rt) {
-                    pairs.push(MatchedPair {
-                        left: l,
-                        right: r,
-                        left_id: lt.id(),
-                        right_id: rt.id(),
-                        key,
-                    });
+        let pairs = ordered_reduce(
+            &self.pool,
+            &candidates,
+            PAR_MATCH_MIN_CHUNK,
+            |_, chunk| {
+                let mut out = Vec::new();
+                for &(l, r) in chunk {
+                    let (lt, rt) = (&left.tuples()[l], &right.tuples()[r]);
+                    // One pass over the key disjunction, then only the
+                    // negative rules — `matches()` would re-evaluate
+                    // every key.
+                    if let Some(key) = matcher.matching_key(lt, rt) {
+                        if !matcher.vetoed(lt, rt) {
+                            out.push(MatchedPair {
+                                left: l,
+                                right: r,
+                                left_id: lt.id(),
+                                right_id: rt.id(),
+                                key,
+                            });
+                        }
+                    }
                 }
-            }
-        }
+                out
+            },
+            Vec::new(),
+            |mut pairs: Vec<MatchedPair>, chunk| {
+                pairs.extend(chunk);
+                pairs
+            },
+        );
+        stages.push(Stage { name: "match", elapsed: match_started.elapsed() });
         MatchReport {
             pairs,
             candidates: candidates.len(),
             comparisons: candidates.len(),
             total_pairs: left.len() * right.len(),
-            elapsed: start.elapsed(),
+            elapsed: started.elapsed(),
             plan_rcks: self.plan.rcks().len(),
+            stages,
+            threads: self.pool.threads(),
         }
+    }
+
+    /// Times one candidate-generation closure as a named stage.
+    fn staged<T>(name: &'static str, stages: &mut Vec<Stage>, f: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let out = f();
+        stages.push(Stage { name, elapsed: started.elapsed() });
+        out
     }
 
     /// Matches a relation pair using the plan's windowed candidate
@@ -244,8 +323,12 @@ impl MatchEngine {
         if self.plan.sort_keys().is_empty() {
             return self.match_all(left, right);
         }
-        let candidates = multi_pass_window(left, right, self.plan.sort_keys(), self.plan.window());
-        Ok(self.run(left, right, candidates))
+        let started = Instant::now();
+        let mut stages = Vec::new();
+        let candidates = Self::staged("window", &mut stages, || {
+            multi_pass_window_in(&self.pool, left, right, self.plan.sort_keys(), self.plan.window())
+        });
+        Ok(self.run(left, right, candidates, started, stages))
     }
 
     /// Matches every pair of the cross product (small instances,
@@ -253,9 +336,10 @@ impl MatchEngine {
     pub fn match_all(&self, left: &Relation, right: &Relation) -> Result<MatchReport, EngineError> {
         self.check_side(Side::Left, left)?;
         self.check_side(Side::Right, right)?;
+        let started = Instant::now();
         let candidates: Vec<(usize, usize)> =
             (0..left.len()).flat_map(|l| (0..right.len()).map(move |r| (l, r))).collect();
-        Ok(self.run(left, right, candidates))
+        Ok(self.run(left, right, candidates, started, Vec::new()))
     }
 
     /// Matches caller-provided candidate pairs (bring your own blocking).
@@ -267,7 +351,7 @@ impl MatchEngine {
     ) -> Result<MatchReport, EngineError> {
         self.check_side(Side::Left, left)?;
         self.check_side(Side::Right, right)?;
-        Ok(self.run(left, right, candidates.to_vec()))
+        Ok(self.run(left, right, candidates.to_vec(), Instant::now(), Vec::new()))
     }
 
     /// Deduplicates one relation over a reflexive plan: windowed candidate
@@ -276,10 +360,24 @@ impl MatchEngine {
     pub fn dedup(&self, relation: &Relation) -> Result<DedupReport, EngineError> {
         self.check_side(Side::Left, relation)?;
         self.check_side(Side::Right, relation)?;
-        let candidates: Vec<(usize, usize)> = if self.plan.sort_keys().is_empty() {
-            (0..relation.len()).flat_map(|i| (i + 1..relation.len()).map(move |j| (i, j))).collect()
-        } else {
-            multi_pass_window(relation, relation, self.plan.sort_keys(), self.plan.window())
+        let started = Instant::now();
+        let mut stages = Vec::new();
+        // Name the stage by what actually runs: a key-less plan has no
+        // window to slide, it enumerates the full pair space.
+        let stage_name = if self.plan.sort_keys().is_empty() { "exhaustive" } else { "window" };
+        let candidates: Vec<(usize, usize)> = Self::staged(stage_name, &mut stages, || {
+            if self.plan.sort_keys().is_empty() {
+                (0..relation.len())
+                    .flat_map(|i| (i + 1..relation.len()).map(move |j| (i, j)))
+                    .collect()
+            } else {
+                multi_pass_window_in(
+                    &self.pool,
+                    relation,
+                    relation,
+                    self.plan.sort_keys(),
+                    self.plan.window(),
+                )
                 .into_iter()
                 .filter_map(|(i, j)| match i.cmp(&j) {
                     std::cmp::Ordering::Less => Some((i, j)),
@@ -289,15 +387,22 @@ impl MatchEngine {
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect()
-        };
-        let mut report = self.run(relation, relation, candidates);
+            }
+        });
+        let mut report = self.run(relation, relation, candidates, started, stages);
         // The cross product of a dedup run is the unordered pair count.
         report.total_pairs = relation.len() * relation.len().saturating_sub(1) / 2;
+        // Closure in matched-pair order: the clusters (and their member
+        // order) are identical however many threads matched the pairs.
+        let closure_started = Instant::now();
         let mut uf = UnionFind::new(relation.len());
         for p in report.pairs() {
             uf.union(p.left, p.right);
         }
-        Ok(DedupReport { clusters: uf.groups(), report })
+        let clusters = uf.groups();
+        report.stages.push(Stage { name: "closure", elapsed: closure_started.elapsed() });
+        report.elapsed = started.elapsed();
+        Ok(DedupReport { clusters, report })
     }
 
     /// Candidate `(left, right)` pairs sharing the plan's RCK-derived
@@ -310,7 +415,7 @@ impl MatchEngine {
         self.check_side(Side::Left, left)?;
         self.check_side(Side::Right, right)?;
         let key = self.plan.block_key().ok_or(EngineError::NoKeys)?;
-        Ok(multi_pass_block(left, right, std::slice::from_ref(key)))
+        Ok(multi_pass_block_in(&self.pool, left, right, std::slice::from_ref(key)))
     }
 
     /// Candidate `(left, right)` pairs from multi-pass windowing over the
@@ -325,7 +430,7 @@ impl MatchEngine {
         if self.plan.sort_keys().is_empty() {
             return Err(EngineError::NoKeys);
         }
-        Ok(multi_pass_window(left, right, self.plan.sort_keys(), self.plan.window()))
+        Ok(multi_pass_window_in(&self.pool, left, right, self.plan.sort_keys(), self.plan.window()))
     }
 
     /// Enforces the plan's MDs on an instance pair — the paper's dynamic

@@ -68,6 +68,37 @@
 //! The paper's own settings are two [`engine::Preset`]s of the same
 //! machinery (`Preset::Example11.builder()`, `Preset::Extended.builder()`).
 //!
+//! ## Parallel execution
+//!
+//! The engine runs on a std-only work pool (`matchrules-runtime`):
+//! windowing passes, blocking partitions and pairwise key evaluation all
+//! execute in parallel, and the output is **byte-identical** to a serial
+//! run. Configure it with [`engine::ExecConfig`] on the builder, or per
+//! engine — thread sweeps reuse one compiled plan:
+//!
+//! ```
+//! use matchrules::engine::{ExecConfig, Preset, Threads};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Compile with an explicit thread policy (default: Threads::Auto).
+//! let engine = Preset::Example11.builder()
+//!     .exec(ExecConfig { threads: Threads::Fixed(2) })
+//!     .build()?;
+//! assert_eq!(engine.threads(), 2);
+//!
+//! // Re-target the same plan without recompiling.
+//! let instance = matchrules::data::fig1::instance_for_pair(engine.plan().pair());
+//! let serial = engine.with_exec(ExecConfig::serial());
+//! let a = serial.match_pairs(instance.left(), instance.right())?;
+//! let b = engine.match_pairs(instance.left(), instance.right())?;
+//! assert_eq!(a.pairs(), b.pairs()); // parallel == serial, byte for byte
+//! assert_eq!(b.threads(), 2);       // provenance in every report
+//! for stage in b.stages() {
+//!     println!("{}: {:?}", stage.name, stage.elapsed); // per-stage timing
+//! }
+//! # Ok(()) }
+//! ```
+//!
 //! ## Workspace layers
 //!
 //! * [`core`] (`matchrules-core`) — schemas (+ `AttrKind` metadata), MDs,
@@ -79,6 +110,8 @@
 //!   semantics, the Fig. 1 instance, and the §6 synthetic-data protocol;
 //! * [`matcher`] (`matchrules-matcher`) — Fellegi–Sunter + EM, Sorted
 //!   Neighborhood, blocking, windowing and quality metrics;
+//! * `matchrules-runtime` — the std-only parallel execution runtime
+//!   (work pool, parallel sort, deterministic ordered reductions);
 //! * [`engine`] — the schema-agnostic compile-once API over all of it.
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for

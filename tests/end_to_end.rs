@@ -17,14 +17,10 @@ use matchrules::matcher::windowing::multi_pass_window;
 const K: usize = 400;
 
 fn workload_seeded(k: usize, seed: u64) -> (MatchEngine, DirtyData) {
-    // Shape-only compile: top_k(0) skips the RCK enumeration.
-    let shape = Preset::Extended.builder().top_k(0).compile().unwrap();
-    let data = generate_dirty(
-        shape.pair(),
-        shape.target(),
-        k,
-        &NoiseConfig { seed, ..Default::default() },
-    );
+    // Shapes only: the preset's schema pair and target, no compiled plan.
+    let shape = Preset::Extended.paper_setting();
+    let data =
+        generate_dirty(&shape.pair, &shape.target, k, &NoiseConfig { seed, ..Default::default() });
     let engine = Preset::Extended
         .builder()
         .top_k(5)

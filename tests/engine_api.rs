@@ -273,3 +273,73 @@ fn window_below_two_rejected_at_compile() {
     assert!(matches!(err, EngineError::InvalidConfig { .. }), "{err}");
     assert!(err.to_string().contains("window"));
 }
+
+/// `top_k(0)` used to compile into a silently degenerate plan (no RCKs,
+/// no sort/block keys, every match a miss); now it is a compile error.
+#[test]
+fn top_k_zero_rejected_at_compile() {
+    let err = Preset::Extended.builder().top_k(0).compile().unwrap_err();
+    assert!(matches!(err, EngineError::InvalidConfig { .. }), "{err}");
+    assert!(err.to_string().contains("top_k"), "{err}");
+}
+
+/// The runtime pool is plumbed end to end: reports carry the configured
+/// thread count and a per-stage timing breakdown, and every thread count
+/// produces byte-identical matches.
+#[test]
+fn exec_config_is_deterministic_and_reported() {
+    use matchrules::engine::ExecConfig;
+    let engine = catalog_engine();
+    let shop = shop_rows(&engine);
+    let feed = feed_rows(&engine);
+    let serial = engine.with_exec(ExecConfig::serial());
+    let baseline = serial.match_pairs(&shop, &feed).unwrap();
+    assert_eq!(baseline.threads(), 1);
+    let stage_names: Vec<&str> = baseline.stages().iter().map(|s| s.name).collect();
+    assert_eq!(stage_names, vec!["window", "match"]);
+    for threads in [2, 4, 8] {
+        let parallel = engine.with_exec(ExecConfig::fixed(threads));
+        assert_eq!(parallel.threads(), threads);
+        let report = parallel.match_pairs(&shop, &feed).unwrap();
+        assert_eq!(report.pairs(), baseline.pairs(), "threads = {threads}");
+        assert_eq!(report.threads(), threads);
+    }
+}
+
+/// A zero thread count is a configuration mistake, not a request for
+/// serial execution — rejected like `top_k(0)` and `window(1)`.
+#[test]
+fn threads_zero_rejected_at_compile() {
+    let err = Preset::Example11.builder().threads(0).compile().unwrap_err();
+    assert!(matches!(err, EngineError::InvalidConfig { .. }), "{err}");
+    assert!(err.to_string().contains("threads"), "{err}");
+}
+
+/// Builder-level thread configuration lands in the compiled plan.
+#[test]
+fn builder_threads_reach_the_plan() {
+    use matchrules::engine::{ExecConfig, Threads};
+    let engine = Preset::Example11.builder().threads(3).build().unwrap();
+    assert_eq!(engine.plan().exec(), ExecConfig { threads: Threads::Fixed(3) });
+    assert_eq!(engine.threads(), 3);
+    assert!(engine.plan().describe().contains("threads 3"));
+}
+
+/// Satellite regression: empty relations produce finite reports — no NaN
+/// in reduction ratios or quality scores, whatever the denominators.
+#[test]
+fn empty_relations_yield_finite_reports() {
+    let engine = catalog_engine();
+    let empty_shop = Relation::new(engine.plan().pair().left().clone());
+    let empty_feed = Relation::new(engine.plan().pair().right().clone());
+    for report in [
+        engine.match_pairs(&empty_shop, &empty_feed).unwrap(),
+        engine.match_all(&empty_shop, &empty_feed).unwrap(),
+        engine.match_pairs(&shop_rows(&engine), &empty_feed).unwrap(),
+    ] {
+        assert!(report.is_empty());
+        assert!(report.reduction_ratio().is_finite(), "{}", report.reduction_ratio());
+        // Display renders the ratio — must not print NaN.
+        assert!(!report.to_string().contains("NaN"), "{report}");
+    }
+}

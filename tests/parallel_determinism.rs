@@ -1,0 +1,99 @@
+//! Property tests: the parallel runtime is invisible in the results.
+//! `match_pairs` and `dedup` must produce identical `MatchedPair` sets on
+//! randomized dirty-catalog instances at 1, 2 and 8 threads — the
+//! determinism contract of `matchrules-runtime` (chunk-ordered merges,
+//! total sort orders) holding end to end through the engine.
+
+use matchrules::data::dirty::{generate_dirty, NoiseConfig};
+use matchrules::engine::{EngineBuilder, ExecConfig, MatchEngine, Preset};
+use proptest::prelude::*;
+
+const THREAD_SWEEP: [usize; 2] = [2, 8];
+
+/// A reflexive dedup engine over the extended billing schema (duplicate
+/// purchases of one card holder collapse on phone+name or email).
+fn billing_dedup_engine() -> MatchEngine {
+    let shape = Preset::Extended.paper_setting();
+    let billing = shape.pair.right().as_ref().clone();
+    EngineBuilder::new()
+        .dedup_schema(billing)
+        .md_text(
+            "billing[phn] = billing[phn] /\\ billing[LN] ~d billing[LN] -> \
+             billing[FN,LN,phn] <=> billing[FN,LN,phn]\n\
+             billing[email] = billing[email] /\\ billing[zip] = billing[zip] -> \
+             billing[FN,LN,phn] <=> billing[FN,LN,phn]\n",
+        )
+        .target(&["FN", "LN", "phn"], &["FN", "LN", "phn"])
+        .build()
+        .expect("reflexive billing engine builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cross-relation matching: same pairs, same provenance, same order,
+    /// at every thread count.
+    #[test]
+    fn parallel_match_pairs_equals_serial(seed in 0u64..100_000, persons in 10usize..60) {
+        let shape = Preset::Extended.paper_setting();
+        let data = generate_dirty(
+            &shape.pair,
+            &shape.target,
+            persons,
+            &NoiseConfig { seed, ..Default::default() },
+        );
+        let engine = Preset::Extended
+            .builder()
+            .top_k(5)
+            .statistics_from(&data.credit, &data.billing)
+            .build()
+            .expect("preset engine builds");
+        let serial = engine
+            .with_exec(ExecConfig::serial())
+            .match_pairs(&data.credit, &data.billing)
+            .expect("serial run");
+        prop_assert_eq!(serial.threads(), 1);
+        for threads in THREAD_SWEEP {
+            let parallel = engine
+                .with_exec(ExecConfig::fixed(threads))
+                .match_pairs(&data.credit, &data.billing)
+                .expect("parallel run");
+            prop_assert_eq!(
+                parallel.pairs(), serial.pairs(),
+                "match_pairs diverged at {} threads (seed {seed}, {persons} persons)",
+                threads
+            );
+            prop_assert_eq!(parallel.candidates(), serial.candidates());
+        }
+    }
+
+    /// Single-relation dedup: identical pairs *and* identical entity
+    /// clusters (the closure is merge-order-sensitive, so this also pins
+    /// the deterministic union order).
+    #[test]
+    fn parallel_dedup_equals_serial(seed in 0u64..100_000, persons in 10usize..50) {
+        let shape = Preset::Extended.paper_setting();
+        let data = generate_dirty(
+            &shape.pair,
+            &shape.target,
+            persons,
+            &NoiseConfig { seed, ..Default::default() },
+        );
+        let engine = billing_dedup_engine();
+        let serial =
+            engine.with_exec(ExecConfig::serial()).dedup(&data.billing).expect("serial dedup");
+        for threads in THREAD_SWEEP {
+            let parallel = engine
+                .with_exec(ExecConfig::fixed(threads))
+                .dedup(&data.billing)
+                .expect("parallel dedup");
+            prop_assert_eq!(
+                parallel.report.pairs(), serial.report.pairs(),
+                "dedup pairs diverged at {} threads (seed {seed}, {persons} persons)",
+                threads
+            );
+            prop_assert_eq!(&parallel.clusters, &serial.clusters);
+            prop_assert_eq!(parallel.entity_count(), serial.entity_count());
+        }
+    }
+}
