@@ -1,0 +1,222 @@
+//! Old vs new similarity kernels on the §6 synthetic catalog.
+//!
+//! Two comparisons over the engine's windowed candidate pairs, plus the
+//! filter-effectiveness counters, emitted as `BENCH_simdist.json`:
+//!
+//! 1. **kernel micro** — the pre-fix behaviour of
+//!    `damerau_levenshtein_within` (a full `O(n·m)` OSA matrix per pair,
+//!    the exact oracle `damerau_levenshtein`) against the banded
+//!    early-exit kernel, on exactly the value pairs the plan's
+//!    edit-distance atoms compare;
+//! 2. **pair path** — per-pair `dyn SimilarityOp` dispatch
+//!    (`KeyMatcher::matching_key`, which re-collects `chars()` for every
+//!    string of every pair) against the compiled evaluator (per-relation
+//!    signature caches + length/bag/q-gram filters + enum kernels).
+//!
+//! Both comparisons assert decision equality before reporting timings.
+//!
+//! Usage:
+//! `cargo run --release -p matchrules-bench --bin simdist_kernels \
+//!    [quick|paper] [out.json]`
+
+use matchrules_bench::experiments::workload;
+use matchrules_bench::json::Json;
+use matchrules_bench::{time, Scale};
+use matchrules_data::eval::FilterStats;
+use matchrules_matcher::key::KeyMatcher;
+use matchrules_runtime::WorkPool;
+use matchrules_simdist::edit::{damerau_levenshtein, damerau_levenshtein_within, theta_bound};
+
+/// Timed runs per path; the minimum is reported.
+const REPEATS: usize = 3;
+
+/// The paper's ≈d threshold — what the micro comparison binds θ to.
+const THETA: f64 = 0.75;
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_simdist.json".to_owned());
+    let persons = match scale {
+        Scale::Paper => 20_000,
+        Scale::Quick => 1_200,
+    };
+    let w = workload(persons, 0xF117E5);
+    let (credit, billing) = (&w.data.credit, &w.data.billing);
+    let candidates = w.engine.window(credit, billing).expect("plan has sort keys");
+    println!(
+        "simdist kernels — {} candidate pairs over {} + {} rows",
+        candidates.len(),
+        credit.len(),
+        billing.len()
+    );
+
+    let plan = w.engine.plan();
+    let runtime = w.engine.runtime();
+
+    // ---- kernel micro: full-matrix DP vs banded early-exit DP ----
+    let mut value_pairs: Vec<(&str, &str)> = Vec::new();
+    for key in plan.rcks() {
+        for atom in key.atoms() {
+            if runtime.needs_signature(atom.op) {
+                for &(l, r) in &candidates {
+                    if let (Some(a), Some(b)) = (
+                        credit.tuples()[l].get(atom.left).as_str(),
+                        billing.tuples()[r].get(atom.right).as_str(),
+                    ) {
+                        value_pairs.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+    let exact = || {
+        value_pairs
+            .iter()
+            .filter(|(a, b)| {
+                let max_len = a.chars().count().max(b.chars().count());
+                max_len == 0 || damerau_levenshtein(a, b) <= theta_bound(THETA, max_len)
+            })
+            .count()
+    };
+    let banded = || {
+        value_pairs
+            .iter()
+            .filter(|(a, b)| {
+                let max_len = a.chars().count().max(b.chars().count());
+                max_len == 0
+                    || damerau_levenshtein_within(a, b, theta_bound(THETA, max_len)).is_some()
+            })
+            .count()
+    };
+    let (mut exact_hits, mut exact_secs) = (0usize, f64::INFINITY);
+    let (mut banded_hits, mut banded_secs) = (0usize, f64::INFINITY);
+    for _ in 0..REPEATS {
+        let (hits, secs) = time(exact);
+        exact_hits = hits;
+        exact_secs = exact_secs.min(secs);
+        let (hits, secs) = time(banded);
+        banded_hits = hits;
+        banded_secs = banded_secs.min(secs);
+    }
+    assert_eq!(exact_hits, banded_hits, "banded kernel must agree with the exact oracle");
+    println!(
+        "kernel micro: {} comparisons, {} within θ = {THETA} — exact {exact_secs:.3}s, \
+         banded {banded_secs:.3}s ({:.2}x)",
+        value_pairs.len(),
+        exact_hits,
+        exact_secs / banded_secs
+    );
+
+    // ---- pair path: dyn dispatch vs compiled evaluator ----
+    let matcher = KeyMatcher::new(plan.rcks().iter(), runtime).with_negatives(plan.negatives());
+    let pool = WorkPool::serial(); // single-threaded: compare kernels, not cores
+
+    let dyn_path = || {
+        let mut out = Vec::new();
+        for &(l, r) in &candidates {
+            let (lt, rt) = (&credit.tuples()[l], &billing.tuples()[r]);
+            if matcher.matching_key(lt, rt).is_some() && !matcher.vetoed(lt, rt) {
+                out.push((l, r));
+            }
+        }
+        out
+    };
+    let mut dyn_matches = Vec::new();
+    let mut dyn_secs = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let (out, secs) = time(dyn_path);
+        dyn_matches = out;
+        dyn_secs = dyn_secs.min(secs);
+    }
+
+    let mut compiled_matches = Vec::new();
+    let mut compiled_secs = f64::INFINITY;
+    let mut prep_secs = f64::INFINITY;
+    let mut stats = FilterStats::default();
+    for _ in 0..REPEATS {
+        let started = std::time::Instant::now();
+        let ((left_prep, right_prep), prep) = time(|| matcher.prepare_in(&pool, credit, billing));
+        let mut eval = matcher.evaluator(credit, billing, &left_prep, &right_prep);
+        let mut out = Vec::new();
+        for &(l, r) in &candidates {
+            if eval.matching_key(l, r).is_some() && !eval.vetoed(l, r) {
+                out.push((l, r));
+            }
+        }
+        let total = started.elapsed().as_secs_f64();
+        if total < compiled_secs {
+            compiled_secs = total;
+            prep_secs = prep;
+            stats = eval.stats();
+        }
+        compiled_matches = out;
+    }
+    assert_eq!(
+        dyn_matches, compiled_matches,
+        "compiled evaluator must decide exactly like dyn dispatch"
+    );
+    println!(
+        "pair path: {} candidates, {} matches — dyn {dyn_secs:.3}s, compiled {compiled_secs:.3}s \
+         (prep {prep_secs:.3}s, {:.2}x)",
+        candidates.len(),
+        dyn_matches.len(),
+        dyn_secs / compiled_secs
+    );
+    println!(
+        "filters: {} equal fast-path, {} length + {} bag + {} qgram rejects, {} DP runs of {} \
+         edit evaluations",
+        stats.equal_fast,
+        stats.length_rejects,
+        stats.bag_rejects,
+        stats.qgram_rejects,
+        stats.dp_runs,
+        stats.evaluations()
+    );
+
+    let doc = Json::obj()
+        .field("bench", "simdist_kernels")
+        .field(
+            "scale",
+            match scale {
+                Scale::Paper => "paper",
+                Scale::Quick => "quick",
+            },
+        )
+        .field("persons", persons)
+        .field("candidates", candidates.len())
+        .field(
+            "kernel",
+            Json::obj()
+                .field("comparisons", value_pairs.len())
+                .field("within_theta", exact_hits)
+                .field("exact_seconds", exact_secs)
+                .field("banded_seconds", banded_secs)
+                .field("speedup", exact_secs / banded_secs),
+        )
+        .field(
+            "pairs",
+            Json::obj()
+                .field("matches", dyn_matches.len())
+                .field("dyn_seconds", dyn_secs)
+                .field("compiled_seconds", compiled_secs)
+                .field("prep_seconds", prep_secs)
+                .field("speedup", dyn_secs / compiled_secs)
+                .field("identical_to_dyn", true),
+        )
+        .field(
+            "filters",
+            Json::obj()
+                .field("equal_fast", stats.equal_fast as usize)
+                .field("length_rejects", stats.length_rejects as usize)
+                .field("bag_rejects", stats.bag_rejects as usize)
+                .field("qgram_rejects", stats.qgram_rejects as usize)
+                .field("dp_runs", stats.dp_runs as usize)
+                .field("evaluations", stats.evaluations() as usize),
+        );
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");
+    println!("\nwrote {out_path}");
+    assert!(
+        compiled_secs < dyn_secs,
+        "compiled filter+kernel path ({compiled_secs:.3}s) must beat dyn dispatch ({dyn_secs:.3}s)"
+    );
+}

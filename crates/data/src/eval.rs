@@ -6,14 +6,107 @@
 //! [`RuntimeOps`] performs that resolution once (by operator *name*) and
 //! caches it per [`OperatorId`], so atom evaluation in hot loops is an array
 //! index plus the metric call.
+//!
+//! Resolution also **compiles** each operator's
+//! [`KernelSpec`](matchrules_simdist::ops::KernelSpec): equality and the
+//! thresholded edit operators evaluate through a plain enum `match`
+//! instead of a virtual call, and the edit kernels additionally run on
+//! the per-relation caches of [`crate::prep`] — cheap pair filters
+//! (length / character bag / positional q-grams) first, then the banded
+//! DP on cached character buffers with per-worker scratch rows. The
+//! `*_prepped` entry points report which stage decided each pair through
+//! [`FilterStats`].
 
+use crate::prep::RelationPrep;
 use crate::relation::Tuple;
 use crate::value::Value;
 use matchrules_core::dependency::SimilarityAtom;
 use matchrules_core::error::{CoreError, Result};
 use matchrules_core::operators::{OperatorId, OperatorTable};
-use matchrules_simdist::ops::{AliasOp, DamerauOp, OpRegistry, SimilarityOp};
+use matchrules_simdist::edit::{
+    damerau_levenshtein_within_chars, levenshtein_within_chars, theta_bound, EditScratch,
+};
+use matchrules_simdist::filters::Rejection;
+use matchrules_simdist::ops::{AliasOp, DamerauOp, KernelSpec, OpRegistry, SimilarityOp};
+use std::cell::RefCell;
 use std::sync::Arc;
+
+thread_local! {
+    // One set of DP scratch rows per worker thread: the banded kernels
+    // are called once per surviving candidate pair, and this is what
+    // keeps those calls allocation-free.
+    static EDIT_SCRATCH: RefCell<EditScratch> = RefCell::new(EditScratch::new());
+}
+
+/// Filter-effectiveness counters for the compiled similarity hot path:
+/// how many thresholded edit-distance atom evaluations each filter stage
+/// rejected, and how many survived to the banded DP.
+///
+/// The counters are sums over atom evaluations, so they are deterministic
+/// for a fixed candidate order no matter how evaluation is chunked over
+/// threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Evaluations decided by the equal-buffers fast path (distance 0,
+    /// accepted before any filter).
+    pub equal_fast: u64,
+    /// Evaluations rejected by the length filter.
+    pub length_rejects: u64,
+    /// Evaluations rejected by the character-bag filter.
+    pub bag_rejects: u64,
+    /// Evaluations rejected by the positional q-gram count filter.
+    pub qgram_rejects: u64,
+    /// Evaluations that survived every filter and ran the banded DP.
+    pub dp_runs: u64,
+}
+
+impl FilterStats {
+    /// Adds another counter set (used to fold per-chunk stats).
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.equal_fast += other.equal_fast;
+        self.length_rejects += other.length_rejects;
+        self.bag_rejects += other.bag_rejects;
+        self.qgram_rejects += other.qgram_rejects;
+        self.dp_runs += other.dp_runs;
+    }
+
+    /// Total evaluations rejected by some filter.
+    pub fn rejected(&self) -> u64 {
+        self.length_rejects + self.bag_rejects + self.qgram_rejects
+    }
+
+    /// Total thresholded edit-distance evaluations that reached the
+    /// filter pipeline. Evaluations decided even earlier — a `Null` on
+    /// either side, both strings empty, or a missing signature falling
+    /// back to dynamic dispatch — increment no counter.
+    pub fn evaluations(&self) -> u64 {
+        self.equal_fast + self.rejected() + self.dp_runs
+    }
+}
+
+/// The compiled form of one resolved operator.
+#[derive(Debug, Clone, Copy)]
+enum Kernel {
+    /// `a == b` on the string contents.
+    Equality,
+    /// Damerau–Levenshtein (OSA) within `theta_bound(theta, max_len)`.
+    Damerau { theta: f64 },
+    /// Levenshtein within the same bound.
+    Levenshtein { theta: f64 },
+    /// No compiled form: call the trait object.
+    Dyn,
+}
+
+impl Kernel {
+    fn of(spec: KernelSpec) -> Kernel {
+        match spec {
+            KernelSpec::Equality => Kernel::Equality,
+            KernelSpec::Damerau { theta } => Kernel::Damerau { theta },
+            KernelSpec::Levenshtein { theta } => Kernel::Levenshtein { theta },
+            KernelSpec::Opaque => Kernel::Dyn,
+        }
+    }
+}
 
 /// The paper's runtime registry: the standard metric set plus the alias
 /// `≈d` → Damerau–Levenshtein at θ = 0.75 (the intro example's name
@@ -27,22 +120,33 @@ pub fn paper_registry() -> OpRegistry {
 /// Resolved operator bindings for one `OperatorTable`.
 pub struct RuntimeOps {
     resolved: Vec<Arc<dyn SimilarityOp>>,
+    kernels: Vec<Kernel>,
 }
 
 impl RuntimeOps {
-    /// Resolves every operator of `table` against `registry` by name.
+    /// Resolves every operator of `table` against `registry` by name and
+    /// compiles each binding's kernel.
     /// Fails with [`CoreError::UnknownOperator`] if a symbol has no
     /// executable binding.
     pub fn resolve(table: &OperatorTable, registry: &OpRegistry) -> Result<Self> {
         let mut resolved = Vec::with_capacity(table.len());
+        let mut kernels = Vec::with_capacity(table.len());
         for id in table.ids() {
             let name = table.name(id);
             let op = registry
                 .get(name)
                 .ok_or_else(|| CoreError::UnknownOperator { name: name.to_owned() })?;
+            kernels.push(Kernel::of(op.kernel()));
             resolved.push(op.clone());
         }
-        Ok(RuntimeOps { resolved })
+        Ok(RuntimeOps { resolved, kernels })
+    }
+
+    /// Whether `op` compiles to an edit-distance kernel, i.e. whether
+    /// attributes compared under it benefit from a
+    /// [`RelationPrep`] signature.
+    pub fn needs_signature(&self, op: OperatorId) -> bool {
+        matches!(self.kernels[op.0 as usize], Kernel::Damerau { .. } | Kernel::Levenshtein { .. })
     }
 
     /// Evaluates `a ≈op b` on values. `Null` matches nothing.
@@ -69,6 +173,106 @@ impl RuntimeOps {
     /// Evaluates a full LHS (conjunction) on a tuple pair.
     pub fn lhs_matches(&self, lhs: &[SimilarityAtom], t1: &Tuple, t2: &Tuple) -> bool {
         lhs.iter().all(|atom| self.atom_matches(atom, t1, t2))
+    }
+
+    /// Evaluates one LHS atom on the tuples at positions `l`/`r` through
+    /// the compiled kernel, using the per-relation caches where the
+    /// kernel supports them. Decides exactly like
+    /// [`RuntimeOps::atom_matches`]; `stats` records which filter stage
+    /// (or the DP) decided edit-kernel evaluations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atom_matches_prepped(
+        &self,
+        atom: &SimilarityAtom,
+        t1: &Tuple,
+        t2: &Tuple,
+        p1: &RelationPrep,
+        p2: &RelationPrep,
+        l: usize,
+        r: usize,
+        stats: &mut FilterStats,
+    ) -> bool {
+        match self.kernels[atom.op.0 as usize] {
+            Kernel::Equality => match (t1.get(atom.left).as_str(), t2.get(atom.right).as_str()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+            kernel @ (Kernel::Damerau { .. } | Kernel::Levenshtein { .. }) => {
+                let (damerau, theta) = match kernel {
+                    Kernel::Damerau { theta } => (true, theta),
+                    Kernel::Levenshtein { theta } => (false, theta),
+                    _ => unreachable!("outer arm admits only edit kernels"),
+                };
+                let (Some(sa), Some(sb)) = (p1.sig(l, atom.left), p2.sig(r, atom.right)) else {
+                    // The caller prepped without this attribute — fall
+                    // back to the uncached path rather than mis-decide.
+                    return self.atom_matches(atom, t1, t2);
+                };
+                if sa.is_null() || sb.is_null() {
+                    return false;
+                }
+                let max_len = sa.sig().char_len().max(sb.sig().char_len());
+                if max_len == 0 {
+                    return true;
+                }
+                // Windowed candidates frequently agree on the compared
+                // attribute; equal buffers mean distance 0 ≤ any bound.
+                if sa.chars() == sb.chars() {
+                    stats.equal_fast += 1;
+                    return true;
+                }
+                let bound = theta_bound(theta, max_len);
+                match sa.sig().prefilter(sb.sig(), bound) {
+                    Some(Rejection::Length) => {
+                        stats.length_rejects += 1;
+                        false
+                    }
+                    Some(Rejection::Bag) => {
+                        stats.bag_rejects += 1;
+                        false
+                    }
+                    Some(Rejection::Qgram) => {
+                        stats.qgram_rejects += 1;
+                        false
+                    }
+                    None => {
+                        stats.dp_runs += 1;
+                        EDIT_SCRATCH.with_borrow_mut(|scratch| {
+                            if damerau {
+                                damerau_levenshtein_within_chars(
+                                    sa.chars(),
+                                    sb.chars(),
+                                    bound,
+                                    scratch,
+                                )
+                                .is_some()
+                            } else {
+                                levenshtein_within_chars(sa.chars(), sb.chars(), bound, scratch)
+                                    .is_some()
+                            }
+                        })
+                    }
+                }
+            }
+            Kernel::Dyn => self.atom_matches(atom, t1, t2),
+        }
+    }
+
+    /// Evaluates a full LHS (conjunction) through the compiled kernels —
+    /// the prepped counterpart of [`RuntimeOps::lhs_matches`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn lhs_matches_prepped(
+        &self,
+        lhs: &[SimilarityAtom],
+        t1: &Tuple,
+        t2: &Tuple,
+        p1: &RelationPrep,
+        p2: &RelationPrep,
+        l: usize,
+        r: usize,
+        stats: &mut FilterStats,
+    ) -> bool {
+        lhs.iter().all(|atom| self.atom_matches_prepped(atom, t1, t2, p1, p2, l, r, stats))
     }
 
     /// Number of resolved operators.
@@ -120,6 +324,77 @@ mod tests {
         let mut table = OperatorTable::new();
         table.intern("≈custom-unbound");
         assert!(RuntimeOps::resolve(&table, &paper_registry()).is_err());
+    }
+
+    #[test]
+    fn prepped_evaluation_agrees_with_dynamic_dispatch() {
+        use crate::prep::{RelationPrep, SigNeeds};
+        let (setting, inst) = crate::fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        // Prepare every attribute on both sides, then check that every
+        // MD's LHS decides identically through both paths on the full
+        // cross product.
+        let mut ln = SigNeeds::none(inst.left().schema().arity());
+        (0..inst.left().schema().arity()).for_each(|a| ln.mark(a));
+        let mut rn = SigNeeds::none(inst.right().schema().arity());
+        (0..inst.right().schema().arity()).for_each(|a| rn.mark(a));
+        let lp = RelationPrep::build(inst.left(), &ln);
+        let rp = RelationPrep::build(inst.right(), &rn);
+        let mut stats = FilterStats::default();
+        for (l, lt) in inst.left().tuples().iter().enumerate() {
+            for (r, rt) in inst.right().tuples().iter().enumerate() {
+                for md in &setting.sigma {
+                    assert_eq!(
+                        ops.lhs_matches(md.lhs(), lt, rt),
+                        ops.lhs_matches_prepped(md.lhs(), lt, rt, &lp, &rp, l, r, &mut stats),
+                        "pair ({l},{r}) md {md:?}"
+                    );
+                }
+            }
+        }
+        assert!(stats.evaluations() > 0, "edit kernels were exercised");
+        assert_eq!(stats.evaluations(), stats.rejected() + stats.dp_runs);
+    }
+
+    #[test]
+    fn prepped_evaluation_without_signatures_falls_back() {
+        use crate::prep::{RelationPrep, SigNeeds};
+        let (table, ops) = runtime();
+        let dl = table.get("≈d").unwrap();
+        let t1 = Tuple::new(1, vec![Value::str("Mark")]);
+        let t2 = Tuple::new(2, vec![Value::str("Marx")]);
+        // Empty preps: the evaluator must fall back, not mis-decide.
+        let schema =
+            std::sync::Arc::new(matchrules_core::schema::Schema::text("R", &["a"]).unwrap());
+        let rel = crate::relation::Relation::new(schema);
+        let empty = RelationPrep::build(&rel, &SigNeeds::none(1));
+        let atom = SimilarityAtom::new(0, 0, dl);
+        let mut stats = FilterStats::default();
+        assert!(ops.atom_matches_prepped(&atom, &t1, &t2, &empty, &empty, 0, 0, &mut stats));
+        assert_eq!(stats, FilterStats::default(), "fallback path records nothing");
+    }
+
+    #[test]
+    fn filter_stats_merge_and_totals() {
+        let mut a = FilterStats {
+            equal_fast: 5,
+            length_rejects: 1,
+            bag_rejects: 2,
+            qgram_rejects: 3,
+            dp_runs: 4,
+        };
+        let b = FilterStats {
+            equal_fast: 0,
+            length_rejects: 10,
+            bag_rejects: 0,
+            qgram_rejects: 1,
+            dp_runs: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.length_rejects, 11);
+        assert_eq!(a.equal_fast, 5);
+        assert_eq!(a.rejected(), 17);
+        assert_eq!(a.evaluations(), 28);
     }
 
     #[test]

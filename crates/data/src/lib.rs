@@ -28,6 +28,7 @@ pub mod eval;
 pub mod fig1;
 pub mod gen;
 pub mod mdgen;
+pub mod prep;
 pub mod relation;
 pub mod unionfind;
 pub mod value;

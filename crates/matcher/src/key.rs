@@ -8,8 +8,11 @@
 
 use matchrules_core::negation::NegativeRule;
 use matchrules_core::relative_key::RelativeKey;
-use matchrules_data::eval::RuntimeOps;
-use matchrules_data::relation::Tuple;
+use matchrules_data::eval::{FilterStats, RuntimeOps};
+use matchrules_data::prep::{RelationPrep, SigNeeds};
+use matchrules_data::relation::{Relation, Tuple};
+use matchrules_runtime::WorkPool;
+use std::sync::Arc;
 
 /// Minimum candidate-pairs-per-chunk when a [`KeyMatcher`] is evaluated
 /// over a work pool: one evaluation runs a full key disjunction, so
@@ -66,6 +69,130 @@ impl<'a> KeyMatcher<'a> {
     /// used in diagnostics and the worked examples.
     pub fn matching_key(&self, t1: &Tuple, t2: &Tuple) -> Option<usize> {
         self.keys.iter().position(|key| self.ops.lhs_matches(key.atoms(), t1, t2))
+    }
+
+    /// Which attributes of each side the matcher compares under an
+    /// edit-distance kernel — the attributes worth a
+    /// [`RelationPrep`] signature.
+    pub fn sig_needs(&self, left_arity: usize, right_arity: usize) -> (SigNeeds, SigNeeds) {
+        let mut left = SigNeeds::none(left_arity);
+        let mut right = SigNeeds::none(right_arity);
+        let atoms =
+            self.keys.iter().flat_map(|key| key.atoms().iter()).chain(
+                self.negatives.iter().flat_map(|rule| rule.guards().iter().map(|g| g.atom())),
+            );
+        for atom in atoms {
+            if self.ops.needs_signature(atom.op) {
+                left.mark(atom.left);
+                right.mark(atom.right);
+            }
+        }
+        (left, right)
+    }
+
+    /// Extracts both relations' signature caches over `pool`, shared when
+    /// both sides are the same relation (the dedup case). This is the
+    /// once-per-run preprocessing that [`PairEval`] consumes.
+    pub fn prepare_in(
+        &self,
+        pool: &WorkPool,
+        left: &Relation,
+        right: &Relation,
+    ) -> (Arc<RelationPrep>, Arc<RelationPrep>) {
+        let (mut ln, rn) = self.sig_needs(left.schema().arity(), right.schema().arity());
+        if std::ptr::eq(left, right) {
+            // One build covering both sides' needs.
+            ln.union(&rn);
+            let prep = Arc::new(RelationPrep::build_in(pool, left, &ln));
+            return (prep.clone(), prep);
+        }
+        let lp = Arc::new(RelationPrep::build_in(pool, left, &ln));
+        let rp = Arc::new(RelationPrep::build_in(pool, right, &rn));
+        (lp, rp)
+    }
+
+    /// A pair evaluator over prepared relations. Create one per worker:
+    /// it accumulates [`FilterStats`] and drives the compiled kernels,
+    /// whose DP scratch rows are reused per thread.
+    pub fn evaluator<'m>(
+        &'m self,
+        left: &'m Relation,
+        right: &'m Relation,
+        left_prep: &'m RelationPrep,
+        right_prep: &'m RelationPrep,
+    ) -> PairEval<'m> {
+        PairEval {
+            matcher: self,
+            left,
+            right,
+            left_prep,
+            right_prep,
+            stats: FilterStats::default(),
+        }
+    }
+}
+
+/// The compiled pair evaluator: [`KeyMatcher`] semantics (`matches`,
+/// `matching_key`, `vetoed`) over per-relation signature caches, with
+/// enum-kernel dispatch, the filter pipeline and per-worker DP scratch.
+/// Decisions are identical to the uncached [`KeyMatcher`] methods.
+pub struct PairEval<'m> {
+    matcher: &'m KeyMatcher<'m>,
+    left: &'m Relation,
+    right: &'m Relation,
+    left_prep: &'m RelationPrep,
+    right_prep: &'m RelationPrep,
+    stats: FilterStats,
+}
+
+impl PairEval<'_> {
+    /// [`KeyMatcher::matching_key`] for the tuples at positions
+    /// `(l, r)`.
+    pub fn matching_key(&mut self, l: usize, r: usize) -> Option<usize> {
+        let (t1, t2) = (&self.left.tuples()[l], &self.right.tuples()[r]);
+        let m = self.matcher;
+        m.keys.iter().position(|key| {
+            m.ops.lhs_matches_prepped(
+                key.atoms(),
+                t1,
+                t2,
+                self.left_prep,
+                self.right_prep,
+                l,
+                r,
+                &mut self.stats,
+            )
+        })
+    }
+
+    /// [`KeyMatcher::vetoed`] for the tuples at positions `(l, r)`.
+    pub fn vetoed(&mut self, l: usize, r: usize) -> bool {
+        let (t1, t2) = (&self.left.tuples()[l], &self.right.tuples()[r]);
+        let m = self.matcher;
+        m.negatives.iter().any(|rule| {
+            rule.vetoes(|atom| {
+                m.ops.atom_matches_prepped(
+                    atom,
+                    t1,
+                    t2,
+                    self.left_prep,
+                    self.right_prep,
+                    l,
+                    r,
+                    &mut self.stats,
+                )
+            })
+        })
+    }
+
+    /// [`KeyMatcher::matches`] for the tuples at positions `(l, r)`.
+    pub fn matches(&mut self, l: usize, r: usize) -> bool {
+        self.matching_key(l, r).is_some() && !self.vetoed(l, r)
+    }
+
+    /// The filter-effectiveness counters accumulated so far.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
     }
 }
 
@@ -137,6 +264,66 @@ mod tests {
         assert!(!matcher.matches(t1, t5));
         // t4's email is corrupted ("mc"), so the veto's email guard fails.
         assert!(matcher.matches(t1, t4));
+    }
+
+    #[test]
+    fn prepared_evaluator_agrees_with_dyn_path() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = example_2_4_rcks(&setting);
+        // Include a negative rule so the veto path is exercised too.
+        let email_l = setting.pair.left().attr("email").unwrap();
+        let email_r = setting.pair.right().attr("email").unwrap();
+        let g_l = setting.pair.left().attr("gender").unwrap();
+        let g_r = setting.pair.right().attr("gender").unwrap();
+        let negatives = vec![NegativeRule::same_but_different(
+            &setting.pair,
+            "email-gender",
+            (email_l, email_r),
+            (g_l, g_r),
+        )
+        .unwrap()];
+        let matcher = KeyMatcher::new(rcks.iter(), &ops).with_negatives(&negatives);
+        let (left, right) = (inst.left(), inst.right());
+        let pool = matchrules_runtime::WorkPool::serial();
+        let (lp, rp) = matcher.prepare_in(&pool, left, right);
+        let mut ev = matcher.evaluator(left, right, &lp, &rp);
+        for l in 0..left.len() {
+            for r in 0..right.len() {
+                let (t1, t2) = (&left.tuples()[l], &right.tuples()[r]);
+                assert_eq!(ev.matching_key(l, r), matcher.matching_key(t1, t2), "({l},{r})");
+                assert_eq!(ev.vetoed(l, r), matcher.vetoed(t1, t2), "({l},{r})");
+                assert_eq!(ev.matches(l, r), matcher.matches(t1, t2), "({l},{r})");
+            }
+        }
+        assert!(ev.stats().evaluations() > 0, "edit kernels ran through the cache");
+    }
+
+    #[test]
+    fn sig_needs_cover_edit_atoms_only() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = example_2_4_rcks(&setting);
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        let (ln, rn) =
+            matcher.sig_needs(inst.left().schema().arity(), inst.right().schema().arity());
+        // The worked example compares LN and address under ≈d; equality
+        // atoms (email, phone…) need no signature.
+        assert!(!ln.is_empty());
+        assert!(!rn.is_empty());
+        assert!(ln.len() < inst.left().schema().arity());
+    }
+
+    #[test]
+    fn dedup_preparation_shares_one_prep() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = example_2_4_rcks(&setting);
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        let pool = matchrules_runtime::WorkPool::serial();
+        let left = inst.left();
+        let (lp, rp) = matcher.prepare_in(&pool, left, left);
+        assert!(Arc::ptr_eq(&lp, &rp), "same relation on both sides shares the cache");
     }
 
     #[test]

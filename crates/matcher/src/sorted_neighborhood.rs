@@ -72,21 +72,21 @@ pub fn sorted_neighborhood_in(
     let candidates = multi_pass_window_in(pool, credit, billing, &cfg.keys, cfg.window);
     let comparisons = candidates.len();
 
-    // Pairwise decisions in parallel, reduced into the union-find over
-    // credit ⊎ billing (credit i ↦ i, billing j ↦ |C| + j). The ordered
-    // reduce folds chunk hits in chunk order, so the union sequence —
-    // and hence the closure — is the serial one.
+    // Pairwise decisions in parallel through the compiled evaluator
+    // (filter signatures extracted once per relation, DP scratch reused
+    // per worker), reduced into the union-find over credit ⊎ billing
+    // (credit i ↦ i, billing j ↦ |C| + j). The ordered reduce folds
+    // chunk hits in chunk order, so the union sequence — and hence the
+    // closure — is the serial one.
+    let (credit_prep, billing_prep) = rules.prepare_in(pool, credit, billing);
     let n_credit = credit.len();
     let (mut uf, direct) = ordered_reduce(
         pool,
         &candidates,
         PAR_MATCH_MIN_CHUNK,
         |_, chunk| {
-            chunk
-                .iter()
-                .filter(|&&(c, b)| rules.matches(&credit.tuples()[c], &billing.tuples()[b]))
-                .copied()
-                .collect::<Vec<_>>()
+            let mut eval = rules.evaluator(credit, billing, &credit_prep, &billing_prep);
+            chunk.iter().filter(|&&(c, b)| eval.matches(c, b)).copied().collect::<Vec<_>>()
         },
         (UnionFind::new(n_credit + billing.len()), 0usize),
         |(mut uf, mut direct), hits| {

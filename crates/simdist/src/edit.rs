@@ -93,12 +93,42 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     prev[bc.len()]
 }
 
+/// Out-of-band sentinel for the banded DPs: large enough that no in-band
+/// value can reach it, small enough that `+ 1` never overflows.
+const BIG: usize = usize::MAX / 2;
+
+/// Reusable rolling rows for the banded edit-distance kernels.
+///
+/// The banded DPs need two (Levenshtein) or three (Damerau–Levenshtein)
+/// rolling rows. Allocating them once per *worker* instead of once per
+/// *pair* is what keeps the kernels cheap inside per-candidate-pair
+/// matching loops; the compiled evaluators in the `data` crate thread one
+/// scratch through every call on a thread.
+#[derive(Debug, Default)]
+pub struct EditScratch {
+    rows: [Vec<usize>; 3],
+}
+
+impl EditScratch {
+    /// Empty scratch; the rows grow to the needed width on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn reset_row(row: &mut Vec<usize>, width: usize) {
+    row.clear();
+    row.resize(width, BIG);
+}
+
 /// Levenshtein distance with an early-exit bound: returns `None` as soon as
 /// the distance is known to exceed `bound`.
 ///
-/// This is the kernel used by thresholded similarity operators in hot
-/// matching loops — for θ = 0.8 the bound is small (≈ 20% of the longer
-/// string), so most non-matches exit after scanning a narrow band.
+/// The DP is **banded**: only the cells with `|i − j| ≤ bound` are
+/// computed (every other cell is at least `|i − j| > bound`), and the scan
+/// stops at the first row whose in-band minimum exceeds `bound`. For
+/// θ = 0.8 the bound is ≈ 20% of the longer string, so most non-matches
+/// exit after touching a narrow diagonal strip.
 ///
 /// ```
 /// use matchrules_simdist::edit::levenshtein_within;
@@ -108,7 +138,19 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
 pub fn levenshtein_within(a: &str, b: &str, bound: usize) -> Option<usize> {
     let ac: Vec<char> = a.chars().collect();
     let bc: Vec<char> = b.chars().collect();
-    let (n, m) = (ac.len(), bc.len());
+    levenshtein_within_chars(&ac, &bc, bound, &mut EditScratch::new())
+}
+
+/// [`levenshtein_within`] on pre-collected character slices with reusable
+/// scratch rows — the hot-loop form: no per-call `chars()` walk, no
+/// per-call row allocation.
+pub fn levenshtein_within_chars(
+    a: &[char],
+    b: &[char],
+    bound: usize,
+    scratch: &mut EditScratch,
+) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
     if n.abs_diff(m) > bound {
         return None;
     }
@@ -119,19 +161,19 @@ pub fn levenshtein_within(a: &str, b: &str, bound: usize) -> Option<usize> {
         return Some(n);
     }
     // Banded DP: only cells with |i - j| <= bound can be <= bound.
-    const BIG: usize = usize::MAX / 2;
-    let mut prev = vec![BIG; m + 1];
-    let mut cur = vec![BIG; m + 1];
+    let [prev, cur, _] = &mut scratch.rows;
+    reset_row(prev, m + 1);
+    reset_row(cur, m + 1);
     for (j, p) in prev.iter_mut().enumerate().take(bound.min(m) + 1) {
         *p = j;
     }
     for i in 1..=n {
         let lo = i.saturating_sub(bound).max(1);
-        let hi = (i + bound).min(m);
+        let hi = i.saturating_add(bound).min(m);
         cur[lo - 1] = if lo == 1 { i } else { BIG };
         let mut row_min = cur[lo - 1];
         for j in lo..=hi {
-            let cost = usize::from(ac[i - 1] != bc[j - 1]);
+            let cost = usize::from(a[i - 1] != b[j - 1]);
             let v = (prev[j - 1] + cost)
                 .min(prev[j].saturating_add(1))
                 .min(cur[j - 1].saturating_add(1));
@@ -144,7 +186,7 @@ pub fn levenshtein_within(a: &str, b: &str, bound: usize) -> Option<usize> {
         if row_min > bound {
             return None;
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     let d = prev[m];
     (d <= bound).then_some(d)
@@ -152,11 +194,78 @@ pub fn levenshtein_within(a: &str, b: &str, bound: usize) -> Option<usize> {
 
 /// Damerau–Levenshtein (OSA) distance with an early-exit bound; returns
 /// `None` as soon as the distance is known to exceed `bound`.
+///
+/// Like [`levenshtein_within`], the DP is genuinely **banded** — a rolling
+/// three-row strip of width `2·bound + 1` (the third row serves the
+/// transposition lookback), with the same early row-min exit. No full
+/// `|a|·|b|` matrix is ever materialized. The exact
+/// [`damerau_levenshtein`] is kept as the test oracle for this kernel.
+///
+/// ```
+/// use matchrules_simdist::edit::damerau_levenshtein_within;
+/// assert_eq!(damerau_levenshtein_within("Mark", "Mrak", 1), Some(1));
+/// assert_eq!(damerau_levenshtein_within("Clifford", "Smith", 1), None);
+/// ```
 pub fn damerau_levenshtein_within(a: &str, b: &str, bound: usize) -> Option<usize> {
-    if a.chars().count().abs_diff(b.chars().count()) > bound {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    damerau_levenshtein_within_chars(&ac, &bc, bound, &mut EditScratch::new())
+}
+
+/// [`damerau_levenshtein_within`] on pre-collected character slices with
+/// reusable scratch rows — the hot-loop form.
+pub fn damerau_levenshtein_within_chars(
+    a: &[char],
+    b: &[char],
+    bound: usize,
+    scratch: &mut EditScratch,
+) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > bound {
         return None;
     }
-    let d = damerau_levenshtein(a, b);
+    if n == 0 {
+        return Some(m);
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    let [two_back, prev, cur] = &mut scratch.rows;
+    reset_row(two_back, m + 1);
+    reset_row(prev, m + 1);
+    reset_row(cur, m + 1);
+    for (j, p) in prev.iter_mut().enumerate().take(bound.min(m) + 1) {
+        *p = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(bound).max(1);
+        let hi = i.saturating_add(bound).min(m);
+        cur[lo - 1] = if lo == 1 { i } else { BIG };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j - 1].saturating_add(cost))
+                .min(prev[j].saturating_add(1))
+                .min(cur[j - 1].saturating_add(1));
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(two_back[j - 2].saturating_add(1));
+            }
+            cur[j] = best;
+            row_min = row_min.min(best);
+        }
+        if hi < m {
+            cur[hi + 1] = BIG;
+        }
+        // Sound even with the transposition lookback: a future in-band
+        // cell reachable from row i-2 within the bound would imply an
+        // in-band cell <= bound on this row via the diagonal step.
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(two_back, prev);
+        std::mem::swap(prev, cur);
+    }
+    let d = prev[m];
     (d <= bound).then_some(d)
 }
 
@@ -179,6 +288,23 @@ pub fn damerau_similarity(a: &str, b: &str) -> f64 {
     1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
 }
 
+/// The paper's §6.2 threshold rule turned into an absolute edit bound:
+/// `a ≈θ b` iff the edit distance is at most `⌊(1 − θ)·max(|a|, |b|)⌋`.
+///
+/// Every thresholded operator ([`dl_matches`], the `DamerauOp` /
+/// `LevenshteinOp` wrappers in [`crate::ops`]) and every compiled filter
+/// pipeline derives its bound through this one helper, so the threshold
+/// semantics cannot drift between call sites.
+///
+/// ```
+/// use matchrules_simdist::edit::theta_bound;
+/// assert_eq!(theta_bound(0.8, 8), 1); // "Clifford" vs "Cliford": 1 edit allowed
+/// assert_eq!(theta_bound(0.8, 4), 0); // "Mark" vs "Marx": must be equal
+/// ```
+pub fn theta_bound(theta: f64, max_len: usize) -> usize {
+    ((1.0 - theta) * max_len as f64).floor() as usize
+}
+
 /// The paper's §6.2 threshold predicate: `a ≈θ b` iff
 /// `dl(a, b) ≤ (1 − θ) · max(|a|, |b|)`.
 ///
@@ -192,8 +318,7 @@ pub fn dl_matches(a: &str, b: &str, theta: f64) -> bool {
     if max_len == 0 {
         return true;
     }
-    let bound = ((1.0 - theta) * max_len as f64).floor() as usize;
-    damerau_levenshtein_within(a, b, bound).is_some()
+    damerau_levenshtein_within(a, b, theta_bound(theta, max_len)).is_some()
 }
 
 #[cfg(test)]
@@ -254,6 +379,66 @@ mod tests {
                 assert_eq!(levenshtein_within(a, b, d - 1), None, "{a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn bounded_damerau_agrees_with_exact() {
+        let cases = [
+            ("kitten", "sitting"),
+            ("Mark", "Mrak"),
+            ("", "abcd"),
+            ("ca", "abc"), // OSA corner: d = 3
+            ("Clifford", "Clivord"),
+            ("paper", "papre"),
+            ("10 Oak Street", "10 Oak Str"),
+        ];
+        for (a, b) in cases {
+            let d = damerau_levenshtein(a, b);
+            for bound in 0..=(d + 2) {
+                match damerau_levenshtein_within(a, b, bound) {
+                    Some(got) => {
+                        assert_eq!(got, d, "{a} vs {b} bound {bound}");
+                        assert!(d <= bound);
+                    }
+                    None => assert!(d > bound, "{a} vs {b} bound {bound}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_kernels_reuse_scratch() {
+        let mut scratch = EditScratch::new();
+        let pairs = [("Mark", "Mrak"), ("Clifford", "Cliford"), ("a", "xyzvw"), ("", "")];
+        for (a, b) in pairs {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            for bound in 0..4 {
+                assert_eq!(
+                    damerau_levenshtein_within_chars(&ac, &bc, bound, &mut scratch),
+                    damerau_levenshtein_within(a, b, bound),
+                    "{a} vs {b} bound {bound}"
+                );
+                assert_eq!(
+                    levenshtein_within_chars(&ac, &bc, bound, &mut scratch),
+                    levenshtein_within(a, b, bound),
+                    "{a} vs {b} bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_bound_pins_paper_examples() {
+        // θ = 0.8 over 8 chars allows one edit: Clifford ≈ Cliford…
+        assert_eq!(theta_bound(0.8, 8), 1);
+        assert!(dl_matches("Clifford", "Cliford", 0.8));
+        // …but over 4 chars allows none: Mark vs Marx needs equality.
+        assert_eq!(theta_bound(0.8, 4), 0);
+        assert!(!dl_matches("Mark", "Marx", 0.8));
+        assert_eq!(theta_bound(1.0, 100), 0);
+        assert_eq!(theta_bound(0.0, 7), 7);
+        assert_eq!(theta_bound(0.75, 4), 1);
     }
 
     #[test]

@@ -17,7 +17,13 @@
 //!
 //! * [`edit`] — Levenshtein and Damerau–Levenshtein edit distances. The
 //!   paper's experiments (§6.2) use the DL metric with the threshold rule
-//!   `a ≈θ b ⇔ dl(a, b) ≤ (1 − θ) · max(|a|, |b|)`, θ = 0.8.
+//!   `a ≈θ b ⇔ dl(a, b) ≤ (1 − θ) · max(|a|, |b|)`, θ = 0.8. The
+//!   thresholded kernels ([`edit::levenshtein_within`],
+//!   [`edit::damerau_levenshtein_within`]) are banded with early exit;
+//!   the exact distances serve as their test oracles.
+//! * [`filters`] — length, character-bag and positional q-gram count
+//!   filters that reject non-matches before any DP runs, all sound for
+//!   the OSA Damerau–Levenshtein distance.
 //! * [`jaro`] — Jaro and Jaro–Winkler similarity (Fellegi–Sunter lineage).
 //! * [`qgram`] — q-gram profiles with Dice / Jaccard / overlap coefficients.
 //! * [`phonetic`] — Soundex, used by §6 Exp-4 to encode names for blocking.
@@ -48,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod edit;
+pub mod filters;
 pub mod jaro;
 pub mod normalize;
 pub mod ops;

@@ -9,7 +9,7 @@
 //! Every [`SimilarityOp`] here satisfies the generic axioms by construction,
 //! and the crate's property tests verify them on arbitrary inputs.
 
-use crate::edit::{damerau_levenshtein_within, levenshtein_within};
+use crate::edit::{damerau_levenshtein_within, levenshtein_within, theta_bound};
 use crate::jaro::jaro_winkler;
 use crate::normalize::digits_only;
 use crate::phonetic::soundex_eq;
@@ -18,6 +18,33 @@ use crate::token::token_jaccard;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// A compiled description of a [`SimilarityOp`] for hot matching loops.
+///
+/// Per-pair evaluation through `dyn SimilarityOp` pays a virtual call and
+/// (for the edit operators) a fresh `chars()` collection per string per
+/// pair. Compiling the operator to this enum lets evaluators dispatch on
+/// a plain `match`, reuse per-relation character buffers and run the
+/// [`crate::filters`] pipeline before any DP. [`KernelSpec::Opaque`]
+/// (the default) means "no compiled form — call the trait object".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelSpec {
+    /// Plain string equality.
+    Equality,
+    /// Damerau–Levenshtein (OSA) within
+    /// [`theta_bound`]`(theta, max_len)`.
+    Damerau {
+        /// The threshold θ.
+        theta: f64,
+    },
+    /// Levenshtein within [`theta_bound`]`(theta, max_len)`.
+    Levenshtein {
+        /// The threshold θ.
+        theta: f64,
+    },
+    /// No compiled form: evaluate through the trait object.
+    Opaque,
+}
 
 /// An executable similarity operator `≈ ∈ Θ`.
 ///
@@ -36,6 +63,13 @@ pub trait SimilarityOp: Send + Sync + fmt::Debug {
     fn similarity(&self, a: &str, b: &str) -> f64 {
         f64::from(self.matches(a, b))
     }
+
+    /// The compilable description of this operator; evaluators that hold
+    /// per-relation caches use it to bypass dynamic dispatch. Must decide
+    /// exactly like [`SimilarityOp::matches`].
+    fn kernel(&self) -> KernelSpec {
+        KernelSpec::Opaque
+    }
 }
 
 /// Strict equality — the distinguished operator `=` of Θ.
@@ -51,6 +85,9 @@ impl SimilarityOp for EqualityOp {
     }
     fn similarity(&self, a: &str, b: &str) -> f64 {
         f64::from(a == b)
+    }
+    fn kernel(&self) -> KernelSpec {
+        KernelSpec::Equality
     }
 }
 
@@ -87,11 +124,13 @@ impl SimilarityOp for DamerauOp {
         if max_len == 0 {
             return true;
         }
-        let bound = ((1.0 - self.theta) * max_len as f64).floor() as usize;
-        damerau_levenshtein_within(a, b, bound).is_some()
+        damerau_levenshtein_within(a, b, theta_bound(self.theta, max_len)).is_some()
     }
     fn similarity(&self, a: &str, b: &str) -> f64 {
         crate::edit::damerau_similarity(a, b)
+    }
+    fn kernel(&self) -> KernelSpec {
+        KernelSpec::Damerau { theta: self.theta }
     }
 }
 
@@ -123,11 +162,13 @@ impl SimilarityOp for LevenshteinOp {
         if max_len == 0 {
             return true;
         }
-        let bound = ((1.0 - self.theta) * max_len as f64).floor() as usize;
-        levenshtein_within(a, b, bound).is_some()
+        levenshtein_within(a, b, theta_bound(self.theta, max_len)).is_some()
     }
     fn similarity(&self, a: &str, b: &str) -> f64 {
         crate::edit::levenshtein_similarity(a, b)
+    }
+    fn kernel(&self) -> KernelSpec {
+        KernelSpec::Levenshtein { theta: self.theta }
     }
 }
 
@@ -352,6 +393,9 @@ impl SimilarityOp for AliasOp {
     fn similarity(&self, a: &str, b: &str) -> f64 {
         self.inner.similarity(a, b)
     }
+    fn kernel(&self) -> KernelSpec {
+        self.inner.kernel()
+    }
 }
 
 /// Maps operator names to executable implementations.
@@ -507,6 +551,23 @@ mod tests {
     #[should_panic]
     fn damerau_rejects_bad_theta() {
         let _ = DamerauOp::with_threshold(1.5);
+    }
+
+    #[test]
+    fn kernels_describe_their_operators() {
+        assert_eq!(EqualityOp.kernel(), KernelSpec::Equality);
+        assert_eq!(DamerauOp::with_threshold(0.8).kernel(), KernelSpec::Damerau { theta: 0.8 });
+        assert_eq!(
+            LevenshteinOp::with_threshold(0.9).kernel(),
+            KernelSpec::Levenshtein { theta: 0.9 }
+        );
+        // Aliases compile to what they wrap; everything else is opaque.
+        let alias = AliasOp::new("≈d", Arc::new(DamerauOp::with_threshold(0.75)));
+        assert_eq!(alias.kernel(), KernelSpec::Damerau { theta: 0.75 });
+        assert_eq!(SoundexOp.kernel(), KernelSpec::Opaque);
+        assert_eq!(JaroWinklerOp::with_min(0.9).kernel(), KernelSpec::Opaque);
+        let syn = SynonymOp::from_groups("≈c", [["USA", "United States"].as_slice()]);
+        assert_eq!(syn.kernel(), KernelSpec::Opaque);
     }
 
     #[test]

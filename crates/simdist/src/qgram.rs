@@ -29,6 +29,13 @@ impl QgramProfile {
     pub fn new(s: &str, q: usize) -> Self {
         assert!(q >= 1, "q-gram length must be at least 1");
         let chars: Vec<char> = s.chars().collect();
+        // The empty string has no q-grams. Padding it would manufacture
+        // sentinel-only grams (e.g. "#$" for q = 2) that give empty
+        // strings a non-empty profile and inflate Dice/overlap
+        // denominators against short strings.
+        if chars.is_empty() {
+            return QgramProfile { q, grams: HashMap::new(), total: 0 };
+        }
         let mut padded = Vec::with_capacity(chars.len() + 2 * (q - 1));
         padded.extend(std::iter::repeat_n('#', q - 1));
         padded.extend_from_slice(&chars);
@@ -54,8 +61,9 @@ impl QgramProfile {
         self.total as usize
     }
 
-    /// Whether the profile holds no grams (only possible for the empty
-    /// string with `q == 1`).
+    /// Whether the profile holds no grams — exactly when the input string
+    /// was empty (a non-empty string always yields `|s| + q − 1` padded
+    /// grams).
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
@@ -129,6 +137,24 @@ mod tests {
         let p1 = QgramProfile::new("aaa", 2); // #a, aa, aa, a$
         let p2 = QgramProfile::new("aa", 2); // #a, aa, a$
         assert_eq!(p1.intersection(&p2), 3);
+    }
+
+    #[test]
+    fn empty_string_has_no_grams() {
+        for q in 1..=3 {
+            let p = QgramProfile::new("", q);
+            assert!(p.is_empty(), "q = {q}");
+            assert_eq!(p.len(), 0, "q = {q}");
+            // Empty vs empty: vacuously identical.
+            assert_eq!(dice("", "", q), 1.0);
+            assert_eq!(jaccard("", "", q), 1.0);
+            assert_eq!(overlap("", "", q), 1.0);
+            // Empty vs non-empty: no shared grams, Dice/Jaccard zero (the
+            // degenerate overlap coefficient is 1 by the 0/0 convention).
+            assert_eq!(dice("", "ab", q), 0.0, "q = {q}");
+            assert_eq!(jaccard("", "ab", q), 0.0, "q = {q}");
+            assert_eq!(QgramProfile::new("", q).intersection(&QgramProfile::new("ab", q)), 0);
+        }
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Property-based tests for the similarity metric substrate.
 
 use matchrules_simdist::edit::{
-    damerau_levenshtein, damerau_similarity, levenshtein, levenshtein_similarity,
-    levenshtein_within,
+    damerau_levenshtein, damerau_levenshtein_within, damerau_similarity, levenshtein,
+    levenshtein_similarity, levenshtein_within,
 };
+use matchrules_simdist::filters::{CharBag, QgramSig, StringSig};
 use matchrules_simdist::jaro::{jaro, jaro_winkler};
 use matchrules_simdist::normalize::{digits_only, normalize_ws, standardize};
 use matchrules_simdist::phonetic::soundex;
@@ -81,8 +82,10 @@ proptest! {
     fn qgram_profile_size(s in "[a-d]{0,12}", q in 1usize..4) {
         let p = QgramProfile::new(&s, q);
         let n = s.chars().count();
-        // Padded length n + 2(q-1) yields n + q - 1 windows.
-        prop_assert_eq!(p.len(), n + q - 1);
+        // Padded length n + 2(q-1) yields n + q - 1 windows; the empty
+        // string is never padded and has no grams at all.
+        prop_assert_eq!(p.len(), if n == 0 { 0 } else { n + q - 1 });
+        prop_assert_eq!(p.is_empty(), n == 0);
         prop_assert_eq!(p.q(), q);
     }
 
@@ -129,5 +132,115 @@ proptest! {
         prop_assert!(d.chars().all(|c| c.is_ascii_digit()));
         let count = s.chars().filter(char::is_ascii_digit).count();
         prop_assert_eq!(d.len(), count);
+    }
+}
+
+// ----- banded-kernel equivalence and filter soundness -----
+//
+// The banded `*_within` kernels must agree with the exact distances for
+// *every* bound — in particular at the boundary cases d == bound and
+// d == bound + 1 — and no filter may ever reject a pair the DP would
+// accept. Both suites run over narrow-alphabet ASCII (collision-heavy)
+// and `.`-pattern strings, which mix multi-byte Unicode in.
+
+proptest! {
+    #[test]
+    fn banded_levenshtein_agrees_with_exact_at_every_bound(
+        a in "[a-c]{0,10}", b in "[a-c]{0,10}"
+    ) {
+        let exact = levenshtein(&a, &b);
+        for bound in 0..=(exact + 2) {
+            match levenshtein_within(&a, &b, bound) {
+                Some(d) => {
+                    prop_assert_eq!(d, exact, "{} vs {} bound {}", a, b, bound);
+                    prop_assert!(d <= bound);
+                }
+                None => prop_assert!(exact > bound, "{} vs {} bound {}", a, b, bound),
+            }
+        }
+    }
+
+    #[test]
+    fn banded_damerau_agrees_with_exact_at_every_bound(
+        a in "[a-c]{0,10}", b in "[a-c]{0,10}"
+    ) {
+        let exact = damerau_levenshtein(&a, &b);
+        for bound in 0..=(exact + 2) {
+            match damerau_levenshtein_within(&a, &b, bound) {
+                Some(d) => {
+                    prop_assert_eq!(d, exact, "{} vs {} bound {}", a, b, bound);
+                    prop_assert!(d <= bound);
+                }
+                None => prop_assert!(exact > bound, "{} vs {} bound {}", a, b, bound),
+            }
+        }
+    }
+
+    #[test]
+    fn banded_kernels_agree_on_unicode(a in ".{0,10}", b in ".{0,10}") {
+        let lev = levenshtein(&a, &b);
+        let dl = damerau_levenshtein(&a, &b);
+        for bound in [dl.saturating_sub(1), dl, dl + 1, lev, lev + 1] {
+            prop_assert_eq!(
+                damerau_levenshtein_within(&a, &b, bound),
+                (dl <= bound).then_some(dl),
+                "dl {:?} vs {:?} bound {}", a, b, bound
+            );
+            prop_assert_eq!(
+                levenshtein_within(&a, &b, bound),
+                (lev <= bound).then_some(lev),
+                "lev {:?} vs {:?} bound {}", a, b, bound
+            );
+        }
+    }
+
+    /// The char-bag lower bound never exceeds the OSA distance (and hence
+    /// never the Levenshtein distance either).
+    #[test]
+    fn bag_filter_lower_bounds_the_osa_distance(a in ".{0,12}", b in ".{0,12}") {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let lb = CharBag::of_chars(&ac).distance_lower_bound(&CharBag::of_chars(&bc));
+        prop_assert!(lb <= damerau_levenshtein(&a, &b), "{:?} vs {:?}: bag bound {}", a, b, lb);
+    }
+
+    /// The whole filter pipeline is sound for every q and bound: whenever
+    /// it rejects, the OSA distance provably exceeds the bound — it never
+    /// rejects a pair the DP would accept.
+    #[test]
+    fn prefilter_never_rejects_a_true_match(
+        a in ".{0,12}", b in ".{0,12}", q in 1usize..4
+    ) {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let (sa, sb) = (StringSig::with_q(&ac, q), StringSig::with_q(&bc, q));
+        let d = damerau_levenshtein(&a, &b);
+        for bound in 0..=(d + 2) {
+            let verdict = sa.prefilter(&sb, bound);
+            if d <= bound {
+                prop_assert_eq!(
+                    verdict, None,
+                    "filter rejected {:?} vs {:?} at q {} bound {} though d = {}", a, b, q, bound, d
+                );
+            }
+            // Symmetry: the pipeline must not depend on argument order.
+            prop_assert_eq!(verdict.is_some(), sb.prefilter(&sa, bound).is_some());
+        }
+    }
+
+    /// The positional gram matching itself: matched count is bounded by
+    /// both signature sizes and grows with the allowed shift.
+    #[test]
+    fn qgram_matching_is_monotone_in_shift(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let (ga, gb) = (QgramSig::of_chars(&ac, 2), QgramSig::of_chars(&bc, 2));
+        let mut last = 0;
+        for shift in 0..6 {
+            let m = ga.matches_within(&gb, shift);
+            prop_assert!(m >= last, "matching shrank as shift grew");
+            prop_assert!(m <= ga.len().min(gb.len()));
+            last = m;
+        }
     }
 }

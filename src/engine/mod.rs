@@ -26,6 +26,13 @@
 //! **byte-identical** to serial; reports carry per-stage timings and the
 //! thread count ([`MatchReport::stages`], [`MatchReport::threads`]).
 //!
+//! Pairwise similarity runs through a compiled hot path: per-relation
+//! signature caches (the `"prep"` stage), cheap length/bag/q-gram pair
+//! filters and banded edit-distance kernels instead of per-pair dynamic
+//! dispatch. [`MatchReport::filter_stats`] reports how many evaluations
+//! each filter stage rejected versus how many reached the DP
+//! ([`FilterStats`]).
+//!
 //! The paper's own settings are just two [`Preset`] configurations of this
 //! engine; nothing in the pipeline dispatches on the paper's attribute
 //! names.
@@ -38,6 +45,7 @@ mod report;
 pub mod preset;
 
 pub use builder::{EngineBuilder, EngineError};
+pub use matchrules_data::eval::FilterStats;
 pub use matchrules_runtime::{ExecConfig, Threads};
 pub use plan::MatchPlan;
 pub use preset::Preset;

@@ -6,7 +6,7 @@ use crate::engine::plan::MatchPlan;
 use matchrules_core::schema::Side;
 use matchrules_data::dirty::GroundTruth;
 use matchrules_data::enforce::{enforce, EnforceOutcome};
-use matchrules_data::eval::RuntimeOps;
+use matchrules_data::eval::{FilterStats, RuntimeOps};
 use matchrules_data::relation::{InstancePair, Relation, TupleId};
 use matchrules_data::unionfind::UnionFind;
 use matchrules_matcher::blocking::multi_pass_block_in;
@@ -55,6 +55,7 @@ pub struct MatchReport {
     plan_rcks: usize,
     stages: Vec<Stage>,
     threads: usize,
+    filters: FilterStats,
 }
 
 impl MatchReport {
@@ -124,6 +125,15 @@ impl MatchReport {
     /// Number of RCKs in the plan that produced this report.
     pub fn plan_rcks(&self) -> usize {
         self.plan_rcks
+    }
+
+    /// Filter-effectiveness counters of the compiled similarity hot
+    /// path: how many thresholded edit-distance atom evaluations the
+    /// length / character-bag / q-gram filters rejected, and how many
+    /// survived to the banded DP. Deterministic for a fixed candidate
+    /// set, independent of the thread count.
+    pub fn filter_stats(&self) -> FilterStats {
+        self.filters
     }
 
     /// Scores the report against generator-held ground truth.
@@ -245,9 +255,12 @@ impl MatchEngine {
             .with_negatives(self.plan.negatives())
     }
 
-    /// Pairwise key evaluation over the candidates, chunked on the pool
-    /// with per-chunk results concatenated in chunk order — the matched
-    /// pairs come back exactly as a serial scan would produce them.
+    /// Pairwise key evaluation over the candidates through the compiled
+    /// evaluator: filter signatures are extracted once per relation (the
+    /// `"prep"` stage), then evaluation is chunked on the pool with
+    /// per-chunk results concatenated in chunk order — the matched pairs
+    /// come back exactly as a serial scan would produce them, and the
+    /// per-chunk filter counters fold into one deterministic total.
     fn run(
         &self,
         left: &Relation,
@@ -256,21 +269,24 @@ impl MatchEngine {
         started: Instant,
         mut stages: Vec<Stage>,
     ) -> MatchReport {
-        let match_started = Instant::now();
         let matcher = self.matcher();
-        let pairs = ordered_reduce(
+        let (left_prep, right_prep) =
+            Self::staged("prep", &mut stages, || matcher.prepare_in(&self.pool, left, right));
+        let match_started = Instant::now();
+        let (pairs, filters) = ordered_reduce(
             &self.pool,
             &candidates,
             PAR_MATCH_MIN_CHUNK,
             |_, chunk| {
+                let mut eval = matcher.evaluator(left, right, &left_prep, &right_prep);
                 let mut out = Vec::new();
                 for &(l, r) in chunk {
-                    let (lt, rt) = (&left.tuples()[l], &right.tuples()[r]);
                     // One pass over the key disjunction, then only the
                     // negative rules — `matches()` would re-evaluate
                     // every key.
-                    if let Some(key) = matcher.matching_key(lt, rt) {
-                        if !matcher.vetoed(lt, rt) {
+                    if let Some(key) = eval.matching_key(l, r) {
+                        if !eval.vetoed(l, r) {
+                            let (lt, rt) = (&left.tuples()[l], &right.tuples()[r]);
                             out.push(MatchedPair {
                                 left: l,
                                 right: r,
@@ -281,12 +297,13 @@ impl MatchEngine {
                         }
                     }
                 }
-                out
+                (out, eval.stats())
             },
-            Vec::new(),
-            |mut pairs: Vec<MatchedPair>, chunk| {
+            (Vec::new(), FilterStats::default()),
+            |(mut pairs, mut filters): (Vec<MatchedPair>, FilterStats), (chunk, chunk_stats)| {
                 pairs.extend(chunk);
-                pairs
+                filters.merge(&chunk_stats);
+                (pairs, filters)
             },
         );
         stages.push(Stage { name: "match", elapsed: match_started.elapsed() });
@@ -299,6 +316,7 @@ impl MatchEngine {
             plan_rcks: self.plan.rcks().len(),
             stages,
             threads: self.pool.threads(),
+            filters,
         }
     }
 

@@ -296,14 +296,36 @@ fn exec_config_is_deterministic_and_reported() {
     let baseline = serial.match_pairs(&shop, &feed).unwrap();
     assert_eq!(baseline.threads(), 1);
     let stage_names: Vec<&str> = baseline.stages().iter().map(|s| s.name).collect();
-    assert_eq!(stage_names, vec!["window", "match"]);
+    assert_eq!(stage_names, vec!["window", "prep", "match"]);
     for threads in [2, 4, 8] {
         let parallel = engine.with_exec(ExecConfig::fixed(threads));
         assert_eq!(parallel.threads(), threads);
         let report = parallel.match_pairs(&shop, &feed).unwrap();
         assert_eq!(report.pairs(), baseline.pairs(), "threads = {threads}");
         assert_eq!(report.threads(), threads);
+        // The filter counters are sums over the same atom evaluations,
+        // so they are thread-count-independent too.
+        assert_eq!(report.filter_stats(), baseline.filter_stats(), "threads = {threads}");
     }
+}
+
+/// The compiled hot path reports where edit-distance evaluations were
+/// decided: filters plus DP runs account for every evaluation, and on an
+/// exhaustive run the counters are non-trivial (the catalog MDs compare
+/// titles under `~d`).
+#[test]
+fn filter_counters_account_for_edit_evaluations() {
+    let engine = catalog_engine();
+    let shop = shop_rows(&engine);
+    let feed = feed_rows(&engine);
+    let report = engine.match_all(&shop, &feed).unwrap();
+    let stats = report.filter_stats();
+    assert!(stats.evaluations() > 0, "edit atoms were evaluated: {stats:?}");
+    assert_eq!(
+        stats.evaluations(),
+        stats.equal_fast + stats.rejected() + stats.dp_runs,
+        "{stats:?}"
+    );
 }
 
 /// A zero thread count is a configuration mistake, not a request for
