@@ -1,0 +1,152 @@
+//! Index vs window: RCK-driven `MatchIndex` candidate generation against
+//! the multi-pass sorted-neighborhood path, end to end on the §6
+//! synthetic catalog.
+//!
+//! Measures the index build cost, point-query throughput (build once,
+//! query every credit tuple), and — the headline — candidate pairs
+//! examined by each path for the same (or better) match recall. Asserts
+//! that the indexed matches are a superset of the windowed matches with
+//! identical decisions on shared pairs, and that the index examines
+//! strictly fewer candidates. Emits the series as `BENCH_index.json`.
+//!
+//! Usage:
+//! `cargo run --release -p matchrules-bench --bin index_vs_window \
+//!    [quick|paper] [out.json]`
+
+use matchrules_bench::experiments::workload;
+use matchrules_bench::json::Json;
+use matchrules_bench::table::Table;
+use matchrules_bench::{time, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_index.json".to_owned());
+    let persons = match scale {
+        Scale::Paper => 20_000,
+        Scale::Quick => 1_200,
+    };
+
+    println!("index vs window — RCK-driven MatchIndex on the synthetic catalog");
+    let w = workload(persons, 0x1D3A);
+    let credit = &w.data.credit;
+    let billing = &w.data.billing;
+    println!(
+        "catalog: {} credit + {} billing rows; plan: {} RCKs, window {}\n",
+        credit.len(),
+        billing.len(),
+        w.engine.plan().rcks().len(),
+        w.engine.plan().window()
+    );
+
+    // Batch: the sorted-neighborhood path vs the index-backed path.
+    let windowed = w.engine.match_pairs(credit, billing).expect("windowed run");
+    let indexed = w.engine.match_pairs_indexed(credit, billing).expect("indexed run");
+
+    // Correctness gate: indexed ⊇ windowed, identical on shared pairs
+    // (the index retrieves every pair its keys accept; windows can miss).
+    for pair in windowed.pairs() {
+        assert!(
+            indexed.pairs().contains(pair),
+            "windowed match {pair:?} missing from the indexed run"
+        );
+    }
+    assert!(
+        indexed.candidates() < windowed.candidates(),
+        "index must examine strictly fewer candidates ({} vs {})",
+        indexed.candidates(),
+        windowed.candidates()
+    );
+
+    let stage = |r: &matchrules::engine::MatchReport, name: &str| -> f64 {
+        r.stages().iter().find(|s| s.name == name).map(|s| s.elapsed.as_secs_f64()).unwrap_or(0.0)
+    };
+
+    // Serving: build once, point-query every credit tuple.
+    let (index, build_seconds) = time(|| w.engine.index(billing).expect("index builds"));
+    let stats = index.stats();
+    let mut hits = 0usize;
+    let mut probed_candidates = 0usize;
+    let (_, query_seconds) = time(|| {
+        for probe in credit.tuples() {
+            let outcome = index.query(probe);
+            hits += outcome.hits.len();
+            probed_candidates += outcome.candidates;
+        }
+    });
+    let queries = credit.len();
+    let qps = queries as f64 / query_seconds.max(1e-12);
+
+    let mut table = Table::new(&["path", "candidates", "matches", "seconds"]);
+    table.row(vec![
+        "window".to_owned(),
+        windowed.candidates().to_string(),
+        windowed.len().to_string(),
+        format!("{:.3}", windowed.elapsed().as_secs_f64()),
+    ]);
+    table.row(vec![
+        "index".to_owned(),
+        indexed.candidates().to_string(),
+        indexed.len().to_string(),
+        format!("{:.3}", indexed.elapsed().as_secs_f64()),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "candidate reduction: {:.1}x fewer pairs examined by the index",
+        windowed.candidates() as f64 / indexed.candidates().max(1) as f64
+    );
+    println!(
+        "serving: built in {build_seconds:.3}s ({} live tuples), {queries} queries in \
+         {query_seconds:.3}s = {qps:.0} queries/sec ({hits} hits)",
+        stats.live
+    );
+
+    let doc = Json::obj()
+        .field("bench", "index_vs_window")
+        .field(
+            "scale",
+            match scale {
+                Scale::Paper => "paper",
+                Scale::Quick => "quick",
+            },
+        )
+        .field("persons", persons)
+        .field("credit_rows", credit.len())
+        .field("billing_rows", billing.len())
+        .field("plan_rcks", w.engine.plan().rcks().len())
+        .field("window", w.engine.plan().window())
+        .field(
+            "batch",
+            Json::obj()
+                .field("window_candidates", windowed.candidates())
+                .field("index_candidates", indexed.candidates())
+                .field(
+                    "candidate_reduction",
+                    windowed.candidates() as f64 / indexed.candidates().max(1) as f64,
+                )
+                .field("window_matches", windowed.len())
+                .field("index_matches", indexed.len())
+                .field("window_seconds", windowed.elapsed().as_secs_f64())
+                .field("index_seconds", indexed.elapsed().as_secs_f64())
+                .field("index_build_stage_seconds", stage(&indexed, "index"))
+                .field("probe_stage_seconds", stage(&indexed, "probe"))
+                .field("window_stage_seconds", stage(&windowed, "window")),
+        )
+        .field(
+            "serving",
+            Json::obj()
+                .field("build_seconds", build_seconds)
+                .field("queries", queries)
+                .field("query_seconds", query_seconds)
+                .field("queries_per_sec", qps)
+                .field("hits", hits)
+                .field("candidates_examined", probed_candidates)
+                .field("exact_atom_indices", stats.exact_anchors)
+                .field("qgram_atom_indices", stats.qgram_anchors)
+                .field("scan_keys", stats.scan_anchors)
+                .field("exact_buckets", stats.exact_buckets)
+                .field("posting_lists", stats.posting_lists)
+                .field("sparse_entries", stats.sparse_entries),
+        );
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

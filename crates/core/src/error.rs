@@ -59,6 +59,19 @@ pub enum CoreError {
         /// The unresolved operator name.
         name: String,
     },
+    /// A CSV record's field count disagrees with the header — short rows
+    /// would otherwise silently read as trailing `Null`s, long rows would
+    /// drop data.
+    CsvRow {
+        /// 1-based record number in the document (the header is record 1,
+        /// so the first data record is 2). Records, not lines: a quoted
+        /// field may span several physical lines.
+        row: usize,
+        /// Field count the header declares.
+        expected: usize,
+        /// Field count the record actually has.
+        got: usize,
+    },
     /// The textual MD syntax could not be parsed.
     Parse {
         /// Byte offset of the error in the input.
@@ -103,6 +116,13 @@ impl fmt::Display for CoreError {
             CoreError::UnknownOperator { name } => {
                 write!(f, "similarity operator {name:?} is not registered")
             }
+            CoreError::CsvRow { row, expected, got } => {
+                let gap = if got < expected { "missing fields" } else { "extra fields" };
+                write!(
+                    f,
+                    "CSV record {row} has {got} fields but the header declares {expected} ({gap})"
+                )
+            }
             CoreError::Parse { offset, message } => {
                 write!(f, "parse error at byte {offset}: {message}")
             }
@@ -128,6 +148,11 @@ mod tests {
         assert!(e.to_string().contains("incomparable"));
         let e = CoreError::Parse { offset: 7, message: "expected '['".into() };
         assert!(e.to_string().contains("byte 7"));
+        let e = CoreError::CsvRow { row: 3, expected: 4, got: 2 };
+        assert!(e.to_string().contains("record 3"));
+        assert!(e.to_string().contains("missing fields"));
+        let e = CoreError::CsvRow { row: 9, expected: 2, got: 5 };
+        assert!(e.to_string().contains("extra fields"));
     }
 
     #[test]

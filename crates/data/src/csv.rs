@@ -48,7 +48,14 @@ pub fn read_relation(schema: Arc<Schema>, csv: &str) -> Result<Relation> {
     let mut relation = Relation::new(schema.clone());
     for (row_idx, row) in rows.into_iter().enumerate() {
         if row.len() != column_attr.len() {
-            return Err(CoreError::LengthMismatch { left: column_attr.len(), right: row.len() });
+            // Ragged rows are data bugs, not data: a short row silently
+            // read as trailing nulls (or a long row silently truncated)
+            // would corrupt every downstream match. Name the record.
+            return Err(CoreError::CsvRow {
+                row: row_idx + 2, // header is record 1
+                expected: column_attr.len(),
+                got: row.len(),
+            });
         }
         let mut values = vec![Value::Null; schema.arity()];
         for (field, &attr) in row.into_iter().zip(&column_attr) {
@@ -214,7 +221,26 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let err = read_relation(schema(), "FN,LN,city\nMark,Clifford\n").unwrap_err();
-        assert!(matches!(err, CoreError::LengthMismatch { .. }));
+        assert!(matches!(err, CoreError::CsvRow { row: 2, expected: 3, got: 2 }));
+    }
+
+    #[test]
+    fn ragged_rows_report_the_offending_record() {
+        // Regression: a short row must fail with the record number, not be
+        // padded with nulls; a long row must fail too, not drop fields.
+        let short = "FN,LN,city\n\
+                     Mark,Clifford,Murray Hill\n\
+                     David,Smith\n\
+                     Anna,Jones,Summit\n";
+        let err = read_relation(schema(), short).unwrap_err();
+        assert_eq!(err, CoreError::CsvRow { row: 3, expected: 3, got: 2 });
+        assert!(err.to_string().contains("record 3"), "{err}");
+        assert!(err.to_string().contains("missing fields"), "{err}");
+
+        let long = "FN,LN,city\nMark,Clifford,Murray Hill,NJ\n";
+        let err = read_relation(schema(), long).unwrap_err();
+        assert_eq!(err, CoreError::CsvRow { row: 2, expected: 3, got: 4 });
+        assert!(err.to_string().contains("extra fields"), "{err}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! index plus the metric call.
 //!
 //! Resolution also **compiles** each operator's
-//! [`KernelSpec`](matchrules_simdist::ops::KernelSpec): equality and the
+//! [`KernelSpec`]: equality and the
 //! thresholded edit operators evaluate through a plain enum `match`
 //! instead of a virtual call, and the edit kernels additionally run on
 //! the per-relation caches of [`crate::prep`] — cheap pair filters
@@ -108,6 +108,26 @@ impl Kernel {
     }
 }
 
+/// The public shape of a resolved operator's compiled kernel — what an
+/// index builder needs to know to pick *anchor* atoms: equality atoms
+/// admit exact hash buckets, thresholded edit atoms admit q-gram posting
+/// lists (the filters of `matchrules_simdist::filters` are sound for
+/// them), and opaque operators admit neither.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelClass {
+    /// Compiles to plain string equality.
+    Equality,
+    /// Compiles to a thresholded edit-distance kernel (Damerau or plain
+    /// Levenshtein — for candidate generation they share the same
+    /// `theta_bound` and the same sound filters).
+    Edit {
+        /// The threshold θ of `dist(a, b) ≤ ⌊(1 − θ)·max(|a|, |b|)⌋`.
+        theta: f64,
+    },
+    /// No compiled form; only the trait object can decide pairs.
+    Opaque,
+}
+
 /// The paper's runtime registry: the standard metric set plus the alias
 /// `≈d` → Damerau–Levenshtein at θ = 0.75 (the intro example's name
 /// similarity: "Mark" ≈d "Marx", "Clifford" ≈d "Clivord").
@@ -147,6 +167,18 @@ impl RuntimeOps {
     /// [`RelationPrep`] signature.
     pub fn needs_signature(&self, op: OperatorId) -> bool {
         matches!(self.kernels[op.0 as usize], Kernel::Damerau { .. } | Kernel::Levenshtein { .. })
+    }
+
+    /// The [`KernelClass`] of `op` — how (and whether) an inverted index
+    /// can use an atom under this operator as a retrieval anchor.
+    pub fn kernel_class(&self, op: OperatorId) -> KernelClass {
+        match self.kernels[op.0 as usize] {
+            Kernel::Equality => KernelClass::Equality,
+            Kernel::Damerau { theta } | Kernel::Levenshtein { theta } => {
+                KernelClass::Edit { theta }
+            }
+            Kernel::Dyn => KernelClass::Opaque,
+        }
     }
 
     /// Evaluates `a ≈op b` on values. `Null` matches nothing.

@@ -5,7 +5,7 @@
 //! character bag, extracting q-grams — only depends on the *tuple
 //! attribute*, of which there are `O(tuples)`. A [`RelationPrep`]
 //! extracts one [`AttrSig`] (character buffer plus
-//! [`StringSig`](matchrules_simdist::filters::StringSig) filter
+//! [`StringSig`] filter
 //! signature) per needed tuple attribute, once, optionally in parallel
 //! over a [`WorkPool`]; pair evaluation then runs the filter pipeline and
 //! the banded DP on cached buffers.
@@ -139,6 +139,31 @@ impl RelationPrep {
         RelationPrep { needs: needs.clone(), rows }
     }
 
+    /// A one-tuple prep — the probe side of a point query against a
+    /// match index, where building a whole [`Relation`] first would be
+    /// wasted work.
+    pub fn single(tuple: &Tuple, needs: &SigNeeds) -> Self {
+        let mut prep = RelationPrep { needs: needs.clone(), rows: Vec::new() };
+        prep.push_row(tuple);
+        prep
+    }
+
+    /// Appends the signatures of one more tuple, which becomes position
+    /// `self.len()` — the incremental-maintenance counterpart of the bulk
+    /// build, used when a tuple is inserted into an index over a relation
+    /// that was prepared earlier. No-op when nothing needs signatures.
+    pub fn push_row(&mut self, tuple: &Tuple) {
+        if self.needs.is_empty() {
+            return;
+        }
+        self.rows.push(Self::row_of(tuple, &self.needs));
+    }
+
+    /// The need set this prep was built for.
+    pub fn needs(&self) -> &SigNeeds {
+        &self.needs
+    }
+
     fn row_of(tuple: &Tuple, needs: &SigNeeds) -> Box<[AttrSig]> {
         // Slots are assigned in mark order, not attribute order — place
         // each signature by its slot, or lookups would read the wrong
@@ -257,6 +282,35 @@ mod tests {
         for pos in 0..rel.len() {
             assert_eq!(serial.sig(pos, 0).unwrap().chars(), parallel.sig(pos, 0).unwrap().chars());
         }
+    }
+
+    #[test]
+    fn push_row_extends_a_built_prep() {
+        let rel = relation();
+        let mut needs = SigNeeds::none(3);
+        needs.mark(1);
+        let mut prep = RelationPrep::build(&rel, &needs);
+        assert_eq!(prep.needs(), &needs);
+        let extra = Tuple::new(3, vec![Value::Null, Value::str("Bradey"), Value::str("07975")]);
+        prep.push_row(&extra);
+        assert_eq!(prep.len(), 3);
+        let sig: String = prep.sig(2, 1).unwrap().chars().iter().collect();
+        assert_eq!(sig, "Bradey");
+        // Pushing onto an empty-needs prep stays a no-op.
+        let mut empty = RelationPrep::build(&rel, &SigNeeds::none(3));
+        empty.push_row(&extra);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn single_preps_one_probe_tuple() {
+        let mut needs = SigNeeds::none(2);
+        needs.mark(0);
+        let probe = Tuple::new(7, vec![Value::str("Mark"), Value::Null]);
+        let prep = RelationPrep::single(&probe, &needs);
+        assert_eq!(prep.len(), 1);
+        assert_eq!(prep.sig(0, 0).unwrap().sig().char_len(), 4);
+        assert!(prep.sig(0, 1).is_none());
     }
 
     #[test]

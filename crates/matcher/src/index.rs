@@ -1,0 +1,983 @@
+//! [`MatchIndex`]: RCK-driven inverted indices for sub-quadratic candidate
+//! generation and point-query serving.
+//!
+//! The paper's central argument (§4–5) is that a *small* set of key
+//! attribute pairs — the deduced relative candidate keys — suffices to
+//! decide matches. That makes RCKs the natural source of **index keys**,
+//! not merely sort/block keys: the index builds one inverted index per
+//! distinct *indexable atom* appearing in the compiled RCKs (shared when
+//! several keys mention the same atom),
+//!
+//! * **exact buckets** for equality atoms — a hash map from the
+//!   attribute's string value to the tuple slots carrying it;
+//! * **q-gram posting lists** for thresholded edit-distance atoms —
+//!   reusing the [`StringSig`](matchrules_simdist::filters::StringSig)
+//!   signatures of the relation preparation cache. A posting list alone
+//!   would be unsound for short strings (a within-bound pair need not
+//!   share a gram when `max(|a|, |b|)` is small), so every tuple whose
+//!   anchor string is shorter than a per-atom *safe length* also goes
+//!   into a **sparse list** that short probes always scan; the safe
+//!   length is derived from the same `θ`-bound arithmetic that makes the
+//!   q-gram count filter sound (see [`qgram_safe_len`]).
+//!
+//! Because an RCK is a *conjunction*, a key's candidates are the
+//! **intersection** of its indexed atoms' retrievals (each retrieval is a
+//! superset of the tuples satisfying that atom, so the intersection is a
+//! superset of the tuples satisfying the key — and usually a far smaller
+//! one than any single atom's list). A key none of whose atoms is
+//! indexable (all operators opaque) falls back to scanning every live
+//! tuple, so correctness never depends on indexability.
+//!
+//! A candidate set is the union over the plan's RCKs, always a superset
+//! of the tuples any key accepts; every candidate is then verified by the
+//! full compiled key disjunction (the same
+//! [`lhs_matches_prepped`](RuntimeOps::lhs_matches_prepped) path the
+//! batch engine uses), so query answers are *exactly* the batch answers.
+//! The index supports incremental [`MatchIndex::insert`] /
+//! [`MatchIndex::remove`] (tombstoned slots; rebuild to compact), which
+//! turns the batch reproduction into a serving core: build once, then
+//! answer "which tuples match this record?" per point query instead of
+//! rescanning sorted-neighborhood windows per batch.
+//!
+//! ```
+//! use matchrules_core::paper::example_2_4_rcks;
+//! use matchrules_data::eval::{paper_registry, RuntimeOps};
+//! use matchrules_data::fig1;
+//! use matchrules_matcher::index::MatchIndex;
+//! use std::sync::Arc;
+//!
+//! let (setting, inst) = fig1::setting_and_instance();
+//! let ops = Arc::new(RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap());
+//! let rcks = example_2_4_rcks(&setting);
+//! let index =
+//!     MatchIndex::build(setting.pair.left().arity(), inst.right(), &rcks, &[], ops).unwrap();
+//! // t1 matches all four billing tuples, t2 none — same answers as the
+//! // batch path, without scanning the relation.
+//! let t1 = inst.left().by_id(fig1::ids::T1).unwrap();
+//! assert_eq!(index.query(t1).hits.len(), 4);
+//! let t2 = inst.left().by_id(fig1::ids::T2).unwrap();
+//! assert!(index.query(t2).hits.is_empty());
+//! ```
+
+use crate::key::KeyMatcher;
+use matchrules_core::negation::NegativeRule;
+use matchrules_core::relative_key::RelativeKey;
+use matchrules_core::schema::AttrId;
+use matchrules_data::eval::{FilterStats, KernelClass, RuntimeOps};
+use matchrules_data::prep::{AttrSig, RelationPrep, SigNeeds};
+use matchrules_data::relation::{Relation, Tuple, TupleId};
+use matchrules_runtime::WorkPool;
+use matchrules_simdist::edit::theta_bound;
+use matchrules_simdist::filters::FILTER_Q;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Minimum tuples per chunk when anchor indices are built over a pool:
+/// one tuple contributes a handful of hash insertions, so smaller chunks
+/// would be all claiming overhead.
+const BUILD_MIN_CHUNK: usize = 256;
+
+/// Errors raised while building or maintaining a [`MatchIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// Two tuples carry the same id — incremental maintenance addresses
+    /// tuples by id, so ids must be unique within the indexed relation.
+    DuplicateId {
+        /// The offending id.
+        id: TupleId,
+    },
+    /// An inserted tuple's arity does not match the indexed schema.
+    ArityMismatch {
+        /// Arity of the indexed relation's schema.
+        expected: usize,
+        /// Arity of the offered tuple.
+        got: usize,
+    },
+    /// A removal named an id that is not (or no longer) indexed.
+    UnknownId {
+        /// The unresolved id.
+        id: TupleId,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::DuplicateId { id } => {
+                write!(f, "tuple id {id} is already indexed (ids must be unique)")
+            }
+            IndexError::ArityMismatch { expected, got } => {
+                write!(f, "tuple has {got} values but the indexed schema has {expected}")
+            }
+            IndexError::UnknownId { id } => {
+                write!(f, "tuple id {id} is not indexed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// The smallest length `L₀` such that for **every** `max(|a|, |b|) ≥ L₀`,
+/// a pair within the edit bound `⌊(1 − θ)·max(|a|, |b|)⌋` is guaranteed
+/// to share at least one q-gram — i.e. the length above which a posting
+/// list alone retrieves every true match. `None` when no such length
+/// exists (θ so low that one string can be edited past all of the other's
+/// grams at any length), in which case gram indexing is unusable for the
+/// operator.
+///
+/// Soundness: a string of `n ≥ q` characters has `n − q + 1` unpadded
+/// grams and one OSA edit destroys at most `q + 1` of them (the same
+/// bound the q-gram count filter uses), so `dist ≤ k` forces at least
+/// `max(|Gₐ|, |G_b|) − k·(q + 1)` shared grams; with `L = max(|a|, |b|)`
+/// that is `(L − q + 1) − ⌊(1 − θ)L⌋·(q + 1)`, and `L₀` is the point
+/// past which this stays ≥ 1.
+pub fn qgram_safe_len(theta: f64, q: usize) -> Option<usize> {
+    let per_edit = q + 1;
+    // Tail bound: (L − q + 1) − (1 − θ)·L·(q + 1) = L·c − q + 1 with
+    // c = 1 − (1 − θ)(q + 1). For c ≤ 0 the guarantee never holds.
+    let c = 1.0 - (1.0 - theta) * per_edit as f64;
+    if c <= 0.0 {
+        return None;
+    }
+    // Past this cap the (floor-free) tail bound is ≥ 1; the floor in
+    // theta_bound only strengthens it. Scan below the cap for the last
+    // unguaranteed length.
+    let cap = (q as f64 / c).ceil() as usize + q + 1;
+    let mut safe = 1usize;
+    for len in 1..=cap {
+        let grams = (len + 1).saturating_sub(q) as i64;
+        if grams - ((theta_bound(theta, len) * per_edit) as i64) < 1 {
+            safe = len + 1;
+        }
+    }
+    Some(safe)
+}
+
+/// An inverted index over one indexable atom, shared by every key that
+/// mentions the atom.
+enum AtomIndex {
+    /// Equality atom: value → slots carrying it (`Null` values excluded —
+    /// null matches nothing, so such tuples can never satisfy the atom).
+    Exact { left: AttrId, right: AttrId, buckets: HashMap<String, Vec<u32>> },
+    /// Thresholded edit atom: gram hash → slots whose string contains the
+    /// gram, plus the sparse list of slots whose string is shorter than
+    /// `safe_len` (scanned whenever the probe itself is short, because
+    /// gram sharing is only guaranteed above the safe length).
+    Qgram {
+        left: AttrId,
+        right: AttrId,
+        safe_len: usize,
+        postings: HashMap<u64, Vec<u32>>,
+        sparse: Vec<u32>,
+    },
+}
+
+impl AtomIndex {
+    /// Indexes one tuple (slot ids arrive in ascending order, so every
+    /// bucket/posting/sparse list stays sorted). Gram signatures come
+    /// from `prep` — edit-atom attributes are always marked in the
+    /// relation's signature needs, so the extraction already done for
+    /// pair evaluation is not repeated here.
+    fn add(&mut self, slot: u32, tuple: &Tuple, prep: &RelationPrep) {
+        match self {
+            AtomIndex::Exact { right, buckets, .. } => {
+                if let Some(s) = tuple.get(*right).as_str() {
+                    buckets.entry(s.to_owned()).or_default().push(slot);
+                }
+            }
+            AtomIndex::Qgram { right, safe_len, postings, sparse, .. } => {
+                let computed;
+                let sig = match prep.sig(slot as usize, *right) {
+                    Some(sig) => sig,
+                    None => {
+                        computed = AttrSig::of_value(tuple.get(*right));
+                        &computed
+                    }
+                };
+                if sig.is_null() {
+                    return;
+                }
+                if sig.sig().char_len() < *safe_len {
+                    sparse.push(slot);
+                }
+                for hash in sig.sig().qgrams().distinct_hashes() {
+                    postings.entry(hash).or_default().push(slot);
+                }
+            }
+        }
+    }
+
+    /// Folds another (partial, higher-slot) index of the same shape in —
+    /// the deterministic merge step of the parallel build.
+    fn merge(&mut self, other: AtomIndex) {
+        match (self, other) {
+            (AtomIndex::Exact { buckets, .. }, AtomIndex::Exact { buckets: partial, .. }) => {
+                for (value, slots) in partial {
+                    buckets.entry(value).or_default().extend(slots);
+                }
+            }
+            (
+                AtomIndex::Qgram { postings, sparse, .. },
+                AtomIndex::Qgram { postings: p2, sparse: s2, .. },
+            ) => {
+                for (hash, slots) in p2 {
+                    postings.entry(hash).or_default().extend(slots);
+                }
+                sparse.extend(s2);
+            }
+            _ => unreachable!("parallel build merges atom indices of one shape"),
+        }
+    }
+
+    /// An empty index of the same shape (the per-chunk accumulator of
+    /// the parallel build).
+    fn empty_like(&self) -> AtomIndex {
+        match self {
+            AtomIndex::Exact { left, right, .. } => {
+                AtomIndex::Exact { left: *left, right: *right, buckets: HashMap::new() }
+            }
+            AtomIndex::Qgram { left, right, safe_len, .. } => AtomIndex::Qgram {
+                left: *left,
+                right: *right,
+                safe_len: *safe_len,
+                postings: HashMap::new(),
+                sparse: Vec::new(),
+            },
+        }
+    }
+
+    /// The sorted, deduplicated slots that *may* satisfy this atom
+    /// against the probe — a superset of the slots whose tuples actually
+    /// do. An unsatisfiable probe value (`Null`) retrieves nothing.
+    /// `probe_prep` is the probe's one-row signature cache (edit-atom
+    /// attributes are marked on the probe side too).
+    fn retrieve(&self, probe: &Tuple, probe_prep: &RelationPrep) -> Vec<u32> {
+        match self {
+            AtomIndex::Exact { left, buckets, .. } => match probe.get(*left).as_str() {
+                Some(s) => buckets.get(s).cloned().unwrap_or_default(),
+                None => Vec::new(),
+            },
+            AtomIndex::Qgram { left, safe_len, postings, sparse, .. } => {
+                let computed;
+                let sig = match probe_prep.sig(0, *left) {
+                    Some(sig) => sig,
+                    None => {
+                        computed = AttrSig::of_value(probe.get(*left));
+                        &computed
+                    }
+                };
+                if sig.is_null() {
+                    return Vec::new(); // null matches nothing
+                }
+                let mut out = Vec::new();
+                if sig.sig().char_len() < *safe_len {
+                    // Short probe: pairs below the safe length need not
+                    // share a gram; partners at or above it are caught by
+                    // the postings (their length alone puts the pair in
+                    // the guaranteed regime).
+                    out.extend_from_slice(sparse);
+                }
+                for hash in sig.sig().qgrams().distinct_hashes() {
+                    if let Some(slots) = postings.get(&hash) {
+                        out.extend_from_slice(slots);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+}
+
+/// When a key's running candidate set is this small, further
+/// intersection with its remaining (costlier) atom retrievals is skipped:
+/// verifying the leftover candidate is cheaper than another retrieval,
+/// and any prefix of the intersection is a sound superset.
+const ENOUGH: usize = 1;
+
+/// One query answer: a tuple the probe matches, and the key that fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHit {
+    /// Id of the matched tuple.
+    pub id: TupleId,
+    /// Slot (position in the indexed relation) of the matched tuple.
+    pub slot: usize,
+    /// Index (into the key list) of the first key that accepted the pair.
+    pub key: usize,
+}
+
+/// The result of one [`MatchIndex::query`]: the verified hits plus the
+/// work accounting (how many candidates the anchors retrieved, and how
+/// the similarity filter pipeline decided them).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The matched tuples, in ascending slot order.
+    pub hits: Vec<QueryHit>,
+    /// Candidate slots the anchors retrieved (the pairs verified) — the
+    /// per-query analogue of a batch report's candidate count.
+    pub candidates: usize,
+    /// Filter-effectiveness counters of the verification pass.
+    pub stats: FilterStats,
+}
+
+/// Aggregate shape of a built index (for reports and benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of keys.
+    pub keys: usize,
+    /// Distinct equality atoms indexed (exact buckets).
+    pub exact_anchors: usize,
+    /// Distinct edit atoms indexed (q-gram postings + sparse list).
+    pub qgram_anchors: usize,
+    /// Keys with no indexable atom (full scan per probe).
+    pub scan_anchors: usize,
+    /// Live (queryable) tuples.
+    pub live: usize,
+    /// Removed tuples still occupying slots (rebuild to compact).
+    pub tombstones: usize,
+    /// Distinct exact-bucket values across all exact anchors.
+    pub exact_buckets: usize,
+    /// Distinct gram posting lists across all q-gram anchors.
+    pub posting_lists: usize,
+    /// Slots on sparse (short-string) lists across all q-gram anchors.
+    pub sparse_entries: usize,
+}
+
+/// An RCK-driven inverted index over one relation: sub-quadratic
+/// candidate generation, point-query serving, incremental maintenance.
+///
+/// Built from the same compiled artifacts the batch engine uses (the key
+/// list, the negative rules, the resolved operators), and guaranteed to
+/// answer exactly like the batch path: candidates are a superset of every
+/// key's accepted pairs, and each candidate is verified by the full
+/// compiled disjunction. See the [module docs](self) for the anchor
+/// design.
+pub struct MatchIndex {
+    keys: Vec<RelativeKey>,
+    negatives: Vec<NegativeRule>,
+    ops: Arc<RuntimeOps>,
+    /// The indexed tuples; slots are positions, removals leave tombstones.
+    relation: Relation,
+    alive: Vec<bool>,
+    live: usize,
+    /// Signature cache for the indexed side, extended on insert.
+    prep: RelationPrep,
+    /// Signature needs of the probe side (probes are prepared per query).
+    probe_needs: SigNeeds,
+    /// Inverted indices over the distinct indexable atoms of the keys.
+    atom_indices: Vec<AtomIndex>,
+    /// Per key: positions into `atom_indices` of the key's indexed atoms.
+    /// An empty list means the key is unindexable and scans.
+    key_atoms: Vec<Vec<usize>>,
+    by_id: HashMap<TupleId, u32>,
+}
+
+impl fmt::Debug for MatchIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("MatchIndex")
+            .field("keys", &stats.keys)
+            .field("live", &stats.live)
+            .field("tombstones", &stats.tombstones)
+            .field("exact_anchors", &stats.exact_anchors)
+            .field("qgram_anchors", &stats.qgram_anchors)
+            .field("scan_anchors", &stats.scan_anchors)
+            .finish()
+    }
+}
+
+impl MatchIndex {
+    /// Serial build — see [`MatchIndex::build_in`].
+    pub fn build(
+        probe_arity: usize,
+        relation: &Relation,
+        keys: &[RelativeKey],
+        negatives: &[NegativeRule],
+        ops: Arc<RuntimeOps>,
+    ) -> Result<Self, IndexError> {
+        Self::build_in(&WorkPool::serial(), probe_arity, relation, keys, negatives, ops)
+    }
+
+    /// Builds the index over `relation` (cloned: the index owns its data
+    /// so it can be maintained incrementally), anchoring each key as
+    /// described in the [module docs](self). `probe_arity` is the arity
+    /// of the probe side's schema — for a reflexive (dedup) setting it
+    /// equals the relation's own arity.
+    ///
+    /// Signature extraction and anchor population are chunked over
+    /// `pool`, with per-chunk partial indices merged in chunk order, so a
+    /// parallel build is identical to a serial one.
+    ///
+    /// Fails with [`IndexError::DuplicateId`] when the relation carries
+    /// two tuples with one id (incremental maintenance addresses tuples
+    /// by id).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the relation holds more than `u32::MAX` tuples (slots
+    /// are stored as `u32` for posting-list compactness).
+    pub fn build_in(
+        pool: &WorkPool,
+        probe_arity: usize,
+        relation: &Relation,
+        keys: &[RelativeKey],
+        negatives: &[NegativeRule],
+        ops: Arc<RuntimeOps>,
+    ) -> Result<Self, IndexError> {
+        assert!(
+            relation.len() <= u32::MAX as usize,
+            "match index supports at most u32::MAX tuples"
+        );
+        let matcher = KeyMatcher::new(keys.iter(), &ops).with_negatives(negatives);
+        let (probe_needs, index_needs) = matcher.sig_needs(probe_arity, relation.schema().arity());
+        let prep = RelationPrep::build_in(pool, relation, &index_needs);
+
+        // One inverted index per distinct indexable atom (several keys
+        // often share an atom — email equality, say — and pay for one
+        // index); each key records which of them constrain it.
+        let mut atom_indices: Vec<AtomIndex> = Vec::new();
+        let mut atom_of: HashMap<(AttrId, AttrId, u16), usize> = HashMap::new();
+        let mut key_atoms: Vec<Vec<usize>> = Vec::with_capacity(keys.len());
+        for key in keys {
+            let mut refs = Vec::new();
+            for atom in key.atoms() {
+                let empty = match ops.kernel_class(atom.op) {
+                    KernelClass::Equality => Some(AtomIndex::Exact {
+                        left: atom.left,
+                        right: atom.right,
+                        buckets: HashMap::new(),
+                    }),
+                    KernelClass::Edit { theta } => {
+                        qgram_safe_len(theta, FILTER_Q).map(|safe_len| AtomIndex::Qgram {
+                            left: atom.left,
+                            right: atom.right,
+                            safe_len,
+                            postings: HashMap::new(),
+                            sparse: Vec::new(),
+                        })
+                    }
+                    KernelClass::Opaque => None,
+                };
+                if let Some(empty) = empty {
+                    let pos =
+                        *atom_of.entry((atom.left, atom.right, atom.op.0)).or_insert_with(|| {
+                            atom_indices.push(empty);
+                            atom_indices.len() - 1
+                        });
+                    refs.push(pos);
+                }
+            }
+            // Cheapest retrievals first, once and for all: exact buckets
+            // are one hash lookup on a tiny list, gram postings union
+            // dozens of lists. Probing iterates this order directly.
+            refs.sort_by_key(|&pos| (matches!(atom_indices[pos], AtomIndex::Qgram { .. }), pos));
+            refs.dedup();
+            key_atoms.push(refs);
+        }
+
+        // Populate every atom index: per-chunk partial indices, folded in
+        // chunk order so slot lists come out ascending.
+        let tuples = relation.tuples();
+        let partials: Vec<Vec<AtomIndex>> =
+            pool.par_ranges(tuples.len(), BUILD_MIN_CHUNK, |_, range| {
+                let mut partial: Vec<AtomIndex> =
+                    atom_indices.iter().map(AtomIndex::empty_like).collect();
+                for pos in range {
+                    for atom in &mut partial {
+                        atom.add(pos as u32, &tuples[pos], &prep);
+                    }
+                }
+                partial
+            });
+        for chunk in partials {
+            for (atom, partial) in atom_indices.iter_mut().zip(chunk) {
+                atom.merge(partial);
+            }
+        }
+
+        let mut by_id = HashMap::with_capacity(tuples.len());
+        for (pos, tuple) in tuples.iter().enumerate() {
+            if by_id.insert(tuple.id(), pos as u32).is_some() {
+                return Err(IndexError::DuplicateId { id: tuple.id() });
+            }
+        }
+
+        Ok(MatchIndex {
+            keys: keys.to_vec(),
+            negatives: negatives.to_vec(),
+            ops,
+            relation: relation.clone(),
+            alive: vec![true; tuples.len()],
+            live: tuples.len(),
+            prep,
+            probe_needs,
+            atom_indices,
+            key_atoms,
+            by_id,
+        })
+    }
+
+    /// Number of live (queryable) tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The indexed relation (tombstoned tuples included — check
+    /// [`MatchIndex::contains`] before trusting a slot).
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Whether `id` is indexed and live.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Aggregate shape counters.
+    pub fn stats(&self) -> IndexStats {
+        let mut stats = IndexStats {
+            keys: self.key_atoms.len(),
+            exact_anchors: 0,
+            qgram_anchors: 0,
+            scan_anchors: self.key_atoms.iter().filter(|refs| refs.is_empty()).count(),
+            live: self.live,
+            tombstones: self.relation.len() - self.live,
+            exact_buckets: 0,
+            posting_lists: 0,
+            sparse_entries: 0,
+        };
+        for atom in &self.atom_indices {
+            match atom {
+                AtomIndex::Exact { buckets, .. } => {
+                    stats.exact_anchors += 1;
+                    stats.exact_buckets += buckets.len();
+                }
+                AtomIndex::Qgram { postings, sparse, .. } => {
+                    stats.qgram_anchors += 1;
+                    stats.posting_lists += postings.len();
+                    stats.sparse_entries += sparse.len();
+                }
+            }
+        }
+        stats
+    }
+
+    /// The candidate slots for one probe tuple: per key, the
+    /// intersection of its indexed atoms' retrievals (a key is a
+    /// conjunction); across keys, the union (the matcher is a
+    /// disjunction) — ascending, deduplicated, live slots only. Always a
+    /// superset of the slots whose tuples the key disjunction accepts —
+    /// the retrieval contract everything else rests on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the probe's arity is smaller than the probe-side
+    /// schema the keys were compiled for.
+    pub fn candidates_for(&self, probe: &Tuple) -> Vec<usize> {
+        self.candidates_with(probe, &RelationPrep::single(probe, &self.probe_needs))
+    }
+
+    /// [`MatchIndex::candidates_for`] with the probe's signatures already
+    /// extracted — what [`MatchIndex::query`] uses so the one-row prep is
+    /// built once per query, not once per phase.
+    fn candidates_with(&self, probe: &Tuple, probe_prep: &RelationPrep) -> Vec<usize> {
+        // Retrieve each distinct atom at most once, lazily: several keys
+        // usually share atoms, and a key whose exact atoms already pin
+        // the candidates down never pays for its gram retrievals. The
+        // refs were ordered cheapest-first at build time.
+        let mut retrieved: Vec<Option<Vec<u32>>> = vec![None; self.atom_indices.len()];
+        let mut slots: Vec<u32> = Vec::new();
+        for refs in &self.key_atoms {
+            if refs.is_empty() {
+                // Unindexable key: every live slot is a candidate, and no
+                // other key can add more.
+                return (0..self.relation.len()).filter(|&s| self.alive[s]).collect();
+            }
+            let mut acc: Option<Vec<u32>> = None;
+            for &pos in refs {
+                if acc.as_ref().is_some_and(|a| a.len() <= ENOUGH) {
+                    break; // already cheap to verify; a prefix is sound
+                }
+                if retrieved[pos].is_none() {
+                    retrieved[pos] = Some(self.atom_indices[pos].retrieve(probe, probe_prep));
+                }
+                let list = retrieved[pos].as_deref().expect("retrieved above");
+                acc = Some(match acc {
+                    None => list.to_vec(),
+                    Some(mut a) => {
+                        a.retain(|slot| list.binary_search(slot).is_ok());
+                        a
+                    }
+                });
+                if acc.as_ref().is_some_and(Vec::is_empty) {
+                    break;
+                }
+            }
+            slots.extend(acc.unwrap_or_default());
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        slots.into_iter().map(|s| s as usize).filter(|&s| self.alive[s]).collect()
+    }
+
+    /// Point query: every live tuple the probe matches (some key accepts,
+    /// no negative rule vetoes), with the key that fired, in ascending
+    /// slot order — exactly the pairs a batch run over
+    /// `({probe}, relation)` would report for this probe.
+    pub fn query(&self, probe: &Tuple) -> QueryOutcome {
+        let probe_prep = RelationPrep::single(probe, &self.probe_needs);
+        let slots = self.candidates_with(probe, &probe_prep);
+        let candidates = slots.len();
+        let mut stats = FilterStats::default();
+        let mut hits = Vec::new();
+        for slot in slots {
+            if let Some(key) = self.matching_key_at(probe, &probe_prep, slot, &mut stats) {
+                if !self.vetoed_at(probe, &probe_prep, slot, &mut stats) {
+                    hits.push(QueryHit { id: self.relation.tuples()[slot].id(), slot, key });
+                }
+            }
+        }
+        QueryOutcome { hits, candidates, stats }
+    }
+
+    /// Inserts one tuple, indexing it under every anchor; returns its
+    /// slot. The tuple is immediately visible to queries.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<usize, IndexError> {
+        let expected = self.relation.schema().arity();
+        if tuple.values().len() != expected {
+            return Err(IndexError::ArityMismatch { expected, got: tuple.values().len() });
+        }
+        if self.by_id.contains_key(&tuple.id()) {
+            return Err(IndexError::DuplicateId { id: tuple.id() });
+        }
+        assert!(
+            self.relation.len() < u32::MAX as usize,
+            "match index supports at most u32::MAX tuples"
+        );
+        let slot = self.relation.len() as u32;
+        // Prep first: the atom indices read the new row's signatures.
+        self.prep.push_row(&tuple);
+        for atom in &mut self.atom_indices {
+            atom.add(slot, &tuple, &self.prep);
+        }
+        self.by_id.insert(tuple.id(), slot);
+        self.alive.push(true);
+        self.live += 1;
+        self.relation.push(tuple);
+        Ok(slot as usize)
+    }
+
+    /// Removes the tuple with `id` from query visibility. The slot is
+    /// tombstoned (posting lists keep the entry but candidate collection
+    /// filters it); rebuild the index to reclaim the space.
+    pub fn remove(&mut self, id: TupleId) -> Result<(), IndexError> {
+        let slot = self.by_id.remove(&id).ok_or(IndexError::UnknownId { id })?;
+        self.alive[slot as usize] = false;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// First key accepting `(probe, tuple@slot)` through the compiled
+    /// evaluation path — the index-side counterpart of
+    /// [`KeyMatcher::matching_key`].
+    fn matching_key_at(
+        &self,
+        probe: &Tuple,
+        probe_prep: &RelationPrep,
+        slot: usize,
+        stats: &mut FilterStats,
+    ) -> Option<usize> {
+        let tuple = &self.relation.tuples()[slot];
+        self.keys.iter().position(|key| {
+            self.ops.lhs_matches_prepped(
+                key.atoms(),
+                probe,
+                tuple,
+                probe_prep,
+                &self.prep,
+                0,
+                slot,
+                stats,
+            )
+        })
+    }
+
+    /// Whether a negative rule vetoes `(probe, tuple@slot)`.
+    fn vetoed_at(
+        &self,
+        probe: &Tuple,
+        probe_prep: &RelationPrep,
+        slot: usize,
+        stats: &mut FilterStats,
+    ) -> bool {
+        let tuple = &self.relation.tuples()[slot];
+        self.negatives.iter().any(|rule| {
+            rule.vetoes(|atom| {
+                self.ops.atom_matches_prepped(
+                    atom, probe, tuple, probe_prep, &self.prep, 0, slot, stats,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matchrules_core::dependency::SimilarityAtom;
+    use matchrules_core::operators::OperatorTable;
+    use matchrules_core::paper::example_2_4_rcks;
+    use matchrules_core::schema::Schema;
+    use matchrules_data::eval::paper_registry;
+    use matchrules_data::fig1;
+    use matchrules_data::value::Value;
+
+    fn fig1_index(
+    ) -> (matchrules_core::paper::PaperSetting, matchrules_data::relation::InstancePair, MatchIndex)
+    {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = Arc::new(RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap());
+        let rcks = example_2_4_rcks(&setting);
+        let index =
+            MatchIndex::build(setting.pair.left().arity(), inst.right(), &rcks, &[], ops).unwrap();
+        (setting, inst, index)
+    }
+
+    #[test]
+    fn query_agrees_with_key_matcher_on_the_cross_product() {
+        let (setting, inst, index) = fig1_index();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = example_2_4_rcks(&setting);
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        for probe in inst.left().tuples() {
+            let outcome = index.query(probe);
+            for (slot, tuple) in inst.right().tuples().iter().enumerate() {
+                let expect = matcher.matching_key(probe, tuple);
+                let got = outcome.hits.iter().find(|h| h.slot == slot).map(|h| h.key);
+                assert_eq!(got, expect, "probe #{} vs slot {slot}", probe.id());
+            }
+            assert!(outcome.candidates >= outcome.hits.len());
+        }
+    }
+
+    #[test]
+    fn parallel_build_answers_like_serial() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = Arc::new(RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap());
+        let rcks = example_2_4_rcks(&setting);
+        let serial =
+            MatchIndex::build(setting.pair.left().arity(), inst.right(), &rcks, &[], ops.clone())
+                .unwrap();
+        for threads in [2, 8] {
+            let pool = WorkPool::with_threads(threads);
+            let parallel = MatchIndex::build_in(
+                &pool,
+                setting.pair.left().arity(),
+                inst.right(),
+                &rcks,
+                &[],
+                ops.clone(),
+            )
+            .unwrap();
+            for probe in inst.left().tuples() {
+                assert_eq!(parallel.query(probe).hits, serial.query(probe).hits);
+                assert_eq!(parallel.candidates_for(probe), serial.candidates_for(probe));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_makes_a_tuple_queryable_and_remove_hides_it() {
+        let (_setting, inst, mut index) = fig1_index();
+        let t1 = inst.left().by_id(fig1::ids::T1).unwrap();
+        assert_eq!(index.len(), 4);
+        // A fifth billing tuple: t5's twin under a fresh id.
+        let twin = inst.right().by_id(fig1::ids::T5).unwrap();
+        let inserted = Tuple::new(99, twin.values().to_vec());
+        let slot = index.insert(inserted).unwrap();
+        assert_eq!(index.len(), 5);
+        assert!(index.contains(99));
+        let hits = index.query(t1).hits;
+        assert!(hits.iter().any(|h| h.id == 99 && h.slot == slot), "{hits:?}");
+
+        index.remove(99).unwrap();
+        assert_eq!(index.len(), 4);
+        assert!(!index.contains(99));
+        assert!(index.query(t1).hits.iter().all(|h| h.id != 99));
+        assert_eq!(index.stats().tombstones, 1);
+        // Removing again is an error; so is removing the never-indexed.
+        assert_eq!(index.remove(99), Err(IndexError::UnknownId { id: 99 }));
+    }
+
+    #[test]
+    fn insert_validates_arity_and_id() {
+        let (_setting, inst, mut index) = fig1_index();
+        let bad = Tuple::new(100, vec![Value::str("x")]);
+        assert!(matches!(index.insert(bad), Err(IndexError::ArityMismatch { got: 1, .. })));
+        let dup_id = inst.right().tuples()[0].id();
+        let dup = Tuple::new(dup_id, inst.right().tuples()[0].values().to_vec());
+        assert_eq!(index.insert(dup), Err(IndexError::DuplicateId { id: dup_id }));
+    }
+
+    #[test]
+    fn duplicate_ids_fail_the_build() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = Arc::new(RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap());
+        let rcks = example_2_4_rcks(&setting);
+        let mut rel = inst.right().clone();
+        rel.push(Tuple::new(
+            inst.right().tuples()[0].id(),
+            inst.right().tuples()[0].values().to_vec(),
+        ));
+        let err = MatchIndex::build(setting.pair.left().arity(), &rel, &rcks, &[], ops);
+        assert!(matches!(err, Err(IndexError::DuplicateId { .. })));
+    }
+
+    #[test]
+    fn negative_rules_veto_query_hits() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = Arc::new(RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap());
+        let rcks = example_2_4_rcks(&setting);
+        let email_l = setting.pair.left().attr("email").unwrap();
+        let email_r = setting.pair.right().attr("email").unwrap();
+        let g_l = setting.pair.left().attr("gender").unwrap();
+        let g_r = setting.pair.right().attr("gender").unwrap();
+        let negatives = vec![NegativeRule::same_but_different(
+            &setting.pair,
+            "email-gender",
+            (email_l, email_r),
+            (g_l, g_r),
+        )
+        .unwrap()];
+        let index = MatchIndex::build(
+            setting.pair.left().arity(),
+            inst.right(),
+            &rcks,
+            &negatives,
+            ops.clone(),
+        )
+        .unwrap();
+        let t1 = inst.left().by_id(fig1::ids::T1).unwrap();
+        let t5_slot = inst.right().tuples().iter().position(|t| t.id() == fig1::ids::T5).unwrap();
+        let hits = index.query(t1).hits;
+        // Same veto outcome as the KeyMatcher test: t5 vetoed, t4 kept.
+        assert!(hits.iter().all(|h| h.slot != t5_slot), "{hits:?}");
+        let t4_slot = inst.right().tuples().iter().position(|t| t.id() == fig1::ids::T4).unwrap();
+        assert!(hits.iter().any(|h| h.slot == t4_slot));
+    }
+
+    #[test]
+    fn unindexable_keys_fall_back_to_scanning() {
+        // A key whose only operator is opaque (Jaro–Winkler): the anchor
+        // must be Scan, and every live tuple becomes a candidate.
+        let schema = Arc::new(Schema::text("R", &["name"]).unwrap());
+        let mut rel = Relation::new(schema);
+        rel.push_strs(1, &["Jones"]);
+        rel.push_strs(2, &["Johnson"]);
+        let mut table = OperatorTable::new();
+        let jw = table.intern("≈jw");
+        let ops = Arc::new(RuntimeOps::resolve(&table, &paper_registry()).unwrap());
+        let key = RelativeKey::new(vec![SimilarityAtom::new(0, 0, jw)]);
+        let index = MatchIndex::build(1, &rel, std::slice::from_ref(&key), &[], ops).unwrap();
+        assert_eq!(index.stats().scan_anchors, 1);
+        let probe = Tuple::new(7, vec![Value::str("Jones")]);
+        assert_eq!(index.candidates_for(&probe), vec![0, 1]);
+        let hits = index.query(&probe).hits;
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn qgram_anchor_retrieves_near_matches_and_sparse_short_strings() {
+        // One key, one edit atom: the anchor is a q-gram posting index.
+        let schema = Arc::new(Schema::text("R", &["name"]).unwrap());
+        let mut rel = Relation::new(schema);
+        rel.push_strs(1, &["Clifford"]);
+        rel.push_strs(2, &["Cliford"]); // 1 edit from Clifford
+        rel.push_strs(3, &["Z"]); // one char: no grams, below the safe length
+        rel.push_strs(4, &["Washington"]);
+        let mut table = OperatorTable::new();
+        let dl = table.intern("≈dl"); // θ = 0.8
+        let ops = Arc::new(RuntimeOps::resolve(&table, &paper_registry()).unwrap());
+        let key = RelativeKey::new(vec![SimilarityAtom::new(0, 0, dl)]);
+        let index = MatchIndex::build(1, &rel, std::slice::from_ref(&key), &[], ops).unwrap();
+        let stats = index.stats();
+        assert_eq!(stats.qgram_anchors, 1);
+        assert!(stats.sparse_entries >= 1, "short strings live on the sparse list");
+
+        let probe = Tuple::new(9, vec![Value::str("Clifford")]);
+        let hits = index.query(&probe).hits;
+        assert_eq!(
+            hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![1, 2],
+            "both Clifford variants, nothing else"
+        );
+        // A gram-less probe can only be reached through the sparse list
+        // (at θ = 0.8 a length-1 pair matches only on equality).
+        let short = Tuple::new(10, vec![Value::str("Z")]);
+        let hits = index.query(&short).hits;
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3]);
+        // A null probe matches nothing.
+        let null = Tuple::new(11, vec![Value::Null]);
+        assert!(index.query(&null).hits.is_empty());
+        assert!(index.candidates_for(&null).is_empty());
+    }
+
+    #[test]
+    fn safe_len_matches_hand_checked_values() {
+        // θ = 0.8, q = 2: bound = ⌊0.2·L⌋ is 0 up to L = 4, so only
+        // gram-less length-1 strings are unguaranteed.
+        assert_eq!(qgram_safe_len(0.8, 2), Some(2));
+        // θ = 0.75, q = 2: L = 4 has bound 1 and 3 grams — 3 − 3 < 1 —
+        // while every L ≥ 5 is guaranteed.
+        assert_eq!(qgram_safe_len(0.75, 2), Some(5));
+        // (1 − θ)(q + 1) ≥ 1: no length is ever guaranteed.
+        assert_eq!(qgram_safe_len(0.6, 2), None);
+        assert_eq!(qgram_safe_len(0.0, 2), None);
+    }
+
+    #[test]
+    fn safe_len_guarantee_is_sound_exhaustively() {
+        // For every length pair below 4·safe_len, any two strings within
+        // the θ-bound must share a gram when max(len) ≥ safe_len. Checked
+        // structurally: needed-grams arithmetic, per length pair.
+        for theta in [0.7, 0.75, 0.8, 0.9] {
+            let q = FILTER_Q;
+            let safe = qgram_safe_len(theta, q).unwrap();
+            for la in 0..safe * 4 {
+                for lb in 0..safe * 4 {
+                    let max_len = la.max(lb);
+                    if max_len < safe || max_len == 0 {
+                        continue;
+                    }
+                    let bound = theta_bound(theta, max_len);
+                    let grams = (max_len + 1).saturating_sub(q) as i64;
+                    assert!(
+                        grams - (bound * (q + 1)) as i64 >= 1,
+                        "θ={theta} la={la} lb={lb}: safe length {safe} is wrong"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_key_list_matches_nothing() {
+        let (setting, inst) = fig1::setting_and_instance();
+        let ops = Arc::new(RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap());
+        let index =
+            MatchIndex::build(setting.pair.left().arity(), inst.right(), &[], &[], ops).unwrap();
+        let t1 = inst.left().by_id(fig1::ids::T1).unwrap();
+        assert!(index.query(t1).hits.is_empty());
+        assert!(!index.is_empty());
+        assert_eq!(index.stats().keys, 0);
+    }
+}

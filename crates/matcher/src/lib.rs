@@ -5,6 +5,10 @@
 //! Matching Rules"* (VLDB 2009):
 //!
 //! * [`key`] — executable match keys (unions of RCKs, negative-rule vetoes);
+//! * [`index`] — RCK-driven inverted indices ([`MatchIndex`]): exact
+//!   buckets for equality atoms, q-gram posting lists for edit atoms —
+//!   sub-quadratic candidate generation, point-query serving and
+//!   incremental insert/remove on top of the same compiled keys;
 //! * [`em`] / [`fellegi_sunter`] — the statistical matcher of Exp-2:
 //!   Fellegi–Sunter with EM-estimated parameters;
 //! * [`rules`] / [`sorted_neighborhood`](mod@sorted_neighborhood) — the rule-based matcher of Exp-3:
@@ -24,6 +28,7 @@ pub mod blocking;
 pub mod discovery;
 pub mod em;
 pub mod fellegi_sunter;
+pub mod index;
 pub mod key;
 pub mod metrics;
 pub mod pipeline;
@@ -33,6 +38,7 @@ pub mod sortkey;
 pub mod windowing;
 
 pub use fellegi_sunter::{FsConfig, FsMatcher};
+pub use index::{IndexError, IndexStats, MatchIndex, QueryHit, QueryOutcome};
 pub use key::KeyMatcher;
 pub use metrics::{evaluate_pairs, BlockingQuality, MatchQuality};
 pub use sorted_neighborhood::{sorted_neighborhood, SnConfig, SnOutcome};

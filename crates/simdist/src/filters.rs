@@ -52,7 +52,7 @@ pub enum Rejection {
     Qgram,
 }
 
-/// Character frequencies folded into [`BAG_BUCKETS`] hashed buckets.
+/// Character frequencies folded into 64 hashed buckets.
 ///
 /// [`CharBag::distance_lower_bound`] never exceeds the OSA
 /// Damerau–Levenshtein distance of the underlying strings.
@@ -136,6 +136,28 @@ impl QgramSig {
         self.grams.is_empty()
     }
 
+    /// The distinct gram hashes of the signature, ascending — the posting
+    /// keys a q-gram inverted index stores for this string. Positions are
+    /// dropped: an index retrieving every tuple that shares *any* gram
+    /// hash is a superset of the position-constrained filter, so using
+    /// these keys for candidate generation is sound.
+    ///
+    /// ```
+    /// use matchrules_simdist::filters::QgramSig;
+    /// let chars: Vec<char> = "abab".chars().collect();
+    /// let sig = QgramSig::of_chars(&chars, 2);
+    /// // Grams: ab, ba, ab — two distinct hashes.
+    /// assert_eq!(sig.distinct_hashes().count(), 2);
+    /// ```
+    pub fn distinct_hashes(&self) -> impl Iterator<Item = u64> + '_ {
+        // Grams are sorted by (hash, position): deduplicate runs.
+        self.grams
+            .iter()
+            .enumerate()
+            .filter(|(i, g)| *i == 0 || self.grams[i - 1].0 != g.0)
+            .map(|(_, g)| g.0)
+    }
+
     /// Maximum number of gram matches with position displacement at most
     /// `shift`: a merge over the sorted signatures with a greedy
     /// two-pointer matching inside each equal-hash run (optimal for the
@@ -206,10 +228,25 @@ impl StringSig {
         self.len as usize
     }
 
+    /// The positional q-gram component of the signature — what a q-gram
+    /// inverted index consumes via [`QgramSig::distinct_hashes`].
+    pub fn qgrams(&self) -> &QgramSig {
+        &self.grams
+    }
+
     /// Runs the filter pipeline (length → bag → q-gram count) against
     /// `other` for an edit bound. `Some(stage)` means the OSA distance
     /// provably exceeds `bound` — no DP needed; `None` means the pair
     /// survived every filter and the DP must decide.
+    ///
+    /// ```
+    /// use matchrules_simdist::filters::{Rejection, StringSig};
+    /// let sig = |s: &str| StringSig::of_chars(&s.chars().collect::<Vec<_>>());
+    /// // One edit apart: survives every filter at bound 1.
+    /// assert_eq!(sig("Clifford").prefilter(&sig("Cliford"), 1), None);
+    /// // Five characters longer than the bound allows: rejected in O(1).
+    /// assert_eq!(sig("Clifford").prefilter(&sig("Lee"), 1), Some(Rejection::Length));
+    /// ```
     pub fn prefilter(&self, other: &StringSig, bound: usize) -> Option<Rejection> {
         if self.len.abs_diff(other.len) as usize > bound {
             return Some(Rejection::Length);

@@ -91,8 +91,9 @@ impl SimilarityOp for EqualityOp {
     }
 }
 
-/// The paper's DL operator: Damerau–Levenshtein distance at most
-/// `(1 − θ)·max(|a|, |b|)` (§6.2, θ = 0.8 in all experiments).
+/// The paper's DL operator: Damerau–Levenshtein (OSA) distance at most
+/// `⌊(1 − θ)·max(|a|, |b|)⌋` — the `theta_bound` rule — with §6.2 using
+/// θ = 0.8 in all experiments. Two empty strings match (distance 0).
 #[derive(Debug, Clone, Copy)]
 pub struct DamerauOp {
     theta: f64,
@@ -203,7 +204,10 @@ impl SimilarityOp for JaroWinklerOp {
     }
 }
 
-/// q-gram Dice coefficient above a minimum score.
+/// q-gram Dice coefficient above a minimum score, over *padded* gram
+/// profiles ([`crate::qgram`]: empty strings have empty profiles, and
+/// `dice("", "") = 1` by the `0/0` convention, so the operator stays
+/// reflexive on the empty string).
 #[derive(Debug, Clone, Copy)]
 pub struct QgramOp {
     q: usize,

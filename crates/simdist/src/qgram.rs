@@ -1,11 +1,14 @@
 //! q-gram profiles and set-overlap similarity coefficients.
 //!
 //! q-grams are one of the similarity metrics the paper names as admissible
-//! operators in Θ (§2.1, citing the Elmagarmid et al. survey \[14\]). A string
-//! is decomposed into its multiset of length-`q` substrings, padded with
-//! `q − 1` sentinel characters on each side so that prefixes and suffixes
-//! carry weight; profiles are then compared with Dice, Jaccard or overlap
-//! coefficients.
+//! operators in Θ (§2.1, citing the Elmagarmid et al. survey \[14\]). A
+//! **non-empty** string is decomposed into its multiset of length-`q`
+//! substrings, padded with `q − 1` sentinel characters on each side so
+//! that prefixes and suffixes carry weight; the empty string yields the
+//! empty profile (padding it would manufacture sentinel-only grams and
+//! inflate coefficient denominators against short strings). Profiles are
+//! then compared with Dice, Jaccard or overlap coefficients, with the
+//! `0/0` cases defined as `1` (two empty profiles are vacuously alike).
 
 use std::collections::HashMap;
 

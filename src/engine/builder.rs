@@ -44,6 +44,9 @@ pub enum EngineError {
         /// Human-readable description.
         message: String,
     },
+    /// Building or maintaining a [`MatchIndex`](crate::engine::MatchIndex)
+    /// failed (duplicate tuple ids, arity mismatch…).
+    Index(matchrules_matcher::index::IndexError),
 }
 
 impl fmt::Display for EngineError {
@@ -65,6 +68,7 @@ impl fmt::Display for EngineError {
             EngineError::InvalidConfig { message } => {
                 write!(f, "invalid engine configuration: {message}")
             }
+            EngineError::Index(e) => write!(f, "{e}"),
         }
     }
 }
@@ -74,6 +78,12 @@ impl std::error::Error for EngineError {}
 impl From<CoreError> for EngineError {
     fn from(e: CoreError) -> Self {
         EngineError::Core(e)
+    }
+}
+
+impl From<matchrules_matcher::index::IndexError> for EngineError {
+    fn from(e: matchrules_matcher::index::IndexError) -> Self {
+        EngineError::Index(e)
     }
 }
 

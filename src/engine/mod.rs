@@ -18,6 +18,15 @@
 //!    [`MatchEngine::block`], [`MatchEngine::window`] — returning
 //!    structured [`MatchReport`]s.
 //!
+//! Next to batch matching and dedup there is a third execution mode:
+//! [`MatchEngine::index`] compiles the plan's RCKs into a [`MatchIndex`]
+//! (per-RCK inverted indices — exact buckets for equality atoms, q-gram
+//! posting lists for edit atoms), which answers point queries
+//! ([`MatchIndex::query`]: matched ids plus which RCK fired), supports
+//! incremental [`MatchIndex::insert`]/[`MatchIndex::remove`], and backs
+//! [`MatchEngine::match_pairs_indexed`] — batch matching whose candidates
+//! come from the index instead of sorted-neighborhood windows.
+//!
 //! Execution is parallel by default: the engine runs windowing, blocking
 //! and pairwise key evaluation on a std-only work pool
 //! (`matchrules-runtime`), configured through [`ExecConfig`] on the
@@ -46,6 +55,7 @@ pub mod preset;
 
 pub use builder::{EngineBuilder, EngineError};
 pub use matchrules_data::eval::FilterStats;
+pub use matchrules_matcher::index::{IndexError, IndexStats, MatchIndex, QueryHit, QueryOutcome};
 pub use matchrules_runtime::{ExecConfig, Threads};
 pub use plan::MatchPlan;
 pub use preset::Preset;

@@ -15,7 +15,13 @@ use std::fmt::Write as _;
 /// A plan is immutable and carries no references to instance data; compile
 /// it once (an `O(closure)` reasoning step) and execute it over any number
 /// of relation pairs through a
-/// [`MatchEngine`](crate::engine::MatchEngine).
+/// [`MatchEngine`](crate::engine::MatchEngine). One compiled plan drives
+/// all three execution modes — batch matching over windowed candidates,
+/// single-relation dedup, and the RCK-driven
+/// [`MatchIndex`](crate::engine::MatchIndex) (point queries and
+/// index-backed batch matching): the RCK list in [`MatchPlan::rcks`] is
+/// simultaneously the match predicate, the source of the derived
+/// sort/block keys, and the source of the index's retrieval anchors.
 #[derive(Debug, Clone)]
 pub struct MatchPlan {
     pair: SchemaPair,

@@ -10,6 +10,7 @@ use matchrules_data::eval::{FilterStats, RuntimeOps};
 use matchrules_data::relation::{InstancePair, Relation, TupleId};
 use matchrules_data::unionfind::UnionFind;
 use matchrules_matcher::blocking::multi_pass_block_in;
+use matchrules_matcher::index::MatchIndex;
 use matchrules_matcher::key::{KeyMatcher, PAR_MATCH_MIN_CHUNK};
 use matchrules_matcher::metrics::{evaluate_pairs, MatchQuality};
 use matchrules_matcher::windowing::multi_pass_window_in;
@@ -421,6 +422,102 @@ impl MatchEngine {
         report.stages.push(Stage { name: "closure", elapsed: closure_started.elapsed() });
         report.elapsed = started.elapsed();
         Ok(DedupReport { clusters, report })
+    }
+
+    /// Builds a [`MatchIndex`] over `relation` (which plays the plan's
+    /// *right* side; probes instantiate the left schema) — the third
+    /// execution mode next to batch matching and dedup: build once, then
+    /// answer point queries and maintain the index incrementally instead
+    /// of rescanning windows per batch. The build runs on the engine's
+    /// pool; see [`MatchIndex`] for the per-RCK anchor design.
+    ///
+    /// ```
+    /// use matchrules::engine::Preset;
+    /// use matchrules::data::fig1;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let engine = Preset::Example11.builder().build()?;
+    /// let inst = fig1::instance_for_pair(engine.plan().pair());
+    /// let mut index = engine.index(inst.right())?;
+    ///
+    /// // Point lookup: which billing tuples match this credit record,
+    /// // and which RCK fired?
+    /// let t1 = inst.left().by_id(fig1::ids::T1).unwrap();
+    /// let outcome = index.query(t1);
+    /// assert_eq!(outcome.hits.len(), 4);
+    ///
+    /// // Incremental maintenance: removed tuples stop matching at once.
+    /// let gone = outcome.hits[0].id;
+    /// index.remove(gone)?;
+    /// assert!(index.query(t1).hits.iter().all(|h| h.id != gone));
+    /// # Ok(()) }
+    /// ```
+    pub fn index(&self, relation: &Relation) -> Result<MatchIndex, EngineError> {
+        self.check_side(Side::Right, relation)?;
+        MatchIndex::build_in(
+            &self.pool,
+            self.plan.pair().left().arity(),
+            relation,
+            self.plan.rcks(),
+            self.plan.negatives(),
+            self.runtime.clone(),
+        )
+        .map_err(EngineError::from)
+    }
+
+    /// Matches a relation pair through an RCK-driven [`MatchIndex`]
+    /// instead of sorted-neighborhood windows: the index is built over
+    /// `right` (the `"index"` stage), every left tuple is probed for its
+    /// candidate slots (the `"probe"` stage, chunked over the pool), and
+    /// the candidates — ordered by `(left, right)` position — run through
+    /// the same pairwise evaluation as every other mode.
+    ///
+    /// The matched-pair *set* equals
+    /// [`MatchEngine::match_pairs`]'s whenever the windowed path has full
+    /// recall, and is a superset otherwise (the index retrieves every
+    /// pair its keys accept; windows can miss pairs that never share a
+    /// window). Candidate counts are typically far smaller — that gap is
+    /// what `BENCH_index.json` measures.
+    pub fn match_pairs_indexed(
+        &self,
+        left: &Relation,
+        right: &Relation,
+    ) -> Result<MatchReport, EngineError> {
+        self.check_side(Side::Left, left)?;
+        self.check_side(Side::Right, right)?;
+        let started = Instant::now();
+        let mut stages = Vec::new();
+        let index = {
+            let build_started = Instant::now();
+            let index = MatchIndex::build_in(
+                &self.pool,
+                self.plan.pair().left().arity(),
+                right,
+                self.plan.rcks(),
+                self.plan.negatives(),
+                self.runtime.clone(),
+            )?;
+            stages.push(Stage { name: "index", elapsed: build_started.elapsed() });
+            index
+        };
+        let tuples = left.tuples();
+        let candidates = Self::staged("probe", &mut stages, || {
+            let chunks = self.pool.par_ranges(tuples.len(), PAR_MATCH_MIN_CHUNK, |_, range| {
+                let mut out = Vec::new();
+                for l in range {
+                    for r in index.candidates_for(&tuples[l]) {
+                        out.push((l, r));
+                    }
+                }
+                out
+            });
+            let mut out = Vec::new();
+            for chunk in chunks {
+                out.extend(chunk);
+            }
+            out
+        });
+        Ok(self.run(left, right, candidates, started, stages))
     }
 
     /// Candidate `(left, right)` pairs sharing the plan's RCK-derived
