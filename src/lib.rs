@@ -19,8 +19,8 @@
 //! The top-level API is the schema-agnostic [`engine`]: declare *your*
 //! schemas (with per-attribute [`AttrKind`](core::schema::AttrKind)
 //! metadata), your MDs and your identity lists; compile them **once** into
-//! a [`MatchPlan`](engine::MatchPlan); then run the cheap, reusable
-//! [`MatchEngine`](engine::MatchEngine) over any relation pair:
+//! a [`MatchPlan`]; then run the cheap, reusable [`MatchEngine`] over any
+//! relation pair:
 //!
 //! ```
 //! use matchrules::engine::EngineBuilder;
@@ -67,6 +67,41 @@
 //!
 //! The paper's own settings are two [`engine::Preset`]s of the same
 //! machinery (`Preset::Example11.builder()`, `Preset::Extended.builder()`).
+//!
+//! ## Serving: the index mode
+//!
+//! Batch matching and dedup are two of the engine's execution modes; the
+//! third is the RCK-driven [`MatchIndex`](engine::MatchIndex): compile
+//! the plan's keys into per-attribute inverted indices (exact buckets
+//! for equality atoms, q-gram posting lists for edit atoms), then answer
+//! *point queries* — "which tuples match this record, and which RCK
+//! fired?" — and maintain the index incrementally, instead of rescanning
+//! windows per batch:
+//!
+//! ```
+//! use matchrules::engine::Preset;
+//! use matchrules::data::fig1;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = Preset::Example11.builder().build()?;
+//! let inst = fig1::instance_for_pair(engine.plan().pair());
+//!
+//! // Build once over the right-hand relation…
+//! let mut index = engine.index(inst.right())?;
+//! // …query many: matched ids + key provenance per probe.
+//! let t1 = inst.left().by_id(fig1::ids::T1).unwrap();
+//! assert_eq!(index.query(t1).hits.len(), 4);
+//! // …and maintain incrementally.
+//! let first = index.query(t1).hits[0].id;
+//! index.remove(first)?;
+//! assert_eq!(index.query(t1).hits.len(), 3);
+//!
+//! // The same index backs batch matching: identical decisions to the
+//! // windowed path, typically far fewer candidate pairs examined.
+//! let report = engine.match_pairs_indexed(inst.left(), inst.right())?;
+//! assert_eq!(report.len(), 4);
+//! # Ok(()) }
+//! ```
 //!
 //! ## Parallel execution
 //!
