@@ -1,0 +1,186 @@
+//! Serving-layer throughput: `MatchService` upsert / query / rule-swap
+//! rates and explanation latency on the §6 synthetic catalog.
+//!
+//! Builds a service over the extended preset, upserts every billing row
+//! (field-name records, stable ids), point-queries every credit row,
+//! hot-swaps the rule set (recompile + full index rebuild), and explains
+//! a slice of (probe, hit) pairs. Asserts that the post-swap answers to
+//! an identical rule set are identical to the pre-swap answers, then
+//! emits the series as `BENCH_service.json`.
+//!
+//! Usage:
+//! `cargo run --release -p matchrules-bench --bin service_throughput \
+//!    [quick|paper] [out.json]`
+
+use matchrules::service::{MatchService, Record, RecordId};
+use matchrules_bench::experiments::workload;
+use matchrules_bench::json::Json;
+use matchrules_bench::table::Table;
+use matchrules_bench::{time, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_service.json".to_owned());
+    let persons = match scale {
+        Scale::Paper => 20_000,
+        Scale::Quick => 1_200,
+    };
+
+    println!("service throughput — MatchService on the synthetic catalog");
+    let w = workload(persons, 0x5E21);
+    let credit = &w.data.credit;
+    let billing = &w.data.billing;
+    let mut service = MatchService::new(w.engine.clone());
+    println!(
+        "catalog: {} credit probes + {} billing records; plan: {} RCKs at {}\n",
+        credit.len(),
+        billing.len(),
+        service.plan().rcks().len(),
+        service.version(),
+    );
+
+    // Upserts: every billing row becomes a stored record.
+    let (_, upsert_seconds) = time(|| {
+        for t in billing.tuples() {
+            let record = Record::from_values(service.store_schema().clone(), t.values().to_vec())
+                .expect("billing rows instantiate the store schema");
+            service.upsert(RecordId(t.id()), &record).expect("fresh ids insert");
+        }
+    });
+    let upserts = billing.len();
+    let upserts_per_sec = upserts as f64 / upsert_seconds.max(1e-12);
+
+    // Queries: every credit row probed once.
+    let probes: Vec<Record> = credit
+        .tuples()
+        .iter()
+        .map(|t| {
+            Record::from_values(service.probe_schema().clone(), t.values().to_vec())
+                .expect("credit rows instantiate the probe schema")
+        })
+        .collect();
+    let mut hits = 0usize;
+    let mut candidates = 0usize;
+    let (before, query_seconds) = time(|| {
+        let mut responses = Vec::with_capacity(probes.len());
+        for probe in &probes {
+            let response = service.query(probe).expect("probe schema checked");
+            hits += response.hits.len();
+            candidates += response.candidates;
+            responses.push(response.hits);
+        }
+        responses
+    });
+    let queries = probes.len();
+    let queries_per_sec = queries as f64 / query_seconds.max(1e-12);
+
+    // Rule hot-swap: recompile the same MD set and rebuild the index —
+    // the full cost of one rule iteration over a populated store.
+    let sigma = service.plan().sigma().to_vec();
+    let (version, swap_seconds) =
+        time(|| service.swap_rules_with(sigma).expect("the plan's own rules recompile"));
+    assert_eq!(version.number(), 2, "swap bumps the version");
+    // Same rules -> byte-identical answers: the swap carries the plan's
+    // measured cost statistics, so the recompiled key list (and hence
+    // hit provenance) is the original one.
+    for (probe, expect) in probes.iter().zip(&before) {
+        let after = service.query(probe).expect("probe schema checked").hits;
+        assert_eq!(&after, expect, "swapping to an identical rule set must not change answers");
+    }
+
+    // Explanations: one (probe, first hit) trace per matching probe, up
+    // to a fixed budget.
+    let budget = 500usize;
+    let pairs: Vec<(usize, RecordId)> = before
+        .iter()
+        .enumerate()
+        .filter_map(|(i, hits)| hits.first().map(|h| (i, h.id)))
+        .take(budget)
+        .collect();
+    let explains = pairs.len();
+    let (_, explain_seconds) = time(|| {
+        for &(i, id) in &pairs {
+            let why = service.explain(&probes[i], id).expect("hit ids are live");
+            assert!(why.matched, "explained hits must verify as matches");
+        }
+    });
+    let explain_micros = if explains == 0 { 0.0 } else { explain_seconds * 1e6 / explains as f64 };
+
+    let mut table = Table::new(&["operation", "count", "seconds", "rate"]);
+    table.row(vec![
+        "upsert".to_owned(),
+        upserts.to_string(),
+        format!("{upsert_seconds:.3}"),
+        format!("{upserts_per_sec:.0}/s"),
+    ]);
+    table.row(vec![
+        "query".to_owned(),
+        queries.to_string(),
+        format!("{query_seconds:.3}"),
+        format!("{queries_per_sec:.0}/s"),
+    ]);
+    table.row(vec![
+        "swap_rules".to_owned(),
+        "1".to_owned(),
+        format!("{swap_seconds:.3}"),
+        "-".to_owned(),
+    ]);
+    table.row(vec![
+        "explain".to_owned(),
+        explains.to_string(),
+        format!("{explain_seconds:.3}"),
+        format!("{explain_micros:.0}µs each"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "{hits} hits over {queries} queries ({candidates} candidates verified); \
+         store at {} with {} records",
+        service.version(),
+        service.len(),
+    );
+
+    let doc = Json::obj()
+        .field("bench", "service_throughput")
+        .field(
+            "scale",
+            match scale {
+                Scale::Paper => "paper",
+                Scale::Quick => "quick",
+            },
+        )
+        .field("persons", persons)
+        .field("records", upserts)
+        .field("queries", queries)
+        .field("plan_rcks", service.plan().rcks().len())
+        .field(
+            "upsert",
+            Json::obj()
+                .field("count", upserts)
+                .field("seconds", upsert_seconds)
+                .field("per_sec", upserts_per_sec),
+        )
+        .field(
+            "query",
+            Json::obj()
+                .field("count", queries)
+                .field("seconds", query_seconds)
+                .field("per_sec", queries_per_sec)
+                .field("hits", hits)
+                .field("candidates_verified", candidates),
+        )
+        .field(
+            "swap_rules",
+            Json::obj()
+                .field("seconds", swap_seconds)
+                .field("version_after", version.number() as usize),
+        )
+        .field(
+            "explain",
+            Json::obj()
+                .field("count", explains)
+                .field("seconds", explain_seconds)
+                .field("micros_each", explain_micros),
+        );
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

@@ -37,6 +37,40 @@ pub fn deduces(sigma: &[MatchingDependency], phi: &MatchingDependency) -> bool {
     phi.rhs().iter().all(|p| closure.holds(p.left, p.right, OperatorId::EQ))
 }
 
+/// The deduction path of `Σ |=m ϕ`: the indices into Σ of the MDs
+/// MDClosure fires (in firing order) while deducing ϕ, or `None` when Σ
+/// does not deduce ϕ.
+///
+/// The path is the algorithm's full firing trace, not a minimal proof: an
+/// MD whose RHS identifies `k` pairs is normalized into `k` rules and can
+/// appear up to `k` times (deduplicate for presentation). Match
+/// explanations use this to answer *why* a relative candidate key is a
+/// key at all — which given rules, applied in which order, identify the
+/// target.
+///
+/// ```
+/// use matchrules_core::deduction::deduction_path;
+/// use matchrules_core::paper;
+///
+/// // Example 4.1: rck4 (email = email ∧ tel = phn) is deduced by firing
+/// // ϕ2 and ϕ3 before ϕ1.
+/// let setting = paper::example_1_1();
+/// let rck4 = paper::example_2_4_rcks(&setting)[3].to_md(&setting.target);
+/// let path = deduction_path(&setting.sigma, &rck4).expect("rck4 is deduced");
+/// assert!(path.contains(&0) && path.contains(&1) && path.contains(&2));
+/// ```
+pub fn deduction_path(
+    sigma: &[MatchingDependency],
+    phi: &MatchingDependency,
+) -> Option<Vec<usize>> {
+    let closure = closure_for(sigma, phi);
+    if phi.rhs().iter().all(|p| closure.holds(p.left, p.right, OperatorId::EQ)) {
+        Some(closure.fired().to_vec())
+    } else {
+        None
+    }
+}
+
 /// Computes the closure of Σ and LHS(ϕ), with ϕ's RHS attributes forced into
 /// the universe so they can be queried (used by traces and diagnostics).
 pub fn closure_for(sigma: &[MatchingDependency], phi: &MatchingDependency) -> Closure {

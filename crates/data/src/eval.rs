@@ -17,14 +17,15 @@
 //! `*_prepped` entry points report which stage decided each pair through
 //! [`FilterStats`].
 
-use crate::prep::RelationPrep;
+use crate::prep::{AttrSig, RelationPrep};
 use crate::relation::Tuple;
 use crate::value::Value;
 use matchrules_core::dependency::SimilarityAtom;
 use matchrules_core::error::{CoreError, Result};
 use matchrules_core::operators::{OperatorId, OperatorTable};
 use matchrules_simdist::edit::{
-    damerau_levenshtein_within_chars, levenshtein_within_chars, theta_bound, EditScratch,
+    damerau_levenshtein, damerau_levenshtein_within_chars, levenshtein, levenshtein_within_chars,
+    theta_bound, EditScratch,
 };
 use matchrules_simdist::filters::Rejection;
 use matchrules_simdist::ops::{AliasOp, DamerauOp, KernelSpec, OpRegistry, SimilarityOp};
@@ -82,6 +83,66 @@ impl FilterStats {
     pub fn evaluations(&self) -> u64 {
         self.equal_fast + self.rejected() + self.dp_runs
     }
+}
+
+/// Which stage of the compiled evaluation pipeline decided one atom —
+/// the per-atom counterpart of the aggregate [`FilterStats`] counters,
+/// reported by [`RuntimeOps::atom_trace`] for match explanations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomStage {
+    /// The equality kernel compared the raw strings.
+    Equality,
+    /// A `Null` operand decided the atom (null matches nothing).
+    Null,
+    /// Both strings empty: distance 0 within any bound.
+    BothEmpty,
+    /// Equal character buffers: distance 0 within any bound.
+    EqualFast,
+    /// The length filter proved the pair out of bound.
+    LengthFilter,
+    /// The character-bag filter proved the pair out of bound.
+    BagFilter,
+    /// The positional q-gram count filter proved the pair out of bound.
+    QgramFilter,
+    /// The banded edit-distance DP decided the pair.
+    BandedDp,
+    /// No compiled kernel: the operator's trait object decided.
+    Dynamic,
+}
+
+impl AtomStage {
+    /// A short lowercase name for reports (`"equal-fast"`, `"dp"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomStage::Equality => "equality",
+            AtomStage::Null => "null",
+            AtomStage::BothEmpty => "both-empty",
+            AtomStage::EqualFast => "equal-fast",
+            AtomStage::LengthFilter => "length-filter",
+            AtomStage::BagFilter => "bag-filter",
+            AtomStage::QgramFilter => "qgram-filter",
+            AtomStage::BandedDp => "dp",
+            AtomStage::Dynamic => "dynamic",
+        }
+    }
+}
+
+/// How one LHS atom was decided: the outcome plus the evidence a match
+/// explanation reports. Decisions agree exactly with
+/// [`RuntimeOps::atom_matches`] / [`RuntimeOps::atom_matches_prepped`];
+/// the extra fields only exist on this (cold) path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomTrace {
+    /// Whether the atom held on the pair.
+    pub matched: bool,
+    /// Which pipeline stage decided it.
+    pub stage: AtomStage,
+    /// The θ-derived edit bound `⌊(1 − θ)·max(|a|, |b|)⌋` (edit kernels
+    /// only).
+    pub bound: Option<usize>,
+    /// The **exact** edit distance of the pair (edit kernels only; always
+    /// computed on this path, even when a filter already rejected).
+    pub distance: Option<usize>,
 }
 
 /// The compiled form of one resolved operator.
@@ -290,6 +351,110 @@ impl RuntimeOps {
         }
     }
 
+    /// Traces one LHS atom: the same decision as
+    /// [`RuntimeOps::atom_matches_prepped`] (and therefore
+    /// [`RuntimeOps::atom_matches`]), plus *how* it was decided — which
+    /// pipeline stage fired, the θ-derived edit bound, and the edit
+    /// distance. This is the explanation path, called once per inspected
+    /// pair, so unlike the hot path it always computes the **exact**
+    /// distance for edit kernels, even when a filter (or the band) already
+    /// proved the pair out of bound.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atom_trace(
+        &self,
+        atom: &SimilarityAtom,
+        t1: &Tuple,
+        t2: &Tuple,
+        p1: &RelationPrep,
+        p2: &RelationPrep,
+        l: usize,
+        r: usize,
+    ) -> AtomTrace {
+        let decided = |matched, stage| AtomTrace { matched, stage, bound: None, distance: None };
+        match self.kernels[atom.op.0 as usize] {
+            Kernel::Equality => match (t1.get(atom.left).as_str(), t2.get(atom.right).as_str()) {
+                (Some(x), Some(y)) => decided(x == y, AtomStage::Equality),
+                _ => decided(false, AtomStage::Null),
+            },
+            kernel @ (Kernel::Damerau { .. } | Kernel::Levenshtein { .. }) => {
+                let (damerau, theta) = match kernel {
+                    Kernel::Damerau { theta } => (true, theta),
+                    Kernel::Levenshtein { theta } => (false, theta),
+                    _ => unreachable!("outer arm admits only edit kernels"),
+                };
+                let (a_owned, b_owned);
+                let (sa, sb) = match (p1.sig(l, atom.left), p2.sig(r, atom.right)) {
+                    (Some(sa), Some(sb)) => (sa, sb),
+                    // The caller prepped without this attribute: extract
+                    // the signatures here (trace calls are per-pair, the
+                    // cost is irrelevant) rather than mis-describe.
+                    _ => {
+                        a_owned = AttrSig::of_value(t1.get(atom.left));
+                        b_owned = AttrSig::of_value(t2.get(atom.right));
+                        (&a_owned, &b_owned)
+                    }
+                };
+                if sa.is_null() || sb.is_null() {
+                    return decided(false, AtomStage::Null);
+                }
+                let exact = || {
+                    let (x, y) = (
+                        t1.get(atom.left).as_str().expect("non-null"),
+                        t2.get(atom.right).as_str().expect("non-null"),
+                    );
+                    if damerau {
+                        damerau_levenshtein(x, y)
+                    } else {
+                        levenshtein(x, y)
+                    }
+                };
+                let max_len = sa.sig().char_len().max(sb.sig().char_len());
+                let bound = theta_bound(theta, max_len);
+                let with = |matched, stage, distance| AtomTrace {
+                    matched,
+                    stage,
+                    bound: Some(bound),
+                    distance: Some(distance),
+                };
+                if max_len == 0 {
+                    return with(true, AtomStage::BothEmpty, 0);
+                }
+                if sa.chars() == sb.chars() {
+                    return with(true, AtomStage::EqualFast, 0);
+                }
+                match sa.sig().prefilter(sb.sig(), bound) {
+                    Some(Rejection::Length) => with(false, AtomStage::LengthFilter, exact()),
+                    Some(Rejection::Bag) => with(false, AtomStage::BagFilter, exact()),
+                    Some(Rejection::Qgram) => with(false, AtomStage::QgramFilter, exact()),
+                    None => {
+                        let within = EDIT_SCRATCH.with_borrow_mut(|scratch| {
+                            if damerau {
+                                damerau_levenshtein_within_chars(
+                                    sa.chars(),
+                                    sb.chars(),
+                                    bound,
+                                    scratch,
+                                )
+                            } else {
+                                levenshtein_within_chars(sa.chars(), sb.chars(), bound, scratch)
+                            }
+                        });
+                        match within {
+                            Some(d) => with(true, AtomStage::BandedDp, d),
+                            None => with(false, AtomStage::BandedDp, exact()),
+                        }
+                    }
+                }
+            }
+            Kernel::Dyn => match (t1.get(atom.left).as_str(), t2.get(atom.right).as_str()) {
+                (Some(x), Some(y)) => {
+                    decided(self.resolved[atom.op.0 as usize].matches(x, y), AtomStage::Dynamic)
+                }
+                _ => decided(false, AtomStage::Null),
+            },
+        }
+    }
+
     /// Evaluates a full LHS (conjunction) through the compiled kernels —
     /// the prepped counterpart of [`RuntimeOps::lhs_matches`].
     #[allow(clippy::too_many_arguments)]
@@ -404,6 +569,60 @@ mod tests {
         let mut stats = FilterStats::default();
         assert!(ops.atom_matches_prepped(&atom, &t1, &t2, &empty, &empty, 0, 0, &mut stats));
         assert_eq!(stats, FilterStats::default(), "fallback path records nothing");
+    }
+
+    #[test]
+    fn atom_trace_agrees_with_evaluation_and_reports_distances() {
+        use crate::prep::{RelationPrep, SigNeeds};
+        let (setting, inst) = crate::fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let mut ln = SigNeeds::none(inst.left().schema().arity());
+        (0..inst.left().schema().arity()).for_each(|a| ln.mark(a));
+        let mut rn = SigNeeds::none(inst.right().schema().arity());
+        (0..inst.right().schema().arity()).for_each(|a| rn.mark(a));
+        let lp = RelationPrep::build(inst.left(), &ln);
+        let rp = RelationPrep::build(inst.right(), &rn);
+        let mut traced = 0usize;
+        for (l, lt) in inst.left().tuples().iter().enumerate() {
+            for (r, rt) in inst.right().tuples().iter().enumerate() {
+                for md in &setting.sigma {
+                    for atom in md.lhs() {
+                        let trace = ops.atom_trace(atom, lt, rt, &lp, &rp, l, r);
+                        assert_eq!(
+                            trace.matched,
+                            ops.atom_matches(atom, lt, rt),
+                            "pair ({l},{r}) atom {atom:?}"
+                        );
+                        if let (Some(bound), Some(dist)) = (trace.bound, trace.distance) {
+                            // An edit atom matches iff its exact distance
+                            // fits the bound — the trace must carry the
+                            // evidence for its own verdict.
+                            assert_eq!(trace.matched, dist <= bound);
+                            traced += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(traced > 0, "edit atoms were traced");
+        // Tracing without prepared signatures extracts them on the fly.
+        let empty_l = RelationPrep::build(inst.left(), &SigNeeds::none(9));
+        let empty_r = RelationPrep::build(inst.right(), &SigNeeds::none(9));
+        let dl = setting.ops.get("≈d").unwrap();
+        let fn_l = setting.pair.left().attr("FN").unwrap();
+        let fn_r = setting.pair.right().attr("FN").unwrap();
+        let atom = SimilarityAtom::new(fn_l, fn_r, dl);
+        let (t1, t2) = (&inst.left().tuples()[0], &inst.right().tuples()[0]);
+        let trace = ops.atom_trace(&atom, t1, t2, &empty_l, &empty_r, 0, 0);
+        assert_eq!(trace.matched, ops.atom_matches(&atom, t1, t2));
+        assert!(trace.bound.is_some() && trace.distance.is_some());
+    }
+
+    #[test]
+    fn atom_stage_names_are_stable() {
+        assert_eq!(AtomStage::EqualFast.name(), "equal-fast");
+        assert_eq!(AtomStage::BandedDp.name(), "dp");
+        assert_eq!(AtomStage::Null.name(), "null");
     }
 
     #[test]

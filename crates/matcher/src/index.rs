@@ -60,10 +60,11 @@
 //! ```
 
 use crate::key::KeyMatcher;
+use matchrules_core::dependency::SimilarityAtom;
 use matchrules_core::negation::NegativeRule;
 use matchrules_core::relative_key::RelativeKey;
 use matchrules_core::schema::AttrId;
-use matchrules_data::eval::{FilterStats, KernelClass, RuntimeOps};
+use matchrules_data::eval::{AtomTrace, FilterStats, KernelClass, RuntimeOps};
 use matchrules_data::prep::{AttrSig, RelationPrep, SigNeeds};
 use matchrules_data::relation::{Relation, Tuple, TupleId};
 use matchrules_runtime::WorkPool;
@@ -323,6 +324,41 @@ pub struct QueryOutcome {
     pub stats: FilterStats,
 }
 
+/// The evaluation trace of one key against one `(probe, indexed tuple)`
+/// pair: every atom's outcome, in the key's canonical atom order.
+#[derive(Debug, Clone)]
+pub struct KeyTrace {
+    /// Index of the key in the compiled key list.
+    pub key: usize,
+    /// Whether every atom held (the key accepted the pair).
+    pub matched: bool,
+    /// Per-atom outcomes: the atom and how it was decided.
+    pub atoms: Vec<(SimilarityAtom, AtomTrace)>,
+}
+
+/// The full decision trace of one pair — what [`MatchIndex::explain`]
+/// returns: every key's every atom, traced through the same compiled
+/// kernels the hot path uses (decisions are identical), plus the veto
+/// outcome.
+#[derive(Debug, Clone)]
+pub struct PairTrace {
+    /// One trace per key, in key order.
+    pub keys: Vec<KeyTrace>,
+    /// The first key that accepted the pair, if any — the key
+    /// [`MatchIndex::query`] reports for a hit.
+    pub matched_key: Option<usize>,
+    /// Whether a negative rule vetoes the pair (a vetoed pair never
+    /// matches even when a key accepts).
+    pub vetoed: bool,
+}
+
+impl PairTrace {
+    /// The final decision: some key accepted and no negative rule vetoed.
+    pub fn matched(&self) -> bool {
+        self.matched_key.is_some() && !self.vetoed
+    }
+}
+
 /// Aggregate shape of a built index (for reports and benches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IndexStats {
@@ -541,6 +577,13 @@ impl MatchIndex {
         self.by_id.contains_key(&id)
     }
 
+    /// The live tuple with `id` — `None` for unknown *and* for removed
+    /// ids (unlike scanning [`MatchIndex::relation`], which still holds
+    /// tombstoned tuples).
+    pub fn get(&self, id: TupleId) -> Option<&Tuple> {
+        self.by_id.get(&id).map(|&slot| &self.relation.tuples()[slot as usize])
+    }
+
     /// Aggregate shape counters.
     pub fn stats(&self) -> IndexStats {
         let mut stats = IndexStats {
@@ -646,6 +689,67 @@ impl MatchIndex {
             }
         }
         QueryOutcome { hits, candidates, stats }
+    }
+
+    /// The compiled keys the index retrieves and verifies with.
+    pub fn keys(&self) -> &[RelativeKey] {
+        &self.keys
+    }
+
+    /// A compacted snapshot of the live tuples, in slot order — the
+    /// relation an index rebuild (rule swap, tombstone compaction) starts
+    /// from. Building a fresh index over this snapshot answers every
+    /// query exactly like `self`.
+    pub fn live_relation(&self) -> Relation {
+        let mut rel = Relation::new(self.relation.schema().clone());
+        for (slot, tuple) in self.relation.tuples().iter().enumerate() {
+            if self.alive[slot] {
+                rel.push(tuple.clone());
+            }
+        }
+        rel
+    }
+
+    /// Explains the decision for `(probe, tuple with id)`: every key's
+    /// every atom traced through the compiled kernels (operator outcome,
+    /// deciding stage, θ-bound and exact edit distance — see
+    /// [`AtomTrace`]), plus the veto outcome. Decisions agree exactly
+    /// with [`MatchIndex::query`]: `trace.matched()` iff the query
+    /// returns the id, and `trace.matched_key` is the hit's key.
+    ///
+    /// Fails with [`IndexError::UnknownId`] when `id` is not live.
+    pub fn explain(&self, probe: &Tuple, id: TupleId) -> Result<PairTrace, IndexError> {
+        let &slot = self.by_id.get(&id).ok_or(IndexError::UnknownId { id })?;
+        let probe_prep = RelationPrep::single(probe, &self.probe_needs);
+        let tuple = &self.relation.tuples()[slot as usize];
+        let keys: Vec<KeyTrace> = self
+            .keys
+            .iter()
+            .enumerate()
+            .map(|(key, k)| {
+                let atoms: Vec<(SimilarityAtom, AtomTrace)> = k
+                    .atoms()
+                    .iter()
+                    .map(|atom| {
+                        let trace = self.ops.atom_trace(
+                            atom,
+                            probe,
+                            tuple,
+                            &probe_prep,
+                            &self.prep,
+                            0,
+                            slot as usize,
+                        );
+                        (*atom, trace)
+                    })
+                    .collect();
+                KeyTrace { key, matched: atoms.iter().all(|(_, t)| t.matched), atoms }
+            })
+            .collect();
+        let matched_key = keys.iter().find(|k| k.matched).map(|k| k.key);
+        let mut stats = FilterStats::default();
+        let vetoed = self.vetoed_at(probe, &probe_prep, slot as usize, &mut stats);
+        Ok(PairTrace { keys, matched_key, vetoed })
     }
 
     /// Inserts one tuple, indexing it under every anchor; returns its
@@ -966,6 +1070,57 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn explain_agrees_with_query_and_key_matcher() {
+        let (setting, inst, index) = fig1_index();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        let rcks = example_2_4_rcks(&setting);
+        let matcher = KeyMatcher::new(rcks.iter(), &ops);
+        for probe in inst.left().tuples() {
+            let hits = index.query(probe).hits;
+            for tuple in inst.right().tuples() {
+                let trace = index.explain(probe, tuple.id()).unwrap();
+                // Final decision and key provenance match the query path.
+                let hit = hits.iter().find(|h| h.id == tuple.id());
+                assert_eq!(trace.matched(), hit.is_some());
+                assert_eq!(trace.matched_key, matcher.matching_key(probe, tuple));
+                // Every atom of every key agrees with the dynamic path.
+                assert_eq!(trace.keys.len(), rcks.len());
+                for (key, kt) in rcks.iter().zip(&trace.keys) {
+                    assert_eq!(kt.atoms.len(), key.atoms().len());
+                    assert_eq!(kt.matched, ops.lhs_matches(key.atoms(), probe, tuple));
+                    for (atom, at) in &kt.atoms {
+                        assert_eq!(at.matched, ops.atom_matches(atom, probe, tuple));
+                    }
+                }
+            }
+        }
+        // Unknown (and removed) ids are errors.
+        assert!(matches!(
+            index.explain(inst.left().tuples().first().unwrap(), 999),
+            Err(IndexError::UnknownId { id: 999 })
+        ));
+    }
+
+    #[test]
+    fn live_relation_snapshot_rebuilds_identically() {
+        let (setting, inst, mut index) = fig1_index();
+        let removed = inst.right().tuples()[1].id();
+        index.remove(removed).unwrap();
+        let live = index.live_relation();
+        assert_eq!(live.len(), index.len());
+        assert!(live.by_id(removed).is_none());
+        let ops = Arc::new(RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap());
+        let rebuilt =
+            MatchIndex::build(setting.pair.left().arity(), &live, index.keys(), &[], ops).unwrap();
+        assert_eq!(rebuilt.stats().tombstones, 0);
+        for probe in inst.left().tuples() {
+            let a: Vec<_> = index.query(probe).hits.iter().map(|h| (h.id, h.key)).collect();
+            let b: Vec<_> = rebuilt.query(probe).hits.iter().map(|h| (h.id, h.key)).collect();
+            assert_eq!(a, b, "rebuilt index diverges for probe #{}", probe.id());
         }
     }
 

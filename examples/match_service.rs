@@ -1,0 +1,112 @@
+//! The serving layer end to end: a stateful `MatchService` with record
+//! upsert, versioned rule hot-swap and match explanations.
+//!
+//! The index-mode example (`serving.rs`) shows the raw `MatchIndex`;
+//! this one shows the facade a caller actually wants: field-name
+//! records, stable external ids, rule iteration without losing the
+//! store, and "why did these two match?" answers. Run with:
+//!
+//! ```sh
+//! cargo run --release --example match_service
+//! ```
+
+use matchrules::core::schema::{AttrKind, Schema};
+use matchrules::engine::EngineBuilder;
+use matchrules::service::{MatchService, RecordId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A CRM-ish schema pair: none of the paper's attribute names.
+    let crm = Schema::kinded(
+        "crm",
+        &[
+            ("first", AttrKind::GivenName),
+            ("last", AttrKind::Surname),
+            ("mobile", AttrKind::Phone),
+            ("mail", AttrKind::Email),
+        ],
+    )?;
+    let orders = Schema::kinded(
+        "orders",
+        &[
+            ("fname", AttrKind::GivenName),
+            ("lname", AttrKind::Surname),
+            ("contact", AttrKind::Phone),
+            ("email", AttrKind::Email),
+        ],
+    )?;
+
+    // Version 1 of the rules: email identifies the name; name + phone
+    // identify the holder.
+    let engine = EngineBuilder::new()
+        .schemas(crm, orders)
+        .md_text(
+            "crm[mail] = orders[email] -> crm[first,last] <=> orders[fname,lname]\n\
+             crm[last] = orders[lname] /\\ crm[first] ~d orders[fname] /\\ \
+             crm[mobile] = orders[contact] -> \
+             crm[first,last,mobile] <=> orders[fname,lname,contact]\n",
+        )
+        .target(&["first", "last", "mobile"], &["fname", "lname", "contact"])
+        .build()?;
+    let mut service = MatchService::new(engine);
+    println!("service at {} — plan:\n{}", service.version(), service.plan());
+
+    // Upsert the order book under stable external ids.
+    for (id, fname, lname, contact, email) in [
+        (1u64, "Marx", "Clifford", "908-1111111", "mc@gm.com"),
+        (2, "Anna", "Jones", "201-5550000", "aj@example.com"),
+        (3, "David", "Smith", "973-5551234", "ds@example.com"),
+    ] {
+        let record = service
+            .record_builder()
+            .field("fname", fname)
+            .field("lname", lname)
+            .field("contact", contact)
+            .field("email", email)
+            .build()?;
+        service.upsert(RecordId(id), &record)?;
+    }
+    println!("store: {} records\n", service.len());
+
+    // A CRM probe with a typo'd first name still matches order #1.
+    let probe = service
+        .probe_builder()
+        .field("first", "Mark")
+        .field("last", "Clifford")
+        .field("mobile", "908-1111111")
+        .field("mail", "mc@gm.com")
+        .build()?;
+    let response = service.query(&probe)?;
+    println!(
+        "query ({}): {} hit(s), {} candidate(s) verified",
+        response.version,
+        response.hits.len(),
+        response.candidates
+    );
+    for hit in &response.hits {
+        println!("  matched record {} via key {}", hit.id, hit.key);
+    }
+
+    // Why? Per-atom trace plus the MD deduction path behind the key.
+    let why = service.explain(&probe, RecordId(1))?;
+    println!("\n{why}");
+
+    // Field typos are typed errors with a suggestion.
+    let err = service.probe_builder().field("lat", "Clifford").build().unwrap_err();
+    println!("typo'd field: {err}\n");
+
+    // Rule iteration: tighten to "email AND phone must both agree".
+    // The store survives; the version bumps; answers change.
+    let v2 = service.swap_rules(
+        "crm[mail] = orders[email] /\\ crm[mobile] = orders[contact] -> \
+         crm[first,last,mobile] <=> orders[fname,lname,contact]",
+    )?;
+    println!("rules swapped -> {v2}; plan now:\n{}", service.plan());
+    let response = service.query(&probe)?;
+    println!("same probe at {}: {} hit(s)", response.version, response.hits.len());
+
+    // Remove the matched order: it disappears from answers at once.
+    service.remove(RecordId(1))?;
+    assert!(service.query(&probe)?.hits.is_empty());
+    println!("after remove: {} hit(s)", service.query(&probe)?.hits.len());
+    Ok(())
+}

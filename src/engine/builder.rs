@@ -174,6 +174,45 @@ impl EngineBuilder {
         b
     }
 
+    /// Seeds a builder from an already-compiled plan, **without** its MD
+    /// set: the schema pair, the interned operator table, the target, the
+    /// negative rules and the tuning knobs (`top_k`, window, cost
+    /// weights, exec) are preserved, while the rules are expected to
+    /// arrive fresh via [`EngineBuilder::md_text`] /
+    /// [`EngineBuilder::mds`]. This is the rule hot-swap hook: recompile
+    /// a *new* rule set against the *existing* schema/operator world, so
+    /// serving state keyed to the schemas (record stores, indices)
+    /// survives rule iteration.
+    ///
+    /// Measured length statistics
+    /// ([`EngineBuilder::statistics_from`]) are carried over from the
+    /// plan, so the recompile ranks keys under the same cost model as
+    /// the original. The operator *registry* is the standard one — pass
+    /// the original through [`EngineBuilder::operators`] when it was
+    /// customized (as
+    /// [`MatchService::swap_rules`](crate::service::MatchService::swap_rules)
+    /// does).
+    pub fn from_plan(plan: &MatchPlan) -> Self {
+        let mut b = Self::new();
+        b.pair = Some(plan.pair().clone());
+        b.ops = plan.ops().clone();
+        b.target = Some(plan.target().clone());
+        b.negatives = plan.negatives().to_vec();
+        b.top_k = plan.top_k();
+        b.window = plan.window();
+        b.weights = plan.cost_weights();
+        b.exec = plan.exec();
+        if let Some((left_lens, right_lens)) = plan.measured_lengths() {
+            b.stats = Some(MeasuredStats {
+                left_schema: plan.pair().left().clone(),
+                left_lens: left_lens.to_vec(),
+                right_schema: plan.pair().right().clone(),
+                right_lens: right_lens.to_vec(),
+            });
+        }
+        b
+    }
+
     /// Sets the two (distinct) relation schemas.
     #[must_use]
     pub fn schemas(mut self, left: Schema, right: Schema) -> Self {
@@ -364,6 +403,25 @@ impl EngineBuilder {
             sigma.extend(parse_md_set(text, &pair, &mut ops)?);
         }
         for md in self.mds {
+            // Programmatic MDs carry raw `OperatorId`s that are only
+            // meaningful against *this* builder's operator table; an MD
+            // interned into a foreign table would silently evaluate the
+            // wrong operator (or index out of bounds at query time).
+            // Ids can't be semantically verified, but out-of-range ones
+            // are certain misuse — fail here, not in a hot loop.
+            for atom in md.lhs() {
+                if atom.op.0 as usize >= ops.len() {
+                    return Err(EngineError::InvalidConfig {
+                        message: format!(
+                            "MD atom uses operator id {} but the plan's operator table holds \
+                             only {} operators — programmatic MDs must be built against the \
+                             plan's own operator table (e.g. via MatchPlan::ops or md_text)",
+                            atom.op.0,
+                            ops.len()
+                        ),
+                    });
+                }
+            }
             sigma.push(MatchingDependency::new(&pair, md.lhs().to_vec(), md.rhs().to_vec())?);
         }
 
@@ -405,6 +463,14 @@ impl EngineBuilder {
         let sort_keys = rck_sort_keys(&pair, &outcome.keys);
         let block_key =
             if outcome.keys.is_empty() { None } else { Some(rck_block_key(&pair, &outcome.keys)) };
+        // Per-key cost under the final model state (the `ct` counters as
+        // findRCKs left them) — the ranking evidence `describe()` and
+        // match explanations report.
+        let rck_costs: Vec<f64> = outcome
+            .keys
+            .iter()
+            .map(|key| key.atoms().iter().map(|a| cost.cost(a.left, a.right)).sum())
+            .collect();
 
         Ok(MatchPlan::new(
             pair,
@@ -412,11 +478,15 @@ impl EngineBuilder {
             sigma,
             target,
             outcome.keys,
+            rck_costs,
             outcome.complete,
             self.negatives,
             sort_keys,
             block_key,
             self.window,
+            self.top_k,
+            self.weights,
+            self.stats.map(|s| (s.left_lens, s.right_lens)),
             self.exec,
         ))
     }

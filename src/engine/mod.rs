@@ -53,9 +53,13 @@ mod report;
 /// The paper's ready-made configurations, expressed through the builder.
 pub mod preset;
 
+pub(crate) use builder::schemas_compatible;
+
 pub use builder::{EngineBuilder, EngineError};
-pub use matchrules_data::eval::FilterStats;
-pub use matchrules_matcher::index::{IndexError, IndexStats, MatchIndex, QueryHit, QueryOutcome};
+pub use matchrules_data::eval::{AtomStage, AtomTrace, FilterStats};
+pub use matchrules_matcher::index::{
+    IndexError, IndexStats, KeyTrace, MatchIndex, PairTrace, QueryHit, QueryOutcome,
+};
 pub use matchrules_runtime::{ExecConfig, Threads};
 pub use plan::MatchPlan;
 pub use preset::Preset;

@@ -7,6 +7,7 @@ use matchrules_core::relative_key::{RelativeKey, Target};
 use matchrules_core::schema::SchemaPair;
 use matchrules_matcher::sortkey::SortKey;
 use matchrules_runtime::ExecConfig;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// The compiled match plan: schemas, the MD set, the deduced top-k RCKs,
@@ -29,11 +30,15 @@ pub struct MatchPlan {
     sigma: Vec<MatchingDependency>,
     target: Target,
     rcks: Vec<RelativeKey>,
+    rck_costs: Vec<f64>,
     complete: bool,
     negatives: Vec<NegativeRule>,
     sort_keys: Vec<SortKey>,
     block_key: Option<SortKey>,
     window: usize,
+    top_k: usize,
+    weights: (f64, f64, f64),
+    avg_lengths: Option<(Vec<f64>, Vec<f64>)>,
     exec: ExecConfig,
 }
 
@@ -45,11 +50,15 @@ impl MatchPlan {
         sigma: Vec<MatchingDependency>,
         target: Target,
         rcks: Vec<RelativeKey>,
+        rck_costs: Vec<f64>,
         complete: bool,
         negatives: Vec<NegativeRule>,
         sort_keys: Vec<SortKey>,
         block_key: Option<SortKey>,
         window: usize,
+        top_k: usize,
+        weights: (f64, f64, f64),
+        avg_lengths: Option<(Vec<f64>, Vec<f64>)>,
         exec: ExecConfig,
     ) -> Self {
         MatchPlan {
@@ -58,11 +67,15 @@ impl MatchPlan {
             sigma,
             target,
             rcks,
+            rck_costs,
             complete,
             negatives,
             sort_keys,
             block_key,
             window,
+            top_k,
+            weights,
+            avg_lengths,
             exec,
         }
     }
@@ -92,10 +105,42 @@ impl MatchPlan {
         &self.rcks
     }
 
+    /// The cost-model cost of each deduced key (summed per-atom pair
+    /// costs, parallel to [`MatchPlan::rcks`]), evaluated under the
+    /// model's **final post-selection state**: `findRCKs` bumps the
+    /// diversity (`ct`) counters as it selects, so these are comparable
+    /// snapshots of all keys under one state — not the exact values each
+    /// key minimized at its own selection step, and not necessarily
+    /// ascending.
+    pub fn rck_costs(&self) -> &[f64] {
+        &self.rck_costs
+    }
+
     /// Whether the RCK enumeration was exhaustive (Proposition 5.1: the
     /// plan then holds *every* key deducible from Σ).
     pub fn is_complete(&self) -> bool {
         self.complete
+    }
+
+    /// The `top_k` bound the plan was compiled with (how many RCKs
+    /// `findRCKs` was asked for) — preserved so a rule hot-swap
+    /// ([`EngineBuilder::from_plan`](crate::engine::EngineBuilder::from_plan))
+    /// recompiles under the same configuration.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// The cost-model weights `(w1, w2, w3)` the plan was compiled with.
+    pub fn cost_weights(&self) -> (f64, f64, f64) {
+        self.weights
+    }
+
+    /// The measured per-attribute average lengths
+    /// ([`EngineBuilder::statistics_from`](crate::engine::EngineBuilder::statistics_from))
+    /// the cost model saw, when any — preserved so a rule hot-swap
+    /// recompiles under the *same* cost ranking as the original plan.
+    pub fn measured_lengths(&self) -> Option<(&[f64], &[f64])> {
+        self.avg_lengths.as_ref().map(|(l, r)| (l.as_slice(), r.as_slice()))
     }
 
     /// The §8 negative rules guarding the match keys.
@@ -125,8 +170,23 @@ impl MatchPlan {
         self.exec
     }
 
-    /// Human-readable provenance: schemas, Σ, and the deduced keys — what
-    /// a report means by "plan".
+    /// Human-readable provenance: schemas, Σ, and the deduced keys with
+    /// their cost-model costs — what a report means by "plan".
+    /// [`MatchPlan`]'s `Display` implementation delegates here.
+    ///
+    /// ```
+    /// use matchrules::engine::Preset;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let engine = Preset::Example11.builder().build()?;
+    /// let text = engine.plan().describe();
+    /// assert!(text.contains("3 MDs -> 5 RCKs"));
+    /// // Every deduced key is listed with its cost-model cost…
+    /// assert!(text.contains("[cost "));
+    /// // …and Display renders the same provenance.
+    /// assert_eq!(engine.plan().to_string(), text);
+    /// # Ok(()) }
+    /// ```
     pub fn describe(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -140,8 +200,13 @@ impl MatchPlan {
             self.rcks.len(),
             if self.complete { " (complete)" } else { "" },
         );
-        for key in &self.rcks {
-            let _ = writeln!(out, "  {}", key.display(&self.pair, &self.ops));
+        for (i, key) in self.rcks.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  [cost {:.2}] {}",
+                self.rck_costs.get(i).copied().unwrap_or(f64::NAN),
+                key.display(&self.pair, &self.ops),
+            );
         }
         let _ = writeln!(
             out,
@@ -152,5 +217,11 @@ impl MatchPlan {
             self.exec.threads,
         );
         out
+    }
+}
+
+impl fmt::Display for MatchPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
     }
 }

@@ -185,6 +185,7 @@ impl DedupReport {
 pub struct MatchEngine {
     plan: Arc<MatchPlan>,
     runtime: Arc<RuntimeOps>,
+    registry: OpRegistry,
     pool: WorkPool,
 }
 
@@ -204,7 +205,12 @@ impl MatchEngine {
     pub fn from_plan(plan: MatchPlan, registry: &OpRegistry) -> Result<Self, EngineError> {
         let runtime = RuntimeOps::resolve(plan.ops(), registry)?;
         let pool = WorkPool::new(plan.exec());
-        Ok(MatchEngine { plan: Arc::new(plan), runtime: Arc::new(runtime), pool })
+        Ok(MatchEngine {
+            plan: Arc::new(plan),
+            runtime: Arc::new(runtime),
+            registry: registry.clone(),
+            pool,
+        })
     }
 
     /// The same engine (shared plan and operators) with a different
@@ -216,6 +222,7 @@ impl MatchEngine {
         MatchEngine {
             plan: self.plan.clone(),
             runtime: self.runtime.clone(),
+            registry: self.registry.clone(),
             pool: WorkPool::new(exec),
         }
     }
@@ -228,6 +235,13 @@ impl MatchEngine {
     /// The resolved operator bindings.
     pub fn runtime(&self) -> &RuntimeOps {
         &self.runtime
+    }
+
+    /// The operator registry the engine's plan was resolved against —
+    /// what a rule hot-swap recompiles new rule text with, so custom
+    /// operator bindings survive the swap.
+    pub fn registry(&self) -> &OpRegistry {
+        &self.registry
     }
 
     /// The runtime pool's thread count.

@@ -103,6 +103,74 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## Serving layer: MatchService
+//!
+//! The [`service`] module wraps all of that into a long-lived, stateful
+//! front door: a record store with stable external ids, field-name
+//! inputs (never build a `Relation` by hand), point queries stamped with
+//! a rule version, **hot-swappable rules** (recompile + reindex off to
+//! the side, swap atomically — the store survives rule iteration), and
+//! per-pair **match explanations** tracing every atom and the MD
+//! deduction path behind the fired key:
+//!
+//! ```
+//! use matchrules::engine::EngineBuilder;
+//! use matchrules::core::schema::{AttrKind, Schema};
+//! use matchrules::service::{MatchService, RecordId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let crm = Schema::kinded("crm", &[
+//! #     ("first", AttrKind::GivenName), ("last", AttrKind::Surname),
+//! #     ("mobile", AttrKind::Phone), ("mail", AttrKind::Email)])?;
+//! # let orders = Schema::kinded("orders", &[
+//! #     ("fname", AttrKind::GivenName), ("lname", AttrKind::Surname),
+//! #     ("contact", AttrKind::Phone), ("email", AttrKind::Email)])?;
+//! // Same schemas and MDs as the quickstart above.
+//! let engine = EngineBuilder::new()
+//!     .schemas(crm, orders)
+//!     .md_text(
+//!         "crm[mail] = orders[email] -> crm[first,last] <=> orders[fname,lname]\n\
+//!          crm[last] = orders[lname] /\\ crm[first] ~d orders[fname] /\\ \
+//!          crm[mobile] = orders[contact] -> \
+//!          crm[first,last,mobile] <=> orders[fname,lname,contact]\n",
+//!     )
+//!     .target(&["first", "last", "mobile"], &["fname", "lname", "contact"])
+//!     .build()?;
+//! let mut service = MatchService::new(engine);
+//!
+//! // Upsert order records (field-name inputs, schema-checked).
+//! let order = service.record_builder()
+//!     .field("fname", "Marx").field("lname", "Clifford")
+//!     .field("contact", "908-1111111").field("email", "mc@gm.com")
+//!     .build()?;
+//! service.upsert(RecordId(1), &order)?;
+//!
+//! // Point query with a CRM probe: matched ids + which RCK fired,
+//! // stamped with the rule version.
+//! let probe = service.probe_builder()
+//!     .field("first", "Mark").field("last", "Clifford")
+//!     .field("mobile", "908-1111111").field("mail", "mc@gm.com")
+//!     .build()?;
+//! let response = service.query(&probe)?;
+//! assert_eq!(response.hits.len(), 1);
+//! assert_eq!(response.version.number(), 1);
+//!
+//! // Hot-swap the rule set: the store survives, the version bumps.
+//! let v2 = service.swap_rules(
+//!     "crm[mail] = orders[email] /\\ crm[mobile] = orders[contact] -> \
+//!      crm[first,last,mobile] <=> orders[fname,lname,contact]",
+//! )?;
+//! assert_eq!(v2.number(), 2);
+//! assert_eq!(service.query(&probe)?.hits.len(), 1);
+//!
+//! // Explain the decision: per-atom trace + the MD deduction path.
+//! let why = service.explain(&probe, RecordId(1))?;
+//! assert!(why.matched);
+//! assert!(why.keys.iter().any(|k| k.matched));
+//! println!("{why}");
+//! # Ok(()) }
+//! ```
+//!
 //! ## Parallel execution
 //!
 //! The engine runs on a std-only work pool (`matchrules-runtime`):
@@ -156,6 +224,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod service;
 
 pub use matchrules_core as core;
 pub use matchrules_data as data;
@@ -163,3 +232,4 @@ pub use matchrules_matcher as matcher;
 pub use matchrules_simdist as simdist;
 
 pub use engine::{EngineBuilder, MatchEngine, MatchPlan, MatchReport, Preset};
+pub use service::{MatchService, Record, RecordId, RuleVersion, ServiceError};

@@ -1,0 +1,71 @@
+//! The serving layer: a stateful [`MatchService`] with record upsert,
+//! versioned rule hot-swap, and per-pair match explanations.
+//!
+//! The [`engine`](crate::engine) compiles MDs into an immutable
+//! [`MatchPlan`](crate::engine::MatchPlan) and executes it over batches;
+//! this module turns that artifact into a **long-lived service**:
+//!
+//! * [`Record`] / [`RecordBuilder`] — the owned input type. Callers set
+//!   fields by name against the service's schemas and never touch
+//!   `Relation`s or `Tuple`s; unknown fields fail with a typed
+//!   [`ServiceError`] naming the offender and suggesting the nearest
+//!   schema attribute.
+//! * [`MatchService`] — owns a record store with stable external
+//!   [`RecordId`]s and an incrementally maintained
+//!   [`MatchIndex`](crate::engine::MatchIndex).
+//!   [`upsert`](MatchService::upsert) / [`remove`](MatchService::remove)
+//!   / [`get`](MatchService::get) maintain it;
+//!   [`query`](MatchService::query) answers point lookups with the
+//!   matched ids, the RCK that fired, filter stats and the current
+//!   [`RuleVersion`].
+//! * [`swap_rules`](MatchService::swap_rules) — rule iteration without
+//!   losing serving state: a new MD set is recompiled against the
+//!   existing schema/operator world, the index is rebuilt off to the
+//!   side, and both are swapped atomically; a failed swap leaves the old
+//!   version serving.
+//! * [`explain`](MatchService::explain) — a [`MatchExplanation`] for any
+//!   (probe, record) pair: per-atom operator, θ-bound, computed
+//!   distance, deciding pipeline stage and pass/fail, plus the MD
+//!   deduction path that makes the fired RCK a key relative to the
+//!   target.
+//!
+//! ```
+//! use matchrules::engine::EngineBuilder;
+//! use matchrules::core::schema::Schema;
+//! use matchrules::service::{MatchService, RecordId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let people = Schema::text("people", &["name", "phone", "email"])?;
+//! let engine = EngineBuilder::new()
+//!     .dedup_schema(people)
+//!     .md_text("people[email] = people[email] -> people[name,phone] <=> people[name,phone]")
+//!     .target(&["name", "phone"], &["name", "phone"])
+//!     .build()?;
+//! let mut service = MatchService::new(engine);
+//!
+//! let ada = service.record_builder()
+//!     .field("name", "Ada Lovelace")
+//!     .field("phone", "020-7946-0001")
+//!     .field("email", "ada@example.org")
+//!     .build()?;
+//! service.upsert(RecordId(1), &ada)?;
+//!
+//! let probe = service.probe_builder()
+//!     .field("name", "A. Lovelace")
+//!     .field("email", "ada@example.org")
+//!     .build()?;
+//! let response = service.query(&probe)?;
+//! assert_eq!(response.hits.len(), 1);
+//! assert_eq!(response.hits[0].id, RecordId(1));
+//! let why = service.explain(&probe, RecordId(1))?;
+//! assert!(why.matched);
+//! # Ok(()) }
+//! ```
+
+mod explain;
+mod match_service;
+mod record;
+
+pub use explain::{AtomExplanation, DeductionStep, KeyExplanation, MatchExplanation};
+pub use match_service::{MatchService, QueryResponse, RecordId, RuleVersion, ServiceHit};
+pub use record::{Record, RecordBuilder, ServiceError};
