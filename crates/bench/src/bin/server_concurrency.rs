@@ -1,0 +1,261 @@
+//! Concurrent serving: `MatchServer` queries/s and latency percentiles
+//! across a (client threads × shards) sweep, plus zero-downtime reads
+//! measured *during* rule hot-swaps.
+//!
+//! For every configuration the server answers are checked hit-for-hit
+//! against a single-owner `MatchService` fed the same records before any
+//! timing happens, so the sweep only ever measures correct servers. The
+//! sweep runs with the probe cache off (every query does real work);
+//! the swap section then measures how many reads complete while
+//! `swap_rules` rebuilds all shards. Emits `BENCH_server.json`.
+//!
+//! Usage:
+//! `cargo run --release -p matchrules-bench --bin server_concurrency \
+//!    [quick|paper] [out.json]`
+
+use matchrules::engine::{ExecConfig, Threads};
+use matchrules::server::{MatchServer, ServerConfig};
+use matchrules::service::{MatchService, Record, RecordId};
+use matchrules_bench::experiments::workload;
+use matchrules_bench::json::Json;
+use matchrules_bench::table::Table;
+use matchrules_bench::{time, Scale};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+const CLIENT_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[rank] as f64 / 1e3
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_server.json".to_owned());
+    let (persons, rounds) = match scale {
+        Scale::Paper => (8_000, 4),
+        Scale::Quick => (600, 2),
+    };
+
+    println!("server concurrency — MatchServer across client threads x shards");
+    let w = workload(persons, 0x5EA7);
+    let credit = &w.data.credit;
+    let billing = &w.data.billing;
+
+    // The single-owner reference every configuration must agree with.
+    let mut reference = MatchService::new(w.engine.clone());
+    let batch: Vec<(RecordId, Record)> = billing
+        .tuples()
+        .iter()
+        .map(|t| {
+            let record = Record::from_values(reference.store_schema().clone(), t.values().to_vec())
+                .expect("billing rows instantiate the store schema");
+            (RecordId(t.id()), record)
+        })
+        .collect();
+    for (id, record) in &batch {
+        reference.upsert(*id, record).expect("fresh ids insert");
+    }
+    let probes: Vec<Record> = credit
+        .tuples()
+        .iter()
+        .map(|t| {
+            Record::from_values(reference.probe_schema().clone(), t.values().to_vec())
+                .expect("credit rows instantiate the probe schema")
+        })
+        .collect();
+    let expected: Vec<Vec<(u64, usize)>> = probes
+        .iter()
+        .map(|p| {
+            let response = reference.query(p).expect("probe schema checked");
+            response.hits.iter().map(|h| (h.id.0, h.key)).collect()
+        })
+        .collect();
+    println!(
+        "catalog: {} probes x {} records, {} RCKs; sweeping shards {SHARD_SWEEP:?} \
+         x client threads {CLIENT_SWEEP:?}, {rounds} round(s) per client\n",
+        probes.len(),
+        billing.len(),
+        reference.plan().rcks().len(),
+    );
+
+    let mut table = Table::new(&["shards", "clients", "queries", "queries/s", "p50 µs", "p99 µs"]);
+    let mut sweep = Vec::new();
+    for &shards in &SHARD_SWEEP {
+        let server = MatchServer::with_config(
+            w.engine.clone(),
+            ServerConfig {
+                shards,
+                cache_capacity: 0, // every timed query does real work
+                exec: ExecConfig { threads: Threads::Fixed(2) },
+            },
+        );
+        server.upsert_batch(&batch).expect("fresh ids insert");
+
+        // Correctness gate: hit-for-hit agreement with the reference.
+        for (probe, want) in probes.iter().zip(&expected) {
+            let response = server.query(probe).expect("probe schema checked");
+            let got: Vec<(u64, usize)> = response.hits.iter().map(|h| (h.id.0, h.key)).collect();
+            assert_eq!(&got, want, "sharded answers must equal the single-owner service");
+        }
+
+        for &clients in &CLIENT_SWEEP {
+            let mut latencies: Vec<u64> = Vec::new();
+            let (thread_latencies, seconds) = time(|| {
+                thread::scope(|scope| {
+                    let handles: Vec<_> = (0..clients)
+                        .map(|c| {
+                            let server = &server;
+                            let probes = &probes;
+                            scope.spawn(move || {
+                                let mut reader = server.reader();
+                                let mut nanos =
+                                    Vec::with_capacity(rounds * probes.len() / clients + 1);
+                                // Each client walks its own stride of the
+                                // probe set, `rounds` times over.
+                                for round in 0..rounds {
+                                    let mut i = (c + round) % clients.max(1);
+                                    while i < probes.len() {
+                                        let start = Instant::now();
+                                        reader.query(&probes[i]).expect("probe schema checked");
+                                        nanos.push(start.elapsed().as_nanos() as u64);
+                                        i += clients;
+                                    }
+                                }
+                                nanos
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("client thread"))
+                        .collect::<Vec<_>>()
+                })
+            });
+            for mut nanos in thread_latencies {
+                latencies.append(&mut nanos);
+            }
+            latencies.sort_unstable();
+            let queries = latencies.len();
+            let per_sec = queries as f64 / seconds.max(1e-12);
+            let p50 = percentile(&latencies, 0.50);
+            let p99 = percentile(&latencies, 0.99);
+            table.row(vec![
+                shards.to_string(),
+                clients.to_string(),
+                queries.to_string(),
+                format!("{per_sec:.0}"),
+                format!("{p50:.0}"),
+                format!("{p99:.0}"),
+            ]);
+            sweep.push(
+                Json::obj()
+                    .field("shards", shards)
+                    .field("clients", clients)
+                    .field("queries", queries)
+                    .field("seconds", seconds)
+                    .field("per_sec", per_sec)
+                    .field("p50_micros", p50)
+                    .field("p99_micros", p99),
+            );
+        }
+    }
+    println!("{}", table.render());
+
+    // Zero-downtime swaps: readers hammer a 4-shard server while the
+    // rule set is hot-swapped back and forth; count the reads that
+    // complete strictly inside swap windows.
+    let server = MatchServer::with_config(
+        w.engine.clone(),
+        ServerConfig {
+            shards: 4,
+            cache_capacity: 0,
+            exec: ExecConfig { threads: Threads::Fixed(2) },
+        },
+    );
+    server.upsert_batch(&batch).expect("fresh ids insert");
+    let sigma = server.plan().sigma().to_vec();
+    let stop = AtomicBool::new(false);
+    let swapping = AtomicBool::new(false);
+    let reads_during_swap = AtomicU64::new(0);
+    let total_reads = AtomicU64::new(0);
+    let mut swaps = 0u64;
+    let mut swap_seconds_total = 0.0f64;
+    thread::scope(|scope| {
+        for reader_id in 0..3usize {
+            let server = &server;
+            let stop = &stop;
+            let swapping = &swapping;
+            let reads_during_swap = &reads_during_swap;
+            let total_reads = &total_reads;
+            let probes = &probes;
+            scope.spawn(move || {
+                let mut reader = server.reader();
+                let mut i = reader_id;
+                while !stop.load(Ordering::Relaxed) {
+                    let in_window = swapping.load(Ordering::Relaxed);
+                    reader.query(&probes[i % probes.len()]).expect("reads never fail during swaps");
+                    total_reads.fetch_add(1, Ordering::Relaxed);
+                    if in_window && swapping.load(Ordering::Relaxed) {
+                        reads_during_swap.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                }
+            });
+        }
+        for _ in 0..10 {
+            thread::sleep(Duration::from_millis(20));
+            swapping.store(true, Ordering::Relaxed);
+            let (version, seconds) = time(|| {
+                server.swap_rules_with(sigma.clone()).expect("the plan's own rules recompile")
+            });
+            swapping.store(false, Ordering::Relaxed);
+            swaps += 1;
+            swap_seconds_total += seconds;
+            assert_eq!(version.number(), 1 + swaps, "every swap bumps the version once");
+            if swaps >= 2 && reads_during_swap.load(Ordering::Relaxed) > 0 {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let during = reads_during_swap.load(Ordering::Relaxed);
+    let total = total_reads.load(Ordering::Relaxed);
+    assert!(during > 0, "reads must complete during swap windows, not queue behind them");
+    println!(
+        "swap downtime: {during} of {total} reads completed inside {swaps} swap window(s) \
+         (avg swap {:.3}s, all reads succeeded)",
+        swap_seconds_total / swaps as f64,
+    );
+
+    let doc = Json::obj()
+        .field("bench", "server_concurrency")
+        .field(
+            "scale",
+            match scale {
+                Scale::Paper => "paper",
+                Scale::Quick => "quick",
+            },
+        )
+        .field("persons", persons)
+        .field("records", billing.len())
+        .field("probes", probes.len())
+        .field("rounds", rounds)
+        .field("sweep", sweep)
+        .field(
+            "swap",
+            Json::obj()
+                .field("swaps", swaps as usize)
+                .field("avg_seconds", swap_seconds_total / swaps as f64)
+                .field("reads_during_swap", during as usize)
+                .field("total_reads", total as usize),
+        );
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

@@ -61,18 +61,39 @@ fn main() {
         .collect();
     let mut hits = 0usize;
     let mut candidates = 0usize;
+    let mut key_evals = 0usize;
     let (before, query_seconds) = time(|| {
         let mut responses = Vec::with_capacity(probes.len());
         for probe in &probes {
             let response = service.query(probe).expect("probe schema checked");
             hits += response.hits.len();
             candidates += response.candidates;
+            key_evals += response.key_evals;
             responses.push(response.hits);
         }
         responses
     });
     let queries = probes.len();
     let queries_per_sec = queries as f64 / query_seconds.max(1e-12);
+
+    // Key-provenance pruning: the serving path only verifies the keys
+    // whose anchors retrieved each candidate. Replay every probe through
+    // the unpruned reference path and assert the pruning saved RCK
+    // evaluations without changing a single answer.
+    let index = w.engine.index(billing).expect("billing relation indexes");
+    let mut key_evals_unpruned = 0usize;
+    for (probe_tuple, expect) in credit.tuples().iter().zip(&before) {
+        let unpruned = index.query_unpruned(probe_tuple);
+        key_evals_unpruned += unpruned.key_evals;
+        let got: Vec<(u64, usize)> = unpruned.hits.iter().map(|h| (h.id, h.key)).collect();
+        let want: Vec<(u64, usize)> = expect.iter().map(|h| (h.id.0, h.key)).collect();
+        assert_eq!(got, want, "pruned and unpruned answers must be byte-identical");
+    }
+    assert!(
+        key_evals < key_evals_unpruned,
+        "pruning must drop RCK evaluations ({key_evals} pruned vs {key_evals_unpruned} unpruned)"
+    );
+    let key_evals_saved = 1.0 - key_evals as f64 / key_evals_unpruned.max(1) as f64;
 
     // Rule hot-swap: recompile the same MD set and rebuild the index —
     // the full cost of one rule iteration over a populated store.
@@ -138,6 +159,11 @@ fn main() {
         service.version(),
         service.len(),
     );
+    println!(
+        "key pruning: {key_evals} RCK evaluations vs {key_evals_unpruned} unpruned \
+         ({:.1}% saved, answers identical)",
+        key_evals_saved * 100.0,
+    );
 
     let doc = Json::obj()
         .field("bench", "service_throughput")
@@ -167,6 +193,13 @@ fn main() {
                 .field("per_sec", queries_per_sec)
                 .field("hits", hits)
                 .field("candidates_verified", candidates),
+        )
+        .field(
+            "key_pruning",
+            Json::obj()
+                .field("key_evals", key_evals)
+                .field("key_evals_unpruned", key_evals_unpruned)
+                .field("saved_frac", key_evals_saved),
         )
         .field(
             "swap_rules",

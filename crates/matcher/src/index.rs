@@ -28,11 +28,15 @@
 //! indexable (all operators opaque) falls back to scanning every live
 //! tuple, so correctness never depends on indexability.
 //!
-//! A candidate set is the union over the plan's RCKs, always a superset
-//! of the tuples any key accepts; every candidate is then verified by the
-//! full compiled key disjunction (the same
+//! A candidate set is the union over the plan's RCKs — deduplicated
+//! across keys, with each candidate remembering *which* keys retrieved
+//! it — always a superset of the tuples any key accepts. Every candidate
+//! is then verified through the same
 //! [`lhs_matches_prepped`](RuntimeOps::lhs_matches_prepped) path the
-//! batch engine uses), so query answers are *exactly* the batch answers.
+//! batch engine uses, evaluating only the keys that retrieved it (a key
+//! whose retrieval missed the slot cannot accept it), so query answers
+//! are *exactly* the batch answers at a fraction of the verification
+//! work ([`QueryOutcome::key_evals`]).
 //! The index supports incremental [`MatchIndex::insert`] /
 //! [`MatchIndex::remove`] (tombstoned slots; rebuild to compact), which
 //! turns the batch reproduction into a serving core: build once, then
@@ -158,6 +162,7 @@ pub fn qgram_safe_len(theta: f64, q: usize) -> Option<usize> {
 
 /// An inverted index over one indexable atom, shared by every key that
 /// mentions the atom.
+#[derive(Clone)]
 enum AtomIndex {
     /// Equality atom: value → slots carrying it (`Null` values excluded —
     /// null matches nothing, so such tuples can never satisfy the atom).
@@ -317,9 +322,16 @@ pub struct QueryHit {
 pub struct QueryOutcome {
     /// The matched tuples, in ascending slot order.
     pub hits: Vec<QueryHit>,
-    /// Candidate slots the anchors retrieved (the pairs verified) — the
-    /// per-query analogue of a batch report's candidate count.
+    /// Candidate slots the anchors retrieved (the pairs verified),
+    /// deduplicated across keys — the per-query analogue of a batch
+    /// report's candidate count.
     pub candidates: usize,
+    /// Key evaluations the verification pass ran: per candidate, only
+    /// the keys whose retrieval produced the candidate are tried
+    /// (a key that did not retrieve a slot cannot accept it — retrieval
+    /// is a superset of acceptance), so this is at most
+    /// `candidates × keys` and usually far less.
+    pub key_evals: usize,
     /// Filter-effectiveness counters of the verification pass.
     pub stats: FilterStats,
 }
@@ -382,6 +394,19 @@ pub struct IndexStats {
     pub sparse_entries: usize,
 }
 
+/// The key-provenance mask of a candidate slot when pruning is off
+/// (more than 64 keys, or the unpruned reference path): every key must
+/// be verified.
+const NO_PRUNE: u64 = u64::MAX;
+
+/// Whether `mask` obliges the verifier to evaluate `key` — bit `key` of
+/// the provenance mask, with every index ≥ 64 unconditionally evaluated
+/// (plans that large never prune; their masks are [`NO_PRUNE`]).
+#[inline]
+fn mask_allows(mask: u64, key: usize) -> bool {
+    key >= 64 || mask & (1u64 << key) != 0
+}
+
 /// An RCK-driven inverted index over one relation: sub-quadratic
 /// candidate generation, point-query serving, incremental maintenance.
 ///
@@ -391,6 +416,10 @@ pub struct IndexStats {
 /// key's accepted pairs, and each candidate is verified by the full
 /// compiled disjunction. See the [module docs](self) for the anchor
 /// design.
+///
+/// The index is `Clone`: serving layers publish immutable copies as
+/// snapshots and mutate a fresh clone off to the side.
+#[derive(Clone)]
 pub struct MatchIndex {
     keys: Vec<RelativeKey>,
     negatives: Vec<NegativeRule>,
@@ -625,25 +654,39 @@ impl MatchIndex {
     /// Panics when the probe's arity is smaller than the probe-side
     /// schema the keys were compiled for.
     pub fn candidates_for(&self, probe: &Tuple) -> Vec<usize> {
-        self.candidates_with(probe, &RelationPrep::single(probe, &self.probe_needs))
+        self.candidate_masks(probe, &RelationPrep::single(probe, &self.probe_needs))
+            .into_iter()
+            .map(|(slot, _)| slot)
+            .collect()
     }
 
     /// [`MatchIndex::candidates_for`] with the probe's signatures already
-    /// extracted — what [`MatchIndex::query`] uses so the one-row prep is
-    /// built once per query, not once per phase.
-    fn candidates_with(&self, probe: &Tuple, probe_prep: &RelationPrep) -> Vec<usize> {
+    /// extracted (the one-row prep is built once per query, not once per
+    /// phase), carrying **key provenance**: each candidate slot comes
+    /// with the bitmask of the keys whose retrieval produced it. A key
+    /// whose bit is clear cannot accept the slot — its retrieval is a
+    /// superset of its acceptance — so verification skips it. Plans with
+    /// more than 64 keys disable pruning (every mask is [`NO_PRUNE`]);
+    /// a scan-fallback key marks every live slot for every key.
+    fn candidate_masks(&self, probe: &Tuple, probe_prep: &RelationPrep) -> Vec<(usize, u64)> {
+        let prune = self.key_atoms.len() <= 64;
         // Retrieve each distinct atom at most once, lazily: several keys
         // usually share atoms, and a key whose exact atoms already pin
         // the candidates down never pays for its gram retrievals. The
         // refs were ordered cheapest-first at build time.
         let mut retrieved: Vec<Option<Vec<u32>>> = vec![None; self.atom_indices.len()];
-        let mut slots: Vec<u32> = Vec::new();
-        for refs in &self.key_atoms {
+        let mut pairs: Vec<(u32, u64)> = Vec::new();
+        for (key, refs) in self.key_atoms.iter().enumerate() {
             if refs.is_empty() {
-                // Unindexable key: every live slot is a candidate, and no
-                // other key can add more.
-                return (0..self.relation.len()).filter(|&s| self.alive[s]).collect();
+                // Unindexable key: every live slot is a candidate, no
+                // other key can add more, and later keys were never
+                // intersected — so no key may be pruned.
+                return (0..self.relation.len())
+                    .filter(|&s| self.alive[s])
+                    .map(|s| (s, NO_PRUNE))
+                    .collect();
             }
+            let bit = if prune { 1u64 << key } else { NO_PRUNE };
             let mut acc: Option<Vec<u32>> = None;
             for &pos in refs {
                 if acc.as_ref().is_some_and(|a| a.len() <= ENOUGH) {
@@ -664,31 +707,67 @@ impl MatchIndex {
                     break;
                 }
             }
-            slots.extend(acc.unwrap_or_default());
+            pairs.extend(acc.unwrap_or_default().into_iter().map(|slot| (slot, bit)));
         }
-        slots.sort_unstable();
-        slots.dedup();
-        slots.into_iter().map(|s| s as usize).filter(|&s| self.alive[s]).collect()
+        pairs.sort_unstable_by_key(|&(slot, _)| slot);
+        // Fold duplicate slots (retrieved by several keys) into one
+        // candidate carrying the union of their key bits.
+        let mut masked: Vec<(u32, u64)> = Vec::with_capacity(pairs.len());
+        for (slot, bit) in pairs {
+            match masked.last_mut() {
+                Some((last, mask)) if *last == slot => *mask |= bit,
+                _ => masked.push((slot, bit)),
+            }
+        }
+        masked
+            .into_iter()
+            .map(|(slot, mask)| (slot as usize, mask))
+            .filter(|&(slot, _)| self.alive[slot])
+            .collect()
     }
 
     /// Point query: every live tuple the probe matches (some key accepts,
     /// no negative rule vetoes), with the key that fired, in ascending
     /// slot order — exactly the pairs a batch run over
     /// `({probe}, relation)` would report for this probe.
+    ///
+    /// Candidates are deduplicated across keys before verification, and
+    /// each candidate is verified only against the keys that retrieved
+    /// it (sound because a key's retrieval is a superset of its
+    /// acceptance); [`QueryOutcome::key_evals`] counts the evaluations
+    /// actually run. Answers are byte-identical to
+    /// [`MatchIndex::query_unpruned`].
     pub fn query(&self, probe: &Tuple) -> QueryOutcome {
+        self.query_impl(probe, true)
+    }
+
+    /// [`MatchIndex::query`] without key-provenance pruning: every
+    /// candidate is verified against the full key disjunction. The
+    /// reference path for equivalence tests and benches — answers are
+    /// always identical to [`MatchIndex::query`], only
+    /// [`QueryOutcome::key_evals`] differs.
+    pub fn query_unpruned(&self, probe: &Tuple) -> QueryOutcome {
+        self.query_impl(probe, false)
+    }
+
+    fn query_impl(&self, probe: &Tuple, prune: bool) -> QueryOutcome {
         let probe_prep = RelationPrep::single(probe, &self.probe_needs);
-        let slots = self.candidates_with(probe, &probe_prep);
-        let candidates = slots.len();
+        let masked = self.candidate_masks(probe, &probe_prep);
+        let candidates = masked.len();
         let mut stats = FilterStats::default();
+        let mut key_evals = 0usize;
         let mut hits = Vec::new();
-        for slot in slots {
-            if let Some(key) = self.matching_key_at(probe, &probe_prep, slot, &mut stats) {
+        for (slot, mask) in masked {
+            let mask = if prune { mask } else { NO_PRUNE };
+            if let Some(key) =
+                self.matching_key_at(probe, &probe_prep, slot, mask, &mut key_evals, &mut stats)
+            {
                 if !self.vetoed_at(probe, &probe_prep, slot, &mut stats) {
                     hits.push(QueryHit { id: self.relation.tuples()[slot].id(), slot, key });
                 }
             }
         }
-        QueryOutcome { hits, candidates, stats }
+        QueryOutcome { hits, candidates, key_evals, stats }
     }
 
     /// The compiled keys the index retrieves and verifies with.
@@ -791,18 +870,28 @@ impl MatchIndex {
 
     /// First key accepting `(probe, tuple@slot)` through the compiled
     /// evaluation path — the index-side counterpart of
-    /// [`KeyMatcher::matching_key`].
+    /// [`KeyMatcher::matching_key`]. Keys whose provenance bit is clear
+    /// in `mask` are skipped without evaluation: their retrieval did not
+    /// produce the slot, so they cannot accept it, and skipping them
+    /// cannot change which key fires first.
+    #[allow(clippy::too_many_arguments)]
     fn matching_key_at(
         &self,
         probe: &Tuple,
         probe_prep: &RelationPrep,
         slot: usize,
+        mask: u64,
+        key_evals: &mut usize,
         stats: &mut FilterStats,
     ) -> Option<usize> {
         let tuple = &self.relation.tuples()[slot];
-        self.keys.iter().position(|key| {
-            self.ops.lhs_matches_prepped(
-                key.atoms(),
+        for (key, k) in self.keys.iter().enumerate() {
+            if !mask_allows(mask, key) {
+                continue;
+            }
+            *key_evals += 1;
+            if self.ops.lhs_matches_prepped(
+                k.atoms(),
                 probe,
                 tuple,
                 probe_prep,
@@ -810,8 +899,11 @@ impl MatchIndex {
                 0,
                 slot,
                 stats,
-            )
-        })
+            ) {
+                return Some(key);
+            }
+        }
+        None
     }
 
     /// Whether a negative rule vetoes `(probe, tuple@slot)`.
@@ -1033,6 +1125,55 @@ mod tests {
         let null = Tuple::new(11, vec![Value::Null]);
         assert!(index.query(&null).hits.is_empty());
         assert!(index.candidates_for(&null).is_empty());
+    }
+
+    #[test]
+    fn provenance_pruning_is_byte_identical_and_cheaper() {
+        let (_setting, inst, index) = fig1_index();
+        let mut pruned_evals = 0usize;
+        let mut full_evals = 0usize;
+        for probe in inst.left().tuples() {
+            let pruned = index.query(probe);
+            let full = index.query_unpruned(probe);
+            assert_eq!(pruned.hits, full.hits, "probe #{}", probe.id());
+            assert_eq!(pruned.candidates, full.candidates);
+            assert!(pruned.key_evals <= full.key_evals);
+            pruned_evals += pruned.key_evals;
+            full_evals += full.key_evals;
+        }
+        assert!(
+            pruned_evals < full_evals,
+            "pruning must skip some key evaluations ({pruned_evals} vs {full_evals})"
+        );
+    }
+
+    #[test]
+    fn scan_fallback_disables_pruning() {
+        // Key 0 is indexable, key 1 is opaque (scan): every live slot
+        // must still be verified against *both* keys — a hit through the
+        // scan key must not be lost to pruning.
+        let schema = Arc::new(Schema::text("R", &["name", "alias"]).unwrap());
+        let mut rel = Relation::new(schema);
+        rel.push_strs(1, &["Jones", "JJ"]);
+        rel.push_strs(2, &["Smith", "Slim"]);
+        let mut table = OperatorTable::new();
+        let eq = table.intern("=");
+        let jw = table.intern("≈jw");
+        let ops = Arc::new(RuntimeOps::resolve(&table, &paper_registry()).unwrap());
+        let keys = vec![
+            RelativeKey::new(vec![SimilarityAtom::new(0, 0, eq)]),
+            RelativeKey::new(vec![SimilarityAtom::new(1, 1, jw)]),
+        ];
+        let index = MatchIndex::build(2, &rel, &keys, &[], ops).unwrap();
+        assert_eq!(index.stats().scan_anchors, 1);
+        // "Slim" matches only via the opaque alias key; the name key's
+        // exact bucket never retrieves slot 1.
+        let probe = Tuple::new(9, vec![Value::str("nobody"), Value::str("Slim")]);
+        let outcome = index.query(&probe);
+        assert_eq!(outcome.hits.len(), 1);
+        assert_eq!(outcome.hits[0].id, 2);
+        assert_eq!(outcome.hits[0].key, 1);
+        assert_eq!(outcome.hits, index.query_unpruned(&probe).hits);
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! * [`ordered_reduce`] — parallel chunk map + serial fold in chunk
 //!   order.
 //!
+//! For the serving layers there is one concurrency primitive next to the
+//! pool: [`EpochCell`], an atomically-swapped shared snapshot
+//! (`Arc<T>` + monotone epoch counter) whose steady-state read path is
+//! lock-free through the per-reader [`EpochReader`] cache — the
+//! publish/subscribe half of the "build off to the side, then swap"
+//! pattern.
+//!
 //! Thread counts come from [`ExecConfig`] (`Threads::Auto` resolves to
 //! the hardware parallelism). A pool with one thread executes everything
 //! inline, so the serial path and the parallel path share one code path.
@@ -37,10 +44,12 @@
 #![warn(missing_docs)]
 
 mod config;
+mod epoch;
 mod pool;
 mod reduce;
 mod sort;
 
 pub use config::{ExecConfig, Threads};
+pub use epoch::{EpochCell, EpochReader};
 pub use pool::WorkPool;
 pub use reduce::ordered_reduce;

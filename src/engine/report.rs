@@ -232,6 +232,13 @@ impl MatchEngine {
         &self.plan
     }
 
+    /// The compiled plan as a shared handle — stays valid (and keeps
+    /// describing the same rule version) however long the caller holds
+    /// it, which is what concurrent serving layers need.
+    pub fn plan_arc(&self) -> Arc<MatchPlan> {
+        self.plan.clone()
+    }
+
     /// The resolved operator bindings.
     pub fn runtime(&self) -> &RuntimeOps {
         &self.runtime

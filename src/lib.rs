@@ -224,6 +224,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod server;
 pub mod service;
 
 pub use matchrules_core as core;

@@ -1,0 +1,631 @@
+//! [`MatchServer`]: the sharded, concurrent server core.
+
+use crate::engine::{
+    schemas_compatible, EngineBuilder, FilterStats, MatchEngine, MatchIndex, MatchPlan,
+};
+use crate::server::cache::ProbeCache;
+use crate::service::{
+    MatchExplanation, QueryResponse, Record, RecordBuilder, RecordId, RuleVersion, ServiceError,
+    ServiceHit,
+};
+use matchrules_core::dependency::MatchingDependency;
+use matchrules_core::schema::Schema;
+use matchrules_data::relation::Relation;
+use matchrules_runtime::{EpochCell, EpochReader, ExecConfig, WorkPool};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Construction knobs of a [`MatchServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Number of shards the store and index are split into; `0` resolves
+    /// to the executor's thread count (at least 1). More shards mean
+    /// more mutation concurrency and smaller copy-on-publish clones, at
+    /// the cost of fanning every probe out further.
+    pub shards: usize,
+    /// Capacity of the probe-result cache (answers, not bytes); `0`
+    /// disables caching.
+    pub cache_capacity: usize,
+    /// Thread budget for shard fan-out (probes, batch mutations, swap
+    /// rebuilds) and for the TCP front's connection workers.
+    pub exec: ExecConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { shards: 0, cache_capacity: 1024, exec: ExecConfig::default() }
+    }
+}
+
+/// Routes a record id to its shard: a splitmix64 finalizer over the raw
+/// id, reduced modulo the shard count. Dense sequential ids (the common
+/// external-id shape) spread uniformly instead of striping.
+fn shard_of(id: RecordId, shards: usize) -> usize {
+    let mut x = id.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+fn check_schema(record: &Record, expected: &Arc<Schema>) -> Result<(), ServiceError> {
+    if Arc::ptr_eq(record.schema(), expected) || schemas_compatible(record.schema(), expected) {
+        Ok(())
+    } else {
+        Err(ServiceError::SchemaMismatch {
+            expected: format!("{}/{}", expected.name(), expected.arity()),
+            got: format!("{}/{}", record.schema().name(), record.schema().arity()),
+        })
+    }
+}
+
+/// One shard's immutable state: its slice of the store inside a
+/// [`MatchIndex`], plus the global sequence number of every live record
+/// (assigned at upsert in arrival order, across all shards) — what lets
+/// a fan-out query merge per-shard hits back into the store order a
+/// single-owner [`crate::service::MatchService`] would report.
+struct ShardSnapshot {
+    index: MatchIndex,
+    seq_of: HashMap<u64, u64>,
+}
+
+/// One compiled rule set with its version stamp.
+struct RuleEpoch {
+    engine: MatchEngine,
+    version: RuleVersion,
+}
+
+/// The whole server state as one immutable value: the current rules and
+/// every shard snapshot. Published through a single [`EpochCell`], so
+/// one load observes a *consistent* cross-shard view — a reader can
+/// never see shard 0 at version 2 next to shard 1 at version 1.
+struct ServerView {
+    rules: Arc<RuleEpoch>,
+    shards: Vec<Arc<ShardSnapshot>>,
+}
+
+/// Aggregate counters of a [`MatchServer`], via [`MatchServer::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The rule version currently serving.
+    pub version: RuleVersion,
+    /// The publish epoch — bumps on every mutation and every swap.
+    pub epoch: u64,
+    /// Live records per shard (the shard count is the length).
+    pub shard_records: Vec<usize>,
+    /// Total live records.
+    pub records: usize,
+    /// Probes answered (cache hits included) since construction.
+    pub queries: u64,
+    /// Records upserted since construction.
+    pub upserts: u64,
+    /// Records removed since construction.
+    pub removes: u64,
+    /// Probe-cache hits since construction.
+    pub cache_hits: u64,
+    /// Probe-cache misses since construction.
+    pub cache_misses: u64,
+    /// Entries currently held by the probe cache.
+    pub cache_entries: usize,
+}
+
+/// The sharded, concurrent server core: a
+/// [`MatchService`](crate::service::MatchService) re-architected for
+/// many threads.
+///
+/// * **Sharding** — records are routed by a hash of their [`RecordId`]
+///   to one of N shards, each holding its own
+///   [`MatchIndex`](crate::engine::MatchIndex). Mutations on different
+///   shards run concurrently (per-shard writer locks); a probe fans out
+///   over all shards and merges hits back into global arrival order, so
+///   answers are hit-for-hit identical to a single-owner service fed
+///   the same operations.
+/// * **Lock-free reads** — the entire state (rules + all shard
+///   snapshots) is one immutable `ServerView` behind an
+///   [`EpochCell`]; writers build replacements off to the side and swap
+///   a pointer. Steady-state readers (see [`MatchServer::reader`])
+///   revalidate with one atomic load and touch no lock.
+/// * **Zero-downtime swap** — [`MatchServer::swap_rules`] recompiles,
+///   rebuilds every shard's index at version v+1 off to the side, then
+///   publishes the whole view in one store. Readers serve v until the
+///   instant they serve v+1; no read ever blocks or fails. Mutations
+///   are briefly gated (they would race the rebuild), reads never.
+/// * **Probe cache** — answers are cached keyed on
+///   ([`Record::signature`], publish epoch); any publish — upsert,
+///   remove or swap — strands the whole cache at the old epoch at once,
+///   so a stale answer can never be served.
+///
+/// The server takes `&self` everywhere and is `Send + Sync`: share it
+/// behind an `Arc` and call it from as many threads as you like.
+pub struct MatchServer {
+    view: EpochCell<ServerView>,
+    /// Writer gates, one per shard: serialize mutations *within* a
+    /// shard while different shards proceed concurrently.
+    shard_locks: Vec<Mutex<()>>,
+    /// Mutators take `read`, [`MatchServer::swap_rules`] takes `write`:
+    /// a swap sees a frozen store, mutations never interleave a
+    /// rebuild. Queries take neither.
+    swap_gate: RwLock<()>,
+    pool: WorkPool,
+    cache: ProbeCache,
+    /// Global arrival counter; each upserted record is stamped with the
+    /// next value so cross-shard hits can be merged in store order.
+    seq: AtomicU64,
+    queries: AtomicU64,
+    upserts: AtomicU64,
+    removes: AtomicU64,
+}
+
+impl fmt::Debug for MatchServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (view, epoch) = self.view.load();
+        f.debug_struct("MatchServer")
+            .field("version", &view.rules.version)
+            .field("epoch", &epoch)
+            .field("shards", &view.shards.len())
+            .field("records", &view.shards.iter().map(|s| s.index.len()).sum::<usize>())
+            .finish()
+    }
+}
+
+impl MatchServer {
+    /// A server over `engine`'s compiled plan with [`ServerConfig`]
+    /// defaults: one shard per executor thread, a 1024-entry probe
+    /// cache, empty store, rule version `v1`.
+    pub fn new(engine: MatchEngine) -> MatchServer {
+        Self::with_config(engine, ServerConfig::default())
+    }
+
+    /// A server with explicit sharding/caching/threading knobs.
+    pub fn with_config(engine: MatchEngine, config: ServerConfig) -> MatchServer {
+        let pool = WorkPool::new(config.exec);
+        let shards = if config.shards == 0 { pool.threads().max(1) } else { config.shards };
+        let empty = Relation::new(engine.plan().pair().right().clone());
+        let snapshots: Vec<Arc<ShardSnapshot>> = (0..shards)
+            .map(|_| {
+                let index = engine.index(&empty).expect("an empty relation has no duplicate ids");
+                Arc::new(ShardSnapshot { index, seq_of: HashMap::new() })
+            })
+            .collect();
+        let rules = Arc::new(RuleEpoch { engine, version: RuleVersion(1) });
+        MatchServer {
+            view: EpochCell::new(Arc::new(ServerView { rules, shards: snapshots })),
+            shard_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            swap_gate: RwLock::new(()),
+            pool,
+            cache: ProbeCache::new(config.cache_capacity),
+            seq: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            upserts: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shards(&self) -> usize {
+        self.shard_locks.len()
+    }
+
+    /// The executor's resolved thread count — shard fan-out width, and
+    /// what the TCP front sizes its connection-worker cap from.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The rule version currently serving.
+    pub fn version(&self) -> RuleVersion {
+        self.view.load().0.rules.version
+    }
+
+    /// The publish epoch: bumps on every mutation and every swap.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// The schema stored records instantiate (the plan's right side).
+    pub fn store_schema(&self) -> Arc<Schema> {
+        self.view.load().0.rules.engine.plan().pair().right().clone()
+    }
+
+    /// The schema probe records instantiate (the plan's left side).
+    pub fn probe_schema(&self) -> Arc<Schema> {
+        self.view.load().0.rules.engine.plan().pair().left().clone()
+    }
+
+    /// A [`RecordBuilder`] over the store schema.
+    pub fn record_builder(&self) -> RecordBuilder {
+        Record::builder(self.store_schema())
+    }
+
+    /// A [`RecordBuilder`] over the probe schema.
+    pub fn probe_builder(&self) -> RecordBuilder {
+        Record::builder(self.probe_schema())
+    }
+
+    /// Total live records across all shards.
+    pub fn len(&self) -> usize {
+        self.view.load().0.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a live record carries `id`.
+    pub fn contains(&self, id: RecordId) -> bool {
+        let (view, _) = self.view.load();
+        view.shards[shard_of(id, view.shards.len())].index.contains(id.0)
+    }
+
+    /// The live record stored under `id`.
+    pub fn get(&self, id: RecordId) -> Option<Record> {
+        let (view, _) = self.view.load();
+        let schema = view.rules.engine.plan().pair().right().clone();
+        view.shards[shard_of(id, view.shards.len())]
+            .index
+            .get(id.0)
+            .map(|t| Record::from_tuple(schema, t))
+    }
+
+    /// The live store as one relation, in global arrival (store) order —
+    /// exactly what a single-owner service's
+    /// [`snapshot`](crate::service::MatchService::snapshot) would hold
+    /// after the same operations.
+    pub fn snapshot(&self) -> Relation {
+        let (view, _) = self.view.load();
+        let mut rows: Vec<(u64, _)> = Vec::new();
+        for shard in &view.shards {
+            for tuple in shard.index.live_relation().tuples() {
+                rows.push((shard.seq_of[&tuple.id()], tuple.clone()));
+            }
+        }
+        rows.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut rel = Relation::new(view.rules.engine.plan().pair().right().clone());
+        for (_, tuple) in rows {
+            rel.push(tuple);
+        }
+        rel
+    }
+
+    /// Aggregate counters: version, epoch, per-shard sizes, query and
+    /// mutation totals, cache effectiveness.
+    pub fn stats(&self) -> ServerStats {
+        let (view, epoch) = self.view.load();
+        let shard_records: Vec<usize> = view.shards.iter().map(|s| s.index.len()).collect();
+        let (cache_hits, cache_misses) = self.cache.counters();
+        ServerStats {
+            version: view.rules.version,
+            epoch,
+            records: shard_records.iter().sum(),
+            shard_records,
+            queries: self.queries.load(Ordering::Relaxed),
+            upserts: self.upserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_entries: self.cache.len(),
+        }
+    }
+
+    /// A per-thread read handle whose steady-state query path takes no
+    /// lock at all: it revalidates its cached `ServerView` with one
+    /// atomic load and only refreshes after a publish.
+    pub fn reader(&self) -> ServerReader<'_> {
+        ServerReader { server: self, cached: EpochReader::new(&self.view) }
+    }
+
+    /// Every live record the probe matches, with the RCK that fired —
+    /// hit-for-hit identical (ids, keys, order, version) to a
+    /// single-owner [`MatchService::query`](crate::service::MatchService::query)
+    /// fed the same operation sequence. Aggregate counters
+    /// ([`QueryResponse::candidates`], [`QueryResponse::key_evals`],
+    /// [`QueryResponse::stats`]) are summed across shards and may differ
+    /// from the single-owner run: each shard prunes its own candidate
+    /// retrieval independently.
+    pub fn query(&self, probe: &Record) -> Result<QueryResponse, ServiceError> {
+        let (view, epoch) = self.view.load();
+        self.respond(&view, epoch, probe)
+    }
+
+    /// [`MatchServer::query`] for a batch of probes, all answered
+    /// against one consistent view (no mutation or swap can interleave
+    /// *within* the returned vector).
+    pub fn query_batch(&self, probes: &[Record]) -> Result<Vec<QueryResponse>, ServiceError> {
+        let (view, epoch) = self.view.load();
+        probes.iter().map(|p| self.respond(&view, epoch, p)).collect()
+    }
+
+    fn respond(
+        &self,
+        view: &ServerView,
+        epoch: u64,
+        probe: &Record,
+    ) -> Result<QueryResponse, ServiceError> {
+        check_schema(probe, view.rules.engine.plan().pair().left())?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let sig = probe.signature();
+        if let Some(cached) = self.cache.get(sig, epoch) {
+            return Ok((*cached).clone());
+        }
+        let tuple = probe.to_tuple(0);
+        let outcomes =
+            self.pool.par_tasks(view.shards.len(), |s| view.shards[s].index.query(&tuple));
+        let mut hits: Vec<(u64, ServiceHit)> = Vec::new();
+        let mut candidates = 0;
+        let mut key_evals = 0;
+        let mut stats = FilterStats::default();
+        for (shard, outcome) in view.shards.iter().zip(&outcomes) {
+            candidates += outcome.candidates;
+            key_evals += outcome.key_evals;
+            stats.merge(&outcome.stats);
+            for h in &outcome.hits {
+                hits.push((shard.seq_of[&h.id], ServiceHit { id: RecordId(h.id), key: h.key }));
+            }
+        }
+        // Per-shard hits arrive in shard-local slot order; the global
+        // arrival stamp restores the store order a single owner reports.
+        hits.sort_unstable_by_key(|&(seq, _)| seq);
+        let response = QueryResponse {
+            hits: hits.into_iter().map(|(_, h)| h).collect(),
+            candidates,
+            key_evals,
+            stats,
+            version: view.rules.version,
+        };
+        self.cache.put(sig, epoch, Arc::new(response.clone()));
+        Ok(response)
+    }
+
+    /// Explains the decision for `(probe, stored record id)` under the
+    /// current rules; agrees exactly with [`MatchServer::query`]. See
+    /// [`MatchService::explain`](crate::service::MatchService::explain).
+    pub fn explain(&self, probe: &Record, id: RecordId) -> Result<MatchExplanation, ServiceError> {
+        let (view, _) = self.view.load();
+        check_schema(probe, view.rules.engine.plan().pair().left())?;
+        let trace = view.shards[shard_of(id, view.shards.len())]
+            .index
+            .explain(&probe.to_tuple(0), id.0)
+            .map_err(|_| ServiceError::UnknownRecord { id })?;
+        Ok(MatchExplanation::from_trace(trace, id, view.rules.engine.plan(), view.rules.version))
+    }
+
+    /// Inserts or replaces one record; returns whether a replacement
+    /// happened. Equivalent to a one-element
+    /// [`MatchServer::upsert_batch`].
+    pub fn upsert(&self, id: RecordId, record: &Record) -> Result<bool, ServiceError> {
+        Ok(self.upsert_batch(&[(id, record.clone())])?[0])
+    }
+
+    /// Inserts or replaces a batch of records, stamping each with the
+    /// next global arrival number in input order; returns per-item
+    /// replacement flags. Items are grouped by shard and the shard
+    /// groups applied concurrently; every record is visible to queries
+    /// as soon as its shard publishes. Mutations on the *same* shard
+    /// serialize; a concurrent [`MatchServer::swap_rules`] is excluded
+    /// for the duration. Schemas are validated up front, so a failed
+    /// batch mutates nothing.
+    pub fn upsert_batch(&self, items: &[(RecordId, Record)]) -> Result<Vec<bool>, ServiceError> {
+        let _gate = self.swap_gate.read().unwrap_or_else(|e| e.into_inner());
+        {
+            // Rules cannot change while the gate is held, so one check
+            // per item against the current store schema suffices.
+            let (view, _) = self.view.load();
+            let schema = view.rules.engine.plan().pair().right().clone();
+            for (_, record) in items {
+                check_schema(record, &schema)?;
+            }
+        }
+        let shards = self.shard_locks.len();
+        let base = self.seq.fetch_add(items.len() as u64, Ordering::Relaxed);
+        let mut groups: Vec<Vec<(usize, u64)>> = vec![Vec::new(); shards];
+        for (pos, (id, _)) in items.iter().enumerate() {
+            groups[shard_of(*id, shards)].push((pos, base + pos as u64));
+        }
+        let occupied: Vec<usize> = (0..shards).filter(|&s| !groups[s].is_empty()).collect();
+        let applied = self.pool.par_tasks(occupied.len(), |k| {
+            self.apply_upserts(occupied[k], &groups[occupied[k]], items)
+        });
+        let mut replaced = vec![false; items.len()];
+        for shard_result in applied {
+            for (pos, flag) in shard_result? {
+                replaced[pos] = flag;
+            }
+        }
+        self.upserts.fetch_add(items.len() as u64, Ordering::Relaxed);
+        Ok(replaced)
+    }
+
+    /// Applies one shard's slice of an upsert batch: clone the shard
+    /// snapshot, mutate the clone, publish it. Holds the shard's writer
+    /// lock so same-shard batches serialize; the publish itself is a
+    /// pointer swap on the shared view.
+    fn apply_upserts(
+        &self,
+        s: usize,
+        ops: &[(usize, u64)],
+        items: &[(RecordId, Record)],
+    ) -> Result<Vec<(usize, bool)>, ServiceError> {
+        let _shard = self.shard_locks[s].lock().unwrap_or_else(|e| e.into_inner());
+        // Loaded under the shard lock: sees every earlier publish for
+        // this shard (writers publish before releasing the lock).
+        let (view, _) = self.view.load();
+        let mut index = view.shards[s].index.clone();
+        let mut seq_of = view.shards[s].seq_of.clone();
+        let mut flags = Vec::with_capacity(ops.len());
+        for &(pos, seq) in ops {
+            let (id, record) = &items[pos];
+            let replaced = index.contains(id.0);
+            if replaced {
+                index.remove(id.0)?;
+            }
+            index.insert(record.to_tuple(id.0))?;
+            seq_of.insert(id.0, seq);
+            flags.push((pos, replaced));
+        }
+        let snapshot = Arc::new(ShardSnapshot { index, seq_of });
+        self.view.update(|v| {
+            let mut shards = v.shards.clone();
+            shards[s] = snapshot.clone();
+            Arc::new(ServerView { rules: v.rules.clone(), shards })
+        });
+        Ok(flags)
+    }
+
+    /// Removes one record from query visibility. Equivalent to a
+    /// one-element [`MatchServer::remove_batch`].
+    pub fn remove(&self, id: RecordId) -> Result<(), ServiceError> {
+        self.remove_batch(&[id])
+    }
+
+    /// Removes a batch of records, shard groups applied concurrently.
+    /// An unknown id fails its *shard's* group wholesale before that
+    /// shard publishes anything; other shards' groups still apply
+    /// (mutation batches are atomic per shard, not across shards).
+    pub fn remove_batch(&self, ids: &[RecordId]) -> Result<(), ServiceError> {
+        let _gate = self.swap_gate.read().unwrap_or_else(|e| e.into_inner());
+        let shards = self.shard_locks.len();
+        let mut groups: Vec<Vec<RecordId>> = vec![Vec::new(); shards];
+        for &id in ids {
+            groups[shard_of(id, shards)].push(id);
+        }
+        let occupied: Vec<usize> = (0..shards).filter(|&s| !groups[s].is_empty()).collect();
+        let applied = self
+            .pool
+            .par_tasks(occupied.len(), |k| self.apply_removes(occupied[k], &groups[occupied[k]]));
+        for shard_result in applied {
+            shard_result?;
+        }
+        self.removes.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn apply_removes(&self, s: usize, ids: &[RecordId]) -> Result<(), ServiceError> {
+        let _shard = self.shard_locks[s].lock().unwrap_or_else(|e| e.into_inner());
+        let (view, _) = self.view.load();
+        let mut index = view.shards[s].index.clone();
+        let mut seq_of = view.shards[s].seq_of.clone();
+        for &id in ids {
+            index.remove(id.0).map_err(|_| ServiceError::UnknownRecord { id })?;
+            seq_of.remove(&id.0);
+        }
+        let snapshot = Arc::new(ShardSnapshot { index, seq_of });
+        self.view.update(|v| {
+            let mut shards = v.shards.clone();
+            shards[s] = snapshot.clone();
+            Arc::new(ServerView { rules: v.rules.clone(), shards })
+        });
+        Ok(())
+    }
+
+    /// Replaces the rule set with MDs parsed from `md_text`, with
+    /// **zero read downtime**: the new plan is compiled and every
+    /// shard's index rebuilt at version v+1 entirely off to the side
+    /// (reads keep serving v throughout, never blocking or failing),
+    /// then the whole view — rules plus all shards — is published in
+    /// one atomic store. Mutations are gated for the duration so the
+    /// rebuild sees a frozen store. On error the old version keeps
+    /// serving untouched. The rebuild also reclaims tombstoned slots
+    /// (it doubles as a compaction).
+    pub fn swap_rules(&self, md_text: &str) -> Result<RuleVersion, ServiceError> {
+        let text = md_text.to_owned();
+        self.swap_with(move |b| b.md_text(&text))
+    }
+
+    /// [`MatchServer::swap_rules`] for programmatic MDs; the same
+    /// operator-table caveats as
+    /// [`MatchService::swap_rules_with`](crate::service::MatchService::swap_rules_with)
+    /// apply.
+    pub fn swap_rules_with(
+        &self,
+        mds: Vec<MatchingDependency>,
+    ) -> Result<RuleVersion, ServiceError> {
+        self.swap_with(move |b| b.mds(mds))
+    }
+
+    fn swap_with(
+        &self,
+        add_rules: impl FnOnce(EngineBuilder) -> EngineBuilder,
+    ) -> Result<RuleVersion, ServiceError> {
+        let _gate = self.swap_gate.write().unwrap_or_else(|e| e.into_inner());
+        let (view, _) = self.view.load();
+        let builder = EngineBuilder::from_plan(view.rules.engine.plan())
+            .operators(view.rules.engine.registry().clone());
+        let plan = add_rules(builder).compile()?;
+        let engine = MatchEngine::from_plan(plan, view.rules.engine.registry())?;
+        let rebuilt = self.pool.par_tasks(view.shards.len(), |s| {
+            let shard = &view.shards[s];
+            let index = engine.index(&shard.index.live_relation())?;
+            Ok::<_, ServiceError>(Arc::new(ShardSnapshot { index, seq_of: shard.seq_of.clone() }))
+        });
+        let mut shards = Vec::with_capacity(rebuilt.len());
+        for shard in rebuilt {
+            shards.push(shard?);
+        }
+        let version = RuleVersion(view.rules.version.0 + 1);
+        self.view
+            .store(Arc::new(ServerView { rules: Arc::new(RuleEpoch { engine, version }), shards }));
+        Ok(version)
+    }
+
+    /// The currently compiled plan, for rendering keys and inspecting
+    /// rules. The plan is part of the immutable view: the returned
+    /// `Arc` stays valid (and stays describing the version it was
+    /// loaded at) across concurrent swaps.
+    pub fn plan(&self) -> Arc<MatchPlan> {
+        self.view.load().0.rules.engine.plan_arc()
+    }
+}
+
+/// A per-thread read handle over a [`MatchServer`]
+/// (via [`MatchServer::reader`]): caches the last published
+/// `ServerView` and revalidates it with a single atomic load, so a
+/// saturated query loop takes no lock while no writer publishes.
+pub struct ServerReader<'a> {
+    server: &'a MatchServer,
+    cached: EpochReader<ServerView>,
+}
+
+impl fmt::Debug for ServerReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerReader").field("epoch", &self.cached.epoch()).finish()
+    }
+}
+
+impl ServerReader<'_> {
+    /// [`MatchServer::query`] through the cached view: lock-free while
+    /// the epoch is unchanged, one refresh after a publish.
+    pub fn query(&mut self, probe: &Record) -> Result<QueryResponse, ServiceError> {
+        let view = self.cached.get(&self.server.view).clone();
+        let epoch = self.cached.epoch();
+        self.server.respond(&view, epoch, probe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_routing_is_stable_and_covers_all_shards() {
+        for shards in [1usize, 2, 8] {
+            let mut seen = vec![false; shards];
+            for id in 0..512u64 {
+                let s = shard_of(RecordId(id), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(RecordId(id), shards), "routing must be deterministic");
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "512 sequential ids should touch every shard");
+        }
+    }
+
+    #[test]
+    fn default_config_resolves_shards_from_the_pool() {
+        let config = ServerConfig::default();
+        assert_eq!(config.shards, 0, "0 means auto");
+        assert!(config.cache_capacity > 0);
+    }
+}

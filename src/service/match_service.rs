@@ -59,8 +59,12 @@ pub struct ServiceHit {
 pub struct QueryResponse {
     /// The matched records, in stored (slot) order.
     pub hits: Vec<ServiceHit>,
-    /// Candidate records the index retrieved and verified for this probe.
+    /// Candidate records the index retrieved and verified for this probe
+    /// (deduplicated across RCKs).
     pub candidates: usize,
+    /// Key evaluations the verification ran — per candidate, only the
+    /// RCKs whose retrieval produced it are tried.
+    pub key_evals: usize,
     /// Filter-effectiveness counters of the verification pass.
     pub stats: FilterStats,
     /// The rule version that produced this answer.
@@ -224,6 +228,7 @@ impl MatchService {
                 .map(|h| ServiceHit { id: RecordId(h.id), key: h.key })
                 .collect(),
             candidates: outcome.candidates,
+            key_evals: outcome.key_evals,
             stats: outcome.stats,
             version: self.version,
         })
