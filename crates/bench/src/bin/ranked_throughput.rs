@@ -1,0 +1,259 @@
+//! Ranked serving and one-to-one resolution: throughput and quality.
+//!
+//! Two experiments in one binary:
+//!
+//! 1. **Ranked vs boolean serving** — a `MatchService` over the §6
+//!    synthetic catalog answers every credit probe twice: boolean
+//!    `query` and `query_ranked` (score + sort + threshold + truncate).
+//!    Asserts the ranked hit set equals the boolean hit set on every
+//!    probe, then reports both rates — the price of calibrated scores
+//!    on the serving path.
+//! 2. **One-to-one vs closure dedup quality** — cross-relation
+//!    credit→billing matching on a ladder of noise levels. The
+//!    rule-matched pairs are resolved two ways: the classic union-find
+//!    **closure** (expand clusters to all cross pairs) and the scored
+//!    one-to-one **assignment** (`MatchEngine::resolve_links`). Both are
+//!    evaluated against the generator's ground truth; the assignment
+//!    must never lose precision to the closure.
+//!
+//! Usage:
+//! `cargo run --release -p matchrules-bench --bin ranked_throughput \
+//!    [quick|paper] [out.json]`
+
+use matchrules::data::dirty::{generate_dirty, NoiseConfig};
+use matchrules::engine::Preset;
+use matchrules::service::{MatchService, Record, RecordId};
+use matchrules_bench::experiments::{workload, WINDOW};
+use matchrules_bench::json::Json;
+use matchrules_bench::table::Table;
+use matchrules_bench::{time, Scale};
+use matchrules_matcher::metrics::evaluate_pairs;
+use std::collections::BTreeSet;
+
+/// Expands rule-matched cross pairs into entity clusters by union-find
+/// and back out to *all* cross `(credit, billing)` pairs per cluster —
+/// the transitive-closure baseline the paper's merge/purge uses.
+fn closure_pairs(pairs: &[(usize, usize)], lefts: usize, rights: usize) -> Vec<(usize, usize)> {
+    let n = lefts + rights;
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn root(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(l, r) in pairs {
+        let (a, b) = (root(&mut parent, l), root(&mut parent, lefts + r));
+        if a != b {
+            parent[a.max(b)] = a.min(b);
+        }
+    }
+    let mut clusters: std::collections::HashMap<usize, (Vec<usize>, Vec<usize>)> =
+        std::collections::HashMap::new();
+    for l in 0..lefts {
+        clusters.entry(root(&mut parent, l)).or_default().0.push(l);
+    }
+    for r in 0..rights {
+        clusters.entry(root(&mut parent, lefts + r)).or_default().1.push(r);
+    }
+    let mut out = Vec::new();
+    for (_, (ls, rs)) in clusters {
+        for &l in &ls {
+            for &r in &rs {
+                out.push((l, r));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_ranked.json".to_owned());
+    let (persons, ladder_persons) = match scale {
+        Scale::Paper => (20_000, 5_000),
+        Scale::Quick => (1_200, 600),
+    };
+
+    // ----- Experiment 1: ranked vs boolean serving throughput --------
+    println!("ranked serving — query_ranked vs query on the synthetic catalog");
+    let w = workload(persons, 0x5E21);
+    let mut service = MatchService::new(w.engine.clone());
+    for t in w.data.billing.tuples() {
+        let record = Record::from_values(service.store_schema().clone(), t.values().to_vec())
+            .expect("billing rows instantiate the store schema");
+        service.upsert(RecordId(t.id()), &record).expect("fresh ids insert");
+    }
+    let probes: Vec<Record> = w
+        .data
+        .credit
+        .tuples()
+        .iter()
+        .map(|t| {
+            Record::from_values(service.probe_schema().clone(), t.values().to_vec())
+                .expect("credit rows instantiate the probe schema")
+        })
+        .collect();
+    println!(
+        "catalog: {} probes over {} records; score model fitted: {}\n",
+        probes.len(),
+        service.len(),
+        service.plan().score_model().is_fitted(),
+    );
+
+    let mut bool_hits = 0usize;
+    let (boolean, boolean_seconds) = time(|| {
+        let mut out = Vec::with_capacity(probes.len());
+        for probe in &probes {
+            let response = service.query(probe).expect("probe schema checked");
+            bool_hits += response.hits.len();
+            out.push(response.hits);
+        }
+        out
+    });
+    let mut ranked_hits = 0usize;
+    let (ranked, ranked_seconds) = time(|| {
+        let mut out = Vec::with_capacity(probes.len());
+        for probe in &probes {
+            let response =
+                service.query_ranked(probe, usize::MAX, 0.0).expect("probe schema checked");
+            ranked_hits += response.hits.len();
+            out.push(response.hits);
+        }
+        out
+    });
+    for (b, r) in boolean.iter().zip(&ranked) {
+        let b_ids: BTreeSet<u64> = b.iter().map(|h| h.id.0).collect();
+        let r_ids: BTreeSet<u64> = r.iter().map(|h| h.id.0).collect();
+        assert_eq!(b_ids, r_ids, "ranked must return exactly the boolean hit set");
+        for pair in r.windows(2) {
+            assert!(pair[0].score >= pair[1].score, "ranked answers must be sorted");
+        }
+        for h in r {
+            assert!(h.score.is_finite() && (0.0..=1.0).contains(&h.score));
+        }
+    }
+    let queries = probes.len();
+    let boolean_per_sec = queries as f64 / boolean_seconds.max(1e-12);
+    let ranked_per_sec = queries as f64 / ranked_seconds.max(1e-12);
+    let overhead = boolean_seconds / ranked_seconds.max(1e-12);
+
+    let mut table = Table::new(&["mode", "queries", "seconds", "rate", "hits"]);
+    table.row(vec![
+        "boolean".to_owned(),
+        queries.to_string(),
+        format!("{boolean_seconds:.3}"),
+        format!("{boolean_per_sec:.0}/s"),
+        bool_hits.to_string(),
+    ]);
+    table.row(vec![
+        "ranked".to_owned(),
+        queries.to_string(),
+        format!("{ranked_seconds:.3}"),
+        format!("{ranked_per_sec:.0}/s"),
+        ranked_hits.to_string(),
+    ]);
+    println!("{}", table.render());
+    println!("ranked throughput is {:.2}x the boolean path\n", overhead);
+
+    // ----- Experiment 2: one-to-one vs closure on a noise ladder -----
+    println!("link quality — one-to-one assignment vs transitive closure");
+    let shape = Preset::Extended.paper_setting();
+    let rungs = [0.2, 0.5, 0.8];
+    let mut quality_rows = Vec::new();
+    let mut table = Table::new(&["attr_error", "matched_pairs", "closure P/R", "one-to-one P/R"]);
+    for &attr_error_prob in &rungs {
+        let data = generate_dirty(
+            &shape.pair,
+            &shape.target,
+            ladder_persons,
+            &NoiseConfig { attr_error_prob, seed: 0xACE5, ..Default::default() },
+        );
+        let engine = Preset::Extended
+            .builder()
+            .top_k(5)
+            .window(WINDOW)
+            .statistics_from(&data.credit, &data.billing)
+            .build()
+            .expect("preset engine builds");
+        let report =
+            engine.match_pairs_indexed(&data.credit, &data.billing).expect("indexed matching");
+        let (closure, closure_seconds) =
+            time(|| closure_pairs(&report.index_pairs(), data.credit.len(), data.billing.len()));
+        let (links, resolve_seconds) = time(|| {
+            engine.resolve_links(&data.credit, &data.billing, &report, 0.0).expect("links resolve")
+        });
+        let one_pairs: Vec<(usize, usize)> = links.iter().map(|l| (l.left, l.right)).collect();
+        let closure_q = evaluate_pairs(&closure, &data.truth);
+        let one_q = evaluate_pairs(&one_pairs, &data.truth);
+        assert!(
+            one_q.precision() >= closure_q.precision() - 1e-9,
+            "one-to-one precision {:.4} fell below closure {:.4} at error {attr_error_prob}",
+            one_q.precision(),
+            closure_q.precision(),
+        );
+        table.row(vec![
+            format!("{attr_error_prob:.1}"),
+            report.len().to_string(),
+            format!("{:.3}/{:.3}", closure_q.precision(), closure_q.recall()),
+            format!("{:.3}/{:.3}", one_q.precision(), one_q.recall()),
+        ]);
+        quality_rows.push(
+            Json::obj()
+                .field("attr_error_prob", attr_error_prob)
+                .field("matched_pairs", report.len())
+                .field(
+                    "closure",
+                    Json::obj()
+                        .field("pairs", closure.len())
+                        .field("precision", closure_q.precision())
+                        .field("recall", closure_q.recall())
+                        .field("f1", closure_q.f1())
+                        .field("seconds", closure_seconds),
+                )
+                .field(
+                    "one_to_one",
+                    Json::obj()
+                        .field("links", one_pairs.len())
+                        .field("precision", one_q.precision())
+                        .field("recall", one_q.recall())
+                        .field("f1", one_q.f1())
+                        .field("seconds", resolve_seconds),
+                ),
+        );
+    }
+    println!("{}", table.render());
+
+    let doc = Json::obj()
+        .field("bench", "ranked_throughput")
+        .field(
+            "scale",
+            match scale {
+                Scale::Paper => "paper",
+                Scale::Quick => "quick",
+            },
+        )
+        .field("persons", persons)
+        .field("queries", queries)
+        .field("score_model_fitted", service.plan().score_model().is_fitted())
+        .field(
+            "boolean",
+            Json::obj()
+                .field("seconds", boolean_seconds)
+                .field("per_sec", boolean_per_sec)
+                .field("hits", bool_hits),
+        )
+        .field(
+            "ranked",
+            Json::obj()
+                .field("seconds", ranked_seconds)
+                .field("per_sec", ranked_per_sec)
+                .field("hits", ranked_hits),
+        )
+        .field("ranked_vs_boolean", overhead)
+        .field("ladder_persons", ladder_persons)
+        .field("quality_ladder", quality_rows);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

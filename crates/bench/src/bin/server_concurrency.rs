@@ -168,6 +168,49 @@ fn main() {
     }
     println!("{}", table.render());
 
+    // Cache effectiveness: a cached 4-shard server answers the probe
+    // set twice (boolean and ranked) — the second pass should be all
+    // hits; a mutation then strands the whole cache, so a third pass
+    // is all invalidation-misses.
+    let cached = MatchServer::with_config(
+        w.engine.clone(),
+        ServerConfig {
+            shards: 4,
+            cache_capacity: 4 * probes.len().max(1),
+            exec: ExecConfig { threads: Threads::Fixed(2) },
+        },
+    );
+    cached.upsert_batch(&batch).expect("fresh ids insert");
+    for pass in 0..2 {
+        for probe in &probes {
+            cached.query(probe).expect("probe schema checked");
+            cached.query_ranked(probe, 10, 0.0).expect("probe schema checked");
+        }
+        if pass == 0 {
+            let warm = cached.stats();
+            assert_eq!(warm.cache_hits, 0, "first pass is all misses");
+        }
+    }
+    let warm = cached.stats();
+    assert_eq!(warm.cache_hits as usize, 2 * probes.len(), "second pass is all hits");
+    // One upsert bumps the epoch: every cached entry is now stale.
+    let (id0, record0) = batch[0].clone();
+    cached.upsert(id0, &record0).expect("live id re-upserts");
+    for probe in &probes {
+        cached.query(probe).expect("probe schema checked");
+        cached.query_ranked(probe, 10, 0.0).expect("probe schema checked");
+    }
+    let cold = cached.stats();
+    assert_eq!(cold.cache_hits, warm.cache_hits, "stale entries never serve");
+    assert!(
+        cold.cache_invalidations >= 2 * probes.len() as u64,
+        "every stale lookup counts as an invalidation"
+    );
+    println!(
+        "probe cache: {} hits / {} misses / {} invalidations over boolean + ranked passes\n",
+        cold.cache_hits, cold.cache_misses, cold.cache_invalidations,
+    );
+
     // Zero-downtime swaps: readers hammer a 4-shard server while the
     // rule set is hot-swapped back and forth; count the reads that
     // complete strictly inside swap windows.
@@ -248,6 +291,13 @@ fn main() {
         .field("probes", probes.len())
         .field("rounds", rounds)
         .field("sweep", sweep)
+        .field(
+            "cache",
+            Json::obj()
+                .field("hits", cold.cache_hits as usize)
+                .field("misses", cold.cache_misses as usize)
+                .field("invalidations", cold.cache_invalidations as usize),
+        )
         .field(
             "swap",
             Json::obj()

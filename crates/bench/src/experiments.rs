@@ -114,7 +114,8 @@ pub fn fig9_fs(w: &Workload) -> (MethodRow, MethodRow) {
         &candidates,
         ops,
         &cfg,
-    );
+    )
+    .expect("EM fit on windowed candidates");
     let base_pairs = base.classify(&w.data.credit, &w.data.billing, &candidates, ops);
     let base_secs = candidate_secs + start.elapsed().as_secs_f64();
     let base_q = evaluate_pairs(&base_pairs, &w.data.truth);
@@ -127,7 +128,8 @@ pub fn fig9_fs(w: &Workload) -> (MethodRow, MethodRow) {
         &candidates,
         ops,
         &cfg,
-    );
+    )
+    .expect("EM fit on windowed candidates");
     let rck_pairs = rck.classify(&w.data.credit, &w.data.billing, &candidates, ops);
     let rck_secs = candidate_secs + start.elapsed().as_secs_f64();
     let rck_q = evaluate_pairs(&rck_pairs, &w.data.truth);

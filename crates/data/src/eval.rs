@@ -145,6 +145,19 @@ pub struct AtomTrace {
     pub distance: Option<usize>,
 }
 
+/// A graded agreement feature for one LHS atom — the scoring-path
+/// counterpart of [`AtomTrace`], reported by [`RuntimeOps::atom_feature`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomFeature {
+    /// Whether the atom held (decides exactly like
+    /// [`RuntimeOps::atom_matches`]).
+    pub matched: bool,
+    /// Agreement strength in `[0, 1]`: 0 for mismatches, 1 for exact
+    /// agreement, and for edit kernels the θ-margin `1 − d/(bound + 1)`
+    /// in between (deeper inside the bound ⇒ stronger).
+    pub strength: f64,
+}
+
 /// The compiled form of one resolved operator.
 #[derive(Debug, Clone, Copy)]
 enum Kernel {
@@ -455,6 +468,70 @@ impl RuntimeOps {
         }
     }
 
+    /// Computes the graded agreement feature of one atom: the same boolean
+    /// decision as [`RuntimeOps::atom_matches`] plus an agreement strength
+    /// in `[0, 1]` for scoring. This is [`RuntimeOps::atom_trace`]'s cold
+    /// path made warm: it extracts signatures on the fly (no
+    /// [`RelationPrep`] needed, so it works on ad-hoc probe tuples), but —
+    /// unlike the trace — it never computes an exact out-of-bound edit
+    /// distance: a pair a filter or the band proves out of bound simply
+    /// scores 0.
+    pub fn atom_feature(&self, atom: &SimilarityAtom, t1: &Tuple, t2: &Tuple) -> AtomFeature {
+        let miss = AtomFeature { matched: false, strength: 0.0 };
+        match self.kernels[atom.op.0 as usize] {
+            Kernel::Equality => match (t1.get(atom.left).as_str(), t2.get(atom.right).as_str()) {
+                (Some(x), Some(y)) if x == y => AtomFeature { matched: true, strength: 1.0 },
+                _ => miss,
+            },
+            kernel @ (Kernel::Damerau { .. } | Kernel::Levenshtein { .. }) => {
+                let (damerau, theta) = match kernel {
+                    Kernel::Damerau { theta } => (true, theta),
+                    Kernel::Levenshtein { theta } => (false, theta),
+                    _ => unreachable!("outer arm admits only edit kernels"),
+                };
+                let sa = AttrSig::of_value(t1.get(atom.left));
+                let sb = AttrSig::of_value(t2.get(atom.right));
+                if sa.is_null() || sb.is_null() {
+                    return miss;
+                }
+                let max_len = sa.sig().char_len().max(sb.sig().char_len());
+                if max_len == 0 || sa.chars() == sb.chars() {
+                    return AtomFeature { matched: true, strength: 1.0 };
+                }
+                let bound = theta_bound(theta, max_len);
+                if sa.sig().prefilter(sb.sig(), bound).is_some() {
+                    return miss;
+                }
+                let within = EDIT_SCRATCH.with_borrow_mut(|scratch| {
+                    if damerau {
+                        damerau_levenshtein_within_chars(sa.chars(), sb.chars(), bound, scratch)
+                    } else {
+                        levenshtein_within_chars(sa.chars(), sb.chars(), bound, scratch)
+                    }
+                });
+                match within {
+                    // θ-margin: distance 0 would be 1.0, the bound itself
+                    // stays strictly positive (the pair did match).
+                    Some(d) => AtomFeature {
+                        matched: true,
+                        strength: 1.0 - d as f64 / (bound as f64 + 1.0),
+                    },
+                    None => miss,
+                }
+            }
+            Kernel::Dyn => match (t1.get(atom.left).as_str(), t2.get(atom.right).as_str()) {
+                (Some(x), Some(y)) => {
+                    let op = &self.resolved[atom.op.0 as usize];
+                    let matched = op.matches(x, y);
+                    let sim = op.similarity(x, y);
+                    let strength = if sim.is_nan() { 0.0 } else { sim.clamp(0.0, 1.0) };
+                    AtomFeature { matched, strength }
+                }
+                _ => miss,
+            },
+        }
+    }
+
     /// Evaluates a full LHS (conjunction) through the compiled kernels —
     /// the prepped counterpart of [`RuntimeOps::lhs_matches`].
     #[allow(clippy::too_many_arguments)]
@@ -616,6 +693,55 @@ mod tests {
         let trace = ops.atom_trace(&atom, t1, t2, &empty_l, &empty_r, 0, 0);
         assert_eq!(trace.matched, ops.atom_matches(&atom, t1, t2));
         assert!(trace.bound.is_some() && trace.distance.is_some());
+    }
+
+    #[test]
+    fn atom_feature_agrees_with_boolean_and_grades_margin() {
+        let (setting, inst) = crate::fig1::setting_and_instance();
+        let ops = RuntimeOps::resolve(&setting.ops, &paper_registry()).unwrap();
+        for lt in inst.left().tuples() {
+            for rt in inst.right().tuples() {
+                for md in &setting.sigma {
+                    for atom in md.lhs() {
+                        let f = ops.atom_feature(atom, lt, rt);
+                        assert_eq!(f.matched, ops.atom_matches(atom, lt, rt), "{atom:?}");
+                        assert!(f.strength.is_finite() && (0.0..=1.0).contains(&f.strength));
+                        // Strength is positive iff the atom matched (for
+                        // the compiled kernels exercised here).
+                        assert_eq!(f.matched, f.strength > 0.0, "{atom:?}");
+                    }
+                }
+            }
+        }
+        // Exact agreement outranks an in-bound typo, which outranks a miss.
+        let (table, ops) = runtime();
+        let dl = table.get("≈d").unwrap();
+        let atom = SimilarityAtom::new(0, 0, dl);
+        let exact = ops.atom_feature(
+            &atom,
+            &Tuple::new(1, vec![Value::str("Clifford")]),
+            &Tuple::new(2, vec![Value::str("Clifford")]),
+        );
+        let typo = ops.atom_feature(
+            &atom,
+            &Tuple::new(1, vec![Value::str("Clifford")]),
+            &Tuple::new(2, vec![Value::str("Clivord")]),
+        );
+        let miss = ops.atom_feature(
+            &atom,
+            &Tuple::new(1, vec![Value::str("Clifford")]),
+            &Tuple::new(2, vec![Value::str("Zebra")]),
+        );
+        assert_eq!(exact.strength, 1.0);
+        assert!(typo.matched && typo.strength > 0.0 && typo.strength < 1.0);
+        assert!(!miss.matched && miss.strength == 0.0);
+        // Null operands score zero without panicking.
+        let null = ops.atom_feature(
+            &atom,
+            &Tuple::new(1, vec![Value::Null]),
+            &Tuple::new(2, vec![Value::str("x")]),
+        );
+        assert_eq!(null, AtomFeature { matched: false, strength: 0.0 });
     }
 
     #[test]

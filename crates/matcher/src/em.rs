@@ -10,6 +10,39 @@
 //! the paper's "EM algorithm … to estimate parameters such as weights and
 //! threshold" baseline (§6.2 Exp-2).
 
+use std::fmt;
+
+/// Why an EM fit was rejected before any iteration ran.
+///
+/// Degenerate inputs used to surface as panics (or, worse, as NaN weights
+/// downstream); they are typed now so callers can fall back to a prior
+/// model instead of crashing a serving path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmError {
+    /// No comparison vectors were supplied.
+    EmptySample,
+    /// The comparison vectors disagree on dimension.
+    RaggedSample {
+        /// Dimension of the first vector.
+        expected: usize,
+        /// Dimension of the first offending vector.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmError::EmptySample => write!(f, "EM needs at least one comparison vector"),
+            EmError::RaggedSample { expected, got } => {
+                write!(f, "ragged comparison vectors: expected dimension {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
 /// Fitted Fellegi–Sunter parameters.
 #[derive(Debug, Clone)]
 pub struct EmModel {
@@ -51,6 +84,36 @@ fn clamp(x: f64) -> f64 {
 }
 
 impl EmModel {
+    /// An unfit prior model of dimension `d` built straight from the
+    /// initial parameters of `cfg` (clamped). Used as the fallback when no
+    /// sample is available to fit on: posteriors stay defined, finite and
+    /// monotone in the number of agreeing fields.
+    pub fn prior(d: usize, cfg: &EmConfig) -> Self {
+        EmModel {
+            m: vec![clamp(cfg.init_m); d],
+            u: vec![clamp(cfg.init_u); d],
+            p: clamp(cfg.init_p),
+            iterations: 0,
+        }
+    }
+
+    /// Posterior match probability of a *soft* comparison vector: each
+    /// entry is an agreement strength in `[0, 1]` rather than a boolean
+    /// (1.0 reproduces `posterior` with `true`, 0.0 with `false`).
+    /// Inputs are clamped, so the result is always finite and in `[0, 1]`.
+    pub fn posterior_soft(&self, gamma: &[f64]) -> f64 {
+        let (mut lm, mut lu) = (self.p.ln(), (1.0 - self.p).ln());
+        for (i, &g) in gamma.iter().enumerate() {
+            let s = if g.is_nan() { 0.0 } else { g.clamp(0.0, 1.0) };
+            lm += s * self.m[i].ln() + (1.0 - s) * (1.0 - self.m[i]).ln();
+            lu += s * self.u[i].ln() + (1.0 - s) * (1.0 - self.u[i]).ln();
+        }
+        let max = lm.max(lu);
+        let em = (lm - max).exp();
+        let eu = (lu - max).exp();
+        em / (em + eu)
+    }
+
     /// Posterior match probability of a comparison vector.
     pub fn posterior(&self, gamma: &[bool]) -> f64 {
         let (mut lm, mut lu) = (self.p.ln(), (1.0 - self.p).ln());
@@ -110,13 +173,20 @@ impl EmModel {
 
 /// Fits the model on comparison vectors (one per candidate pair).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `vectors` is empty or the vectors disagree on dimension.
-pub fn fit(vectors: &[Vec<bool>], cfg: &EmConfig) -> EmModel {
-    assert!(!vectors.is_empty(), "EM needs at least one comparison vector");
+/// Returns [`EmError`] when `vectors` is empty or the vectors disagree on
+/// dimension. Every estimated probability is clamped into
+/// `[1e-6, 1 - 1e-6]`, so fully degenerate fields (always agreeing or
+/// never agreeing) still yield finite weights and posteriors.
+pub fn fit(vectors: &[Vec<bool>], cfg: &EmConfig) -> Result<EmModel, EmError> {
+    if vectors.is_empty() {
+        return Err(EmError::EmptySample);
+    }
     let d = vectors[0].len();
-    assert!(vectors.iter().all(|v| v.len() == d), "ragged comparison vectors");
+    if let Some(bad) = vectors.iter().find(|v| v.len() != d) {
+        return Err(EmError::RaggedSample { expected: d, got: bad.len() });
+    }
     let n = vectors.len() as f64;
 
     let mut p = clamp(cfg.init_p);
@@ -159,7 +229,7 @@ pub fn fit(vectors: &[Vec<bool>], cfg: &EmConfig) -> EmModel {
             break;
         }
     }
-    EmModel { m, u, p, iterations }
+    Ok(EmModel { m, u, p, iterations })
 }
 
 #[cfg(test)]
@@ -185,7 +255,7 @@ mod tests {
         let true_m = [0.95, 0.9, 0.85];
         let true_u = [0.05, 0.1, 0.2];
         let vectors = synthesize(0.2, &true_m, &true_u, 20_000, 42);
-        let model = fit(&vectors, &EmConfig::default());
+        let model = fit(&vectors, &EmConfig::default()).unwrap();
         assert!((model.p - 0.2).abs() < 0.05, "p = {}", model.p);
         for i in 0..3 {
             assert!((model.m[i] - true_m[i]).abs() < 0.08, "m[{i}] = {}", model.m[i]);
@@ -196,7 +266,7 @@ mod tests {
     #[test]
     fn posterior_separates_classes() {
         let vectors = synthesize(0.15, &[0.95, 0.9], &[0.05, 0.1], 5_000, 7);
-        let model = fit(&vectors, &EmConfig::default());
+        let model = fit(&vectors, &EmConfig::default()).unwrap();
         let all_agree = model.posterior(&[true, true]);
         let none_agree = model.posterior(&[false, false]);
         assert!(all_agree > 0.9, "all-agree posterior {all_agree}");
@@ -208,7 +278,7 @@ mod tests {
     fn field_powers_rank_informative_fields() {
         // Field 0 is discriminative, field 1 is noise (agrees randomly).
         let vectors = synthesize(0.2, &[0.95, 0.5], &[0.05, 0.5], 10_000, 9);
-        let model = fit(&vectors, &EmConfig::default());
+        let model = fit(&vectors, &EmConfig::default()).unwrap();
         let powers = model.field_powers();
         assert!(powers[0] > powers[1]);
         assert_eq!(model.top_fields(1), vec![0]);
@@ -218,19 +288,73 @@ mod tests {
     #[test]
     fn converges_and_reports_iterations() {
         let vectors = synthesize(0.3, &[0.9], &[0.1], 2_000, 3);
-        let model = fit(&vectors, &EmConfig::default());
+        let model = fit(&vectors, &EmConfig::default()).unwrap();
         assert!(model.iterations < 100, "should converge before the cap");
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn empty_input_panics() {
-        let _ = fit(&[], &EmConfig::default());
+    fn empty_input_is_typed_error() {
+        assert_eq!(fit(&[], &EmConfig::default()).unwrap_err(), EmError::EmptySample);
     }
 
     #[test]
-    #[should_panic(expected = "ragged")]
-    fn ragged_input_panics() {
-        let _ = fit(&[vec![true], vec![true, false]], &EmConfig::default());
+    fn ragged_input_is_typed_error() {
+        assert_eq!(
+            fit(&[vec![true], vec![true, false]], &EmConfig::default()).unwrap_err(),
+            EmError::RaggedSample { expected: 1, got: 2 }
+        );
+    }
+
+    /// Degenerate fields (always agreeing, never agreeing) must stay clamped
+    /// away from {0, 1} so weights and posteriors remain finite.
+    #[test]
+    fn degenerate_fields_are_clamped_to_finite_weights() {
+        // Field 0 always agrees, field 1 never does, across every vector.
+        let vectors: Vec<Vec<bool>> = (0..500).map(|_| vec![true, false]).collect();
+        let model = fit(&vectors, &EmConfig::default()).unwrap();
+        for i in 0..2 {
+            assert!((1e-6..=1.0 - 1e-6).contains(&model.m[i]), "m[{i}] = {}", model.m[i]);
+            assert!((1e-6..=1.0 - 1e-6).contains(&model.u[i]), "u[{i}] = {}", model.u[i]);
+        }
+        assert!((1e-6..=1.0 - 1e-6).contains(&model.p), "p = {}", model.p);
+        let w = model.weight(&[true, true]);
+        assert!(w.is_finite(), "weight {w}");
+        assert!(model.field_powers().iter().all(|p| p.is_finite()));
+        for gamma in [[true, true], [true, false], [false, true], [false, false]] {
+            let post = model.posterior(&gamma);
+            assert!(post.is_finite() && (0.0..=1.0).contains(&post), "posterior {post}");
+        }
+    }
+
+    /// The prior (unfit) fallback model is always defined and monotone in
+    /// the number of agreeing fields.
+    #[test]
+    fn prior_model_is_finite_and_monotone() {
+        let model = EmModel::prior(3, &EmConfig::default());
+        assert_eq!(model.iterations, 0);
+        let p0 = model.posterior(&[false, false, false]);
+        let p1 = model.posterior(&[true, false, false]);
+        let p2 = model.posterior(&[true, true, false]);
+        let p3 = model.posterior(&[true, true, true]);
+        assert!(p0 < p1 && p1 < p2 && p2 < p3, "{p0} {p1} {p2} {p3}");
+        assert!(p3.is_finite() && (0.0..=1.0).contains(&p3));
+    }
+
+    /// `posterior_soft` agrees with `posterior` at the boolean corners and
+    /// never produces NaN, even on garbage inputs.
+    #[test]
+    fn posterior_soft_matches_boolean_corners() {
+        let vectors = synthesize(0.2, &[0.9, 0.85], &[0.1, 0.2], 5_000, 11);
+        let model = fit(&vectors, &EmConfig::default()).unwrap();
+        for gamma in [[true, true], [true, false], [false, true], [false, false]] {
+            let soft: Vec<f64> = gamma.iter().map(|&g| if g { 1.0 } else { 0.0 }).collect();
+            assert!((model.posterior(&gamma) - model.posterior_soft(&soft)).abs() < 1e-12);
+        }
+        // Half-agreement sits between the corners; NaN/out-of-range inputs
+        // are sanitized rather than propagated.
+        let mid = model.posterior_soft(&[0.5, 0.5]);
+        assert!(mid > model.posterior(&[false, false]) && mid < model.posterior(&[true, true]));
+        let wild = model.posterior_soft(&[f64::NAN, 7.0]);
+        assert!(wild.is_finite() && (0.0..=1.0).contains(&wild));
     }
 }

@@ -11,11 +11,48 @@
 //!   five RCKs, carrying their similarity operators (`≈d` name comparisons
 //!   tolerate typos), which is what lifts precision in Fig. 9.
 
-use crate::em::{self, EmConfig, EmModel};
+use crate::em::{self, EmConfig, EmError, EmModel};
 use matchrules_core::dependency::SimilarityAtom;
 use matchrules_core::relative_key::{RelativeKey, Target};
 use matchrules_data::eval::RuntimeOps;
 use matchrules_data::relation::Relation;
+use std::fmt;
+
+/// Why a Fellegi–Sunter fit was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The comparison vector has no fields.
+    EmptyFields,
+    /// No candidate pairs were supplied to fit on.
+    NoCandidates,
+    /// The underlying EM fit failed.
+    Em(EmError),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::EmptyFields => write!(f, "comparison vector cannot be empty"),
+            FsError::NoCandidates => write!(f, "need candidate pairs to fit on"),
+            FsError::Em(e) => write!(f, "EM fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Em(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EmError> for FsError {
+    fn from(e: EmError) -> Self {
+        FsError::Em(e)
+    }
+}
 
 /// Fellegi–Sunter matcher configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +72,7 @@ impl Default for FsConfig {
 }
 
 /// A fitted Fellegi–Sunter matcher.
+#[derive(Debug)]
 pub struct FsMatcher {
     fields: Vec<SimilarityAtom>,
     model: EmModel,
@@ -61,9 +99,10 @@ impl FsMatcher {
     /// (a sample of) the candidates, runs EM, and stores the decision
     /// threshold.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `fields` or `candidates` is empty.
+    /// Returns [`FsError`] when `fields` or `candidates` is empty, or when
+    /// the underlying EM fit rejects its sample.
     pub fn fit(
         fields: Vec<SimilarityAtom>,
         credit: &Relation,
@@ -71,9 +110,13 @@ impl FsMatcher {
         candidates: &[(usize, usize)],
         ops: &RuntimeOps,
         cfg: &FsConfig,
-    ) -> Self {
-        assert!(!fields.is_empty(), "comparison vector cannot be empty");
-        assert!(!candidates.is_empty(), "need candidate pairs to fit on");
+    ) -> Result<Self, FsError> {
+        if fields.is_empty() {
+            return Err(FsError::EmptyFields);
+        }
+        if candidates.is_empty() {
+            return Err(FsError::NoCandidates);
+        }
         let step = (candidates.len() / cfg.em_sample.max(1)).max(1);
         let sample: Vec<Vec<bool>> = candidates
             .iter()
@@ -81,8 +124,8 @@ impl FsMatcher {
             .take(cfg.em_sample)
             .map(|&(c, b)| compare(&fields, &credit.tuples()[c], &billing.tuples()[b], ops))
             .collect();
-        let model = em::fit(&sample, &cfg.em);
-        FsMatcher { fields, model, threshold: cfg.posterior_threshold }
+        let model = em::fit(&sample, &cfg.em)?;
+        Ok(FsMatcher { fields, model, threshold: cfg.posterior_threshold })
     }
 
     /// The fitted model.
@@ -239,7 +282,8 @@ mod tests {
             &candidates,
             &ops,
             &cfg,
-        );
+        )
+        .unwrap();
         let base_pairs = baseline.classify(&data.credit, &data.billing, &candidates, &ops);
         let base_q = evaluate_pairs(&base_pairs, &data.truth);
 
@@ -252,7 +296,8 @@ mod tests {
             &candidates,
             &ops,
             &cfg,
-        );
+        )
+        .unwrap();
         let rck_pairs = rck.classify(&data.credit, &data.billing, &candidates, &ops);
         let rck_q = evaluate_pairs(&rck_pairs, &data.truth);
 
@@ -293,7 +338,8 @@ mod tests {
             &candidates,
             &ops,
             &FsConfig { posterior_threshold: 0.99, ..Default::default() },
-        );
+        )
+        .unwrap();
         let lax = FsMatcher::fit(
             fields,
             &data.credit,
@@ -301,7 +347,8 @@ mod tests {
             &candidates,
             &ops,
             &FsConfig { posterior_threshold: 0.5, ..Default::default() },
-        );
+        )
+        .unwrap();
         let strict_pairs = strict.classify(&data.credit, &data.billing, &candidates, &ops);
         let lax_pairs = lax.classify(&data.credit, &data.billing, &candidates, &ops);
         assert!(strict_pairs.len() <= lax_pairs.len());
@@ -319,7 +366,8 @@ mod tests {
             &candidates,
             &ops,
             &cfg,
-        );
+        )
+        .unwrap();
         assert_eq!(m.fields().len(), 11);
         assert!(m.model().iterations >= 1);
     }
@@ -337,7 +385,8 @@ mod tests {
             &candidates,
             &ops,
             &FsConfig::default(),
-        );
+        )
+        .unwrap();
         let scored = fs.score(&data.credit, &data.billing, &candidates, &ops);
         assert_eq!(scored.len(), candidates.len());
         assert!(scored.iter().all(|&(_, s)| (0.0..=1.0).contains(&s)));
@@ -358,10 +407,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "comparison vector")]
-    fn empty_fields_rejected() {
+    fn empty_inputs_are_typed_errors() {
         let (_, data, ops) = setup(10, 1);
-        let _ = FsMatcher::fit(
+        let no_fields = FsMatcher::fit(
             vec![],
             &data.credit,
             &data.billing,
@@ -369,5 +417,17 @@ mod tests {
             &ops,
             &FsConfig::default(),
         );
+        assert_eq!(no_fields.unwrap_err(), FsError::EmptyFields);
+
+        let setting = paper::extended();
+        let no_candidates = FsMatcher::fit(
+            equality_comparison_vector(&setting.target),
+            &data.credit,
+            &data.billing,
+            &[],
+            &ops,
+            &FsConfig::default(),
+        );
+        assert_eq!(no_candidates.unwrap_err(), FsError::NoCandidates);
     }
 }

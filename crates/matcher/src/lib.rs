@@ -16,6 +16,10 @@
 //!   RCKs) and union-find transitive closure;
 //! * [`sortkey`] / [`blocking`] / [`windowing`] — the comparison-space
 //!   reduction of Exp-4 (Soundex-encoded keys, multi-pass unions);
+//! * [`scoring`] — calibrated ranked matching on top of the boolean
+//!   candidates: EM-weighted graded agreement features folded into a
+//!   `[0, 1]` match confidence ([`ScoreModel`]), plus a bipartite
+//!   one-to-one assignment resolver ([`resolve_one_to_one`]);
 //! * [`metrics`] — precision/recall/F1 and pairs-completeness /
 //!   reduction-ratio accounting;
 //! * [`pipeline`] — the shared experiment wiring (data statistics → cost
@@ -33,13 +37,17 @@ pub mod key;
 pub mod metrics;
 pub mod pipeline;
 pub mod rules;
+pub mod scoring;
 pub mod sorted_neighborhood;
 pub mod sortkey;
 pub mod windowing;
 
-pub use fellegi_sunter::{FsConfig, FsMatcher};
+pub use fellegi_sunter::{FsConfig, FsError, FsMatcher};
 pub use index::{IndexError, IndexStats, MatchIndex, QueryHit, QueryOutcome};
 pub use key::KeyMatcher;
 pub use metrics::{evaluate_pairs, BlockingQuality, MatchQuality};
+pub use scoring::{
+    resolve_one_to_one, resolve_one_to_one_shared, ScoreConfig, ScoreModel, ScoredEdge,
+};
 pub use sorted_neighborhood::{sorted_neighborhood, SnConfig, SnOutcome};
 pub use sortkey::{Encoding, KeyField, SortKey};

@@ -47,7 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &candidates,
         ops,
         &cfg,
-    );
+    )
+    .expect("EM fit on windowed candidates");
     let fs_pairs = fs.classify(&data.credit, &data.billing, &candidates, ops);
     let fs_q = evaluate_pairs(&fs_pairs, &data.truth);
     println!("\nFS   (equality vector, {} fields):", fs.fields().len());
@@ -78,7 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &candidates,
         ops,
         &cfg,
-    );
+    )
+    .expect("EM fit on windowed candidates");
     let rck_pairs = fs_rck.classify(&data.credit, &data.billing, &candidates, ops);
     let rck_q = evaluate_pairs(&rck_pairs, &data.truth);
     println!("\nFSrck (union of top-5 RCKs, {} fields):", fs_rck.fields().len());

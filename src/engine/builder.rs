@@ -13,7 +13,10 @@ use matchrules_core::relative_key::Target;
 use matchrules_core::schema::{AttrKind, Schema, SchemaPair, Side};
 use matchrules_data::eval::{paper_registry, RuntimeOps};
 use matchrules_data::relation::Relation;
+use matchrules_matcher::fellegi_sunter::rck_comparison_vector;
 use matchrules_matcher::pipeline::{apply_length_stats, rck_block_key, rck_sort_keys};
+use matchrules_matcher::scoring::{ScoreConfig, ScoreModel};
+use matchrules_matcher::windowing::multi_pass_window;
 use matchrules_runtime::{ExecConfig, Threads};
 use matchrules_simdist::ops::OpRegistry;
 use std::fmt;
@@ -102,12 +105,31 @@ pub(crate) fn schemas_compatible(a: &Schema, b: &Schema) -> bool {
 }
 
 /// Per-attribute average lengths measured on concrete relations, kept
-/// with the schemas they were measured on for compile-time validation.
+/// with the schemas they were measured on for compile-time validation —
+/// plus a bounded deterministic tuple sample of each relation, retained
+/// so `compile()` can fit the plan's [`ScoreModel`] (and a rule hot-swap
+/// can refit it on the *same* sample).
 struct MeasuredStats {
     left_schema: Arc<Schema>,
     left_lens: Vec<f64>,
     right_schema: Arc<Schema>,
     right_lens: Vec<f64>,
+    left_sample: Relation,
+    right_sample: Relation,
+}
+
+/// Per-side cap on the retained scoring sample. Sampling is a
+/// deterministic stride (every k-th tuple), so recompiles see the same
+/// sample and produce byte-identical score models.
+const SCORE_SAMPLE_CAP: usize = 512;
+
+fn sample_relation(rel: &Relation) -> Relation {
+    let step = (rel.len() / SCORE_SAMPLE_CAP).max(1);
+    let mut out = Relation::new(rel.schema().clone());
+    for t in rel.tuples().iter().step_by(step).take(SCORE_SAMPLE_CAP) {
+        out.push(t.clone());
+    }
+    out
 }
 
 /// Builder collecting everything the reasoning needs, compiled once into a
@@ -203,11 +225,20 @@ impl EngineBuilder {
         b.weights = plan.cost_weights();
         b.exec = plan.exec();
         if let Some((left_lens, right_lens)) = plan.measured_lengths() {
+            let (left_sample, right_sample) = match plan.score_sample() {
+                Some((l, r)) => (l.clone(), r.clone()),
+                None => (
+                    Relation::new(plan.pair().left().clone()),
+                    Relation::new(plan.pair().right().clone()),
+                ),
+            };
             b.stats = Some(MeasuredStats {
                 left_schema: plan.pair().left().clone(),
                 left_lens: left_lens.to_vec(),
                 right_schema: plan.pair().right().clone(),
                 right_lens: right_lens.to_vec(),
+                left_sample,
+                right_sample,
             });
         }
         b
@@ -343,6 +374,8 @@ impl EngineBuilder {
             left_lens: left.avg_lengths(),
             right_schema: right.schema().clone(),
             right_lens: right.avg_lengths(),
+            left_sample: sample_relation(left),
+            right_sample: sample_relation(right),
         });
         self
     }
@@ -437,8 +470,9 @@ impl EngineBuilder {
         };
 
         // Fail at compile time when a symbolic operator has no executable
-        // binding — not at the first match call.
-        let _ = RuntimeOps::resolve(&ops, &self.registry)?;
+        // binding — not at the first match call. The resolved runtime also
+        // drives the score-model fit below.
+        let runtime = RuntimeOps::resolve(&ops, &self.registry)?;
 
         // Cost model: configured weights plus measured `lt` statistics
         // (after checking the measured relations instantiate the schemas —
@@ -472,6 +506,33 @@ impl EngineBuilder {
             .map(|key| key.atoms().iter().map(|a| cost.cost(a.left, a.right)).sum())
             .collect();
 
+        // Compile the calibrated score model alongside the keys: the
+        // comparison vector is the union of the RCK atoms; when the
+        // builder measured statistics, EM fits m/u on windowed candidate
+        // pairs from the retained sample (serial and deterministic), and
+        // degenerate samples fall back to the clamped prior.
+        let score_atoms = rck_comparison_vector(&outcome.keys);
+        let (score_model, score_sample) = match &self.stats {
+            Some(stats) if !stats.left_sample.is_empty() && !stats.right_sample.is_empty() => {
+                let candidates = multi_pass_window(
+                    &stats.left_sample,
+                    &stats.right_sample,
+                    &sort_keys,
+                    self.window,
+                );
+                let model = ScoreModel::fit_or_prior(
+                    score_atoms,
+                    &stats.left_sample,
+                    &stats.right_sample,
+                    &candidates,
+                    &runtime,
+                    &ScoreConfig::default(),
+                );
+                (model, Some((stats.left_sample.clone(), stats.right_sample.clone())))
+            }
+            _ => (ScoreModel::prior(score_atoms, &ScoreConfig::default().em), None),
+        };
+
         Ok(MatchPlan::new(
             pair,
             ops,
@@ -487,6 +548,8 @@ impl EngineBuilder {
             self.top_k,
             self.weights,
             self.stats.map(|s| (s.left_lens, s.right_lens)),
+            score_model,
+            score_sample,
             self.exec,
         ))
     }

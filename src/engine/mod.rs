@@ -60,7 +60,12 @@ pub use matchrules_data::eval::{AtomStage, AtomTrace, FilterStats};
 pub use matchrules_matcher::index::{
     IndexError, IndexStats, KeyTrace, MatchIndex, PairTrace, QueryHit, QueryOutcome,
 };
+pub use matchrules_matcher::scoring::{
+    resolve_one_to_one, resolve_one_to_one_shared, ScoreConfig, ScoreModel, ScoredEdge,
+};
 pub use matchrules_runtime::{ExecConfig, Threads};
 pub use plan::MatchPlan;
 pub use preset::Preset;
-pub use report::{DedupReport, MatchEngine, MatchReport, MatchedPair, Stage};
+pub use report::{
+    DedupReport, MatchEngine, MatchReport, MatchedPair, ResolvedDedupReport, ScoredLink, Stage,
+};

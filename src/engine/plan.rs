@@ -5,6 +5,8 @@ use matchrules_core::negation::NegativeRule;
 use matchrules_core::operators::OperatorTable;
 use matchrules_core::relative_key::{RelativeKey, Target};
 use matchrules_core::schema::SchemaPair;
+use matchrules_data::relation::Relation;
+use matchrules_matcher::scoring::ScoreModel;
 use matchrules_matcher::sortkey::SortKey;
 use matchrules_runtime::ExecConfig;
 use std::fmt;
@@ -39,6 +41,8 @@ pub struct MatchPlan {
     top_k: usize,
     weights: (f64, f64, f64),
     avg_lengths: Option<(Vec<f64>, Vec<f64>)>,
+    score_model: ScoreModel,
+    score_sample: Option<(Relation, Relation)>,
     exec: ExecConfig,
 }
 
@@ -59,6 +63,8 @@ impl MatchPlan {
         top_k: usize,
         weights: (f64, f64, f64),
         avg_lengths: Option<(Vec<f64>, Vec<f64>)>,
+        score_model: ScoreModel,
+        score_sample: Option<(Relation, Relation)>,
         exec: ExecConfig,
     ) -> Self {
         MatchPlan {
@@ -76,6 +82,8 @@ impl MatchPlan {
             top_k,
             weights,
             avg_lengths,
+            score_model,
+            score_sample,
             exec,
         }
     }
@@ -141,6 +149,24 @@ impl MatchPlan {
     /// recompiles under the *same* cost ranking as the original plan.
     pub fn measured_lengths(&self) -> Option<(&[f64], &[f64])> {
         self.avg_lengths.as_ref().map(|(l, r)| (l.as_slice(), r.as_slice()))
+    }
+
+    /// The calibrated pair-scoring model compiled alongside the keys:
+    /// Fellegi–Sunter weights over the union of the RCK atoms, EM-fitted
+    /// on the builder's measured sample when one was supplied
+    /// ([`EngineBuilder::statistics_from`](crate::engine::EngineBuilder::statistics_from)),
+    /// otherwise the clamped prior. Scoring through it is a pure function
+    /// of the tuple pair, so ranked results are identical across thread
+    /// and shard layouts.
+    pub fn score_model(&self) -> &ScoreModel {
+        &self.score_model
+    }
+
+    /// The retained scoring sample (when statistics were measured) —
+    /// preserved so a rule hot-swap refits the score model on the *same*
+    /// sample, keeping post-swap scores deterministic.
+    pub(crate) fn score_sample(&self) -> Option<&(Relation, Relation)> {
+        self.score_sample.as_ref()
     }
 
     /// The §8 negative rules guarding the match keys.

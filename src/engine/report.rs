@@ -13,6 +13,7 @@ use matchrules_matcher::blocking::multi_pass_block_in;
 use matchrules_matcher::index::MatchIndex;
 use matchrules_matcher::key::{KeyMatcher, PAR_MATCH_MIN_CHUNK};
 use matchrules_matcher::metrics::{evaluate_pairs, MatchQuality};
+use matchrules_matcher::scoring::{resolve_one_to_one, resolve_one_to_one_shared, ScoredEdge};
 use matchrules_matcher::windowing::multi_pass_window_in;
 use matchrules_runtime::{ordered_reduce, ExecConfig, WorkPool};
 use matchrules_simdist::ops::OpRegistry;
@@ -175,6 +176,45 @@ impl DedupReport {
     /// Number of distinct entities after merging.
     pub fn entity_count(&self) -> usize {
         self.clusters.len()
+    }
+}
+
+/// One link of a one-to-one resolution: a matched pair plus its
+/// calibrated score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredLink {
+    /// Position of the left tuple in its relation.
+    pub left: usize,
+    /// Position of the right tuple in its relation.
+    pub right: usize,
+    /// Id of the left tuple.
+    pub left_id: TupleId,
+    /// Id of the right tuple.
+    pub right_id: TupleId,
+    /// Index (into the plan's RCK list) of the first key that matched.
+    pub key: usize,
+    /// Calibrated match confidence in `[0, 1]` from the plan's
+    /// [`ScoreModel`](matchrules_matcher::scoring::ScoreModel).
+    pub score: f64,
+}
+
+/// A scored one-to-one deduplication result — the resolved counterpart of
+/// [`DedupReport`]: instead of transitively closing every rule-matched
+/// pair into clusters, the pairs are scored and resolved into a matching
+/// where **each record appears in at most one link**.
+#[derive(Debug, Clone)]
+pub struct ResolvedDedupReport {
+    /// The pairwise report (all rule-matched pairs, before resolution).
+    pub report: MatchReport,
+    /// The selected one-to-one links (a subset of the report's pairs),
+    /// in ascending `(left, right)` pair order.
+    pub links: Vec<ScoredLink>,
+}
+
+impl ResolvedDedupReport {
+    /// The links as `(left, right)` position pairs.
+    pub fn index_pairs(&self) -> Vec<(usize, usize)> {
+        self.links.iter().map(|l| (l.left, l.right)).collect()
     }
 }
 
@@ -394,13 +434,16 @@ impl MatchEngine {
         Ok(self.run(left, right, candidates.to_vec(), Instant::now(), Vec::new()))
     }
 
-    /// Deduplicates one relation over a reflexive plan: windowed candidate
-    /// pairs `i < j`, pairwise matching, then transitive closure into
-    /// entity clusters (merge/purge).
-    pub fn dedup(&self, relation: &Relation) -> Result<DedupReport, EngineError> {
+    /// Shared front half of the dedup modes: windowed (or exhaustive)
+    /// `i < j` candidates over the reflexive plan, pairwise matching,
+    /// corrected pair-space accounting.
+    fn dedup_matched(
+        &self,
+        relation: &Relation,
+        started: Instant,
+    ) -> Result<MatchReport, EngineError> {
         self.check_side(Side::Left, relation)?;
         self.check_side(Side::Right, relation)?;
-        let started = Instant::now();
         let mut stages = Vec::new();
         // Name the stage by what actually runs: a key-less plan has no
         // window to slide, it enumerates the full pair space.
@@ -432,6 +475,15 @@ impl MatchEngine {
         let mut report = self.run(relation, relation, candidates, started, stages);
         // The cross product of a dedup run is the unordered pair count.
         report.total_pairs = relation.len() * relation.len().saturating_sub(1) / 2;
+        Ok(report)
+    }
+
+    /// Deduplicates one relation over a reflexive plan: windowed candidate
+    /// pairs `i < j`, pairwise matching, then transitive closure into
+    /// entity clusters (merge/purge).
+    pub fn dedup(&self, relation: &Relation) -> Result<DedupReport, EngineError> {
+        let started = Instant::now();
+        let mut report = self.dedup_matched(relation, started)?;
         // Closure in matched-pair order: the clusters (and their member
         // order) are identical however many threads matched the pairs.
         let closure_started = Instant::now();
@@ -443,6 +495,103 @@ impl MatchEngine {
         report.stages.push(Stage { name: "closure", elapsed: closure_started.elapsed() });
         report.elapsed = started.elapsed();
         Ok(DedupReport { clusters, report })
+    }
+
+    /// Scored one-to-one deduplication — the resolved counterpart of
+    /// [`MatchEngine::dedup`]: the same rule-matched pairs, scored by the
+    /// plan's [`ScoreModel`](matchrules_matcher::scoring::ScoreModel) and
+    /// resolved into a matching where each record appears in **at most one
+    /// link** (the `"resolve"` stage replaces `"closure"`). Links below
+    /// `min_score` are dropped; pass `0.0` to keep every rule match
+    /// eligible and let the assignment alone arbitrate conflicts.
+    pub fn dedup_resolved(
+        &self,
+        relation: &Relation,
+        min_score: f64,
+    ) -> Result<ResolvedDedupReport, EngineError> {
+        let started = Instant::now();
+        let mut report = self.dedup_matched(relation, started)?;
+        let resolve_started = Instant::now();
+        let model = self.plan.score_model();
+        let tuples = relation.tuples();
+        let edges: Vec<ScoredEdge> = report
+            .pairs()
+            .iter()
+            .map(|p| ScoredEdge {
+                left: p.left,
+                right: p.right,
+                score: model.score(&self.runtime, &tuples[p.left], &tuples[p.right]),
+            })
+            .collect();
+        let links = resolve_one_to_one_shared(&edges, min_score)
+            .into_iter()
+            .map(|i| {
+                let p = &report.pairs()[i];
+                ScoredLink {
+                    left: p.left,
+                    right: p.right,
+                    left_id: p.left_id,
+                    right_id: p.right_id,
+                    key: p.key,
+                    score: edges[i].score,
+                }
+            })
+            .collect();
+        report.stages.push(Stage { name: "resolve", elapsed: resolve_started.elapsed() });
+        report.elapsed = started.elapsed();
+        Ok(ResolvedDedupReport { report, links })
+    }
+
+    /// Scores and one-to-one-resolves the matched pairs of a
+    /// **cross-relation** report (e.g. from
+    /// [`MatchEngine::match_pairs_indexed`]): each left and each right
+    /// record ends up in at most one link. This is the scored alternative
+    /// to transitively closing matched pairs into clusters.
+    pub fn resolve_links(
+        &self,
+        left: &Relation,
+        right: &Relation,
+        report: &MatchReport,
+        min_score: f64,
+    ) -> Result<Vec<ScoredLink>, EngineError> {
+        self.check_side(Side::Left, left)?;
+        self.check_side(Side::Right, right)?;
+        let model = self.plan.score_model();
+        let edges: Vec<ScoredEdge> = report
+            .pairs()
+            .iter()
+            .map(|p| ScoredEdge {
+                left: p.left,
+                right: p.right,
+                score: model.score(&self.runtime, &left.tuples()[p.left], &right.tuples()[p.right]),
+            })
+            .collect();
+        Ok(resolve_one_to_one(&edges, min_score)
+            .into_iter()
+            .map(|i| {
+                let p = &report.pairs()[i];
+                ScoredLink {
+                    left: p.left,
+                    right: p.right,
+                    left_id: p.left_id,
+                    right_id: p.right_id,
+                    key: p.key,
+                    score: edges[i].score,
+                }
+            })
+            .collect())
+    }
+
+    /// Calibrated match confidence of one tuple pair under the plan's
+    /// compiled [`ScoreModel`](matchrules_matcher::scoring::ScoreModel):
+    /// always in `[0, 1]`, never NaN, and a pure function of the pair —
+    /// identical across thread counts and shard layouts.
+    pub fn score_pair(
+        &self,
+        t1: &matchrules_data::relation::Tuple,
+        t2: &matchrules_data::relation::Tuple,
+    ) -> f64 {
+        self.plan.score_model().score(&self.runtime, t1, t2)
     }
 
     /// Builds a [`MatchIndex`] over `relation` (which plays the plan's

@@ -171,6 +171,76 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## Ranked matching
+//!
+//! MDs and RCKs are *boolean* — sound candidate generation. The
+//! [`engine::ScoreModel`] compiled into every plan adds a calibrated
+//! confidence on top: per-atom graded agreement features scored by a
+//! Fellegi–Sunter model (EM-fitted when the builder is given
+//! `statistics_from` samples, a clamped prior otherwise), always a
+//! finite posterior in `[0, 1]`. [`MatchService::query_ranked`] returns
+//! **exactly** the boolean hit set — scored, sorted, thresholded and
+//! truncated — and [`MatchEngine::dedup_resolved`] /
+//! [`MatchEngine::resolve_links`](engine::MatchEngine::resolve_links)
+//! replace transitive-closure clusters with a one-to-one assignment
+//! over the scored pairs:
+//!
+//! ```
+//! use matchrules::engine::EngineBuilder;
+//! use matchrules::core::schema::{AttrKind, Schema};
+//! use matchrules::service::{MatchService, RecordId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let crm = Schema::kinded("crm", &[
+//! #     ("first", AttrKind::GivenName), ("last", AttrKind::Surname),
+//! #     ("mobile", AttrKind::Phone), ("mail", AttrKind::Email)])?;
+//! # let orders = Schema::kinded("orders", &[
+//! #     ("fname", AttrKind::GivenName), ("lname", AttrKind::Surname),
+//! #     ("contact", AttrKind::Phone), ("email", AttrKind::Email)])?;
+//! let engine = EngineBuilder::new()
+//!     .schemas(crm, orders)
+//!     .md_text(
+//!         "crm[mail] = orders[email] -> crm[first,last] <=> orders[fname,lname]\n\
+//!          crm[last] = orders[lname] /\\ crm[first] ~d orders[fname] /\\ \
+//!          crm[mobile] = orders[contact] -> \
+//!          crm[first,last,mobile] <=> orders[fname,lname,contact]\n",
+//!     )
+//!     .target(&["first", "last", "mobile"], &["fname", "lname", "contact"])
+//!     .build()?;
+//! let mut service = MatchService::new(engine);
+//! for (id, fname, email) in [(1, "Marx", "mc@gm.com"), (2, "Nora", "mc@gm.com")] {
+//!     let order = service.record_builder()
+//!         .field("fname", fname).field("lname", "Clifford")
+//!         .field("contact", "908-1111111").field("email", email)
+//!         .build()?;
+//!     service.upsert(RecordId(id), &order)?;
+//! }
+//!
+//! let probe = service.probe_builder()
+//!     .field("first", "Mark").field("last", "Clifford")
+//!     .field("mobile", "908-1111111").field("mail", "mc@gm.com")
+//!     .build()?;
+//! // Same hit set as `query`, best-first with calibrated scores.
+//! let ranked = service.query_ranked(&probe, 10, 0.0)?;
+//! assert_eq!(ranked.hits.len(), service.query(&probe)?.hits.len());
+//! for pair in ranked.hits.windows(2) {
+//!     assert!(pair[0].score >= pair[1].score);
+//! }
+//! for hit in &ranked.hits {
+//!     assert!(hit.score.is_finite() && (0.0..=1.0).contains(&hit.score));
+//! }
+//! // `top_k` truncates; a `min_score` threshold filters; NaN is an error.
+//! assert_eq!(service.query_ranked(&probe, 1, 0.0)?.hits.len(), 1);
+//! assert!(service.query_ranked(&probe, 10, f64::NAN).is_err());
+//! # Ok(()) }
+//! ```
+//!
+//! The same calibrated path is served concurrently by
+//! [`server::MatchServer::query_ranked`] (sharded, cached by
+//! `(probe, top_k bucket, min_score)`, byte-identical across thread and
+//! shard counts) and over the wire via
+//! [`server::MatchClient::query_ranked`].
+//!
 //! ## Parallel execution
 //!
 //! The engine runs on a std-only work pool (`matchrules-runtime`):

@@ -10,27 +10,32 @@
 //! store. A version bump (or any upsert) strands every entry at a stale
 //! epoch at once; stale entries are overwritten on their next miss and
 //! swept when the cache fills.
+//!
+//! The cache is generic over the answer type: the server keeps one
+//! instance for boolean [`QueryResponse`](crate::service::QueryResponse)s
+//! and one for ranked answers, each with its own hit/miss/invalidation
+//! counters.
 
-use crate::service::QueryResponse;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// An entry: the epoch the answer was computed at, and the answer.
-struct CacheEntry {
+struct CacheEntry<T> {
     epoch: u64,
-    response: Arc<QueryResponse>,
+    response: Arc<T>,
 }
 
 /// A bounded, epoch-validated probe-result cache.
-pub(crate) struct ProbeCache {
+pub(crate) struct ProbeCache<T> {
     capacity: usize,
-    map: Mutex<HashMap<u64, CacheEntry>>,
+    map: Mutex<HashMap<u64, CacheEntry<T>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
-impl ProbeCache {
+impl<T> ProbeCache<T> {
     /// A cache holding at most `capacity` answers; 0 disables caching.
     pub(crate) fn new(capacity: usize) -> Self {
         ProbeCache {
@@ -38,11 +43,14 @@ impl ProbeCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
     /// The cached answer for `sig` computed at exactly `epoch`, if any.
-    pub(crate) fn get(&self, sig: u64, epoch: u64) -> Option<Arc<QueryResponse>> {
+    /// An entry found at a stale epoch counts as an invalidation (and a
+    /// miss).
+    pub(crate) fn get(&self, sig: u64, epoch: u64) -> Option<Arc<T>> {
         if self.capacity == 0 {
             return None;
         }
@@ -52,7 +60,12 @@ impl ProbeCache {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.response.clone())
             }
-            _ => {
+            Some(_) => {
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -60,18 +73,23 @@ impl ProbeCache {
     }
 
     /// Stores the answer for `sig` computed at `epoch`. When the cache
-    /// is full, entries stranded at older epochs are swept first; if
-    /// every entry is current, the whole cache is dropped rather than
-    /// tracking recency — epoch invalidation makes entries cheap to
-    /// recompute and wholesale drops keep the path std-only and O(1)
-    /// amortized.
-    pub(crate) fn put(&self, sig: u64, epoch: u64, response: Arc<QueryResponse>) {
+    /// is full, entries stranded at older epochs are swept first (each
+    /// swept entry counts as an invalidation); if every entry is
+    /// current, the whole cache is dropped rather than tracking
+    /// recency — epoch invalidation makes entries cheap to recompute
+    /// and wholesale drops keep the path std-only and O(1) amortized.
+    pub(crate) fn put(&self, sig: u64, epoch: u64, response: Arc<T>) {
         if self.capacity == 0 {
             return;
         }
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
         if map.len() >= self.capacity && !map.contains_key(&sig) {
+            let before = map.len();
             map.retain(|_, entry| entry.epoch == epoch);
+            let swept = (before - map.len()) as u64;
+            if swept > 0 {
+                self.invalidations.fetch_add(swept, Ordering::Relaxed);
+            }
             if map.len() >= self.capacity {
                 map.clear();
             }
@@ -84,9 +102,13 @@ impl ProbeCache {
         self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    /// `(hits, misses)` counters since construction.
-    pub(crate) fn counters(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    /// `(hits, misses, invalidations)` counters since construction.
+    pub(crate) fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.invalidations.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -94,7 +116,7 @@ impl ProbeCache {
 mod tests {
     use super::*;
     use crate::engine::FilterStats;
-    use crate::service::RuleVersion;
+    use crate::service::{QueryResponse, RuleVersion};
 
     fn response() -> Arc<QueryResponse> {
         Arc::new(QueryResponse {
@@ -113,7 +135,9 @@ mod tests {
         assert!(cache.get(42, 7).is_some());
         assert!(cache.get(42, 8).is_none(), "an epoch bump invalidates the entry");
         assert!(cache.get(41, 7).is_none());
-        assert_eq!(cache.counters(), (1, 2));
+        // One hit, two misses, and only the stale-epoch probe counts as
+        // an invalidation (sig 41 was never cached).
+        assert_eq!(cache.counters(), (1, 2, 1));
     }
 
     #[test]
@@ -126,6 +150,8 @@ mod tests {
         assert!(cache.get(3, 2).is_some());
         assert!(cache.get(1, 2).is_none());
         assert!(cache.len() <= 2);
+        let (_, _, invalidations) = cache.counters();
+        assert_eq!(invalidations, 2, "both stale entries were swept");
         // All-current full cache: wholesale drop, then the insert lands.
         cache.put(4, 2, response());
         cache.put(5, 2, response());
@@ -139,6 +165,15 @@ mod tests {
         cache.put(1, 1, response());
         assert!(cache.get(1, 1).is_none());
         assert_eq!(cache.len(), 0);
-        assert_eq!(cache.counters(), (0, 0), "a disabled cache counts nothing");
+        assert_eq!(cache.counters(), (0, 0, 0), "a disabled cache counts nothing");
+    }
+
+    #[test]
+    fn generic_over_answer_type() {
+        // The ranked cache reuses the same machinery with a different
+        // payload.
+        let cache: ProbeCache<Vec<u64>> = ProbeCache::new(4);
+        cache.put(9, 1, Arc::new(vec![1, 2, 3]));
+        assert_eq!(cache.get(9, 1).as_deref(), Some(&vec![1, 2, 3]));
     }
 }

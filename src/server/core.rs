@@ -5,8 +5,8 @@ use crate::engine::{
 };
 use crate::server::cache::ProbeCache;
 use crate::service::{
-    MatchExplanation, QueryResponse, Record, RecordBuilder, RecordId, RuleVersion, ServiceError,
-    ServiceHit,
+    MatchExplanation, QueryResponse, RankedResponse, Record, RecordBuilder, RecordId, RuleVersion,
+    ScoredHit, ServiceError, ServiceHit,
 };
 use matchrules_core::dependency::MatchingDependency;
 use matchrules_core::schema::Schema;
@@ -48,6 +48,16 @@ fn shard_of(id: RecordId, shards: usize) -> usize {
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^= x >> 31;
     (x % shards as u64) as usize
+}
+
+/// Folds one more word into a probe-signature digest (the ranked cache
+/// keys on `(signature, top_k bucket, min_score bits)`): a splitmix64
+/// round over the running value xor the next word.
+fn mix_key(seed: u64, word: u64) -> u64 {
+    let mut x = (seed ^ word).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 fn check_schema(record: &Record, expected: &Arc<Schema>) -> Result<(), ServiceError> {
@@ -103,11 +113,16 @@ pub struct ServerStats {
     pub upserts: u64,
     /// Records removed since construction.
     pub removes: u64,
-    /// Probe-cache hits since construction.
+    /// Probe-cache hits since construction (boolean and ranked caches
+    /// summed).
     pub cache_hits: u64,
-    /// Probe-cache misses since construction.
+    /// Probe-cache misses since construction (both caches summed).
     pub cache_misses: u64,
-    /// Entries currently held by the probe cache.
+    /// Cache invalidations since construction (both caches summed):
+    /// entries found stranded at a stale epoch, plus stale entries
+    /// swept to make room.
+    pub cache_invalidations: u64,
+    /// Entries currently held by the probe caches (both caches summed).
     pub cache_entries: usize,
 }
 
@@ -149,7 +164,13 @@ pub struct MatchServer {
     /// rebuild. Queries take neither.
     swap_gate: RwLock<()>,
     pool: WorkPool,
-    cache: ProbeCache,
+    cache: ProbeCache<QueryResponse>,
+    /// The ranked twin of `cache`: answers keyed on
+    /// `(signature ⊕ top_k bucket ⊕ min_score bits, epoch)`. Ranked
+    /// answers are computed and cached at the bucket cap (the next power
+    /// of two ≥ `top_k`) and truncated per request, so nearby `top_k`
+    /// values share entries.
+    ranked_cache: ProbeCache<RankedResponse>,
     /// Global arrival counter; each upserted record is stamped with the
     /// next value so cross-shard hits can be merged in store order.
     seq: AtomicU64,
@@ -196,6 +217,7 @@ impl MatchServer {
             swap_gate: RwLock::new(()),
             pool,
             cache: ProbeCache::new(config.cache_capacity),
+            ranked_cache: ProbeCache::new(config.cache_capacity),
             seq: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             upserts: AtomicU64::new(0),
@@ -295,7 +317,8 @@ impl MatchServer {
     pub fn stats(&self) -> ServerStats {
         let (view, epoch) = self.view.load();
         let shard_records: Vec<usize> = view.shards.iter().map(|s| s.index.len()).collect();
-        let (cache_hits, cache_misses) = self.cache.counters();
+        let (bool_hits, bool_misses, bool_invalidations) = self.cache.counters();
+        let (ranked_hits, ranked_misses, ranked_invalidations) = self.ranked_cache.counters();
         ServerStats {
             version: view.rules.version,
             epoch,
@@ -304,9 +327,10 @@ impl MatchServer {
             queries: self.queries.load(Ordering::Relaxed),
             upserts: self.upserts.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
-            cache_hits,
-            cache_misses,
-            cache_entries: self.cache.len(),
+            cache_hits: bool_hits + ranked_hits,
+            cache_misses: bool_misses + ranked_misses,
+            cache_invalidations: bool_invalidations + ranked_invalidations,
+            cache_entries: self.cache.len() + self.ranked_cache.len(),
         }
     }
 
@@ -336,6 +360,89 @@ impl MatchServer {
     pub fn query_batch(&self, probes: &[Record]) -> Result<Vec<QueryResponse>, ServiceError> {
         let (view, epoch) = self.view.load();
         probes.iter().map(|p| self.respond(&view, epoch, p)).collect()
+    }
+
+    /// [`MatchServer::query`], ranked: the same hit set the boolean
+    /// query reports, scored by the plan's compiled
+    /// [`ScoreModel`](crate::engine::ScoreModel), sorted by score
+    /// descending (ties keep store order), filtered to
+    /// `score >= min_score` and truncated to `top_k` — answer-for-answer
+    /// identical (ids, keys, scores, order) to a single-owner
+    /// [`MatchService::query_ranked`](crate::service::MatchService::query_ranked)
+    /// fed the same operations, at any shard count. Scoring is a pure
+    /// function of the immutable plan, so scores are byte-identical
+    /// across thread counts and repeat queries at one rule version.
+    ///
+    /// Answers are cached at the `top_k` *bucket* cap (next power of
+    /// two) keyed on `(signature, bucket, min_score bits, epoch)`, so
+    /// nearby `top_k` values share cache entries.
+    pub fn query_ranked(
+        &self,
+        probe: &Record,
+        top_k: usize,
+        min_score: f64,
+    ) -> Result<RankedResponse, ServiceError> {
+        let (view, epoch) = self.view.load();
+        self.respond_ranked(&view, epoch, probe, top_k, min_score)
+    }
+
+    fn respond_ranked(
+        &self,
+        view: &ServerView,
+        epoch: u64,
+        probe: &Record,
+        top_k: usize,
+        min_score: f64,
+    ) -> Result<RankedResponse, ServiceError> {
+        if min_score.is_nan() {
+            return Err(ServiceError::InvalidThreshold);
+        }
+        check_schema(probe, view.rules.engine.plan().pair().left())?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let bucket = top_k.checked_next_power_of_two().unwrap_or(usize::MAX);
+        let sig = mix_key(mix_key(probe.signature(), bucket as u64), min_score.to_bits());
+        if let Some(cached) = self.ranked_cache.get(sig, epoch) {
+            let mut response = (*cached).clone();
+            response.hits.truncate(top_k);
+            return Ok(response);
+        }
+        let tuple = probe.to_tuple(0);
+        let engine = &view.rules.engine;
+        let model = engine.plan().score_model();
+        let outcomes = self.pool.par_tasks(view.shards.len(), |s| {
+            let shard = &view.shards[s];
+            let outcome = shard.index.query(&tuple);
+            let scored: Vec<(u64, ScoredHit)> = outcome
+                .hits
+                .iter()
+                .map(|h| {
+                    let stored = shard.index.get(h.id).expect("query hits are live records");
+                    let score = model.score(engine.runtime(), &tuple, stored);
+                    (shard.seq_of[&h.id], ScoredHit { id: RecordId(h.id), key: h.key, score })
+                })
+                .collect();
+            (scored, outcome.candidates, outcome.key_evals)
+        });
+        let mut hits: Vec<(u64, ScoredHit)> = Vec::new();
+        let mut candidates = 0;
+        let mut key_evals = 0;
+        for (scored, c, k) in outcomes {
+            candidates += c;
+            key_evals += k;
+            hits.extend(scored);
+        }
+        // Store order first, then a *stable* sort by score: equal scores
+        // keep global arrival order, exactly like the single-owner path.
+        hits.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut hits: Vec<ScoredHit> = hits.into_iter().map(|(_, h)| h).collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score));
+        hits.retain(|h| h.score >= min_score);
+        hits.truncate(bucket);
+        let full = RankedResponse { hits, candidates, key_evals, version: view.rules.version };
+        self.ranked_cache.put(sig, epoch, Arc::new(full.clone()));
+        let mut response = full;
+        response.hits.truncate(top_k);
+        Ok(response)
     }
 
     fn respond(
@@ -601,6 +708,18 @@ impl ServerReader<'_> {
         let view = self.cached.get(&self.server.view).clone();
         let epoch = self.cached.epoch();
         self.server.respond(&view, epoch, probe)
+    }
+
+    /// [`MatchServer::query_ranked`] through the cached view.
+    pub fn query_ranked(
+        &mut self,
+        probe: &Record,
+        top_k: usize,
+        min_score: f64,
+    ) -> Result<RankedResponse, ServiceError> {
+        let view = self.cached.get(&self.server.view).clone();
+        let epoch = self.cached.epoch();
+        self.server.respond_ranked(&view, epoch, probe, top_k, min_score)
     }
 }
 

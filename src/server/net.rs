@@ -21,9 +21,9 @@
 use crate::server::core::MatchServer;
 use crate::server::wire::{
     read_response, write_request, write_response, ProtocolError, Request, Response, WireHit,
-    WireQuery, WireSchema, WireStats, MAX_FRAME,
+    WireQuery, WireRanked, WireSchema, WireScoredHit, WireStats, MAX_FRAME,
 };
-use crate::service::{QueryResponse, Record, RecordId, ServiceError};
+use crate::service::{QueryResponse, RankedResponse, Record, RecordId, ServiceError};
 use matchrules_core::schema::Schema;
 use matchrules_data::value::Value;
 use std::fmt;
@@ -255,6 +255,12 @@ fn apply(server: &MatchServer, request: Request) -> Result<Response, ServiceErro
             Ok(Response::SwapRules { version: server.swap_rules(&md_text)?.number() })
         }
         Request::Stats => Ok(Response::Stats(stats_to_wire(server))),
+        Request::QueryRanked { values, top_k, min_score_bits } => {
+            let probe = record_from(server.probe_schema(), values)?;
+            let response =
+                server.query_ranked(&probe, top_k as usize, f64::from_bits(min_score_bits))?;
+            Ok(Response::QueryRanked(ranked_to_wire(&response)))
+        }
     }
 }
 
@@ -267,6 +273,19 @@ fn record_from(schema: Arc<Schema>, values: Vec<Option<String>>) -> Result<Recor
 fn query_to_wire(response: &QueryResponse) -> WireQuery {
     WireQuery {
         hits: response.hits.iter().map(|h| WireHit { id: h.id.0, key: h.key as u32 }).collect(),
+        candidates: response.candidates as u64,
+        key_evals: response.key_evals as u64,
+        version: response.version.number(),
+    }
+}
+
+fn ranked_to_wire(response: &RankedResponse) -> WireRanked {
+    WireRanked {
+        hits: response
+            .hits
+            .iter()
+            .map(|h| WireScoredHit { id: h.id.0, key: h.key as u32, score_bits: h.score.to_bits() })
+            .collect(),
         candidates: response.candidates as u64,
         key_evals: response.key_evals as u64,
         version: response.version.number(),
@@ -291,6 +310,7 @@ fn stats_to_wire(server: &MatchServer) -> WireStats {
         removes: stats.removes,
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
+        cache_invalidations: stats.cache_invalidations,
         store_schema: schema_to_wire(&server.store_schema()),
         probe_schema: schema_to_wire(&server.probe_schema()),
     }
@@ -444,6 +464,25 @@ impl MatchClient {
         match self.checked(&Request::Query { values })? {
             Response::Query(q) => Ok(q),
             _ => Err(ClientError::UnexpectedResponse { expected: "a query answer" }),
+        }
+    }
+
+    /// Matches one probe ranked: the boolean hit set scored by the
+    /// server's compiled score model, sorted by confidence descending,
+    /// filtered to `score >= min_score` and truncated to `top_k`.
+    /// Scores travel bit-exact (`f64::to_bits`): decode with
+    /// `f64::from_bits(hit.score_bits)`.
+    pub fn query_ranked(
+        &mut self,
+        fields: &[(&str, &str)],
+        top_k: u32,
+        min_score: f64,
+    ) -> Result<WireRanked, ClientError> {
+        let values = Self::values_for(&self.probe_schema, fields)?;
+        let request = Request::QueryRanked { values, top_k, min_score_bits: min_score.to_bits() };
+        match self.checked(&request)? {
+            Response::QueryRanked(q) => Ok(q),
+            _ => Err(ClientError::UnexpectedResponse { expected: "a ranked answer" }),
         }
     }
 

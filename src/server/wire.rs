@@ -121,6 +121,17 @@ pub enum Request {
         /// The ids to remove.
         ids: Vec<u64>,
     },
+    /// Match one probe ranked: the boolean hit set scored, sorted by
+    /// calibrated confidence, thresholded and truncated.
+    QueryRanked {
+        /// The probe's field values, in schema attribute order.
+        values: Vec<Option<String>>,
+        /// Maximum hits to return.
+        top_k: u32,
+        /// Minimum score to return, as `f64::to_bits` (bit-exact on the
+        /// wire; NaN is rejected by the server).
+        min_score_bits: u64,
+    },
     /// Explain the decision for one (probe, stored record) pair.
     Explain {
         /// The probe's field values.
@@ -160,6 +171,32 @@ pub struct WireQuery {
     pub version: u64,
 }
 
+/// One ranked hit on the wire: the matched id, the fired-RCK index, and
+/// the calibrated score as `f64::to_bits` (bit-exact transport — ranked
+/// answers are byte-identical across the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireScoredHit {
+    /// Id of the matched record.
+    pub id: u64,
+    /// Index of the first RCK that accepted the pair.
+    pub key: u32,
+    /// The calibrated match confidence, as `f64::to_bits`.
+    pub score_bits: u64,
+}
+
+/// A ranked query answer on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRanked {
+    /// The surviving hits, sorted by score descending.
+    pub hits: Vec<WireScoredHit>,
+    /// Candidates retrieved and verified for this probe.
+    pub candidates: u64,
+    /// RCK evaluations the verification ran.
+    pub key_evals: u64,
+    /// The rule version that produced this answer.
+    pub version: u64,
+}
+
 /// One schema on the wire: its name and attribute names in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireSchema {
@@ -188,6 +225,8 @@ pub struct WireStats {
     pub cache_hits: u64,
     /// Probe-cache misses.
     pub cache_misses: u64,
+    /// Probe-cache invalidations (stale-epoch lookups and sweeps).
+    pub cache_invalidations: u64,
     /// The schema stored records instantiate.
     pub store_schema: WireSchema,
     /// The schema probes instantiate.
@@ -213,6 +252,8 @@ pub enum Response {
         /// The rule version the batch was applied under.
         version: u64,
     },
+    /// Answer to [`Request::QueryRanked`].
+    QueryRanked(WireRanked),
     /// Answer to [`Request::Explain`].
     Explain {
         /// Whether the pair matches.
@@ -292,6 +333,18 @@ fn put_wire_query(out: &mut Vec<u8>, q: &WireQuery) {
     put_u64(out, q.version);
 }
 
+fn put_wire_ranked(out: &mut Vec<u8>, q: &WireRanked) {
+    put_u32(out, q.hits.len() as u32);
+    for h in &q.hits {
+        put_u64(out, h.id);
+        put_u32(out, h.key);
+        put_u64(out, h.score_bits);
+    }
+    put_u64(out, q.candidates);
+    put_u64(out, q.key_evals);
+    put_u64(out, q.version);
+}
+
 impl Request {
     /// Encodes the message body (opcode + fields, no length prefix).
     pub fn encode(&self) -> Vec<u8> {
@@ -333,6 +386,12 @@ impl Request {
                 put_str(&mut out, md_text);
             }
             Request::Stats => out.push(7),
+            Request::QueryRanked { values, top_k, min_score_bits } => {
+                out.push(8);
+                put_values(&mut out, values);
+                put_u32(&mut out, *top_k);
+                put_u64(&mut out, *min_score_bits);
+            }
         }
         out
     }
@@ -374,6 +433,11 @@ impl Request {
             }
             6 => Request::SwapRules { md_text: r.string("md text")? },
             7 => Request::Stats,
+            8 => {
+                let values = r.values()?;
+                let top_k = r.u32("top-k")?;
+                Request::QueryRanked { values, top_k, min_score_bits: r.u64("min-score bits")? }
+            }
             tag => return Err(ProtocolError::UnknownTag { context: "request opcode", tag }),
         };
         r.finish()?;
@@ -439,8 +503,13 @@ impl Response {
                 put_u64(&mut out, s.removes);
                 put_u64(&mut out, s.cache_hits);
                 put_u64(&mut out, s.cache_misses);
+                put_u64(&mut out, s.cache_invalidations);
                 put_schema(&mut out, &s.store_schema);
                 put_schema(&mut out, &s.probe_schema);
+            }
+            Response::QueryRanked(q) => {
+                out.push(8);
+                put_wire_ranked(&mut out, q);
             }
             Response::Error { message } => {
                 out.push(255);
@@ -501,10 +570,12 @@ impl Response {
                     removes: r.u64("remove counter")?,
                     cache_hits: r.u64("cache hits")?,
                     cache_misses: r.u64("cache misses")?,
+                    cache_invalidations: r.u64("cache invalidations")?,
                     store_schema: r.schema()?,
                     probe_schema: r.schema()?,
                 })
             }
+            8 => Response::QueryRanked(r.wire_ranked()?),
             255 => Response::Error { message: r.string("error message")? },
             tag => return Err(ProtocolError::UnknownTag { context: "response opcode", tag }),
         };
@@ -606,6 +677,22 @@ impl<'a> Reader<'a> {
             hits.push(WireHit { id, key: self.u32("hit key")? });
         }
         Ok(WireQuery {
+            hits,
+            candidates: self.u64("candidate counter")?,
+            key_evals: self.u64("key-eval counter")?,
+            version: self.u64("rule version")?,
+        })
+    }
+
+    fn wire_ranked(&mut self) -> Result<WireRanked, ProtocolError> {
+        let n = self.count("hit count")?;
+        let mut hits = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.u64("hit id")?;
+            let key = self.u32("hit key")?;
+            hits.push(WireScoredHit { id, key, score_bits: self.u64("hit score bits")? });
+        }
+        Ok(WireRanked {
             hits,
             candidates: self.u64("candidate counter")?,
             key_evals: self.u64("key-eval counter")?,
@@ -742,6 +829,11 @@ mod tests {
             Request::Explain { values: vec![Some("p".into())], id: 42 },
             Request::SwapRules { md_text: "a[b] = a[b] -> a[c] <=> a[c]".into() },
             Request::Stats,
+            Request::QueryRanked {
+                values: vec![Some("p".into()), None],
+                top_k: 10,
+                min_score_bits: 0.5f64.to_bits(),
+            },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -783,8 +875,18 @@ mod tests {
                 removes: 1,
                 cache_hits: 50,
                 cache_misses: 50,
+                cache_invalidations: 7,
                 store_schema: WireSchema { name: "crm".into(), attributes: vec!["a".into()] },
                 probe_schema: WireSchema { name: "orders".into(), attributes: vec!["b".into()] },
+            }),
+            Response::QueryRanked(WireRanked {
+                hits: vec![
+                    WireScoredHit { id: 3, key: 1, score_bits: 0.97f64.to_bits() },
+                    WireScoredHit { id: 8, key: 0, score_bits: 0.42f64.to_bits() },
+                ],
+                candidates: 9,
+                key_evals: 4,
+                version: 2,
             }),
             Response::Error { message: "unknown record #9".into() },
         ];

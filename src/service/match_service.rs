@@ -54,6 +54,36 @@ pub struct ServiceHit {
     pub key: usize,
 }
 
+/// One ranked query hit: a stored record the probe matches, the RCK
+/// that fired, and the calibrated match confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredHit {
+    /// Id of the matched record.
+    pub id: RecordId,
+    /// Index (into [`MatchPlan::rcks`]) of the first key that accepted
+    /// the pair.
+    pub key: usize,
+    /// Calibrated match confidence in `[0, 1]` — the plan's
+    /// [`ScoreModel`](crate::engine::ScoreModel) posterior for the
+    /// (probe, record) pair. Never NaN.
+    pub score: f64,
+}
+
+/// The stamped answer of one [`MatchService::query_ranked`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedResponse {
+    /// The surviving hits, sorted by score descending (ties keep store
+    /// order), truncated to the requested `top_k`.
+    pub hits: Vec<ScoredHit>,
+    /// Candidate records the index retrieved and verified for this
+    /// probe (deduplicated across RCKs).
+    pub candidates: usize,
+    /// Key evaluations the verification ran.
+    pub key_evals: usize,
+    /// The rule version that produced this answer.
+    pub version: RuleVersion,
+}
+
 /// The stamped answer of one [`MatchService::query`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryResponse {
@@ -230,6 +260,53 @@ impl MatchService {
             candidates: outcome.candidates,
             key_evals: outcome.key_evals,
             stats: outcome.stats,
+            version: self.version,
+        })
+    }
+
+    /// [`MatchService::query`], ranked: the **same hit set** the boolean
+    /// query reports (the rules stay the sound candidate generator;
+    /// scores never add or drop a hit), each hit scored by the plan's
+    /// compiled [`ScoreModel`](crate::engine::ScoreModel), sorted by
+    /// score descending (ties keep store order), filtered to
+    /// `score >= min_score`, and truncated to the best `top_k`.
+    ///
+    /// `min_score` must not be NaN
+    /// ([`ServiceError::InvalidThreshold`]); `min_score <= 0.0` with
+    /// `top_k >= hits` returns the full boolean hit set. Scores are
+    /// deterministic — byte-identical across thread counts and repeat
+    /// queries at the same rule version.
+    pub fn query_ranked(
+        &self,
+        probe: &Record,
+        top_k: usize,
+        min_score: f64,
+    ) -> Result<RankedResponse, ServiceError> {
+        if min_score.is_nan() {
+            return Err(ServiceError::InvalidThreshold);
+        }
+        Self::check_schema(probe, self.probe_schema())?;
+        let probe_tuple = probe.to_tuple(0);
+        let outcome = self.index.query(&probe_tuple);
+        let model = self.plan().score_model();
+        let runtime = self.engine.runtime();
+        let mut hits: Vec<ScoredHit> = outcome
+            .hits
+            .iter()
+            .map(|h| {
+                let stored = self.index.get(h.id).expect("query hits are live records");
+                let score = model.score(runtime, &probe_tuple, stored);
+                ScoredHit { id: RecordId(h.id), key: h.key, score }
+            })
+            .collect();
+        // Stable sort: equal scores keep the boolean query's store order.
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score));
+        hits.retain(|h| h.score >= min_score);
+        hits.truncate(top_k);
+        Ok(RankedResponse {
+            hits,
+            candidates: outcome.candidates,
+            key_evals: outcome.key_evals,
             version: self.version,
         })
     }

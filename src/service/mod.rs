@@ -67,5 +67,7 @@ mod match_service;
 mod record;
 
 pub use explain::{AtomExplanation, DeductionStep, KeyExplanation, MatchExplanation};
-pub use match_service::{MatchService, QueryResponse, RecordId, RuleVersion, ServiceHit};
+pub use match_service::{
+    MatchService, QueryResponse, RankedResponse, RecordId, RuleVersion, ScoredHit, ServiceHit,
+};
 pub use record::{Record, RecordBuilder, ServiceError};

@@ -54,6 +54,9 @@ pub enum ServiceError {
         /// The unresolved id.
         id: RecordId,
     },
+    /// A ranked query was given a NaN score threshold; NaN compares
+    /// false to everything, so the caller's intent is ambiguous.
+    InvalidThreshold,
     /// A rule-swap recompile or index rebuild failed; the service state
     /// is unchanged.
     Engine(EngineError),
@@ -77,6 +80,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownRecord { id } => {
                 write!(f, "no live record carries id {id}")
+            }
+            ServiceError::InvalidThreshold => {
+                write!(f, "ranked query min_score must not be NaN")
             }
             ServiceError::Engine(e) => write!(f, "{e}"),
         }

@@ -74,7 +74,8 @@ fn fs_pipeline_quality_gates() {
         &candidates,
         engine.runtime(),
         &FsConfig::default(),
-    );
+    )
+    .expect("EM fit on windowed candidates");
     let pairs = fs.classify(&data.credit, &data.billing, &candidates, engine.runtime());
     let q = evaluate_pairs(&pairs, &data.truth);
     assert!(q.recall() >= 0.85, "recall {}", q.recall());

@@ -12,7 +12,8 @@
 
 use matchrules::server::wire::{
     read_frame, read_request, read_response, write_frame, write_request, write_response,
-    ProtocolError, Request, Response, WireHit, WireQuery, WireSchema, WireStats, MAX_FRAME,
+    ProtocolError, Request, Response, WireHit, WireQuery, WireRanked, WireSchema, WireScoredHit,
+    WireStats, MAX_FRAME,
 };
 use proptest::prelude::*;
 use std::io::Read;
@@ -62,7 +63,7 @@ impl Gen {
     }
 
     fn request(&mut self) -> Request {
-        match self.below(7) {
+        match self.below(8) {
             0 => Request::Query { values: self.values() },
             1 => {
                 Request::QueryBatch { probes: (0..self.below(4)).map(|_| self.values()).collect() }
@@ -73,7 +74,27 @@ impl Gen {
             3 => Request::RemoveBatch { ids: (0..self.below(6)).map(|_| self.next()).collect() },
             4 => Request::Explain { values: self.values(), id: self.next() },
             5 => Request::SwapRules { md_text: self.string() },
+            6 => Request::QueryRanked {
+                values: self.values(),
+                top_k: self.next() as u32,
+                min_score_bits: self.next(),
+            },
             _ => Request::Stats,
+        }
+    }
+
+    fn wire_ranked(&mut self) -> WireRanked {
+        WireRanked {
+            hits: (0..self.below(4))
+                .map(|_| WireScoredHit {
+                    id: self.next(),
+                    key: self.next() as u32,
+                    score_bits: self.next(),
+                })
+                .collect(),
+            candidates: self.next(),
+            key_evals: self.next(),
+            version: self.next(),
         }
     }
 
@@ -96,7 +117,7 @@ impl Gen {
     }
 
     fn response(&mut self) -> Response {
-        match self.below(8) {
+        match self.below(9) {
             0 => Response::Query(self.wire_query()),
             1 => Response::QueryBatch((0..self.below(3)).map(|_| self.wire_query()).collect()),
             2 => Response::UpsertBatch {
@@ -120,9 +141,11 @@ impl Gen {
                 removes: self.next(),
                 cache_hits: self.next(),
                 cache_misses: self.next(),
+                cache_invalidations: self.next(),
                 store_schema: self.schema(),
                 probe_schema: self.schema(),
             }),
+            7 => Response::QueryRanked(self.wire_ranked()),
             _ => Response::Error { message: self.string() },
         }
     }
