@@ -9,11 +9,16 @@
 //! identical decisions on shared pairs, and that the index examines
 //! strictly fewer candidates. Emits the series as `BENCH_index.json`.
 //!
+//! A second, person-name workload (jaro-winkler + soundex + token RCKs)
+//! exercises the non-equality anchors: the run asserts the plan compiles
+//! with `scan_keys == 0` and that indexed probing examines strictly
+//! fewer candidates than the windowed path.
+//!
 //! Usage:
 //! `cargo run --release -p matchrules-bench --bin index_vs_window \
 //!    [quick|paper] [out.json]`
 
-use matchrules_bench::experiments::workload;
+use matchrules_bench::experiments::{names_workload, workload};
 use matchrules_bench::json::Json;
 use matchrules_bench::table::Table;
 use matchrules_bench::{time, Scale};
@@ -140,13 +145,114 @@ fn main() {
                 .field("queries_per_sec", qps)
                 .field("hits", hits)
                 .field("candidates_examined", probed_candidates)
-                .field("exact_atom_indices", stats.exact_anchors)
-                .field("qgram_atom_indices", stats.qgram_anchors)
-                .field("scan_keys", stats.scan_anchors)
+                .field("exact_anchors", stats.exact_anchors)
+                .field("qgram_anchors", stats.qgram_anchors)
+                .field("derived_anchors", stats.derived_anchors)
+                .field("token_anchors", stats.token_anchors)
+                .field("bag_anchors", stats.bag_anchors)
+                .field("scan_keys", stats.scan_keys)
                 .field("exact_buckets", stats.exact_buckets)
                 .field("posting_lists", stats.posting_lists)
                 .field("sparse_entries", stats.sparse_entries),
-        );
+        )
+        .field("names", names_section(scale));
     std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");
     println!("\nwrote {out_path}");
+}
+
+/// The person-name workload: RCKs on jaro-winkler + soundex + token
+/// operators (plus one phone-equality tie-breaker), where every key
+/// retrieves through the new anchor kinds — `scan_keys` must be 0 and
+/// indexed probing must examine strictly fewer candidates than the
+/// windowed path.
+fn names_section(scale: Scale) -> Json {
+    let persons = match scale {
+        Scale::Paper => 20_000,
+        Scale::Quick => 1_200,
+    };
+    println!("\nnames workload — jw + soundex + token anchors on {persons} persons");
+    let w = names_workload(persons, 0x5EED);
+    let windowed = w.engine.match_pairs(&w.left, &w.right).expect("windowed run");
+    let indexed = w.engine.match_pairs_indexed(&w.left, &w.right).expect("indexed run");
+
+    // Correctness gates: nothing the window found may go missing, the
+    // index must probe strictly fewer pairs, and — the point of the
+    // workload — not a single key may fall back to scanning.
+    for pair in windowed.pairs() {
+        assert!(
+            indexed.pairs().contains(pair),
+            "windowed match {pair:?} missing from the indexed run"
+        );
+    }
+    assert!(
+        indexed.candidates() < windowed.candidates(),
+        "index must examine strictly fewer candidates ({} vs {})",
+        indexed.candidates(),
+        windowed.candidates()
+    );
+
+    let (index, build_seconds) = time(|| w.engine.index(&w.right).expect("index builds"));
+    let stats = index.stats();
+    assert_eq!(stats.scan_keys, 0, "names plan fell back to scanning: {stats:?}");
+    let mut hits = 0usize;
+    let mut probed_candidates = 0usize;
+    let mut dedup_saved = 0u64;
+    let (_, query_seconds) = time(|| {
+        for probe in w.left.tuples() {
+            let outcome = index.query(probe);
+            hits += outcome.hits.len();
+            probed_candidates += outcome.candidates;
+            dedup_saved += outcome.stats.dedup_saved;
+        }
+    });
+    let queries = w.left.len();
+    let qps = queries as f64 / query_seconds.max(1e-12);
+
+    let mut table = Table::new(&["path", "candidates", "matches", "seconds"]);
+    table.row(vec![
+        "window".to_owned(),
+        windowed.candidates().to_string(),
+        windowed.len().to_string(),
+        format!("{:.3}", windowed.elapsed().as_secs_f64()),
+    ]);
+    table.row(vec![
+        "index".to_owned(),
+        indexed.candidates().to_string(),
+        indexed.len().to_string(),
+        format!("{:.3}", indexed.elapsed().as_secs_f64()),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "anchors: {} derived + {} token + {} bag + {} exact, scan keys: {}; \
+         {queries} queries at {qps:.0}/sec ({hits} hits, {dedup_saved} dedup-saved verifications)",
+        stats.derived_anchors,
+        stats.token_anchors,
+        stats.bag_anchors,
+        stats.exact_anchors,
+        stats.scan_keys
+    );
+
+    Json::obj()
+        .field("persons", persons)
+        .field("window_candidates", windowed.candidates())
+        .field("index_candidates", indexed.candidates())
+        .field(
+            "candidate_reduction",
+            windowed.candidates() as f64 / indexed.candidates().max(1) as f64,
+        )
+        .field("window_matches", windowed.len())
+        .field("index_matches", indexed.len())
+        .field("window_seconds", windowed.elapsed().as_secs_f64())
+        .field("index_seconds", indexed.elapsed().as_secs_f64())
+        .field("build_seconds", build_seconds)
+        .field("queries", queries)
+        .field("queries_per_sec", qps)
+        .field("hits", hits)
+        .field("candidates_examined", probed_candidates)
+        .field("dedup_saved", dedup_saved as usize)
+        .field("exact_anchors", stats.exact_anchors)
+        .field("derived_anchors", stats.derived_anchors)
+        .field("token_anchors", stats.token_anchors)
+        .field("bag_anchors", stats.bag_anchors)
+        .field("scan_keys", stats.scan_keys)
 }

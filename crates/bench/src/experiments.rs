@@ -10,11 +10,14 @@
 //! operators — no `PaperSetting` internals, no hardcoded attribute names.
 
 use matchrules::engine::preset::{manual_block_key, standard_sort_keys};
-use matchrules::engine::{MatchEngine, Preset};
+use matchrules::engine::{EngineBuilder, MatchEngine, Preset};
 use matchrules_core::cost::CostModel;
 use matchrules_core::rck::find_rcks;
+use matchrules_core::schema::{AttrKind, Schema};
 use matchrules_data::dirty::{generate_dirty, DirtyData, NoiseConfig};
+use matchrules_data::gen::generate_persons;
 use matchrules_data::mdgen::{generate, MdGenConfig};
+use matchrules_data::relation::Relation;
 use matchrules_matcher::blocking::block_candidates;
 use matchrules_matcher::fellegi_sunter::{
     equality_comparison_vector, rck_comparison_vector, FsConfig, FsMatcher,
@@ -74,6 +77,103 @@ pub fn workload(k: usize, seed: u64) -> Workload {
         .build()
         .expect("preset engine builds");
     Workload { engine, data }
+}
+
+/// A prepared person-name serving workload: probe and record relations
+/// over a names schema whose RCKs retrieve exclusively through the
+/// non-equality anchors — jaro-winkler (char-bag prefix buckets),
+/// soundex (derived-key buckets) and tokens (element postings), with
+/// one equality tie-breaker on the phone.
+pub struct NamesWorkload {
+    /// The compiled engine; its `MatchIndex` must report zero scan keys.
+    pub engine: MatchEngine,
+    /// Clean roster rows (the probe side).
+    pub left: Relation,
+    /// Perturbed signup rows (the indexed side), one per roster row:
+    /// first-name typo + city word rotation, surname and phone intact.
+    pub right: Relation,
+}
+
+/// splitmix64: the deterministic, dependency-free hash driving the
+/// perturbations below (the bench library has no rand dependency).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Swaps two adjacent interior characters of `s` (a classic keyboard
+/// transposition), leaving short strings alone.
+fn transpose(s: &str, h: u64) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    if chars.len() >= 4 {
+        let i = 1 + (h as usize) % (chars.len() - 2);
+        chars.swap(i, i + 1);
+    }
+    chars.into_iter().collect()
+}
+
+/// Rotates the word order of `s` ("New York" → "York New") — a
+/// token-set-preserving corruption (Jaccard 1) that defeats plain
+/// equality and prefix-sorted windows alike.
+fn rotate_words(s: &str) -> String {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    match words.split_first() {
+        Some((first, rest)) if !rest.is_empty() => format!("{} {}", rest.join(" "), first),
+        _ => s.to_owned(),
+    }
+}
+
+/// Builds the person-name serving workload for `k` persons: roster rows
+/// are clean, signup rows carry a deterministic first-name typo and city
+/// word rotation (seeded by splitmix64 — no rand in this crate), so the
+/// true pairs are reachable only through the fuzzy anchors.
+pub fn names_workload(k: usize, seed: u64) -> NamesWorkload {
+    let roster = Schema::kinded(
+        "roster",
+        &[
+            ("first", AttrKind::GivenName),
+            ("last", AttrKind::Surname),
+            ("city", AttrKind::City),
+            ("phone", AttrKind::Phone),
+        ],
+    )
+    .expect("roster schema");
+    let signup = Schema::kinded(
+        "signup",
+        &[
+            ("first", AttrKind::GivenName),
+            ("last", AttrKind::Surname),
+            ("city", AttrKind::City),
+            ("phone", AttrKind::Phone),
+        ],
+    )
+    .expect("signup schema");
+    let engine = EngineBuilder::new()
+        .schemas(roster, signup)
+        .md_text(
+            "roster[first] ~jw signup[first] /\\ roster[last] ~sx signup[last] /\\ \
+             roster[city] ~tok signup[city] -> \
+             roster[first,last,city] <=> signup[first,last,city]\n\
+             roster[phone] = signup[phone] /\\ roster[last] ~sx signup[last] -> \
+             roster[first,last,city] <=> signup[first,last,city]\n",
+        )
+        .target(&["first", "last", "city"], &["first", "last", "city"])
+        .window(WINDOW)
+        .build()
+        .expect("names engine builds");
+
+    let persons = generate_persons(k, seed);
+    let mut left = Relation::new(engine.plan().pair().left().clone());
+    let mut right = Relation::new(engine.plan().pair().right().clone());
+    for (i, p) in persons.iter().enumerate() {
+        let id = i as u64 + 1;
+        left.push_strs(id, &[&p.first, &p.last, &p.city, &p.tel]);
+        let h = mix(seed ^ id);
+        right.push_strs(id, &[&transpose(&p.first, h), &p.last, &rotate_words(&p.city), &p.tel]);
+    }
+    NamesWorkload { engine, left, right }
 }
 
 /// One method's quality and runtime at one K.
@@ -234,6 +334,32 @@ mod tests {
         let (wm, wr) = exp4_windowing(&w);
         assert!(wr.pc >= wm.pc - 0.05);
         assert!(wm.rr > 0.5 && wr.rr > 0.5);
+    }
+
+    #[test]
+    fn names_workload_is_fully_indexed_and_indexed_equals_scan() {
+        let w = names_workload(120, 0xA11CE);
+        assert!(w.engine.plan().fully_indexable(), "names plan must carry no scan key");
+        let index = w.engine.index(&w.right).expect("index builds");
+        let stats = index.stats();
+        assert_eq!(stats.scan_keys, 0, "no scan fallback: {stats:?}");
+        assert!(stats.derived_anchors >= 1 && stats.token_anchors >= 1 && stats.bag_anchors >= 1);
+        // Index hit set == exhaustive scan hit set, probe by probe, and
+        // every true (same-id) pair is found through the fuzzy anchors.
+        let batch = w.engine.match_all(&w.left, &w.right).expect("batch run");
+        for (l, probe) in w.left.tuples().iter().enumerate() {
+            let mut got: Vec<(u64, usize)> =
+                index.query(probe).hits.iter().map(|h| (h.id, h.key)).collect();
+            got.sort_unstable();
+            let mut expected: Vec<(u64, usize)> =
+                batch.pairs().iter().filter(|p| p.left == l).map(|p| (p.right_id, p.key)).collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "probe {l} diverged from the scan path");
+            assert!(
+                got.iter().any(|&(id, _)| id == probe.id()),
+                "true partner of probe {l} not found"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ use matchrules_simdist::edit::{
     theta_bound, EditScratch,
 };
 use matchrules_simdist::filters::Rejection;
-use matchrules_simdist::ops::{AliasOp, DamerauOp, KernelSpec, OpRegistry, SimilarityOp};
+use matchrules_simdist::ops::{
+    AliasOp, DamerauOp, IndexStrategy, KernelSpec, OpRegistry, SimilarityOp,
+};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -59,6 +61,11 @@ pub struct FilterStats {
     pub qgram_rejects: u64,
     /// Evaluations that survived every filter and ran the banded DP.
     pub dp_runs: u64,
+    /// Candidate verifications saved by deduplicating probe candidates
+    /// across retrieval keys (a record retrieved by k keys is verified
+    /// once, not k times). Counted by `MatchIndex::query`, not by atom
+    /// evaluation, so it is **not** part of [`FilterStats::evaluations`].
+    pub dedup_saved: u64,
 }
 
 impl FilterStats {
@@ -69,6 +76,7 @@ impl FilterStats {
         self.bag_rejects += other.bag_rejects;
         self.qgram_rejects += other.qgram_rejects;
         self.dp_runs += other.dp_runs;
+        self.dedup_saved += other.dedup_saved;
     }
 
     /// Total evaluations rejected by some filter.
@@ -182,24 +190,76 @@ impl Kernel {
     }
 }
 
-/// The public shape of a resolved operator's compiled kernel — what an
-/// index builder needs to know to pick *anchor* atoms: equality atoms
-/// admit exact hash buckets, thresholded edit atoms admit q-gram posting
-/// lists (the filters of `matchrules_simdist::filters` are sound for
-/// them), and opaque operators admit neither.
+/// The retrieval class of a resolved operator — what an index builder
+/// needs to know to pick *anchor* atoms. Derived from each operator's
+/// declared [`IndexStrategy`] (the
+/// `IndexableAtom` capability every `simdist` op implements), so a new
+/// operator becomes index-ready by declaring a strategy, with no changes
+/// here or in the index.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KernelClass {
-    /// Compiles to plain string equality.
+    /// Compiles to plain string equality: exact hash buckets.
     Equality,
     /// Compiles to a thresholded edit-distance kernel (Damerau or plain
     /// Levenshtein — for candidate generation they share the same
-    /// `theta_bound` and the same sound filters).
+    /// `theta_bound` and the same sound filters): q-gram posting lists.
     Edit {
         /// The threshold θ of `dist(a, b) ≤ ⌊(1 − θ)·max(|a|, |b|)⌋`.
         theta: f64,
     },
-    /// No compiled form; only the trait object can decide pairs.
+    /// The operator derives exact-bucketable keys (soundex codes, digit
+    /// strings, synonym class ids): matching values share a key, so a
+    /// hash bucket per key retrieves a superset of the match set.
+    DerivedKey,
+    /// The operator decomposes values into element multisets (tokens,
+    /// q-grams) with a sound size-ratio prefilter: matching values share
+    /// an element and satisfy `|min| ≥ min_ratio·|max|`, so element
+    /// posting lists plus the ratio filter retrieve a superset.
+    TokenSet {
+        /// Lower bound on `|smaller| / |larger|` for matching pairs.
+        min_ratio: f64,
+    },
+    /// The operator admits a character-multiset overlap bound: matching
+    /// values share ≥ `⌈alpha·max(len)⌉` characters (with multiplicity),
+    /// so sorted-char-prefix buckets retrieve a superset.
+    Bounded {
+        /// The overlap fraction of the bound.
+        alpha: f64,
+    },
+    /// No retrieval strategy; atoms under this operator force a scan.
     Opaque,
+}
+
+impl KernelClass {
+    /// Maps an operator's declared retrieval strategy to its index class.
+    fn of(strategy: IndexStrategy) -> KernelClass {
+        match strategy {
+            IndexStrategy::Exact => KernelClass::Equality,
+            IndexStrategy::EditGrams { theta } => KernelClass::Edit { theta },
+            IndexStrategy::DerivedKeys => KernelClass::DerivedKey,
+            IndexStrategy::Elements { min_ratio } => KernelClass::TokenSet { min_ratio },
+            IndexStrategy::BagPrefix { alpha } => KernelClass::Bounded { alpha },
+            IndexStrategy::Scan => KernelClass::Opaque,
+        }
+    }
+
+    /// Whether atoms of this class can anchor index retrieval (anything
+    /// but a scan fallback).
+    pub fn is_indexable(self) -> bool {
+        !matches!(self, KernelClass::Opaque)
+    }
+
+    /// A short lowercase name for reports (`"equality"`, `"derived-key"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClass::Equality => "equality",
+            KernelClass::Edit { .. } => "edit",
+            KernelClass::DerivedKey => "derived-key",
+            KernelClass::TokenSet { .. } => "token-set",
+            KernelClass::Bounded { .. } => "bounded",
+            KernelClass::Opaque => "scan",
+        }
+    }
 }
 
 /// The paper's runtime registry: the standard metric set plus the alias
@@ -215,6 +275,7 @@ pub fn paper_registry() -> OpRegistry {
 pub struct RuntimeOps {
     resolved: Vec<Arc<dyn SimilarityOp>>,
     kernels: Vec<Kernel>,
+    classes: Vec<KernelClass>,
 }
 
 impl RuntimeOps {
@@ -225,15 +286,17 @@ impl RuntimeOps {
     pub fn resolve(table: &OperatorTable, registry: &OpRegistry) -> Result<Self> {
         let mut resolved = Vec::with_capacity(table.len());
         let mut kernels = Vec::with_capacity(table.len());
+        let mut classes = Vec::with_capacity(table.len());
         for id in table.ids() {
             let name = table.name(id);
             let op = registry
                 .get(name)
                 .ok_or_else(|| CoreError::UnknownOperator { name: name.to_owned() })?;
             kernels.push(Kernel::of(op.kernel()));
+            classes.push(KernelClass::of(op.index_strategy()));
             resolved.push(op.clone());
         }
-        Ok(RuntimeOps { resolved, kernels })
+        Ok(RuntimeOps { resolved, kernels, classes })
     }
 
     /// Whether `op` compiles to an edit-distance kernel, i.e. whether
@@ -244,15 +307,23 @@ impl RuntimeOps {
     }
 
     /// The [`KernelClass`] of `op` — how (and whether) an inverted index
-    /// can use an atom under this operator as a retrieval anchor.
+    /// can use an atom under this operator as a retrieval anchor. Derived
+    /// from the operator's declared `IndexStrategy` at resolve time.
     pub fn kernel_class(&self, op: OperatorId) -> KernelClass {
-        match self.kernels[op.0 as usize] {
-            Kernel::Equality => KernelClass::Equality,
-            Kernel::Damerau { theta } | Kernel::Levenshtein { theta } => {
-                KernelClass::Edit { theta }
-            }
-            Kernel::Dyn => KernelClass::Opaque,
-        }
+        self.classes[op.0 as usize]
+    }
+
+    /// Appends `op`'s exact-bucketable derived keys for `s` to `out`
+    /// (operators classed [`KernelClass::DerivedKey`] only; at least one
+    /// key per value by contract).
+    pub fn derived_keys_into(&self, op: OperatorId, s: &str, out: &mut Vec<String>) {
+        self.resolved[op.0 as usize].derived_keys(s, out);
+    }
+
+    /// Appends `op`'s hashed index elements for `s` to `out` (operators
+    /// classed [`KernelClass::TokenSet`] only).
+    pub fn index_elements_into(&self, op: OperatorId, s: &str, out: &mut Vec<u64>) {
+        self.resolved[op.0 as usize].index_elements(s, out);
     }
 
     /// Evaluates `a ≈op b` on values. `Null` matches nothing.
@@ -759,6 +830,7 @@ mod tests {
             bag_rejects: 2,
             qgram_rejects: 3,
             dp_runs: 4,
+            dedup_saved: 7,
         };
         let b = FilterStats {
             equal_fast: 0,
@@ -766,12 +838,44 @@ mod tests {
             bag_rejects: 0,
             qgram_rejects: 1,
             dp_runs: 2,
+            dedup_saved: 3,
         };
         a.merge(&b);
         assert_eq!(a.length_rejects, 11);
         assert_eq!(a.equal_fast, 5);
+        assert_eq!(a.dedup_saved, 10);
         assert_eq!(a.rejected(), 17);
+        // dedup_saved counts skipped verifications, not evaluations.
         assert_eq!(a.evaluations(), 28);
+    }
+
+    #[test]
+    fn kernel_classes_follow_index_strategies() {
+        let mut table = OperatorTable::new();
+        let eq = table.intern("=");
+        let dl = table.intern("≈d");
+        let jw = table.intern("≈jw");
+        let sx = table.intern("≈sx");
+        let tok = table.intern("≈tok");
+        let qg = table.intern("≈qg");
+        let ops = RuntimeOps::resolve(&table, &paper_registry()).unwrap();
+        assert_eq!(ops.kernel_class(eq), KernelClass::Equality);
+        assert_eq!(ops.kernel_class(dl), KernelClass::Edit { theta: 0.75 });
+        assert_eq!(ops.kernel_class(sx), KernelClass::DerivedKey);
+        assert!(matches!(ops.kernel_class(jw), KernelClass::Bounded { .. }));
+        assert!(matches!(ops.kernel_class(tok), KernelClass::TokenSet { .. }));
+        assert!(matches!(ops.kernel_class(qg), KernelClass::TokenSet { .. }));
+        assert!(ops.kernel_class(sx).is_indexable());
+        assert!(!KernelClass::Opaque.is_indexable());
+        assert_eq!(KernelClass::DerivedKey.name(), "derived-key");
+
+        // Derived keys / elements surface through the runtime table.
+        let mut keys = Vec::new();
+        ops.derived_keys_into(sx, "Robert", &mut keys);
+        assert_eq!(keys, vec!["R163".to_owned()]);
+        let mut elems = Vec::new();
+        ops.index_elements_into(tok, "oak street oak", &mut elems);
+        assert_eq!(elems.len(), 2); // set semantics: {oak, street}
     }
 
     #[test]

@@ -18,7 +18,29 @@
 //!   anchor string is shorter than a per-atom *safe length* also goes
 //!   into a **sparse list** that short probes always scan; the safe
 //!   length is derived from the same `θ`-bound arithmetic that makes the
-//!   q-gram count filter sound (see [`qgram_safe_len`]).
+//!   q-gram count filter sound (see [`qgram_safe_len`]);
+//! * **derived-key buckets** for operators that emit exact-bucketable
+//!   keys (soundex codes, digit strings, synonym classes) — matching
+//!   values share a key by the operator's `IndexStrategy` contract, so a
+//!   hash bucket per key retrieves a superset of the atom's match set;
+//! * **element posting lists** for token/q-gram set operators — one list
+//!   per distinct element, with candidates filtered by the operator's
+//!   sound element-count ratio bound (Jaccard ≥ s forces the smaller set
+//!   to hold ≥ s·|larger| elements), plus an **empty list** retrieved
+//!   only by element-less probes (∅ ≈ ∅ scores 1 under both Dice and
+//!   Jaccard conventions);
+//! * **sorted-char-prefix buckets** for operators with a character-bag
+//!   overlap bound (Jaro–Winkler above 0.8): a matching pair shares
+//!   ≥ `⌈α·max(len)⌉` characters with multiplicity, so the two sorted
+//!   char sequences must share a value within their first
+//!   `len − ⌈α·len⌉ + 1` characters — each side is indexed/probed under
+//!   the distinct characters of that prefix, with a length-ratio filter
+//!   and an empty-string bucket handled as above.
+//!
+//! Which anchor (if any) an atom gets is decided by the operator's
+//! declared `IndexStrategy`, surfaced through
+//! [`KernelClass`] — operators are index-ready by
+//! capability, not by a hardcoded operator list.
 //!
 //! Because an RCK is a *conjunction*, a key's candidates are the
 //! **intersection** of its indexed atoms' retrievals (each retrieval is a
@@ -66,6 +88,7 @@
 use crate::key::KeyMatcher;
 use matchrules_core::dependency::SimilarityAtom;
 use matchrules_core::negation::NegativeRule;
+use matchrules_core::operators::OperatorId;
 use matchrules_core::relative_key::RelativeKey;
 use matchrules_core::schema::AttrId;
 use matchrules_data::eval::{AtomTrace, FilterStats, KernelClass, RuntimeOps};
@@ -160,8 +183,34 @@ pub fn qgram_safe_len(theta: f64, q: usize) -> Option<usize> {
     Some(safe)
 }
 
+/// Float slack absorbing rounding error in ratio/overlap arithmetic.
+/// Always applied in the permissive direction, so a filter can only get
+/// *weaker* than the exact real-arithmetic bound — never unsound.
+const RATIO_EPS: f64 = 1e-9;
+
+/// Sentinel in per-slot aligned arrays (`counts` / `lens`) for slots
+/// whose anchor value is `Null`. Such slots appear on no posting or
+/// empty list, so the sentinel is never read by a ratio filter.
+const NULL_SLOT: u32 = u32::MAX;
+
+/// The minimum character-multiset overlap `⌈α·n⌉` a match must reach
+/// against a string of `n` characters, computed with downward float
+/// slack (an underestimate only lengthens the indexed prefix — sound).
+fn overlap_need(alpha: f64, n: usize) -> usize {
+    ((alpha * n as f64) - RATIO_EPS).ceil().max(1.0) as usize
+}
+
+/// The sound size-ratio filter shared by element and char-bag anchors:
+/// keeps a pair iff `min(a, b) ≥ ratio·max(a, b)` up to float slack.
+fn ratio_ok(ratio: f64, a: u32, b: u32) -> bool {
+    let (min, max) = if a <= b { (a, b) } else { (b, a) };
+    min as f64 + RATIO_EPS >= ratio * max as f64
+}
+
 /// An inverted index over one indexable atom, shared by every key that
-/// mentions the atom.
+/// mentions the atom. Each variant realises one `IndexStrategy` from
+/// `simdist` (surfaced as a [`KernelClass`]); see the [module
+/// docs](self) for the per-variant soundness argument.
 #[derive(Clone)]
 enum AtomIndex {
     /// Equality atom: value → slots carrying it (`Null` values excluded —
@@ -178,15 +227,53 @@ enum AtomIndex {
         postings: HashMap<u64, Vec<u32>>,
         sparse: Vec<u32>,
     },
+    /// Derived-key atom (soundex, digit equality, synonym tables):
+    /// key → slots deriving it. Matching values share a key and every
+    /// non-null value derives at least one, so the union of the probe's
+    /// key buckets is a superset of the atom's match set.
+    Derived { left: AttrId, right: AttrId, op: OperatorId, buckets: HashMap<String, Vec<u32>> },
+    /// Element-set atom (token Jaccard, q-gram Dice): element hash →
+    /// slots containing it, with per-slot element counts for the
+    /// `min ≥ min_ratio·max` size filter. Slots whose value produces no
+    /// elements live on `empty`, retrieved only by element-less probes
+    /// (∅ ≈ ∅ scores 1; a one-sided ∅ can never match).
+    Tokens {
+        left: AttrId,
+        right: AttrId,
+        op: OperatorId,
+        min_ratio: f64,
+        postings: HashMap<u64, Vec<u32>>,
+        counts: Vec<u32>,
+        empty: Vec<u32>,
+    },
+    /// Char-bag-bounded atom (Jaro–Winkler above 0.8): character →
+    /// slots whose *sorted-char prefix* (the first `n − ⌈α·n⌉ + 1`
+    /// sorted characters) contains it. A pair with multiset overlap
+    /// `m ≥ max(⌈α·|a|⌉, ⌈α·|b|⌉)` must share a character value between
+    /// the two prefixes — otherwise all `m` matched characters of one
+    /// side avoid its own prefix, leaving at most `⌈α·n⌉ − 1 < m` of
+    /// them, a contradiction. `lens` backs the length-ratio filter
+    /// (`min(len) ≥ α·max(len)` is implied by the overlap bound);
+    /// `empty` is the empty-string bucket, as above.
+    BagPrefix {
+        left: AttrId,
+        right: AttrId,
+        alpha: f64,
+        postings: HashMap<char, Vec<u32>>,
+        lens: Vec<u32>,
+        empty: Vec<u32>,
+    },
 }
 
 impl AtomIndex {
     /// Indexes one tuple (slot ids arrive in ascending order, so every
-    /// bucket/posting/sparse list stays sorted). Gram signatures come
-    /// from `prep` — edit-atom attributes are always marked in the
+    /// bucket/posting/sparse list stays sorted; variants with per-slot
+    /// aligned arrays push exactly one entry per call). Gram signatures
+    /// come from `prep` — edit-atom attributes are always marked in the
     /// relation's signature needs, so the extraction already done for
-    /// pair evaluation is not repeated here.
-    fn add(&mut self, slot: u32, tuple: &Tuple, prep: &RelationPrep) {
+    /// pair evaluation is not repeated here; derived keys and elements
+    /// come from the operator via `ops`.
+    fn add(&mut self, slot: u32, tuple: &Tuple, prep: &RelationPrep, ops: &RuntimeOps) {
         match self {
             AtomIndex::Exact { right, buckets, .. } => {
                 if let Some(s) = tuple.get(*right).as_str() {
@@ -212,6 +299,56 @@ impl AtomIndex {
                     postings.entry(hash).or_default().push(slot);
                 }
             }
+            AtomIndex::Derived { right, op, buckets, .. } => {
+                if let Some(s) = tuple.get(*right).as_str() {
+                    let mut keys = Vec::new();
+                    ops.derived_keys_into(*op, s, &mut keys);
+                    keys.sort_unstable();
+                    keys.dedup();
+                    for key in keys {
+                        buckets.entry(key).or_default().push(slot);
+                    }
+                }
+            }
+            AtomIndex::Tokens { right, op, postings, counts, empty, .. } => {
+                match tuple.get(*right).as_str() {
+                    None => counts.push(NULL_SLOT),
+                    Some(s) => {
+                        let mut elems = Vec::new();
+                        ops.index_elements_into(*op, s, &mut elems);
+                        counts.push(elems.len() as u32);
+                        if elems.is_empty() {
+                            empty.push(slot);
+                        } else {
+                            elems.sort_unstable();
+                            elems.dedup();
+                            for elem in elems {
+                                postings.entry(elem).or_default().push(slot);
+                            }
+                        }
+                    }
+                }
+            }
+            AtomIndex::BagPrefix { right, alpha, postings, lens, empty, .. } => {
+                match tuple.get(*right).as_str() {
+                    None => lens.push(NULL_SLOT),
+                    Some(s) => {
+                        let mut chars: Vec<char> = s.chars().collect();
+                        let n = chars.len();
+                        lens.push(n as u32);
+                        if n == 0 {
+                            empty.push(slot);
+                        } else {
+                            chars.sort_unstable();
+                            chars.truncate(n - overlap_need(*alpha, n) + 1);
+                            chars.dedup();
+                            for c in chars {
+                                postings.entry(c).or_default().push(slot);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -233,6 +370,31 @@ impl AtomIndex {
                 }
                 sparse.extend(s2);
             }
+            (AtomIndex::Derived { buckets, .. }, AtomIndex::Derived { buckets: partial, .. }) => {
+                for (key, slots) in partial {
+                    buckets.entry(key).or_default().extend(slots);
+                }
+            }
+            (
+                AtomIndex::Tokens { postings, counts, empty, .. },
+                AtomIndex::Tokens { postings: p2, counts: c2, empty: e2, .. },
+            ) => {
+                for (elem, slots) in p2 {
+                    postings.entry(elem).or_default().extend(slots);
+                }
+                counts.extend(c2);
+                empty.extend(e2);
+            }
+            (
+                AtomIndex::BagPrefix { postings, lens, empty, .. },
+                AtomIndex::BagPrefix { postings: p2, lens: l2, empty: e2, .. },
+            ) => {
+                for (c, slots) in p2 {
+                    postings.entry(c).or_default().extend(slots);
+                }
+                lens.extend(l2);
+                empty.extend(e2);
+            }
             _ => unreachable!("parallel build merges atom indices of one shape"),
         }
     }
@@ -251,6 +413,43 @@ impl AtomIndex {
                 postings: HashMap::new(),
                 sparse: Vec::new(),
             },
+            AtomIndex::Derived { left, right, op, .. } => {
+                AtomIndex::Derived { left: *left, right: *right, op: *op, buckets: HashMap::new() }
+            }
+            AtomIndex::Tokens { left, right, op, min_ratio, .. } => AtomIndex::Tokens {
+                left: *left,
+                right: *right,
+                op: *op,
+                min_ratio: *min_ratio,
+                postings: HashMap::new(),
+                counts: Vec::new(),
+                empty: Vec::new(),
+            },
+            AtomIndex::BagPrefix { left, right, alpha, .. } => AtomIndex::BagPrefix {
+                left: *left,
+                right: *right,
+                alpha: *alpha,
+                postings: HashMap::new(),
+                lens: Vec::new(),
+                empty: Vec::new(),
+            },
+        }
+    }
+
+    /// Relative retrieval cost, for the cheapest-first intersection
+    /// order: exact buckets are one hash lookup on a tiny list; derived
+    /// keys a handful of lookups; element postings union a few dozen
+    /// lists; gram postings union more and longer lists; char-prefix
+    /// postings have the coarsest buckets (single characters). The plan
+    /// cost model prices atoms of every rank as indexed retrievals, not
+    /// scans.
+    fn cost_rank(&self) -> u8 {
+        match self {
+            AtomIndex::Exact { .. } => 0,
+            AtomIndex::Derived { .. } => 1,
+            AtomIndex::Tokens { .. } => 2,
+            AtomIndex::Qgram { .. } => 3,
+            AtomIndex::BagPrefix { .. } => 4,
         }
     }
 
@@ -259,7 +458,7 @@ impl AtomIndex {
     /// do. An unsatisfiable probe value (`Null`) retrieves nothing.
     /// `probe_prep` is the probe's one-row signature cache (edit-atom
     /// attributes are marked on the probe side too).
-    fn retrieve(&self, probe: &Tuple, probe_prep: &RelationPrep) -> Vec<u32> {
+    fn retrieve(&self, probe: &Tuple, probe_prep: &RelationPrep, ops: &RuntimeOps) -> Vec<u32> {
         match self {
             AtomIndex::Exact { left, buckets, .. } => match probe.get(*left).as_str() {
                 Some(s) => buckets.get(s).cloned().unwrap_or_default(),
@@ -292,6 +491,74 @@ impl AtomIndex {
                 }
                 out.sort_unstable();
                 out.dedup();
+                out
+            }
+            AtomIndex::Derived { left, op, buckets, .. } => {
+                let Some(s) = probe.get(*left).as_str() else {
+                    return Vec::new();
+                };
+                let mut keys = Vec::new();
+                ops.derived_keys_into(*op, s, &mut keys);
+                keys.sort_unstable();
+                keys.dedup();
+                let mut out = Vec::new();
+                for key in keys {
+                    if let Some(slots) = buckets.get(&key) {
+                        out.extend_from_slice(slots);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            AtomIndex::Tokens { left, op, min_ratio, postings, counts, empty, .. } => {
+                let Some(s) = probe.get(*left).as_str() else {
+                    return Vec::new();
+                };
+                let mut elems = Vec::new();
+                ops.index_elements_into(*op, s, &mut elems);
+                if elems.is_empty() {
+                    // ∅ ≈ ∅ scores 1; an element-less probe can only
+                    // match element-less tuples (the ratio bound rules
+                    // everything else out).
+                    return empty.clone();
+                }
+                let probe_count = elems.len() as u32;
+                elems.sort_unstable();
+                elems.dedup();
+                let mut out = Vec::new();
+                for elem in elems {
+                    if let Some(slots) = postings.get(&elem) {
+                        out.extend_from_slice(slots);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out.retain(|&slot| ratio_ok(*min_ratio, counts[slot as usize], probe_count));
+                out
+            }
+            AtomIndex::BagPrefix { left, alpha, postings, lens, empty, .. } => {
+                let Some(s) = probe.get(*left).as_str() else {
+                    return Vec::new();
+                };
+                let mut chars: Vec<char> = s.chars().collect();
+                let n = chars.len();
+                if n == 0 {
+                    // jw("", "") = 1 via equality; "" matches nothing else.
+                    return empty.clone();
+                }
+                chars.sort_unstable();
+                chars.truncate(n - overlap_need(*alpha, n) + 1);
+                chars.dedup();
+                let mut out = Vec::new();
+                for c in chars {
+                    if let Some(slots) = postings.get(&c) {
+                        out.extend_from_slice(slots);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out.retain(|&slot| ratio_ok(*alpha, lens[slot as usize], n as u32));
                 out
             }
         }
@@ -380,17 +647,27 @@ pub struct IndexStats {
     pub exact_anchors: usize,
     /// Distinct edit atoms indexed (q-gram postings + sparse list).
     pub qgram_anchors: usize,
+    /// Distinct derived-key atoms indexed (soundex / digits / synonym
+    /// buckets).
+    pub derived_anchors: usize,
+    /// Distinct element-set atoms indexed (token / q-gram postings).
+    pub token_anchors: usize,
+    /// Distinct char-bag-bounded atoms indexed (sorted-char-prefix
+    /// postings).
+    pub bag_anchors: usize,
     /// Keys with no indexable atom (full scan per probe).
-    pub scan_anchors: usize,
+    pub scan_keys: usize,
     /// Live (queryable) tuples.
     pub live: usize,
     /// Removed tuples still occupying slots (rebuild to compact).
     pub tombstones: usize,
-    /// Distinct exact-bucket values across all exact anchors.
+    /// Distinct bucket values across all exact and derived-key anchors.
     pub exact_buckets: usize,
-    /// Distinct gram posting lists across all q-gram anchors.
+    /// Distinct posting lists across all q-gram, element and char-bag
+    /// anchors.
     pub posting_lists: usize,
-    /// Slots on sparse (short-string) lists across all q-gram anchors.
+    /// Slots on sparse/empty lists (short strings below an edit atom's
+    /// safe length, element-less or empty values under set/bag anchors).
     pub sparse_entries: usize,
 }
 
@@ -449,7 +726,10 @@ impl fmt::Debug for MatchIndex {
             .field("tombstones", &stats.tombstones)
             .field("exact_anchors", &stats.exact_anchors)
             .field("qgram_anchors", &stats.qgram_anchors)
-            .field("scan_anchors", &stats.scan_anchors)
+            .field("derived_anchors", &stats.derived_anchors)
+            .field("token_anchors", &stats.token_anchors)
+            .field("bag_anchors", &stats.bag_anchors)
+            .field("scan_keys", &stats.scan_keys)
             .finish()
     }
 }
@@ -524,6 +804,29 @@ impl MatchIndex {
                             sparse: Vec::new(),
                         })
                     }
+                    KernelClass::DerivedKey => Some(AtomIndex::Derived {
+                        left: atom.left,
+                        right: atom.right,
+                        op: atom.op,
+                        buckets: HashMap::new(),
+                    }),
+                    KernelClass::TokenSet { min_ratio } => Some(AtomIndex::Tokens {
+                        left: atom.left,
+                        right: atom.right,
+                        op: atom.op,
+                        min_ratio,
+                        postings: HashMap::new(),
+                        counts: Vec::new(),
+                        empty: Vec::new(),
+                    }),
+                    KernelClass::Bounded { alpha } => Some(AtomIndex::BagPrefix {
+                        left: atom.left,
+                        right: atom.right,
+                        alpha,
+                        postings: HashMap::new(),
+                        lens: Vec::new(),
+                        empty: Vec::new(),
+                    }),
                     KernelClass::Opaque => None,
                 };
                 if let Some(empty) = empty {
@@ -538,7 +841,7 @@ impl MatchIndex {
             // Cheapest retrievals first, once and for all: exact buckets
             // are one hash lookup on a tiny list, gram postings union
             // dozens of lists. Probing iterates this order directly.
-            refs.sort_by_key(|&pos| (matches!(atom_indices[pos], AtomIndex::Qgram { .. }), pos));
+            refs.sort_by_key(|&pos| (atom_indices[pos].cost_rank(), pos));
             refs.dedup();
             key_atoms.push(refs);
         }
@@ -552,7 +855,7 @@ impl MatchIndex {
                     atom_indices.iter().map(AtomIndex::empty_like).collect();
                 for pos in range {
                     for atom in &mut partial {
-                        atom.add(pos as u32, &tuples[pos], &prep);
+                        atom.add(pos as u32, &tuples[pos], &prep, &ops);
                     }
                 }
                 partial
@@ -619,7 +922,10 @@ impl MatchIndex {
             keys: self.key_atoms.len(),
             exact_anchors: 0,
             qgram_anchors: 0,
-            scan_anchors: self.key_atoms.iter().filter(|refs| refs.is_empty()).count(),
+            derived_anchors: 0,
+            token_anchors: 0,
+            bag_anchors: 0,
+            scan_keys: self.key_atoms.iter().filter(|refs| refs.is_empty()).count(),
             live: self.live,
             tombstones: self.relation.len() - self.live,
             exact_buckets: 0,
@@ -636,6 +942,20 @@ impl MatchIndex {
                     stats.qgram_anchors += 1;
                     stats.posting_lists += postings.len();
                     stats.sparse_entries += sparse.len();
+                }
+                AtomIndex::Derived { buckets, .. } => {
+                    stats.derived_anchors += 1;
+                    stats.exact_buckets += buckets.len();
+                }
+                AtomIndex::Tokens { postings, empty, .. } => {
+                    stats.token_anchors += 1;
+                    stats.posting_lists += postings.len();
+                    stats.sparse_entries += empty.len();
+                }
+                AtomIndex::BagPrefix { postings, empty, .. } => {
+                    stats.bag_anchors += 1;
+                    stats.posting_lists += postings.len();
+                    stats.sparse_entries += empty.len();
                 }
             }
         }
@@ -655,6 +975,7 @@ impl MatchIndex {
     /// schema the keys were compiled for.
     pub fn candidates_for(&self, probe: &Tuple) -> Vec<usize> {
         self.candidate_masks(probe, &RelationPrep::single(probe, &self.probe_needs))
+            .0
             .into_iter()
             .map(|(slot, _)| slot)
             .collect()
@@ -668,7 +989,16 @@ impl MatchIndex {
     /// superset of its acceptance — so verification skips it. Plans with
     /// more than 64 keys disable pruning (every mask is [`NO_PRUNE`]);
     /// a scan-fallback key marks every live slot for every key.
-    fn candidate_masks(&self, probe: &Tuple, probe_prep: &RelationPrep) -> Vec<(usize, u64)> {
+    ///
+    /// The second return is the number of duplicate retrievals folded
+    /// away — slots retrieved by several keys that would each have been
+    /// prepped and verified separately without the dedup
+    /// ([`FilterStats::dedup_saved`]).
+    fn candidate_masks(
+        &self,
+        probe: &Tuple,
+        probe_prep: &RelationPrep,
+    ) -> (Vec<(usize, u64)>, u64) {
         let prune = self.key_atoms.len() <= 64;
         // Retrieve each distinct atom at most once, lazily: several keys
         // usually share atoms, and a key whose exact atoms already pin
@@ -680,11 +1010,13 @@ impl MatchIndex {
             if refs.is_empty() {
                 // Unindexable key: every live slot is a candidate, no
                 // other key can add more, and later keys were never
-                // intersected — so no key may be pruned.
-                return (0..self.relation.len())
+                // intersected — so no key may be pruned (and no
+                // duplicate retrievals exist to fold).
+                let all = (0..self.relation.len())
                     .filter(|&s| self.alive[s])
                     .map(|s| (s, NO_PRUNE))
                     .collect();
+                return (all, 0);
             }
             let bit = if prune { 1u64 << key } else { NO_PRUNE };
             let mut acc: Option<Vec<u32>> = None;
@@ -693,7 +1025,8 @@ impl MatchIndex {
                     break; // already cheap to verify; a prefix is sound
                 }
                 if retrieved[pos].is_none() {
-                    retrieved[pos] = Some(self.atom_indices[pos].retrieve(probe, probe_prep));
+                    retrieved[pos] =
+                        Some(self.atom_indices[pos].retrieve(probe, probe_prep, &self.ops));
                 }
                 let list = retrieved[pos].as_deref().expect("retrieved above");
                 acc = Some(match acc {
@@ -710,8 +1043,10 @@ impl MatchIndex {
             pairs.extend(acc.unwrap_or_default().into_iter().map(|slot| (slot, bit)));
         }
         pairs.sort_unstable_by_key(|&(slot, _)| slot);
+        let pairs_len = pairs.len();
         // Fold duplicate slots (retrieved by several keys) into one
-        // candidate carrying the union of their key bits.
+        // candidate carrying the union of their key bits — each fold is
+        // one preparation + verification saved.
         let mut masked: Vec<(u32, u64)> = Vec::with_capacity(pairs.len());
         for (slot, bit) in pairs {
             match masked.last_mut() {
@@ -719,11 +1054,13 @@ impl MatchIndex {
                 _ => masked.push((slot, bit)),
             }
         }
-        masked
+        let saved = (pairs_len - masked.len()) as u64;
+        let out = masked
             .into_iter()
             .map(|(slot, mask)| (slot as usize, mask))
             .filter(|&(slot, _)| self.alive[slot])
-            .collect()
+            .collect();
+        (out, saved)
     }
 
     /// Point query: every live tuple the probe matches (some key accepts,
@@ -731,12 +1068,13 @@ impl MatchIndex {
     /// slot order — exactly the pairs a batch run over
     /// `({probe}, relation)` would report for this probe.
     ///
-    /// Candidates are deduplicated across keys before verification, and
-    /// each candidate is verified only against the keys that retrieved
-    /// it (sound because a key's retrieval is a superset of its
-    /// acceptance); [`QueryOutcome::key_evals`] counts the evaluations
-    /// actually run. Answers are byte-identical to
-    /// [`MatchIndex::query_unpruned`].
+    /// Candidates are deduplicated across keys before verification
+    /// (verifications saved by the fold are counted in
+    /// [`FilterStats::dedup_saved`]), and each candidate is verified
+    /// only against the keys that retrieved it (sound because a key's
+    /// retrieval is a superset of its acceptance);
+    /// [`QueryOutcome::key_evals`] counts the evaluations actually run.
+    /// Answers are byte-identical to [`MatchIndex::query_unpruned`].
     pub fn query(&self, probe: &Tuple) -> QueryOutcome {
         self.query_impl(probe, true)
     }
@@ -752,9 +1090,9 @@ impl MatchIndex {
 
     fn query_impl(&self, probe: &Tuple, prune: bool) -> QueryOutcome {
         let probe_prep = RelationPrep::single(probe, &self.probe_needs);
-        let masked = self.candidate_masks(probe, &probe_prep);
+        let (masked, dedup_saved) = self.candidate_masks(probe, &probe_prep);
         let candidates = masked.len();
-        let mut stats = FilterStats::default();
+        let mut stats = FilterStats { dedup_saved, ..FilterStats::default() };
         let mut key_evals = 0usize;
         let mut hits = Vec::new();
         for (slot, mask) in masked {
@@ -849,7 +1187,7 @@ impl MatchIndex {
         // Prep first: the atom indices read the new row's signatures.
         self.prep.push_row(&tuple);
         for atom in &mut self.atom_indices {
-            atom.add(slot, &tuple, &self.prep);
+            atom.add(slot, &tuple, &self.prep, &self.ops);
         }
         self.by_id.insert(tuple.id(), slot);
         self.alive.push(true);
@@ -935,6 +1273,7 @@ mod tests {
     use matchrules_data::eval::paper_registry;
     use matchrules_data::fig1;
     use matchrules_data::value::Value;
+    use matchrules_simdist::ops::{EqualityOp, SynonymOp};
 
     fn fig1_index(
     ) -> (matchrules_core::paper::PaperSetting, matchrules_data::relation::InstancePair, MatchIndex)
@@ -1070,20 +1409,32 @@ mod tests {
         assert!(hits.iter().any(|h| h.slot == t4_slot));
     }
 
+    /// A registry whose `≈opaque` operator declares `IndexStrategy::Scan`
+    /// (a synonym table with a fallback — the one standard shape retrieval
+    /// cannot cover) but still matches like plain equality.
+    fn scan_registry() -> matchrules_simdist::ops::OpRegistry {
+        let mut reg = paper_registry();
+        reg.register(Arc::new(
+            SynonymOp::from_groups("≈opaque", Vec::<Vec<&str>>::new())
+                .with_fallback(Arc::new(EqualityOp)),
+        ));
+        reg
+    }
+
     #[test]
     fn unindexable_keys_fall_back_to_scanning() {
-        // A key whose only operator is opaque (Jaro–Winkler): the anchor
-        // must be Scan, and every live tuple becomes a candidate.
+        // A key whose only operator declares Scan: the key gets no
+        // anchor, and every live tuple becomes a candidate.
         let schema = Arc::new(Schema::text("R", &["name"]).unwrap());
         let mut rel = Relation::new(schema);
         rel.push_strs(1, &["Jones"]);
         rel.push_strs(2, &["Johnson"]);
         let mut table = OperatorTable::new();
-        let jw = table.intern("≈jw");
-        let ops = Arc::new(RuntimeOps::resolve(&table, &paper_registry()).unwrap());
-        let key = RelativeKey::new(vec![SimilarityAtom::new(0, 0, jw)]);
+        let op = table.intern("≈opaque");
+        let ops = Arc::new(RuntimeOps::resolve(&table, &scan_registry()).unwrap());
+        let key = RelativeKey::new(vec![SimilarityAtom::new(0, 0, op)]);
         let index = MatchIndex::build(1, &rel, std::slice::from_ref(&key), &[], ops).unwrap();
-        assert_eq!(index.stats().scan_anchors, 1);
+        assert_eq!(index.stats().scan_keys, 1);
         let probe = Tuple::new(7, vec![Value::str("Jones")]);
         assert_eq!(index.candidates_for(&probe), vec![0, 1]);
         let hits = index.query(&probe).hits;
@@ -1149,7 +1500,7 @@ mod tests {
 
     #[test]
     fn scan_fallback_disables_pruning() {
-        // Key 0 is indexable, key 1 is opaque (scan): every live slot
+        // Key 0 is indexable, key 1 declares Scan: every live slot
         // must still be verified against *both* keys — a hit through the
         // scan key must not be lost to pruning.
         let schema = Arc::new(Schema::text("R", &["name", "alias"]).unwrap());
@@ -1158,14 +1509,14 @@ mod tests {
         rel.push_strs(2, &["Smith", "Slim"]);
         let mut table = OperatorTable::new();
         let eq = table.intern("=");
-        let jw = table.intern("≈jw");
-        let ops = Arc::new(RuntimeOps::resolve(&table, &paper_registry()).unwrap());
+        let op = table.intern("≈opaque");
+        let ops = Arc::new(RuntimeOps::resolve(&table, &scan_registry()).unwrap());
         let keys = vec![
             RelativeKey::new(vec![SimilarityAtom::new(0, 0, eq)]),
-            RelativeKey::new(vec![SimilarityAtom::new(1, 1, jw)]),
+            RelativeKey::new(vec![SimilarityAtom::new(1, 1, op)]),
         ];
         let index = MatchIndex::build(2, &rel, &keys, &[], ops).unwrap();
-        assert_eq!(index.stats().scan_anchors, 1);
+        assert_eq!(index.stats().scan_keys, 1);
         // "Slim" matches only via the opaque alias key; the name key's
         // exact bucket never retrieves slot 1.
         let probe = Tuple::new(9, vec![Value::str("nobody"), Value::str("Slim")]);
@@ -1174,6 +1525,159 @@ mod tests {
         assert_eq!(outcome.hits[0].id, 2);
         assert_eq!(outcome.hits[0].key, 1);
         assert_eq!(outcome.hits, index.query_unpruned(&probe).hits);
+    }
+
+    /// One single-atom key over a one-column relation, with the hit sets
+    /// checked against a brute-force scan through the same operator.
+    fn single_atom_index(op_name: &str, values: &[&str]) -> (MatchIndex, Arc<RuntimeOps>) {
+        let schema = Arc::new(Schema::text("R", &["v"]).unwrap());
+        let mut rel = Relation::new(schema);
+        for (i, v) in values.iter().enumerate() {
+            // Not push_strs: "" must stay a real empty string here (the
+            // empty-bucket behaviour under set/bag anchors is under test).
+            rel.push(Tuple::new(i as u64 + 1, vec![Value::str(v)]));
+        }
+        let mut table = OperatorTable::new();
+        let op = table.intern(op_name);
+        let ops = Arc::new(RuntimeOps::resolve(&table, &paper_registry()).unwrap());
+        let key = RelativeKey::new(vec![SimilarityAtom::new(0, 0, op)]);
+        let index =
+            MatchIndex::build(1, &rel, std::slice::from_ref(&key), &[], ops.clone()).unwrap();
+        (index, ops)
+    }
+
+    /// Asserts that the index's hit set for each probe equals the scan
+    /// answer, and that candidates are a superset of the hits.
+    fn assert_matches_scan(index: &MatchIndex, ops: &RuntimeOps, op_name: &str, probes: &[&str]) {
+        let mut table = OperatorTable::new();
+        let op = table.intern(op_name);
+        let ops2 = RuntimeOps::resolve(&table, &paper_registry()).unwrap();
+        let _ = ops; // decisions below run through the rebuilt table
+        for (i, p) in probes.iter().enumerate() {
+            let probe = Tuple::new(1000 + i as u64, vec![Value::str(p)]);
+            let hits: Vec<u64> = index.query(&probe).hits.iter().map(|h| h.id).collect();
+            let scan: Vec<u64> = index
+                .relation()
+                .tuples()
+                .iter()
+                .filter(|t| {
+                    index.contains(t.id()) && ops2.value_matches(op, probe.get(0), t.get(0))
+                })
+                .map(|t| t.id())
+                .collect();
+            assert_eq!(hits, scan, "{op_name} probe {p:?}");
+            let cands = index.candidates_for(&probe);
+            for hit in &hits {
+                let slot = index.relation().tuples().iter().position(|t| t.id() == *hit);
+                assert!(cands.contains(&slot.unwrap()), "{op_name} probe {p:?} missed {hit}");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_anchor_buckets_soundex_codes() {
+        let values = ["Robert", "Rupert", "Smith", "Smyth", "", "908-1111"];
+        let (index, ops) = single_atom_index("≈sx", &values);
+        let stats = index.stats();
+        assert_eq!(stats.derived_anchors, 1);
+        assert_eq!(stats.scan_keys, 0);
+        assert_matches_scan(&index, &ops, "≈sx", &["Robert", "Smith", "smith", "", "none"]);
+        // Soundex twins are retrieved through one bucket, not a scan.
+        let probe = Tuple::new(50, vec![Value::str("Robert")]);
+        let cands = index.candidates_for(&probe);
+        assert!(cands.len() < values.len(), "bucket should prune: {cands:?}");
+    }
+
+    #[test]
+    fn token_anchor_retrieves_by_shared_tokens_with_ratio_filter() {
+        let values = [
+            "10 Oak Street",
+            "Oak Street 10",
+            "10 Maple Avenue",
+            "!!!", // token-less: empty-elements bucket
+            "Oak",
+        ];
+        let (index, ops) = single_atom_index("≈tok", &values);
+        let stats = index.stats();
+        assert_eq!(stats.token_anchors, 1);
+        assert_eq!(stats.scan_keys, 0);
+        assert!(stats.sparse_entries >= 1, "token-less value on the empty list");
+        assert_matches_scan(
+            &index,
+            &ops,
+            "≈tok",
+            &["10 Oak Street", "oak street", "???", "Maple", ""],
+        );
+        // A token-less probe retrieves only the empty bucket, never the
+        // full relation.
+        let probe = Tuple::new(60, vec![Value::str("...")]);
+        assert_eq!(index.candidates_for(&probe), vec![3]);
+    }
+
+    #[test]
+    fn qgram_dice_anchor_uses_element_postings() {
+        let values = ["Clifford", "Cliford", "Washington", ""];
+        let (index, ops) = single_atom_index("≈qg", &values);
+        let stats = index.stats();
+        assert_eq!(stats.token_anchors, 1, "Dice anchors through element postings");
+        assert_eq!(stats.qgram_anchors, 0);
+        assert_matches_scan(&index, &ops, "≈qg", &["Clifford", "Washingtan", "", "zzz"]);
+    }
+
+    #[test]
+    fn bag_prefix_anchor_is_sound_for_jaro_winkler() {
+        let values = ["Clifford", "Cliford", "martha", "marhta", "Jones", ""];
+        let (index, ops) = single_atom_index("≈jw", &values);
+        let stats = index.stats();
+        assert_eq!(stats.bag_anchors, 1);
+        assert_eq!(stats.scan_keys, 0, "jw at 0.9 must be indexable");
+        assert_matches_scan(&index, &ops, "≈jw", &["Clifford", "marhta", "Jonse", "", "xyz"]);
+        // An empty probe only reaches the empty-string bucket.
+        let probe = Tuple::new(70, vec![Value::str("")]);
+        assert_eq!(index.candidates_for(&probe), vec![5]);
+    }
+
+    #[test]
+    fn new_anchors_support_insert_and_remove() {
+        for op_name in ["≈sx", "≈tok", "≈jw", "≈qg", "≈num"] {
+            let (mut index, _ops) = single_atom_index(op_name, &["Robert", "Oak Street"]);
+            let probe = Tuple::new(90, vec![Value::str("Robert")]);
+            let before = index.query(&probe).hits.len();
+            index.insert(Tuple::new(42, vec![Value::str("Robert")])).unwrap();
+            let hits = index.query(&probe).hits;
+            assert_eq!(hits.len(), before + 1, "{op_name}: insert not visible");
+            assert!(hits.iter().any(|h| h.id == 42));
+            index.remove(42).unwrap();
+            let hits = index.query(&probe).hits;
+            assert_eq!(hits.len(), before, "{op_name}: remove not hidden");
+            assert!(hits.iter().all(|h| h.id != 42));
+        }
+    }
+
+    #[test]
+    fn dedup_saved_counts_folded_candidates() {
+        // Two keys over the same attribute: every value retrieved by both
+        // keys is folded into one candidate, and the fold is counted.
+        let schema = Arc::new(Schema::text("R", &["name"]).unwrap());
+        let mut rel = Relation::new(schema);
+        rel.push_strs(1, &["Jones"]);
+        rel.push_strs(2, &["Jonse"]);
+        let mut table = OperatorTable::new();
+        let eq = table.intern("=");
+        let sx = table.intern("≈sx");
+        let ops = Arc::new(RuntimeOps::resolve(&table, &paper_registry()).unwrap());
+        let keys = vec![
+            RelativeKey::new(vec![SimilarityAtom::new(0, 0, eq)]),
+            RelativeKey::new(vec![SimilarityAtom::new(0, 0, sx)]),
+        ];
+        let index = MatchIndex::build(1, &rel, &keys, &[], ops).unwrap();
+        let probe = Tuple::new(9, vec![Value::str("Jones")]);
+        let outcome = index.query(&probe);
+        // "Jones" is retrieved by the equality key AND the soundex key:
+        // one duplicate folded; "Jonse" only by soundex.
+        assert_eq!(outcome.candidates, 2);
+        assert_eq!(outcome.stats.dedup_saved, 1);
+        assert_eq!(outcome.hits.len(), 2);
     }
 
     #[test]

@@ -11,10 +11,10 @@
 
 use crate::edit::{damerau_levenshtein_within, levenshtein_within, theta_bound};
 use crate::jaro::jaro_winkler;
-use crate::normalize::digits_only;
-use crate::phonetic::soundex_eq;
+use crate::normalize::{digits_only, normalize_ws};
+use crate::phonetic::{soundex, soundex_eq};
 use crate::qgram::dice;
-use crate::token::token_jaccard;
+use crate::token::{token_jaccard, tokens};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -46,11 +46,125 @@ pub enum KernelSpec {
     Opaque,
 }
 
+/// How an inverted index may use atoms under an operator for candidate
+/// *retrieval* — the capability every [`SimilarityOp`] declares through
+/// [`IndexableAtom`].
+///
+/// Each variant names a retrieval scheme together with the **soundness
+/// contract** the operator asserts by returning it: retrieval built on
+/// the contract produces a *superset* of the tuples the operator
+/// accepts, so an index can collect candidates from it and leave the
+/// final decision to verification. An operator that cannot honour any
+/// contract returns [`IndexStrategy::Scan`] and keys relying on it scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexStrategy {
+    /// Contract: `matches(a, b)` implies `a == b` as strings. Retrieval
+    /// is one exact hash-bucket lookup on the raw value.
+    Exact,
+    /// Contract: `matches(a, b)` implies an OSA (or plain Levenshtein)
+    /// distance within [`theta_bound`]`(theta, max(|a|, |b|))`. The
+    /// q-gram posting lists and short-string sparse list of the filter
+    /// machinery are sound retrieval.
+    EditGrams {
+        /// The threshold θ of the edit bound.
+        theta: f64,
+    },
+    /// Contract: `matches(a, b)` implies
+    /// [`IndexableAtom::derived_keys`]`(a)` and `derived_keys(b)` share
+    /// at least one key (and every input derives at least one key, so
+    /// `a == b` always shares). Retrieval is exact buckets over the
+    /// derived keys — soundex codes, digit strings, synonym classes.
+    DerivedKeys,
+    /// Contract: `matches(a, b)` implies the element multisets
+    /// [`IndexableAtom::index_elements`]`(a)`/`(b)` share an element or
+    /// are both empty, **and** that their sizes satisfy
+    /// `min ≥ min_ratio · max`. Retrieval is element posting lists with
+    /// a count-ratio prefilter plus an empty-elements bucket (probed
+    /// only by element-less probes).
+    Elements {
+        /// The sound lower bound on `min(|E(a)|, |E(b)|) / max(…)`.
+        min_ratio: f64,
+    },
+    /// Contract: `matches(a, b)` implies the character *multisets* of
+    /// `a` and `b` overlap in at least `⌈alpha · max(|a|, |b|)⌉`
+    /// characters, and one side is empty only when both are. Retrieval
+    /// is sorted-character prefix postings (index and probe each under
+    /// the first `n − ⌈alpha·n⌉ + 1` of their sorted characters — the
+    /// multiset prefix filter guarantees an overlapping pair shares a
+    /// prefix character) with a `min_len ≥ alpha · max_len` filter and
+    /// an empty-string bucket.
+    BagPrefix {
+        /// The sound lower bound on shared characters as a fraction of
+        /// the longer string.
+        alpha: f64,
+    },
+    /// No sound retrieval scheme: keys under this operator fall back to
+    /// scanning every live tuple.
+    Scan,
+}
+
+/// The retrieval capability of a similarity operator — what a match
+/// index needs to turn atoms under the operator into inverted-index
+/// anchors instead of scans.
+///
+/// This is a supertrait of [`SimilarityOp`] **without** a default for
+/// [`IndexableAtom::index_strategy`]: every operator must state its
+/// strategy explicitly, so new operators arrive index-ready (or visibly
+/// opt out with [`IndexStrategy::Scan`]) instead of silently scanning.
+pub trait IndexableAtom {
+    /// The declared retrieval strategy; see [`IndexStrategy`] for the
+    /// per-variant soundness contract the implementation asserts.
+    fn index_strategy(&self) -> IndexStrategy;
+
+    /// Appends the derived exact-bucket keys of `s` to `out` (at least
+    /// one key per input — required by [`IndexStrategy::DerivedKeys`]).
+    /// Key collisions across unrelated values only *add* candidates, so
+    /// they are sound; missing keys would lose matches and are not.
+    ///
+    /// The default panics: an operator declaring
+    /// [`IndexStrategy::DerivedKeys`] must override it.
+    fn derived_keys(&self, s: &str, out: &mut Vec<String>) {
+        let _ = (s, out);
+        unimplemented!("operator declared IndexStrategy::DerivedKeys but emits no keys")
+    }
+
+    /// Appends the element multiset of `s` (hashed; duplicates kept
+    /// when the operator's coefficient is multiset-based) to `out` —
+    /// required by [`IndexStrategy::Elements`]. Hash collisions merge
+    /// elements, which only adds candidates (sound).
+    ///
+    /// The default panics: an operator declaring
+    /// [`IndexStrategy::Elements`] must override it.
+    fn index_elements(&self, s: &str, out: &mut Vec<u64>) {
+        let _ = (s, out);
+        unimplemented!("operator declared IndexStrategy::Elements but emits no elements")
+    }
+}
+
+/// Tag prefixed to raw-value fallback keys of [`IndexStrategy::DerivedKeys`]
+/// operators (inputs that derive no natural code still must derive *some*
+/// key so `a == b` shares one). The control character keeps fallback keys
+/// disjoint from natural codes; a collision would merely add candidates.
+const RAW_KEY_TAG: char = '\u{1}';
+
+/// FNV-1a over the scalar values of `s` — the element hash of
+/// [`IndexableAtom::index_elements`]. Equal strings hash equally;
+/// collisions only merge posting lists (sound).
+fn hash_element(chars: impl Iterator<Item = char>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in chars {
+        h ^= u64::from(c as u32);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// An executable similarity operator `≈ ∈ Θ`.
 ///
 /// Implementations must be reflexive, symmetric and subsume equality; they
 /// need not be transitive (and thresholded edit-distance operators are not).
-pub trait SimilarityOp: Send + Sync + fmt::Debug {
+/// Every operator also declares its [`IndexableAtom`] retrieval capability.
+pub trait SimilarityOp: IndexableAtom + Send + Sync + fmt::Debug {
     /// Stable name of the operator, used to bind symbolic operators of the
     /// reasoning core to this implementation (e.g. `"≈dl"`).
     fn name(&self) -> &str;
@@ -75,6 +189,12 @@ pub trait SimilarityOp: Send + Sync + fmt::Debug {
 /// Strict equality — the distinguished operator `=` of Θ.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EqualityOp;
+
+impl IndexableAtom for EqualityOp {
+    fn index_strategy(&self) -> IndexStrategy {
+        IndexStrategy::Exact
+    }
+}
 
 impl SimilarityOp for EqualityOp {
     fn name(&self) -> &str {
@@ -116,6 +236,12 @@ impl DamerauOp {
     }
 }
 
+impl IndexableAtom for DamerauOp {
+    fn index_strategy(&self) -> IndexStrategy {
+        IndexStrategy::EditGrams { theta: self.theta }
+    }
+}
+
 impl SimilarityOp for DamerauOp {
     fn name(&self) -> &str {
         "≈dl"
@@ -151,6 +277,12 @@ impl LevenshteinOp {
     pub fn with_threshold(theta: f64) -> Self {
         assert!(theta.is_finite() && (0.0..=1.0).contains(&theta), "θ must be in [0,1]");
         LevenshteinOp { theta }
+    }
+}
+
+impl IndexableAtom for LevenshteinOp {
+    fn index_strategy(&self) -> IndexStrategy {
+        IndexStrategy::EditGrams { theta: self.theta }
     }
 }
 
@@ -192,6 +324,28 @@ impl JaroWinklerOp {
     }
 }
 
+impl IndexableAtom for JaroWinklerOp {
+    /// Jaro–Winkler bounds a character-multiset overlap: with prefix
+    /// weight 0.1 and the prefix capped at 4, `jw = j + ℓ·0.1·(1 − j) ≤
+    /// 0.6·j + 0.4`, so `jw ≥ s` forces Jaro `j ≥ (s − 0.4)/0.6`. Every
+    /// Jaro term (`m/|a|`, `m/|b|`, `(m − t)/m`) is at most 1, so each
+    /// is at least `3j − 2`; in particular the `m` matching characters
+    /// (an injective pairing of equal characters) satisfy
+    /// `m ≥ (3j − 2) · max(|a|, |b|)`, i.e. the multiset character
+    /// overlap is at least `alpha = 3·(s − 0.4)/0.6 − 2 = 5s − 4` of
+    /// the longer string. The bound is positive only for `s > 0.8`
+    /// (below that a high prefix boost can mask arbitrary suffixes), so
+    /// looser thresholds scan.
+    fn index_strategy(&self) -> IndexStrategy {
+        let alpha = 5.0 * self.min_sim - 4.0;
+        if alpha > 0.0 {
+            IndexStrategy::BagPrefix { alpha }
+        } else {
+            IndexStrategy::Scan
+        }
+    }
+}
+
 impl SimilarityOp for JaroWinklerOp {
     fn name(&self) -> &str {
         "≈jw"
@@ -227,6 +381,41 @@ impl QgramOp {
     }
 }
 
+impl IndexableAtom for QgramOp {
+    /// Dice `2·|A ⊓ B| / (|A| + |B|) ≥ s` over the padded gram
+    /// multisets forces a shared gram (the overlap is positive unless
+    /// both profiles are empty — i.e. both strings are empty) and
+    /// bounds the profile sizes: with `m ≤ min(|A|, |B|)`,
+    /// `2m ≥ s·(min + max)` gives `min/max ≥ s/(2 − s)`. Indexable for
+    /// any positive threshold; `s = 0` accepts everything and scans.
+    fn index_strategy(&self) -> IndexStrategy {
+        if self.min_sim > 0.0 {
+            IndexStrategy::Elements { min_ratio: self.min_sim / (2.0 - self.min_sim) }
+        } else {
+            IndexStrategy::Scan
+        }
+    }
+
+    /// The padded gram multiset of `s`, hashed — duplicates kept, since
+    /// Dice counts multiplicity (matching [`crate::qgram::QgramProfile`]:
+    /// `'#'`/`'$'` sentinels, empty string ⇒ no grams).
+    fn index_elements(&self, s: &str, out: &mut Vec<u64>) {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() {
+            return;
+        }
+        let mut padded = Vec::with_capacity(chars.len() + 2 * (self.q - 1));
+        padded.extend(std::iter::repeat_n('#', self.q - 1));
+        padded.extend_from_slice(&chars);
+        padded.extend(std::iter::repeat_n('$', self.q - 1));
+        if padded.len() >= self.q {
+            for w in padded.windows(self.q) {
+                out.push(hash_element(w.iter().copied()));
+            }
+        }
+    }
+}
+
 impl SimilarityOp for QgramOp {
     fn name(&self) -> &str {
         "≈qg"
@@ -242,6 +431,22 @@ impl SimilarityOp for QgramOp {
 /// Soundex equivalence of names.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SoundexOp;
+
+impl IndexableAtom for SoundexOp {
+    fn index_strategy(&self) -> IndexStrategy {
+        IndexStrategy::DerivedKeys
+    }
+
+    /// The soundex code, or a tagged copy of the raw value for inputs
+    /// that encode to none (no ASCII letter): [`soundex_eq`] falls back
+    /// to string equality there, and equal strings derive equal keys.
+    fn derived_keys(&self, s: &str, out: &mut Vec<String>) {
+        match soundex(s) {
+            Some(code) => out.push(code),
+            None => out.push(format!("{RAW_KEY_TAG}{s}")),
+        }
+    }
+}
 
 impl SimilarityOp for SoundexOp {
     fn name(&self) -> &str {
@@ -270,6 +475,29 @@ impl TokenJaccardOp {
     }
 }
 
+impl IndexableAtom for TokenJaccardOp {
+    /// Jaccard `|A ∩ B| / |A ∪ B| ≥ s > 0` forces a shared token unless
+    /// both token sets are empty (`jaccard(∅, ∅) = 1` by convention),
+    /// and bounds the set sizes: `min ≥ inter ≥ s·union ≥ s·max`.
+    /// `s = 0` accepts everything and scans.
+    fn index_strategy(&self) -> IndexStrategy {
+        if self.min_sim > 0.0 {
+            IndexStrategy::Elements { min_ratio: self.min_sim }
+        } else {
+            IndexStrategy::Scan
+        }
+    }
+
+    /// The token *set* of `s`, hashed (Jaccard is set-based, so
+    /// duplicates are dropped and the element count is the set size).
+    fn index_elements(&self, s: &str, out: &mut Vec<u64>) {
+        let mut elems: Vec<u64> = tokens(s).iter().map(|t| hash_element(t.chars())).collect();
+        elems.sort_unstable();
+        elems.dedup();
+        out.extend(elems);
+    }
+}
+
 impl SimilarityOp for TokenJaccardOp {
     fn name(&self) -> &str {
         "≈tok"
@@ -286,6 +514,23 @@ impl SimilarityOp for TokenJaccardOp {
 /// phone numbers across formats ("908-111-1111" vs "(908) 111 1111").
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DigitsEqOp;
+
+impl IndexableAtom for DigitsEqOp {
+    fn index_strategy(&self) -> IndexStrategy {
+        IndexStrategy::DerivedKeys
+    }
+    /// The digit content of `s`, or the tagged raw string when `s` has no
+    /// digits (digit-free values only match verbatim, so the raw value is a
+    /// sound bucket for them).
+    fn derived_keys(&self, s: &str, out: &mut Vec<String>) {
+        let digits = digits_only(s);
+        if digits.is_empty() {
+            out.push(format!("{RAW_KEY_TAG}{s}"));
+        } else {
+            out.push(digits);
+        }
+    }
+}
 
 impl SimilarityOp for DigitsEqOp {
     fn name(&self) -> &str {
@@ -346,6 +591,29 @@ impl SynonymOp {
     }
 }
 
+impl IndexableAtom for SynonymOp {
+    /// Without a fallback the operator is pure key equivalence: two values
+    /// match iff they share a synonym class or are verbatim equal, both of
+    /// which bucket exactly. A fallback makes matching a disjunction with an
+    /// arbitrary inner operator, which derived keys cannot cover soundly.
+    fn index_strategy(&self) -> IndexStrategy {
+        if self.inner.is_none() {
+            IndexStrategy::DerivedKeys
+        } else {
+            IndexStrategy::Scan
+        }
+    }
+    /// The synonym class id when the table knows the value, otherwise its
+    /// whitespace-normalised form (verbatim-equal strings normalise equally,
+    /// and a value in no class can only match table-free, i.e. verbatim).
+    fn derived_keys(&self, s: &str, out: &mut Vec<String>) {
+        match self.class_of(s) {
+            Some(id) => out.push(format!("c{id}")),
+            None => out.push(format!("v{}", normalize_ws(s))),
+        }
+    }
+}
+
 impl SimilarityOp for SynonymOp {
     fn name(&self) -> &str {
         &self.name
@@ -384,6 +652,18 @@ impl fmt::Debug for AliasOp {
             .field("name", &self.name)
             .field("inner", &self.inner.name().to_owned())
             .finish()
+    }
+}
+
+impl IndexableAtom for AliasOp {
+    fn index_strategy(&self) -> IndexStrategy {
+        self.inner.index_strategy()
+    }
+    fn derived_keys(&self, s: &str, out: &mut Vec<String>) {
+        self.inner.derived_keys(s, out);
+    }
+    fn index_elements(&self, s: &str, out: &mut Vec<u64>) {
+        self.inner.index_elements(s, out);
     }
 }
 
@@ -572,6 +852,149 @@ mod tests {
         assert_eq!(JaroWinklerOp::with_min(0.9).kernel(), KernelSpec::Opaque);
         let syn = SynonymOp::from_groups("≈c", [["USA", "United States"].as_slice()]);
         assert_eq!(syn.kernel(), KernelSpec::Opaque);
+    }
+
+    #[test]
+    fn index_strategies_describe_their_operators() {
+        assert_eq!(EqualityOp.index_strategy(), IndexStrategy::Exact);
+        assert_eq!(
+            DamerauOp::with_threshold(0.8).index_strategy(),
+            IndexStrategy::EditGrams { theta: 0.8 }
+        );
+        assert_eq!(
+            LevenshteinOp::with_threshold(0.9).index_strategy(),
+            IndexStrategy::EditGrams { theta: 0.9 }
+        );
+        assert_eq!(SoundexOp.index_strategy(), IndexStrategy::DerivedKeys);
+        assert_eq!(DigitsEqOp.index_strategy(), IndexStrategy::DerivedKeys);
+        // jw ≥ 0.9 ⟹ char-bag overlap ≥ 0.5·max(len): alpha = 5·0.9 − 4.
+        match JaroWinklerOp::with_min(0.9).index_strategy() {
+            IndexStrategy::BagPrefix { alpha } => assert!((alpha - 0.5).abs() < 1e-12),
+            other => panic!("expected BagPrefix, got {other:?}"),
+        }
+        // A weak jw threshold gives a vacuous bound — falls back to scan.
+        assert_eq!(JaroWinklerOp::with_min(0.7).index_strategy(), IndexStrategy::Scan);
+        // dice ≥ 0.8 ⟹ min grams ≥ (0.8 / 1.2)·max grams.
+        match QgramOp::new(2, 0.8).index_strategy() {
+            IndexStrategy::Elements { min_ratio } => {
+                assert!((min_ratio - 0.8 / 1.2).abs() < 1e-12);
+            }
+            other => panic!("expected Elements, got {other:?}"),
+        }
+        match TokenJaccardOp::with_min(0.5).index_strategy() {
+            IndexStrategy::Elements { min_ratio } => assert!((min_ratio - 0.5).abs() < 1e-12),
+            other => panic!("expected Elements, got {other:?}"),
+        }
+        // Pure synonym tables bucket exactly; a fallback forces a scan.
+        let syn = SynonymOp::from_groups("≈c", [["USA", "United States"].as_slice()]);
+        assert_eq!(syn.index_strategy(), IndexStrategy::DerivedKeys);
+        let syn = SynonymOp::from_groups("≈c", [["USA", "United States"].as_slice()])
+            .with_fallback(Arc::new(DamerauOp::with_threshold(0.8)));
+        assert_eq!(syn.index_strategy(), IndexStrategy::Scan);
+        // Aliases delegate.
+        let alias = AliasOp::new("≈sx2", Arc::new(SoundexOp));
+        assert_eq!(alias.index_strategy(), IndexStrategy::DerivedKeys);
+    }
+
+    #[test]
+    fn derived_keys_cover_matching_pairs() {
+        let samples = ["", "Mark", "Marx", "mark", "908-111-1111", "(908) 111 1111", "USA"];
+        let syn: Arc<dyn SimilarityOp> =
+            Arc::new(SynonymOp::from_groups("≈c", [["USA", "United States"].as_slice()]));
+        let ops: Vec<Arc<dyn SimilarityOp>> = vec![Arc::new(SoundexOp), Arc::new(DigitsEqOp), syn];
+        for op in &ops {
+            for a in samples {
+                let mut ka = Vec::new();
+                op.derived_keys(a, &mut ka);
+                assert!(!ka.is_empty(), "{} derives no key for {a:?}", op.name());
+                for b in samples {
+                    if op.matches(a, b) {
+                        let mut kb = Vec::new();
+                        op.derived_keys(b, &mut kb);
+                        assert!(
+                            ka.iter().any(|k| kb.contains(k)),
+                            "{} matches {a:?}~{b:?} but keys {ka:?} / {kb:?} are disjoint",
+                            op.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elements_cover_matching_pairs() {
+        let samples = ["", "Mark", "Marx", "10 Oak Street", "oak street 10", "Oak St."];
+        let ops: Vec<Arc<dyn SimilarityOp>> =
+            vec![Arc::new(QgramOp::new(2, 0.8)), Arc::new(TokenJaccardOp::with_min(0.5))];
+        for op in &ops {
+            let IndexStrategy::Elements { min_ratio } = op.index_strategy() else {
+                panic!("{} should use Elements", op.name());
+            };
+            for a in samples {
+                for b in samples {
+                    if !op.matches(a, b) {
+                        continue;
+                    }
+                    let (mut ea, mut eb) = (Vec::new(), Vec::new());
+                    op.index_elements(a, &mut ea);
+                    op.index_elements(b, &mut eb);
+                    let (min, max) = if ea.len() <= eb.len() {
+                        (ea.len(), eb.len())
+                    } else {
+                        (eb.len(), ea.len())
+                    };
+                    assert!(
+                        min as f64 + 1e-9 >= min_ratio * max as f64,
+                        "{}: sizes {min}/{max} violate ratio {min_ratio} on {a:?}~{b:?}",
+                        op.name()
+                    );
+                    if max > 0 {
+                        assert!(
+                            ea.iter().any(|e| eb.contains(e)),
+                            "{} matches {a:?}~{b:?} but elements are disjoint",
+                            op.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bag_prefix_bound_holds_on_matches() {
+        let op = JaroWinklerOp::with_min(0.9);
+        let IndexStrategy::BagPrefix { alpha } = op.index_strategy() else {
+            panic!("expected BagPrefix");
+        };
+        let samples = ["", "Mark", "Marx", "Clifford", "Cliford", "martha", "marhta"];
+        for a in samples {
+            for b in samples {
+                if !op.matches(a, b) {
+                    continue;
+                }
+                let (mut ca, mut cb): (Vec<char>, Vec<char>) =
+                    (a.chars().collect(), b.chars().collect());
+                ca.sort_unstable();
+                cb.sort_unstable();
+                // multiset intersection size
+                let (mut i, mut j, mut inter) = (0, 0, 0usize);
+                while i < ca.len() && j < cb.len() {
+                    match ca[i].cmp(&cb[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            inter += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                let max = ca.len().max(cb.len());
+                let need = ((alpha * max as f64) - 1e-9).ceil().max(0.0) as usize;
+                assert!(inter >= need, "jw match {a:?}~{b:?}: overlap {inter} < required {need}");
+            }
+        }
     }
 
     #[test]

@@ -6,12 +6,12 @@ use matchrules_core::cost::CostModel;
 use matchrules_core::dependency::MatchingDependency;
 use matchrules_core::error::CoreError;
 use matchrules_core::negation::NegativeRule;
-use matchrules_core::operators::OperatorTable;
+use matchrules_core::operators::{OperatorId, OperatorTable};
 use matchrules_core::parser::parse_md_set;
 use matchrules_core::rck::find_rcks;
 use matchrules_core::relative_key::Target;
 use matchrules_core::schema::{AttrKind, Schema, SchemaPair, Side};
-use matchrules_data::eval::{paper_registry, RuntimeOps};
+use matchrules_data::eval::{paper_registry, KernelClass, RuntimeOps};
 use matchrules_data::relation::Relation;
 use matchrules_matcher::fellegi_sunter::rck_comparison_vector;
 use matchrules_matcher::pipeline::{apply_length_stats, rck_block_key, rck_sort_keys};
@@ -473,6 +473,10 @@ impl EngineBuilder {
         // binding — not at the first match call. The resolved runtime also
         // drives the score-model fit below.
         let runtime = RuntimeOps::resolve(&ops, &self.registry)?;
+        // Per-operator kernel classes, frozen into the plan: `describe()`
+        // reports them and `MatchIndex` builds the matching anchor kinds.
+        let atom_classes: Vec<KernelClass> =
+            (0..ops.len()).map(|i| runtime.kernel_class(OperatorId(i as u16))).collect();
 
         // Cost model: configured weights plus measured `lt` statistics
         // (after checking the measured relations instantiate the schemas —
@@ -540,6 +544,7 @@ impl EngineBuilder {
             target,
             outcome.keys,
             rck_costs,
+            atom_classes,
             outcome.complete,
             self.negatives,
             sort_keys,

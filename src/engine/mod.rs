@@ -21,7 +21,12 @@
 //! Next to batch matching and dedup there is a third execution mode:
 //! [`MatchEngine::index`] compiles the plan's RCKs into a [`MatchIndex`]
 //! (per-RCK inverted indices — exact buckets for equality atoms, q-gram
-//! posting lists for edit atoms), which answers point queries
+//! posting lists for edit atoms, derived-key buckets for phonetic and
+//! normalizing atoms, token posting lists with a sound ratio prefilter
+//! for token-set atoms, and sorted-char-prefix buckets for bounded atoms
+//! like Jaro–Winkler; every operator declares its strategy through
+//! `IndexableAtom`, surfaced per plan as [`KernelClass`] via
+//! [`MatchPlan::atom_class`]), which answers point queries
 //! ([`MatchIndex::query`]: matched ids plus which RCK fired), supports
 //! incremental [`MatchIndex::insert`]/[`MatchIndex::remove`], and backs
 //! [`MatchEngine::match_pairs_indexed`] — batch matching whose candidates
@@ -56,7 +61,7 @@ pub mod preset;
 pub(crate) use builder::schemas_compatible;
 
 pub use builder::{EngineBuilder, EngineError};
-pub use matchrules_data::eval::{AtomStage, AtomTrace, FilterStats};
+pub use matchrules_data::eval::{AtomStage, AtomTrace, FilterStats, KernelClass};
 pub use matchrules_matcher::index::{
     IndexError, IndexStats, KeyTrace, MatchIndex, PairTrace, QueryHit, QueryOutcome,
 };

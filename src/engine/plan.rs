@@ -2,15 +2,33 @@
 
 use matchrules_core::dependency::MatchingDependency;
 use matchrules_core::negation::NegativeRule;
-use matchrules_core::operators::OperatorTable;
+use matchrules_core::operators::{OperatorId, OperatorTable};
 use matchrules_core::relative_key::{RelativeKey, Target};
 use matchrules_core::schema::SchemaPair;
+use matchrules_data::eval::KernelClass;
 use matchrules_data::relation::Relation;
+use matchrules_matcher::index::qgram_safe_len;
 use matchrules_matcher::scoring::ScoreModel;
 use matchrules_matcher::sortkey::SortKey;
 use matchrules_runtime::ExecConfig;
+use matchrules_simdist::filters::FILTER_Q;
 use std::fmt;
 use std::fmt::Write as _;
+
+/// The retrieval anchor kind a [`MatchIndex`](crate::engine::MatchIndex)
+/// gives atoms of `class` — `None` when such atoms force a scan (opaque
+/// operators, and edit thresholds too loose for gram sharing to be
+/// guaranteed at any length).
+fn anchor_kind(class: KernelClass) -> Option<&'static str> {
+    match class {
+        KernelClass::Equality => Some("exact"),
+        KernelClass::Edit { theta } => qgram_safe_len(theta, FILTER_Q).map(|_| "qgram"),
+        KernelClass::DerivedKey => Some("derived-key"),
+        KernelClass::TokenSet { .. } => Some("token"),
+        KernelClass::Bounded { .. } => Some("char-bag"),
+        KernelClass::Opaque => None,
+    }
+}
 
 /// The compiled match plan: schemas, the MD set, the deduced top-k RCKs,
 /// and the sort/block keys derived from them via attribute kinds.
@@ -33,6 +51,10 @@ pub struct MatchPlan {
     target: Target,
     rcks: Vec<RelativeKey>,
     rck_costs: Vec<f64>,
+    /// Per-operator retrieval class (indexed by `OperatorId`), derived
+    /// from each resolved operator's declared `IndexStrategy` at compile
+    /// time.
+    atom_classes: Vec<KernelClass>,
     complete: bool,
     negatives: Vec<NegativeRule>,
     sort_keys: Vec<SortKey>,
@@ -55,6 +77,7 @@ impl MatchPlan {
         target: Target,
         rcks: Vec<RelativeKey>,
         rck_costs: Vec<f64>,
+        atom_classes: Vec<KernelClass>,
         complete: bool,
         negatives: Vec<NegativeRule>,
         sort_keys: Vec<SortKey>,
@@ -74,6 +97,7 @@ impl MatchPlan {
             target,
             rcks,
             rck_costs,
+            atom_classes,
             complete,
             negatives,
             sort_keys,
@@ -128,6 +152,23 @@ impl MatchPlan {
     /// plan then holds *every* key deducible from Σ).
     pub fn is_complete(&self) -> bool {
         self.complete
+    }
+
+    /// The retrieval class of `op` — how (and whether) the RCK-driven
+    /// index can anchor atoms under this operator, as declared by the
+    /// resolved operator's `IndexStrategy` at compile time.
+    pub fn atom_class(&self, op: OperatorId) -> KernelClass {
+        self.atom_classes[op.0 as usize]
+    }
+
+    /// Whether every RCK of the plan has at least one indexable atom —
+    /// i.e. a [`MatchIndex`](crate::engine::MatchIndex) built from this
+    /// plan probes entirely through its anchors, with zero scan-fallback
+    /// keys.
+    pub fn fully_indexable(&self) -> bool {
+        self.rcks
+            .iter()
+            .all(|key| key.atoms().iter().any(|a| anchor_kind(self.atom_class(a.op)).is_some()))
     }
 
     /// The `top_k` bound the plan was compiled with (how many RCKs
@@ -197,8 +238,9 @@ impl MatchPlan {
     }
 
     /// Human-readable provenance: schemas, Σ, and the deduced keys with
-    /// their cost-model costs — what a report means by "plan".
-    /// [`MatchPlan`]'s `Display` implementation delegates here.
+    /// their cost-model costs and per-atom index anchors — what a report
+    /// means by "plan". [`MatchPlan`]'s `Display` implementation
+    /// delegates here.
     ///
     /// ```
     /// use matchrules::engine::Preset;
@@ -207,10 +249,43 @@ impl MatchPlan {
     /// let engine = Preset::Example11.builder().build()?;
     /// let text = engine.plan().describe();
     /// assert!(text.contains("3 MDs -> 5 RCKs"));
-    /// // Every deduced key is listed with its cost-model cost…
+    /// // Every deduced key is listed with its cost-model cost and the
+    /// // anchor kinds the MatchIndex will probe it through…
     /// assert!(text.contains("[cost "));
+    /// assert!(text.contains("[anchors: "));
     /// // …and Display renders the same provenance.
     /// assert_eq!(engine.plan().to_string(), text);
+    /// # Ok(()) }
+    /// ```
+    ///
+    /// A key none of whose operators declares a retrieval strategy falls
+    /// off the index onto a per-probe scan; `describe` warns per key,
+    /// naming the offending operator(s):
+    ///
+    /// ```
+    /// use matchrules::core::schema::Schema;
+    /// use matchrules::engine::EngineBuilder;
+    /// use matchrules::simdist::ops::{EqualityOp, SynonymOp};
+    /// use matchrules_data::eval::paper_registry;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // A synonym operator with a fallback declares IndexStrategy::Scan.
+    /// let mut registry = paper_registry();
+    /// registry.register(Arc::new(
+    ///     SynonymOp::from_groups("≈nick", [["Bob", "Robert"].as_slice()])
+    ///         .with_fallback(Arc::new(EqualityOp)),
+    /// ));
+    /// let engine = EngineBuilder::new()
+    ///     .schemas(Schema::text("a", &["name"])?, Schema::text("b", &["name"])?)
+    ///     .md_text("a[name] ~nick b[name] -> a[name] <=> b[name]")
+    ///     .target(&["name"], &["name"])
+    ///     .operators(registry)
+    ///     .build()?;
+    /// let text = engine.plan().describe();
+    /// assert!(text.contains("scan fallback"));
+    /// assert!(text.contains("≈nick"));
+    /// assert!(!engine.plan().fully_indexable());
     /// # Ok(()) }
     /// ```
     pub fn describe(&self) -> String {
@@ -227,12 +302,43 @@ impl MatchPlan {
             if self.complete { " (complete)" } else { "" },
         );
         for (i, key) in self.rcks.iter().enumerate() {
+            // Anchor kinds the index gives this key's atoms, in atom
+            // order; operators with no retrieval strategy are collected
+            // for the scan warning below.
+            let mut kinds: Vec<&'static str> = Vec::new();
+            let mut unindexable: Vec<&str> = Vec::new();
+            for atom in key.atoms() {
+                match anchor_kind(self.atom_class(atom.op)) {
+                    Some(kind) => {
+                        if !kinds.contains(&kind) {
+                            kinds.push(kind);
+                        }
+                    }
+                    None => {
+                        let name = self.ops.name(atom.op);
+                        if !unindexable.contains(&name) {
+                            unindexable.push(name);
+                        }
+                    }
+                }
+            }
             let _ = writeln!(
                 out,
-                "  [cost {:.2}] {}",
+                "  [cost {:.2}] {} [anchors: {}]",
                 self.rck_costs.get(i).copied().unwrap_or(f64::NAN),
                 key.display(&self.pair, &self.ops),
+                if kinds.is_empty() { "none".to_owned() } else { kinds.join(", ") },
             );
+            if kinds.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "    !! scan fallback: every probe scans all live tuples for this key \
+                     (operator{} {} declare{} no retrieval strategy)",
+                    if unindexable.len() == 1 { "" } else { "s" },
+                    unindexable.join(", "),
+                    if unindexable.len() == 1 { "s" } else { "" },
+                );
+            }
         }
         let _ = writeln!(
             out,

@@ -96,6 +96,29 @@ struct ServerView {
     shards: Vec<Arc<ShardSnapshot>>,
 }
 
+/// Which anchor kinds the serving plan's [`MatchIndex`] compiled, via
+/// [`ServerStats::index`]: how many RCK atoms retrieve through exact
+/// buckets, q-gram postings, derived-key buckets, token postings or
+/// char-bag prefix buckets — and how many keys fell back to scans.
+///
+/// Every shard compiles the same plan, so the anchor composition is a
+/// property of the rule version, not of any shard's contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexKinds {
+    /// Equality atoms indexed as exact buckets.
+    pub exact_anchors: u64,
+    /// Edit-distance atoms indexed as q-gram posting lists.
+    pub qgram_anchors: u64,
+    /// Phonetic/normalizing atoms indexed as derived-key buckets.
+    pub derived_anchors: u64,
+    /// Token/element-set atoms indexed as element posting lists.
+    pub token_anchors: u64,
+    /// Bounded atoms (Jaro–Winkler) indexed as char-bag prefix buckets.
+    pub bag_anchors: u64,
+    /// Keys with no indexable atom: every probe scans all live tuples.
+    pub scan_keys: u64,
+}
+
 /// Aggregate counters of a [`MatchServer`], via [`MatchServer::stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerStats {
@@ -124,6 +147,8 @@ pub struct ServerStats {
     pub cache_invalidations: u64,
     /// Entries currently held by the probe caches (both caches summed).
     pub cache_entries: usize,
+    /// Anchor-kind composition of the serving rule version's index.
+    pub index: IndexKinds,
 }
 
 /// The sharded, concurrent server core: a
@@ -319,6 +344,22 @@ impl MatchServer {
         let shard_records: Vec<usize> = view.shards.iter().map(|s| s.index.len()).collect();
         let (bool_hits, bool_misses, bool_invalidations) = self.cache.counters();
         let (ranked_hits, ranked_misses, ranked_invalidations) = self.ranked_cache.counters();
+        // Anchor kinds are identical across shards (same compiled plan);
+        // read shard 0's composition rather than summing duplicates.
+        let index = match view.shards.first() {
+            Some(shard) => {
+                let s = shard.index.stats();
+                IndexKinds {
+                    exact_anchors: s.exact_anchors as u64,
+                    qgram_anchors: s.qgram_anchors as u64,
+                    derived_anchors: s.derived_anchors as u64,
+                    token_anchors: s.token_anchors as u64,
+                    bag_anchors: s.bag_anchors as u64,
+                    scan_keys: s.scan_keys as u64,
+                }
+            }
+            None => IndexKinds::default(),
+        };
         ServerStats {
             version: view.rules.version,
             epoch,
@@ -331,6 +372,7 @@ impl MatchServer {
             cache_misses: bool_misses + ranked_misses,
             cache_invalidations: bool_invalidations + ranked_invalidations,
             cache_entries: self.cache.len() + self.ranked_cache.len(),
+            index,
         }
     }
 

@@ -65,6 +65,6 @@ mod core;
 pub mod net;
 pub mod wire;
 
-pub use self::core::{MatchServer, ServerConfig, ServerReader, ServerStats};
+pub use self::core::{IndexKinds, MatchServer, ServerConfig, ServerReader, ServerStats};
 pub use net::{ClientError, MatchClient, ServerHandle};
 pub use wire::{ProtocolError, Request, Response};

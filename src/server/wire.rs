@@ -227,6 +227,18 @@ pub struct WireStats {
     pub cache_misses: u64,
     /// Probe-cache invalidations (stale-epoch lookups and sweeps).
     pub cache_invalidations: u64,
+    /// Equality atoms indexed as exact buckets.
+    pub exact_anchors: u64,
+    /// Edit-distance atoms indexed as q-gram posting lists.
+    pub qgram_anchors: u64,
+    /// Phonetic/normalizing atoms indexed as derived-key buckets.
+    pub derived_anchors: u64,
+    /// Token/element-set atoms indexed as element posting lists.
+    pub token_anchors: u64,
+    /// Bounded atoms indexed as char-bag prefix buckets.
+    pub bag_anchors: u64,
+    /// Keys with no indexable atom (scan fallback).
+    pub scan_keys: u64,
     /// The schema stored records instantiate.
     pub store_schema: WireSchema,
     /// The schema probes instantiate.
@@ -504,6 +516,12 @@ impl Response {
                 put_u64(&mut out, s.cache_hits);
                 put_u64(&mut out, s.cache_misses);
                 put_u64(&mut out, s.cache_invalidations);
+                put_u64(&mut out, s.exact_anchors);
+                put_u64(&mut out, s.qgram_anchors);
+                put_u64(&mut out, s.derived_anchors);
+                put_u64(&mut out, s.token_anchors);
+                put_u64(&mut out, s.bag_anchors);
+                put_u64(&mut out, s.scan_keys);
                 put_schema(&mut out, &s.store_schema);
                 put_schema(&mut out, &s.probe_schema);
             }
@@ -571,6 +589,12 @@ impl Response {
                     cache_hits: r.u64("cache hits")?,
                     cache_misses: r.u64("cache misses")?,
                     cache_invalidations: r.u64("cache invalidations")?,
+                    exact_anchors: r.u64("exact anchors")?,
+                    qgram_anchors: r.u64("qgram anchors")?,
+                    derived_anchors: r.u64("derived anchors")?,
+                    token_anchors: r.u64("token anchors")?,
+                    bag_anchors: r.u64("bag anchors")?,
+                    scan_keys: r.u64("scan keys")?,
                     store_schema: r.schema()?,
                     probe_schema: r.schema()?,
                 })
@@ -876,6 +900,12 @@ mod tests {
                 cache_hits: 50,
                 cache_misses: 50,
                 cache_invalidations: 7,
+                exact_anchors: 2,
+                qgram_anchors: 1,
+                derived_anchors: 1,
+                token_anchors: 1,
+                bag_anchors: 1,
+                scan_keys: 0,
                 store_schema: WireSchema { name: "crm".into(), attributes: vec!["a".into()] },
                 probe_schema: WireSchema { name: "orders".into(), attributes: vec!["b".into()] },
             }),
