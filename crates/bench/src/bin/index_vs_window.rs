@@ -69,17 +69,35 @@ fn main() {
     // Serving: build once, point-query every credit tuple.
     let (index, build_seconds) = time(|| w.engine.index(billing).expect("index builds"));
     let stats = index.stats();
-    let mut hits = 0usize;
-    let mut probed_candidates = 0usize;
-    let (_, query_seconds) = time(|| {
-        for probe in credit.tuples() {
-            let outcome = index.query(probe);
-            hits += outcome.hits.len();
-            probed_candidates += outcome.candidates;
-        }
-    });
+    let (sequential, query_seconds) =
+        time(|| credit.tuples().iter().map(|probe| index.query(probe)).collect::<Vec<_>>());
+    let hits: usize = sequential.iter().map(|o| o.hits.len()).sum();
+    let probed_candidates: usize = sequential.iter().map(|o| o.candidates).sum();
     let queries = credit.len();
     let qps = queries as f64 / query_seconds.max(1e-12);
+
+    // Batched probes: the same credit rows through `query_batch`, which
+    // shares prep and scratch across the batch. Answers must be
+    // byte-for-byte the sequential outcomes (hits, candidates, every
+    // work counter) — and a sampled slice is replayed through the
+    // brute-force reference path as a correctness gate.
+    let probes: Vec<_> = credit.tuples().to_vec();
+    let (batch, batch_seconds) = time(|| index.query_batch(&probes));
+    assert_eq!(batch, sequential, "batched probes must equal sequential probes");
+    for (i, probe) in credit.tuples().iter().enumerate().step_by(37) {
+        let reference = index.query_reference(probe);
+        let got: Vec<_> = batch[i].hits.iter().map(|h| (h.id, h.key)).collect();
+        let want: Vec<_> = reference.hits.iter().map(|h| (h.id, h.key)).collect();
+        assert_eq!(got, want, "compressed retrieval diverged from the reference on probe {i}");
+    }
+    let batch_qps = queries as f64 / batch_seconds.max(1e-12);
+
+    // Where the probe work went, summed over the batch: block decodes
+    // vs skips, gallop vs linear steps, prefilter kills, dedup folds.
+    let mut probe_stats = matchrules::engine::FilterStats::default();
+    for outcome in &batch {
+        probe_stats.merge(&outcome.stats);
+    }
 
     let mut table = Table::new(&["path", "candidates", "matches", "seconds"]);
     table.row(vec![
@@ -101,8 +119,21 @@ fn main() {
     );
     println!(
         "serving: built in {build_seconds:.3}s ({} live tuples), {queries} queries in \
-         {query_seconds:.3}s = {qps:.0} queries/sec ({hits} hits)",
+         {query_seconds:.3}s = {qps:.0} queries/sec ({hits} hits); \
+         batched: {batch_qps:.0} queries/sec (answers identical, reference-checked)",
         stats.live
+    );
+    println!(
+        "probe breakdown: {} blocks decoded + {} skipped, {} gallop + {} linear steps, \
+         {} prefilter rejects, {} dedup-saved; postings {} -> {} bytes",
+        probe_stats.blocks_decoded,
+        probe_stats.blocks_skipped,
+        probe_stats.gallop_steps,
+        probe_stats.linear_steps,
+        probe_stats.retrieval_rejects,
+        probe_stats.dedup_saved,
+        stats.postings_uncompressed_bytes,
+        stats.postings_bytes,
     );
 
     let doc = Json::obj()
@@ -143,6 +174,8 @@ fn main() {
                 .field("queries", queries)
                 .field("query_seconds", query_seconds)
                 .field("queries_per_sec", qps)
+                .field("batch_seconds", batch_seconds)
+                .field("batch_queries_per_sec", batch_qps)
                 .field("hits", hits)
                 .field("candidates_examined", probed_candidates)
                 .field("exact_anchors", stats.exact_anchors)
@@ -154,6 +187,19 @@ fn main() {
                 .field("exact_buckets", stats.exact_buckets)
                 .field("posting_lists", stats.posting_lists)
                 .field("sparse_entries", stats.sparse_entries),
+        )
+        .field(
+            "probe_breakdown",
+            Json::obj()
+                .field("blocks_decoded", probe_stats.blocks_decoded as usize)
+                .field("blocks_skipped", probe_stats.blocks_skipped as usize)
+                .field("gallop_steps", probe_stats.gallop_steps as usize)
+                .field("linear_steps", probe_stats.linear_steps as usize)
+                .field("retrieval_rejects", probe_stats.retrieval_rejects as usize)
+                .field("dedup_saved", probe_stats.dedup_saved as usize)
+                .field("verify_evaluations", probe_stats.evaluations() as usize)
+                .field("postings_bytes", stats.postings_bytes)
+                .field("postings_uncompressed_bytes", stats.postings_uncompressed_bytes),
         )
         .field("names", names_section(scale));
     std::fs::write(&out_path, format!("{doc}\n")).expect("write bench output");

@@ -95,6 +95,27 @@ fn main() {
     );
     let key_evals_saved = 1.0 - key_evals as f64 / key_evals_unpruned.max(1) as f64;
 
+    // Batched queries: the same probes through `query_batch`, which
+    // amortizes relation prep and probe scratch across the batch — the
+    // serving headline. Answers must be byte-identical to the
+    // sequential pass.
+    let (batch, batch_seconds) =
+        time(|| service.query_batch(&probes).expect("probe schema checked"));
+    for (response, expect) in batch.iter().zip(&before) {
+        assert_eq!(&response.hits, expect, "batched answers must equal sequential answers");
+    }
+    let batch_per_sec = queries as f64 / batch_seconds.max(1e-12);
+    let batch_speedup = batch_per_sec / queries_per_sec.max(1e-12);
+
+    // Probe-breakdown counters: where retrieval work went, summed over
+    // the batch (deterministic — the same counters the differential
+    // tests pin).
+    let mut probe_stats = matchrules::engine::FilterStats::default();
+    for response in &batch {
+        probe_stats.merge(&response.stats);
+    }
+    let index_stats = index.stats();
+
     // Rule hot-swap: recompile the same MD set and rebuild the index —
     // the full cost of one rule iteration over a populated store.
     let sigma = service.plan().sigma().to_vec();
@@ -141,6 +162,12 @@ fn main() {
         format!("{queries_per_sec:.0}/s"),
     ]);
     table.row(vec![
+        "query_batch".to_owned(),
+        queries.to_string(),
+        format!("{batch_seconds:.3}"),
+        format!("{batch_per_sec:.0}/s"),
+    ]);
+    table.row(vec![
         "swap_rules".to_owned(),
         "1".to_owned(),
         format!("{swap_seconds:.3}"),
@@ -163,6 +190,22 @@ fn main() {
         "key pruning: {key_evals} RCK evaluations vs {key_evals_unpruned} unpruned \
          ({:.1}% saved, answers identical)",
         key_evals_saved * 100.0,
+    );
+    println!(
+        "batch: {batch_per_sec:.0} queries/sec ({batch_speedup:.1}x over sequential, \
+         answers identical)"
+    );
+    println!(
+        "probe breakdown: {} blocks decoded + {} skipped, {} gallop + {} linear steps, \
+         {} prefilter rejects, {} dedup-saved; postings {} -> {} bytes",
+        probe_stats.blocks_decoded,
+        probe_stats.blocks_skipped,
+        probe_stats.gallop_steps,
+        probe_stats.linear_steps,
+        probe_stats.retrieval_rejects,
+        probe_stats.dedup_saved,
+        index_stats.postings_uncompressed_bytes,
+        index_stats.postings_bytes,
     );
 
     let doc = Json::obj()
@@ -193,6 +236,27 @@ fn main() {
                 .field("per_sec", queries_per_sec)
                 .field("hits", hits)
                 .field("candidates_verified", candidates),
+        )
+        .field(
+            "query_batch",
+            Json::obj()
+                .field("count", queries)
+                .field("seconds", batch_seconds)
+                .field("per_sec", batch_per_sec)
+                .field("speedup_vs_sequential", batch_speedup),
+        )
+        .field(
+            "probe_breakdown",
+            Json::obj()
+                .field("blocks_decoded", probe_stats.blocks_decoded as usize)
+                .field("blocks_skipped", probe_stats.blocks_skipped as usize)
+                .field("gallop_steps", probe_stats.gallop_steps as usize)
+                .field("linear_steps", probe_stats.linear_steps as usize)
+                .field("retrieval_rejects", probe_stats.retrieval_rejects as usize)
+                .field("dedup_saved", probe_stats.dedup_saved as usize)
+                .field("verify_evaluations", probe_stats.evaluations() as usize)
+                .field("postings_bytes", index_stats.postings_bytes)
+                .field("postings_uncompressed_bytes", index_stats.postings_uncompressed_bytes),
         )
         .field(
             "key_pruning",

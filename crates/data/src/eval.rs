@@ -66,6 +66,20 @@ pub struct FilterStats {
     /// once, not k times). Counted by `MatchIndex::query`, not by atom
     /// evaluation, so it is **not** part of [`FilterStats::evaluations`].
     pub dedup_saved: u64,
+    /// Retrieved slots rejected by per-entry index metadata (length
+    /// window, char-bag presence mask, token-count ratio) before ever
+    /// becoming candidates. Counted during `MatchIndex` retrieval, not
+    /// atom evaluation — not part of [`FilterStats::evaluations`].
+    pub retrieval_rejects: u64,
+    /// Galloping comparison steps spent intersecting sorted candidate
+    /// lists (work accounting for the probe hot path).
+    pub gallop_steps: u64,
+    /// Linear merge/scan steps spent materializing posting unions.
+    pub linear_steps: u64,
+    /// Compressed posting blocks decoded during retrieval.
+    pub blocks_decoded: u64,
+    /// Compressed posting blocks discarded on their skip pointer alone.
+    pub blocks_skipped: u64,
 }
 
 impl FilterStats {
@@ -77,6 +91,11 @@ impl FilterStats {
         self.qgram_rejects += other.qgram_rejects;
         self.dp_runs += other.dp_runs;
         self.dedup_saved += other.dedup_saved;
+        self.retrieval_rejects += other.retrieval_rejects;
+        self.gallop_steps += other.gallop_steps;
+        self.linear_steps += other.linear_steps;
+        self.blocks_decoded += other.blocks_decoded;
+        self.blocks_skipped += other.blocks_skipped;
     }
 
     /// Total evaluations rejected by some filter.
@@ -831,6 +850,11 @@ mod tests {
             qgram_rejects: 3,
             dp_runs: 4,
             dedup_saved: 7,
+            retrieval_rejects: 2,
+            gallop_steps: 20,
+            linear_steps: 30,
+            blocks_decoded: 4,
+            blocks_skipped: 6,
         };
         let b = FilterStats {
             equal_fast: 0,
@@ -839,13 +863,24 @@ mod tests {
             qgram_rejects: 1,
             dp_runs: 2,
             dedup_saved: 3,
+            retrieval_rejects: 1,
+            gallop_steps: 2,
+            linear_steps: 3,
+            blocks_decoded: 1,
+            blocks_skipped: 1,
         };
         a.merge(&b);
         assert_eq!(a.length_rejects, 11);
         assert_eq!(a.equal_fast, 5);
         assert_eq!(a.dedup_saved, 10);
+        assert_eq!(a.retrieval_rejects, 3);
+        assert_eq!(a.gallop_steps, 22);
+        assert_eq!(a.linear_steps, 33);
+        assert_eq!(a.blocks_decoded, 5);
+        assert_eq!(a.blocks_skipped, 7);
         assert_eq!(a.rejected(), 17);
-        // dedup_saved counts skipped verifications, not evaluations.
+        // dedup_saved and the retrieval counters track skipped or
+        // amortized work, not evaluations.
         assert_eq!(a.evaluations(), 28);
     }
 

@@ -139,11 +139,17 @@ impl RelationPrep {
         RelationPrep { needs: needs.clone(), rows }
     }
 
+    /// A prep with no rows yet — the starting point of a probe *batch*,
+    /// where rows are pushed one by one without building a [`Relation`].
+    pub fn empty(needs: &SigNeeds) -> Self {
+        RelationPrep { needs: needs.clone(), rows: Vec::new() }
+    }
+
     /// A one-tuple prep — the probe side of a point query against a
     /// match index, where building a whole [`Relation`] first would be
     /// wasted work.
     pub fn single(tuple: &Tuple, needs: &SigNeeds) -> Self {
-        let mut prep = RelationPrep { needs: needs.clone(), rows: Vec::new() };
+        let mut prep = Self::empty(needs);
         prep.push_row(tuple);
         prep
     }

@@ -86,6 +86,7 @@
 //! ```
 
 use crate::key::KeyMatcher;
+use crate::postings::PostingList;
 use matchrules_core::dependency::SimilarityAtom;
 use matchrules_core::negation::NegativeRule;
 use matchrules_core::operators::OperatorId;
@@ -97,14 +98,21 @@ use matchrules_data::relation::{Relation, Tuple, TupleId};
 use matchrules_runtime::WorkPool;
 use matchrules_simdist::edit::theta_bound;
 use matchrules_simdist::filters::FILTER_Q;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Minimum tuples per chunk when anchor indices are built over a pool:
 /// one tuple contributes a handful of hash insertions, so smaller chunks
 /// would be all claiming overhead.
 const BUILD_MIN_CHUNK: usize = 256;
+
+/// Minimum probes per chunk when a query batch runs over a pool: one
+/// probe is tens of microseconds, so smaller chunks would be claiming
+/// overhead.
+const BATCH_MIN_CHUNK: usize = 16;
 
 /// Errors raised while building or maintaining a [`MatchIndex`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -216,16 +224,25 @@ enum AtomIndex {
     /// Equality atom: value → slots carrying it (`Null` values excluded —
     /// null matches nothing, so such tuples can never satisfy the atom).
     Exact { left: AttrId, right: AttrId, buckets: HashMap<String, Vec<u32>> },
-    /// Thresholded edit atom: gram hash → slots whose string contains the
-    /// gram, plus the sparse list of slots whose string is shorter than
-    /// `safe_len` (scanned whenever the probe itself is short, because
-    /// gram sharing is only guaranteed above the safe length).
+    /// Thresholded edit atom: gram hash → compressed posting list of
+    /// slots whose string contains the gram, plus the sparse list of
+    /// slots whose string is shorter than `safe_len` (scanned whenever
+    /// the probe itself is short, because gram sharing is only
+    /// guaranteed above the safe length). `lens` / `masks` hold one
+    /// entry per slot (char length and char-bag presence mask,
+    /// [`NULL_SLOT`]/0 for nulls) backing the retrieval-time length
+    /// window and presence-mask prefilters — both sound because each
+    /// lower-bounds the OSA distance the verification kernel would
+    /// compute.
     Qgram {
         left: AttrId,
         right: AttrId,
+        theta: f64,
         safe_len: usize,
-        postings: HashMap<u64, Vec<u32>>,
+        postings: HashMap<u64, PostingList>,
         sparse: Vec<u32>,
+        lens: Vec<u32>,
+        masks: Vec<u64>,
     },
     /// Derived-key atom (soundex, digit equality, synonym tables):
     /// key → slots deriving it. Matching values share a key and every
@@ -242,7 +259,7 @@ enum AtomIndex {
         right: AttrId,
         op: OperatorId,
         min_ratio: f64,
-        postings: HashMap<u64, Vec<u32>>,
+        postings: HashMap<u64, PostingList>,
         counts: Vec<u32>,
         empty: Vec<u32>,
     },
@@ -259,7 +276,7 @@ enum AtomIndex {
         left: AttrId,
         right: AttrId,
         alpha: f64,
-        postings: HashMap<char, Vec<u32>>,
+        postings: HashMap<char, PostingList>,
         lens: Vec<u32>,
         empty: Vec<u32>,
     },
@@ -280,7 +297,7 @@ impl AtomIndex {
                     buckets.entry(s.to_owned()).or_default().push(slot);
                 }
             }
-            AtomIndex::Qgram { right, safe_len, postings, sparse, .. } => {
+            AtomIndex::Qgram { right, safe_len, postings, sparse, lens, masks, .. } => {
                 let computed;
                 let sig = match prep.sig(slot as usize, *right) {
                     Some(sig) => sig,
@@ -290,8 +307,15 @@ impl AtomIndex {
                     }
                 };
                 if sig.is_null() {
+                    // Null slots still need aligned metadata entries; they
+                    // never appear on a posting or sparse list, so the
+                    // sentinel is never consulted by the prefilter.
+                    lens.push(NULL_SLOT);
+                    masks.push(0);
                     return;
                 }
+                lens.push(sig.sig().char_len() as u32);
+                masks.push(sig.sig().bag().presence_mask());
                 if sig.sig().char_len() < *safe_len {
                     sparse.push(slot);
                 }
@@ -355,6 +379,7 @@ impl AtomIndex {
     /// Folds another (partial, higher-slot) index of the same shape in —
     /// the deterministic merge step of the parallel build.
     fn merge(&mut self, other: AtomIndex) {
+        let mut scratch = Vec::new();
         match (self, other) {
             (AtomIndex::Exact { buckets, .. }, AtomIndex::Exact { buckets: partial, .. }) => {
                 for (value, slots) in partial {
@@ -362,13 +387,15 @@ impl AtomIndex {
                 }
             }
             (
-                AtomIndex::Qgram { postings, sparse, .. },
-                AtomIndex::Qgram { postings: p2, sparse: s2, .. },
+                AtomIndex::Qgram { postings, sparse, lens, masks, .. },
+                AtomIndex::Qgram { postings: p2, sparse: s2, lens: l2, masks: m2, .. },
             ) => {
-                for (hash, slots) in p2 {
-                    postings.entry(hash).or_default().extend(slots);
+                for (hash, list) in p2 {
+                    postings.entry(hash).or_default().extend_from(&list, &mut scratch);
                 }
                 sparse.extend(s2);
+                lens.extend(l2);
+                masks.extend(m2);
             }
             (AtomIndex::Derived { buckets, .. }, AtomIndex::Derived { buckets: partial, .. }) => {
                 for (key, slots) in partial {
@@ -379,8 +406,8 @@ impl AtomIndex {
                 AtomIndex::Tokens { postings, counts, empty, .. },
                 AtomIndex::Tokens { postings: p2, counts: c2, empty: e2, .. },
             ) => {
-                for (elem, slots) in p2 {
-                    postings.entry(elem).or_default().extend(slots);
+                for (elem, list) in p2 {
+                    postings.entry(elem).or_default().extend_from(&list, &mut scratch);
                 }
                 counts.extend(c2);
                 empty.extend(e2);
@@ -389,8 +416,8 @@ impl AtomIndex {
                 AtomIndex::BagPrefix { postings, lens, empty, .. },
                 AtomIndex::BagPrefix { postings: p2, lens: l2, empty: e2, .. },
             ) => {
-                for (c, slots) in p2 {
-                    postings.entry(c).or_default().extend(slots);
+                for (c, list) in p2 {
+                    postings.entry(c).or_default().extend_from(&list, &mut scratch);
                 }
                 lens.extend(l2);
                 empty.extend(e2);
@@ -406,12 +433,15 @@ impl AtomIndex {
             AtomIndex::Exact { left, right, .. } => {
                 AtomIndex::Exact { left: *left, right: *right, buckets: HashMap::new() }
             }
-            AtomIndex::Qgram { left, right, safe_len, .. } => AtomIndex::Qgram {
+            AtomIndex::Qgram { left, right, theta, safe_len, .. } => AtomIndex::Qgram {
                 left: *left,
                 right: *right,
+                theta: *theta,
                 safe_len: *safe_len,
                 postings: HashMap::new(),
                 sparse: Vec::new(),
+                lens: Vec::new(),
+                masks: Vec::new(),
             },
             AtomIndex::Derived { left, right, op, .. } => {
                 AtomIndex::Derived { left: *left, right: *right, op: *op, buckets: HashMap::new() }
@@ -453,20 +483,38 @@ impl AtomIndex {
         }
     }
 
-    /// The sorted, deduplicated slots that *may* satisfy this atom
-    /// against the probe — a superset of the slots whose tuples actually
-    /// do. An unsatisfiable probe value (`Null`) retrieves nothing.
-    /// `probe_prep` is the probe's one-row signature cache (edit-atom
-    /// attributes are marked on the probe side too).
-    fn retrieve(&self, probe: &Tuple, probe_prep: &RelationPrep, ops: &RuntimeOps) -> Vec<u32> {
+    /// Resolves the probe against this atom's buckets/postings into a
+    /// [`PreparedAtom`]: the posting lists and plain slot lists whose
+    /// union (filtered by the per-entry prefilter) is the atom's
+    /// retrieval — a superset of the slots whose tuples satisfy the atom
+    /// against the probe. An unsatisfiable probe value (`Null`)
+    /// prepares an empty retrieval. `probe_prep` is the probe side's
+    /// signature cache and `row` the probe's position in it (batched
+    /// probes share one prep). The string/element buffers are reusable
+    /// scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn prepare<'a>(
+        &'a self,
+        probe: &Tuple,
+        probe_prep: &RelationPrep,
+        row: usize,
+        ops: &RuntimeOps,
+        keybuf: &mut Vec<String>,
+        elembuf: &mut Vec<u64>,
+        charbuf: &mut Vec<char>,
+    ) -> PreparedAtom<'a> {
+        let mut pa = PreparedAtom::empty();
         match self {
-            AtomIndex::Exact { left, buckets, .. } => match probe.get(*left).as_str() {
-                Some(s) => buckets.get(s).cloned().unwrap_or_default(),
-                None => Vec::new(),
-            },
-            AtomIndex::Qgram { left, safe_len, postings, sparse, .. } => {
+            AtomIndex::Exact { left, buckets, .. } => {
+                if let Some(s) = probe.get(*left).as_str() {
+                    if let Some(bucket) = buckets.get(s) {
+                        pa.plain.push(bucket.as_slice());
+                    }
+                }
+            }
+            AtomIndex::Qgram { left, theta, safe_len, postings, sparse, lens, masks, .. } => {
                 let computed;
-                let sig = match probe_prep.sig(0, *left) {
+                let sig = match probe_prep.sig(row, *left) {
                     Some(sig) => sig,
                     None => {
                         computed = AttrSig::of_value(probe.get(*left));
@@ -474,94 +522,503 @@ impl AtomIndex {
                     }
                 };
                 if sig.is_null() {
-                    return Vec::new(); // null matches nothing
+                    return pa; // null matches nothing
                 }
-                let mut out = Vec::new();
                 if sig.sig().char_len() < *safe_len {
                     // Short probe: pairs below the safe length need not
                     // share a gram; partners at or above it are caught by
                     // the postings (their length alone puts the pair in
                     // the guaranteed regime).
-                    out.extend_from_slice(sparse);
+                    pa.plain.push(sparse.as_slice());
                 }
                 for hash in sig.sig().qgrams().distinct_hashes() {
-                    if let Some(slots) = postings.get(&hash) {
-                        out.extend_from_slice(slots);
+                    if let Some(list) = postings.get(&hash) {
+                        pa.comp.push(list);
                     }
                 }
-                out.sort_unstable();
-                out.dedup();
-                out
+                pa.filter = SlotFilter::EditMeta {
+                    lens,
+                    masks,
+                    theta: *theta,
+                    probe_len: sig.sig().char_len() as u32,
+                    probe_mask: sig.sig().bag().presence_mask(),
+                };
             }
             AtomIndex::Derived { left, op, buckets, .. } => {
                 let Some(s) = probe.get(*left).as_str() else {
-                    return Vec::new();
+                    return pa;
                 };
-                let mut keys = Vec::new();
-                ops.derived_keys_into(*op, s, &mut keys);
-                keys.sort_unstable();
-                keys.dedup();
-                let mut out = Vec::new();
-                for key in keys {
-                    if let Some(slots) = buckets.get(&key) {
-                        out.extend_from_slice(slots);
+                keybuf.clear();
+                ops.derived_keys_into(*op, s, keybuf);
+                keybuf.sort_unstable();
+                keybuf.dedup();
+                for key in keybuf.iter() {
+                    if let Some(bucket) = buckets.get(key) {
+                        pa.plain.push(bucket.as_slice());
                     }
                 }
-                out.sort_unstable();
-                out.dedup();
-                out
             }
             AtomIndex::Tokens { left, op, min_ratio, postings, counts, empty, .. } => {
                 let Some(s) = probe.get(*left).as_str() else {
-                    return Vec::new();
+                    return pa;
                 };
-                let mut elems = Vec::new();
-                ops.index_elements_into(*op, s, &mut elems);
-                if elems.is_empty() {
+                elembuf.clear();
+                ops.index_elements_into(*op, s, elembuf);
+                if elembuf.is_empty() {
                     // ∅ ≈ ∅ scores 1; an element-less probe can only
                     // match element-less tuples (the ratio bound rules
                     // everything else out).
-                    return empty.clone();
+                    pa.plain.push(empty.as_slice());
+                    return pa;
                 }
-                let probe_count = elems.len() as u32;
-                elems.sort_unstable();
-                elems.dedup();
-                let mut out = Vec::new();
-                for elem in elems {
-                    if let Some(slots) = postings.get(&elem) {
-                        out.extend_from_slice(slots);
+                let probe_count = elembuf.len() as u32;
+                elembuf.sort_unstable();
+                elembuf.dedup();
+                for elem in elembuf.iter() {
+                    if let Some(list) = postings.get(elem) {
+                        pa.comp.push(list);
                     }
                 }
-                out.sort_unstable();
-                out.dedup();
-                out.retain(|&slot| ratio_ok(*min_ratio, counts[slot as usize], probe_count));
-                out
+                pa.filter = SlotFilter::Ratio { ratio: *min_ratio, counts, probe: probe_count };
             }
             AtomIndex::BagPrefix { left, alpha, postings, lens, empty, .. } => {
                 let Some(s) = probe.get(*left).as_str() else {
-                    return Vec::new();
+                    return pa;
                 };
-                let mut chars: Vec<char> = s.chars().collect();
-                let n = chars.len();
+                charbuf.clear();
+                charbuf.extend(s.chars());
+                let n = charbuf.len();
                 if n == 0 {
                     // jw("", "") = 1 via equality; "" matches nothing else.
-                    return empty.clone();
+                    pa.plain.push(empty.as_slice());
+                    return pa;
                 }
-                chars.sort_unstable();
-                chars.truncate(n - overlap_need(*alpha, n) + 1);
-                chars.dedup();
-                let mut out = Vec::new();
-                for c in chars {
-                    if let Some(slots) = postings.get(&c) {
-                        out.extend_from_slice(slots);
+                charbuf.sort_unstable();
+                charbuf.truncate(n - overlap_need(*alpha, n) + 1);
+                charbuf.dedup();
+                for &c in charbuf.iter() {
+                    if let Some(list) = postings.get(&c) {
+                        pa.comp.push(list);
                     }
                 }
-                out.sort_unstable();
-                out.dedup();
-                out.retain(|&slot| ratio_ok(*alpha, lens[slot as usize], n as u32));
-                out
+                pa.filter = SlotFilter::Ratio { ratio: *alpha, counts: lens, probe: n as u32 };
             }
         }
+        pa
+    }
+
+    /// Purges `slot` from this atom's buckets and postings — the inverse
+    /// of [`AtomIndex::add`], recomputing the same anchor keys from the
+    /// stored tuple. Plain lists drop the entry immediately; compressed
+    /// posting lists tombstone it and rewrite their block once half dead
+    /// (`alive` drives the rewrite's liveness check). Aligned per-slot
+    /// metadata (`counts` / `lens` / `masks`) keeps its entry: slots are
+    /// never reused, and the data stays correct for any stale reader.
+    fn remove_slot(
+        &mut self,
+        slot: u32,
+        tuple: &Tuple,
+        prep: &RelationPrep,
+        ops: &RuntimeOps,
+        alive: &[bool],
+    ) {
+        fn drop_from(list: &mut Vec<u32>, slot: u32) {
+            if let Ok(i) = list.binary_search(&slot) {
+                list.remove(i);
+            }
+        }
+        match self {
+            AtomIndex::Exact { right, buckets, .. } => {
+                if let Some(s) = tuple.get(*right).as_str() {
+                    let emptied = match buckets.get_mut(s) {
+                        Some(bucket) => {
+                            drop_from(bucket, slot);
+                            bucket.is_empty()
+                        }
+                        None => false,
+                    };
+                    if emptied {
+                        buckets.remove(s);
+                    }
+                }
+            }
+            AtomIndex::Qgram { right, safe_len, postings, sparse, .. } => {
+                let computed;
+                let sig = match prep.sig(slot as usize, *right) {
+                    Some(sig) => sig,
+                    None => {
+                        computed = AttrSig::of_value(tuple.get(*right));
+                        &computed
+                    }
+                };
+                if sig.is_null() {
+                    return;
+                }
+                if sig.sig().char_len() < *safe_len {
+                    drop_from(sparse, slot);
+                }
+                for hash in sig.sig().qgrams().distinct_hashes() {
+                    let emptied = match postings.get_mut(&hash) {
+                        Some(list) => {
+                            list.note_removed(slot, alive);
+                            list.is_empty()
+                        }
+                        None => false,
+                    };
+                    if emptied {
+                        postings.remove(&hash);
+                    }
+                }
+            }
+            AtomIndex::Derived { right, op, buckets, .. } => {
+                if let Some(s) = tuple.get(*right).as_str() {
+                    let mut keys = Vec::new();
+                    ops.derived_keys_into(*op, s, &mut keys);
+                    keys.sort_unstable();
+                    keys.dedup();
+                    for key in keys {
+                        let emptied = match buckets.get_mut(&key) {
+                            Some(bucket) => {
+                                drop_from(bucket, slot);
+                                bucket.is_empty()
+                            }
+                            None => false,
+                        };
+                        if emptied {
+                            buckets.remove(&key);
+                        }
+                    }
+                }
+            }
+            AtomIndex::Tokens { right, op, postings, empty, .. } => {
+                if let Some(s) = tuple.get(*right).as_str() {
+                    let mut elems = Vec::new();
+                    ops.index_elements_into(*op, s, &mut elems);
+                    if elems.is_empty() {
+                        drop_from(empty, slot);
+                        return;
+                    }
+                    elems.sort_unstable();
+                    elems.dedup();
+                    for elem in elems {
+                        let emptied = match postings.get_mut(&elem) {
+                            Some(list) => {
+                                list.note_removed(slot, alive);
+                                list.is_empty()
+                            }
+                            None => false,
+                        };
+                        if emptied {
+                            postings.remove(&elem);
+                        }
+                    }
+                }
+            }
+            AtomIndex::BagPrefix { right, alpha, postings, empty, .. } => {
+                if let Some(s) = tuple.get(*right).as_str() {
+                    let mut chars: Vec<char> = s.chars().collect();
+                    let n = chars.len();
+                    if n == 0 {
+                        drop_from(empty, slot);
+                        return;
+                    }
+                    chars.sort_unstable();
+                    chars.truncate(n - overlap_need(*alpha, n) + 1);
+                    chars.dedup();
+                    for c in chars {
+                        let emptied = match postings.get_mut(&c) {
+                            Some(list) => {
+                                list.note_removed(slot, alive);
+                                list.is_empty()
+                            }
+                            None => false,
+                        };
+                        if emptied {
+                            postings.remove(&c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A per-entry retrieval prefilter: decided from metadata the index
+/// stores alongside its slots, applied while a posting union is scanned
+/// out of the probe bitmap — candidates failing it die before the
+/// verification kernel ever sees them. Every variant is sound: a slot it
+/// rejects would be rejected by the corresponding verification filter
+/// (size ratio, length window, char-bag bound) anyway.
+enum SlotFilter<'a> {
+    /// No per-entry metadata (exact / derived buckets, empty-value
+    /// lists).
+    None,
+    /// The size-ratio bound of element and char-bag anchors:
+    /// `min ≥ ratio·max` over per-slot counts vs the probe's count.
+    Ratio { ratio: f64, counts: &'a [u32], probe: u32 },
+    /// The edit-atom prefilters: length window plus char-bag
+    /// presence-mask bound, both against `theta_bound(θ, max(len))`.
+    EditMeta { lens: &'a [u32], masks: &'a [u64], theta: f64, probe_len: u32, probe_mask: u64 },
+}
+
+impl SlotFilter<'_> {
+    #[inline]
+    fn accepts(&self, slot: u32) -> bool {
+        match self {
+            SlotFilter::None => true,
+            SlotFilter::Ratio { ratio, counts, probe } => {
+                ratio_ok(*ratio, counts[slot as usize], *probe)
+            }
+            SlotFilter::EditMeta { lens, masks, theta, probe_len, probe_mask } => {
+                let ls = lens[slot as usize];
+                if ls == NULL_SLOT {
+                    return false;
+                }
+                let bound = theta_bound(*theta, (*probe_len).max(ls) as usize);
+                if probe_len.abs_diff(ls) as usize > bound {
+                    return false;
+                }
+                let sm = masks[slot as usize];
+                let diff = (probe_mask & !sm).count_ones().max((sm & !probe_mask).count_ones());
+                diff as usize <= bound
+            }
+        }
+    }
+}
+
+/// One atom's retrieval, resolved against a probe but not yet
+/// materialized: the compressed posting lists and plain slot slices
+/// whose union — filtered per entry — is the atom's candidate set.
+struct PreparedAtom<'a> {
+    /// Compressed posting lists (gram / element / char-prefix postings).
+    comp: Vec<&'a PostingList>,
+    /// Plain sorted slot lists (exact/derived buckets, sparse/empty).
+    plain: Vec<&'a [u32]>,
+    filter: SlotFilter<'a>,
+}
+
+impl<'a> PreparedAtom<'a> {
+    fn empty() -> Self {
+        PreparedAtom { comp: Vec::new(), plain: Vec::new(), filter: SlotFilter::None }
+    }
+
+    /// ORs the atom's *unfiltered* union into `words` (cleared first,
+    /// sized to a 256-slot boundary so bitset blocks OR in whole) — the
+    /// building block of bitmap-level intersection, where per-entry
+    /// filters are deferred until the intersected set is scanned out.
+    fn or_bitmap(
+        &self,
+        n_slots: usize,
+        words: &mut Vec<u64>,
+        decode: &mut Vec<u32>,
+        stats: &mut FilterStats,
+    ) {
+        let n_words = n_slots.div_ceil(256) * 4;
+        words.clear();
+        words.resize(n_words, 0);
+        for list in &self.comp {
+            stats.blocks_decoded += list.or_into(words, decode);
+        }
+        for plain in &self.plain {
+            for &slot in *plain {
+                words[(slot >> 6) as usize] |= 1u64 << (slot & 63);
+            }
+        }
+    }
+
+    /// Materializes the filtered union, ascending and deduplicated: OR
+    /// every list into a bitmap over the relation's slots (bitset blocks
+    /// land as four word-ORs each), then scan set bits through the
+    /// per-entry filter. A single unfiltered plain list (exact bucket,
+    /// empty-value list) short-circuits without touching the bitmap.
+    fn materialize(
+        &self,
+        n_slots: usize,
+        words: &mut Vec<u64>,
+        decode: &mut Vec<u32>,
+        stats: &mut FilterStats,
+    ) -> Vec<u32> {
+        if self.comp.is_empty() && self.plain.len() <= 1 && matches!(self.filter, SlotFilter::None)
+        {
+            return self.plain.first().map(|list| list.to_vec()).unwrap_or_default();
+        }
+        self.or_bitmap(n_slots, words, decode, stats);
+        let mut out = Vec::new();
+        for (w, &word) in words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let slot = (w as u32) * 64 + bits.trailing_zeros();
+                bits &= bits - 1;
+                stats.linear_steps += 1;
+                if self.filter.accepts(slot) {
+                    out.push(slot);
+                } else {
+                    stats.retrieval_rejects += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Intersects `acc` (sorted ascending) with a materialized retrieval in
+/// place, galloping through `list` — exponential stride doubling then a
+/// binary settle, so a small `acc` against a long list costs
+/// `O(|acc|·log)` instead of a full merge.
+fn gallop_intersect(acc: &mut Vec<u32>, list: &[u32], stats: &mut FilterStats) {
+    let mut kept = 0usize;
+    let mut j = 0usize;
+    for i in 0..acc.len() {
+        let v = acc[i];
+        let mut step = 1usize;
+        while j + step < list.len() && list[j + step] < v {
+            j += step;
+            step <<= 1;
+            stats.gallop_steps += 1;
+        }
+        let hi = (j + step + 1).min(list.len());
+        j += list[j..hi].partition_point(|&x| x < v);
+        stats.gallop_steps += 1;
+        if list.get(j) == Some(&v) {
+            acc[kept] = v;
+            kept += 1;
+        }
+    }
+    acc.truncate(kept);
+}
+
+/// When the running candidate set is at most this small, a key's next
+/// atom is intersected by *membership probes* (per-list galloping
+/// cursors over the compressed blocks) instead of materializing the
+/// atom's full union — the whole point of skip pointers.
+const LAZY_MAX: usize = 8;
+
+/// Intersects `acc` with an unmaterialized atom by membership: a slot
+/// survives iff it passes the per-entry filter and appears on at least
+/// one of the atom's lists. Cursor targets ascend with `acc`, so whole
+/// blocks are skipped on their max without decoding. Produces exactly
+/// the same `acc` as `gallop_intersect` against the materialized union.
+fn lazy_intersect(acc: &mut Vec<u32>, pa: &PreparedAtom<'_>, stats: &mut FilterStats) {
+    let mut cursors: Vec<_> = pa.comp.iter().map(|list| list.cursor()).collect();
+    acc.retain(|&slot| {
+        if !pa.filter.accepts(slot) {
+            stats.retrieval_rejects += 1;
+            return false;
+        }
+        cursors.iter_mut().any(|cur| cur.advance_to(slot) == Some(slot))
+            || pa.plain.iter().any(|plain| plain.binary_search(&slot).is_ok())
+    });
+    for cur in cursors {
+        stats.blocks_decoded += cur.blocks_decoded;
+        stats.blocks_skipped += cur.blocks_skipped;
+    }
+}
+
+/// Reusable per-thread buffers of the probe hot path: the union bitmap,
+/// block-decode scratch and the probe-side key/element/char buffers.
+/// Thread-local so concurrent queries (server shards, batched pools)
+/// never contend, and sequential queries never re-allocate.
+#[derive(Default)]
+struct ProbeScratch {
+    words: Vec<u64>,
+    and_words: Vec<u64>,
+    decode: Vec<u32>,
+    keys: Vec<String>,
+    elems: Vec<u64>,
+    chars: Vec<char>,
+}
+
+/// Set bits in a bitmap (the size of the running intersection during
+/// bitmap-level AND).
+fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+thread_local! {
+    static PROBE_SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::default());
+}
+
+/// EWMA weight of one new selectivity observation (≈ the last 16 probes
+/// dominate).
+const EWMA_ALPHA: f64 = 1.0 / 16.0;
+
+/// Lock-free observed-selectivity accumulator: one EWMA cell per anchor
+/// kind (indexed by `AtomIndex::cost_rank`), updated from the query hot
+/// path with relaxed atomics — races can drop an update, never corrupt
+/// a value — and frozen into a [`SelectivitySnapshot`] when a new index
+/// version is built.
+#[derive(Debug)]
+pub struct SelectivityObserver {
+    cells: [AtomicU64; 5],
+}
+
+impl Default for SelectivityObserver {
+    fn default() -> Self {
+        // NaN = no observation yet (0.0 is a meaningful selectivity).
+        SelectivityObserver { cells: std::array::from_fn(|_| AtomicU64::new(f64::NAN.to_bits())) }
+    }
+}
+
+impl SelectivityObserver {
+    /// Folds one observation (retrieved fraction of live tuples) into
+    /// the kind's EWMA.
+    fn observe(&self, kind: u8, selectivity: f64) {
+        let cell = &self.cells[kind as usize];
+        let old = f64::from_bits(cell.load(Ordering::Relaxed));
+        let new = if old.is_nan() { selectivity } else { old + EWMA_ALPHA * (selectivity - old) };
+        cell.store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Freezes the current EWMAs into a snapshot; kinds never observed
+    /// keep their rank from `fallback` (typically the snapshot that
+    /// ordered the current index).
+    fn snapshot(&self, fallback: &SelectivitySnapshot) -> SelectivitySnapshot {
+        let mut by_kind = fallback.by_kind;
+        for (kind, cell) in self.cells.iter().enumerate() {
+            let v = f64::from_bits(cell.load(Ordering::Relaxed));
+            if !v.is_nan() {
+                by_kind[kind] = v;
+            }
+        }
+        SelectivitySnapshot { by_kind }
+    }
+}
+
+/// Per-anchor-kind selectivity ranks (lower = more selective = first)
+/// ordering every key's atom intersections, frozen at build time — so
+/// answers and work accounting are deterministic for the lifetime of an
+/// index (one `RuleVersion` in the serving stack), no matter how the
+/// live EWMAs move underneath. Any ordering is *correct* (an
+/// intersection prefix is a sound candidate superset and verification
+/// decides membership); the snapshot only tunes how fast candidate sets
+/// shrink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectivitySnapshot {
+    by_kind: [f64; 5],
+}
+
+impl Default for SelectivitySnapshot {
+    /// Ranks equal to the static `cost_rank` order — the default build
+    /// reproduces the untuned cheapest-first order exactly.
+    fn default() -> Self {
+        SelectivitySnapshot { by_kind: [0.0, 1.0, 2.0, 3.0, 4.0] }
+    }
+}
+
+impl SelectivitySnapshot {
+    /// A snapshot with explicit ranks, indexed by anchor kind in
+    /// `cost_rank` order: exact, derived, tokens, q-gram, bag-prefix.
+    pub fn from_ranks(by_kind: [f64; 5]) -> Self {
+        SelectivitySnapshot { by_kind }
+    }
+
+    /// The ranks, in the same kind order as [`Self::from_ranks`].
+    pub fn ranks(&self) -> [f64; 5] {
+        self.by_kind
+    }
+
+    fn rank(&self, kind: u8) -> f64 {
+        self.by_kind[kind as usize]
     }
 }
 
@@ -584,8 +1041,10 @@ pub struct QueryHit {
 
 /// The result of one [`MatchIndex::query`]: the verified hits plus the
 /// work accounting (how many candidates the anchors retrieved, and how
-/// the similarity filter pipeline decided them).
-#[derive(Debug, Clone)]
+/// the similarity filter pipeline decided them). Comparable wholesale
+/// (`PartialEq`) so differential tests can assert byte-for-byte
+/// equality of outcomes, counters included.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryOutcome {
     /// The matched tuples, in ascending slot order.
     pub hits: Vec<QueryHit>,
@@ -669,6 +1128,13 @@ pub struct IndexStats {
     /// Slots on sparse/empty lists (short strings below an edit atom's
     /// safe length, element-less or empty values under set/bag anchors).
     pub sparse_entries: usize,
+    /// Resident bytes of the compressed posting lists (delta blocks,
+    /// bitset blocks, unsealed tails) across all posting anchors.
+    pub postings_bytes: usize,
+    /// Bytes the same postings would occupy as plain `u32` slot lists —
+    /// `postings_bytes / postings_uncompressed_bytes` is the compression
+    /// ratio.
+    pub postings_uncompressed_bytes: usize,
 }
 
 /// The key-provenance mask of a candidate slot when pruning is off
@@ -715,6 +1181,12 @@ pub struct MatchIndex {
     /// An empty list means the key is unindexable and scans.
     key_atoms: Vec<Vec<usize>>,
     by_id: HashMap<TupleId, u32>,
+    /// The selectivity snapshot that ordered `key_atoms` at build time.
+    planner: SelectivitySnapshot,
+    /// Live selectivity EWMAs, fed by the query path and harvested when
+    /// the next index version is built. Shared across clones: serving
+    /// snapshots of one lineage pool their observations.
+    observer: Arc<SelectivityObserver>,
 }
 
 impl fmt::Debug for MatchIndex {
@@ -772,6 +1244,35 @@ impl MatchIndex {
         negatives: &[NegativeRule],
         ops: Arc<RuntimeOps>,
     ) -> Result<Self, IndexError> {
+        Self::build_planned(
+            pool,
+            probe_arity,
+            relation,
+            keys,
+            negatives,
+            ops,
+            &SelectivitySnapshot::default(),
+        )
+    }
+
+    /// [`MatchIndex::build_in`] with an explicit [`SelectivitySnapshot`]
+    /// ordering each key's atom intersections — the adaptive-planner
+    /// entry point. Serving layers pass the previous index's
+    /// [`MatchIndex::observed_selectivity`] so each new version probes
+    /// most-selective-first; the default snapshot reproduces the static
+    /// cheapest-first order. The snapshot only reorders *work* —
+    /// verified hits are identical under every snapshot, because any
+    /// intersection prefix is a sound candidate superset.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_planned(
+        pool: &WorkPool,
+        probe_arity: usize,
+        relation: &Relation,
+        keys: &[RelativeKey],
+        negatives: &[NegativeRule],
+        ops: Arc<RuntimeOps>,
+        planner: &SelectivitySnapshot,
+    ) -> Result<Self, IndexError> {
         assert!(
             relation.len() <= u32::MAX as usize,
             "match index supports at most u32::MAX tuples"
@@ -799,9 +1300,12 @@ impl MatchIndex {
                         qgram_safe_len(theta, FILTER_Q).map(|safe_len| AtomIndex::Qgram {
                             left: atom.left,
                             right: atom.right,
+                            theta,
                             safe_len,
                             postings: HashMap::new(),
                             sparse: Vec::new(),
+                            lens: Vec::new(),
+                            masks: Vec::new(),
                         })
                     }
                     KernelClass::DerivedKey => Some(AtomIndex::Derived {
@@ -838,10 +1342,16 @@ impl MatchIndex {
                     refs.push(pos);
                 }
             }
-            // Cheapest retrievals first, once and for all: exact buckets
-            // are one hash lookup on a tiny list, gram postings union
-            // dozens of lists. Probing iterates this order directly.
-            refs.sort_by_key(|&pos| (atom_indices[pos].cost_rank(), pos));
+            // Most selective retrievals first, once and for all, by the
+            // planner snapshot's per-kind rank (the default ranks equal
+            // the static cost order: exact buckets are one hash lookup
+            // on a tiny list, gram postings union dozens of lists).
+            // Probing iterates this order directly; static cost then
+            // position break rank ties so the order is total.
+            refs.sort_by(|&a, &b| {
+                let (ka, kb) = (atom_indices[a].cost_rank(), atom_indices[b].cost_rank());
+                planner.rank(ka).total_cmp(&planner.rank(kb)).then(ka.cmp(&kb)).then(a.cmp(&b))
+            });
             refs.dedup();
             key_atoms.push(refs);
         }
@@ -885,7 +1395,23 @@ impl MatchIndex {
             atom_indices,
             key_atoms,
             by_id,
+            planner: planner.clone(),
+            observer: Arc::new(SelectivityObserver::default()),
         })
+    }
+
+    /// The selectivity snapshot that ordered this index's intersections
+    /// at build time.
+    pub fn planner_snapshot(&self) -> &SelectivitySnapshot {
+        &self.planner
+    }
+
+    /// The selectivities observed on this index's query path so far,
+    /// frozen into a snapshot (kinds not yet observed keep their
+    /// build-time rank) — pass to [`MatchIndex::build_planned`] when
+    /// building the next version so its plans reflect live traffic.
+    pub fn observed_selectivity(&self) -> SelectivitySnapshot {
+        self.observer.snapshot(&self.planner)
     }
 
     /// Number of live (queryable) tuples.
@@ -931,6 +1457,8 @@ impl MatchIndex {
             exact_buckets: 0,
             posting_lists: 0,
             sparse_entries: 0,
+            postings_bytes: 0,
+            postings_uncompressed_bytes: 0,
         };
         for atom in &self.atom_indices {
             match atom {
@@ -942,6 +1470,10 @@ impl MatchIndex {
                     stats.qgram_anchors += 1;
                     stats.posting_lists += postings.len();
                     stats.sparse_entries += sparse.len();
+                    for list in postings.values() {
+                        stats.postings_bytes += list.bytes();
+                        stats.postings_uncompressed_bytes += list.uncompressed_bytes();
+                    }
                 }
                 AtomIndex::Derived { buckets, .. } => {
                     stats.derived_anchors += 1;
@@ -951,11 +1483,19 @@ impl MatchIndex {
                     stats.token_anchors += 1;
                     stats.posting_lists += postings.len();
                     stats.sparse_entries += empty.len();
+                    for list in postings.values() {
+                        stats.postings_bytes += list.bytes();
+                        stats.postings_uncompressed_bytes += list.uncompressed_bytes();
+                    }
                 }
                 AtomIndex::BagPrefix { postings, empty, .. } => {
                     stats.bag_anchors += 1;
                     stats.posting_lists += postings.len();
                     stats.sparse_entries += empty.len();
+                    for list in postings.values() {
+                        stats.postings_bytes += list.bytes();
+                        stats.postings_uncompressed_bytes += list.uncompressed_bytes();
+                    }
                 }
             }
         }
@@ -974,11 +1514,33 @@ impl MatchIndex {
     /// Panics when the probe's arity is smaller than the probe-side
     /// schema the keys were compiled for.
     pub fn candidates_for(&self, probe: &Tuple) -> Vec<usize> {
-        self.candidate_masks(probe, &RelationPrep::single(probe, &self.probe_needs))
-            .0
+        let mut stats = FilterStats::default();
+        self.candidate_masks(probe, &RelationPrep::single(probe, &self.probe_needs), 0, &mut stats)
             .into_iter()
             .map(|(slot, _)| slot)
             .collect()
+    }
+
+    /// Candidate slots for every tuple of a probe *relation*, in probe
+    /// order — the batch engine's probe stage. Signature extraction is
+    /// shared across the whole batch and probes are chunked over `pool`;
+    /// the result is identical to mapping [`MatchIndex::candidates_for`]
+    /// over the tuples.
+    pub fn candidates_batch_in(&self, pool: &WorkPool, probes: &Relation) -> Vec<Vec<usize>> {
+        let prep = RelationPrep::build_in(pool, probes, &self.probe_needs);
+        let tuples = probes.tuples();
+        let chunks = pool.par_ranges(tuples.len(), BATCH_MIN_CHUNK, |_, range| {
+            range
+                .map(|row| {
+                    let mut stats = FilterStats::default();
+                    self.candidate_masks(&tuples[row], &prep, row, &mut stats)
+                        .into_iter()
+                        .map(|(slot, _)| slot)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// [`MatchIndex::candidates_for`] with the probe's signatures already
@@ -990,77 +1552,184 @@ impl MatchIndex {
     /// more than 64 keys disable pruning (every mask is [`NO_PRUNE`]);
     /// a scan-fallback key marks every live slot for every key.
     ///
-    /// The second return is the number of duplicate retrievals folded
-    /// away — slots retrieved by several keys that would each have been
-    /// prepped and verified separately without the dedup
-    /// ([`FilterStats::dedup_saved`]).
+    /// Retrieval work is accounted in `stats`: duplicate retrievals
+    /// folded away ([`FilterStats::dedup_saved`]), blocks decoded and
+    /// skipped, gallop and linear-scan steps, and candidates killed by
+    /// per-entry prefilters ([`FilterStats::retrieval_rejects`]). `row`
+    /// is the probe's position in `probe_prep` (batched probes share one
+    /// prep).
+    ///
+    /// Per key, the first atom's retrieval is *materialized* (posting
+    /// blocks OR'd into a bitmap, prefilters applied while scanning it
+    /// out); each later atom either galloping-intersects a previously
+    /// materialized retrieval, or — when the running set is at most
+    /// [`LAZY_MAX`] — probes the atom's compressed blocks by membership
+    /// without materializing at all. Which path runs depends only on the
+    /// probe and the index version, so answers *and* counters are
+    /// deterministic per probe. Each materialization feeds the
+    /// [`SelectivityObserver`] for the next version's plans.
     fn candidate_masks(
         &self,
         probe: &Tuple,
         probe_prep: &RelationPrep,
-    ) -> (Vec<(usize, u64)>, u64) {
+        row: usize,
+        stats: &mut FilterStats,
+    ) -> Vec<(usize, u64)> {
         let prune = self.key_atoms.len() <= 64;
-        // Retrieve each distinct atom at most once, lazily: several keys
-        // usually share atoms, and a key whose exact atoms already pin
-        // the candidates down never pays for its gram retrievals. The
-        // refs were ordered cheapest-first at build time.
-        let mut retrieved: Vec<Option<Vec<u32>>> = vec![None; self.atom_indices.len()];
-        let mut pairs: Vec<(u32, u64)> = Vec::new();
-        for (key, refs) in self.key_atoms.iter().enumerate() {
-            if refs.is_empty() {
-                // Unindexable key: every live slot is a candidate, no
-                // other key can add more, and later keys were never
-                // intersected — so no key may be pruned (and no
-                // duplicate retrievals exist to fold).
-                let all = (0..self.relation.len())
-                    .filter(|&s| self.alive[s])
-                    .map(|s| (s, NO_PRUNE))
-                    .collect();
-                return (all, 0);
-            }
-            let bit = if prune { 1u64 << key } else { NO_PRUNE };
-            let mut acc: Option<Vec<u32>> = None;
-            for &pos in refs {
-                if acc.as_ref().is_some_and(|a| a.len() <= ENOUGH) {
-                    break; // already cheap to verify; a prefix is sound
+        let n_slots = self.relation.len();
+        PROBE_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let ProbeScratch { words, and_words, decode, keys, elems, chars } = scratch;
+            // Prepare and materialize each distinct atom at most once,
+            // lazily: several keys usually share atoms, and a key whose
+            // earlier atoms already pin the candidates down never pays
+            // for its gram retrievals. The refs were ordered
+            // most-selective-first at build time.
+            let mut prepared: Vec<Option<PreparedAtom<'_>>> =
+                (0..self.atom_indices.len()).map(|_| None).collect();
+            let mut retrieved: Vec<Option<Vec<u32>>> = vec![None; self.atom_indices.len()];
+            let mut pairs: Vec<(u32, u64)> = Vec::new();
+            for (key, refs) in self.key_atoms.iter().enumerate() {
+                if refs.is_empty() {
+                    // Unindexable key: every live slot is a candidate, no
+                    // other key can add more, and later keys were never
+                    // intersected — so no key may be pruned (and no
+                    // duplicate retrievals exist to fold).
+                    return (0..n_slots)
+                        .filter(|&s| self.alive[s])
+                        .map(|s| (s, NO_PRUNE))
+                        .collect();
                 }
-                if retrieved[pos].is_none() {
-                    retrieved[pos] =
-                        Some(self.atom_indices[pos].retrieve(probe, probe_prep, &self.ops));
-                }
-                let list = retrieved[pos].as_deref().expect("retrieved above");
-                acc = Some(match acc {
-                    None => list.to_vec(),
-                    Some(mut a) => {
-                        a.retain(|slot| list.binary_search(slot).is_ok());
-                        a
+                let bit = if prune { 1u64 << key } else { NO_PRUNE };
+                let mut acc: Option<Vec<u32>> = None;
+
+                // Bitmap-AND prefix: while no candidate vector exists
+                // yet, fold the key's leading un-memoized posting-backed
+                // atoms at the *bitmap* level — whole-word ANDs instead
+                // of per-slot scans — deferring every per-entry filter
+                // until the intersected set is scanned out once. Dense
+                // unions (shared q-grams, common tokens) shrink each
+                // other before any slot is visited individually.
+                let mut folded: Vec<usize> = Vec::new();
+                let mut taken = 0usize;
+                for &pos in refs.iter().take(if refs.len() >= 2 { refs.len() } else { 0 }) {
+                    if retrieved[pos].is_some() {
+                        break; // a memoized union intersects cheaper below
                     }
-                });
-                if acc.as_ref().is_some_and(Vec::is_empty) {
-                    break;
+                    if !folded.is_empty() && popcount(words) <= LAZY_MAX {
+                        break; // small enough; remaining atoms go lazy
+                    }
+                    if prepared[pos].is_none() {
+                        prepared[pos] = Some(
+                            self.atom_indices[pos]
+                                .prepare(probe, probe_prep, row, &self.ops, keys, elems, chars),
+                        );
+                    }
+                    let pa = prepared[pos].as_ref().expect("prepared above");
+                    if pa.comp.is_empty() {
+                        break; // plain buckets short-circuit via materialize
+                    }
+                    let target = if folded.is_empty() { &mut *words } else { &mut *and_words };
+                    pa.or_bitmap(n_slots, target, decode, stats);
+                    self.observer.observe(
+                        self.atom_indices[pos].cost_rank(),
+                        popcount(target) as f64 / self.live.max(1) as f64,
+                    );
+                    if !folded.is_empty() {
+                        for (w, m) in words.iter_mut().zip(and_words.iter()) {
+                            *w &= *m;
+                        }
+                    }
+                    folded.push(pos);
+                    taken += 1;
+                }
+                if folded.len() > 1 {
+                    // Scan the intersection out once, through every
+                    // deferred per-entry filter.
+                    let mut out = Vec::new();
+                    for (w, &word) in words.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let slot = (w as u32) * 64 + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            stats.linear_steps += 1;
+                            let ok = folded.iter().all(|&p| {
+                                prepared[p]
+                                    .as_ref()
+                                    .expect("folded atoms prepared")
+                                    .filter
+                                    .accepts(slot)
+                            });
+                            if ok {
+                                out.push(slot);
+                            } else {
+                                stats.retrieval_rejects += 1;
+                            }
+                        }
+                    }
+                    acc = Some(out);
+                } else {
+                    taken = 0; // a lone atom materializes (and memoizes) below
+                }
+
+                for &pos in &refs[taken..] {
+                    if acc.as_ref().is_some_and(|a| a.len() <= ENOUGH) {
+                        break; // already cheap to verify; a prefix is sound
+                    }
+                    if prepared[pos].is_none() {
+                        prepared[pos] = Some(
+                            self.atom_indices[pos]
+                                .prepare(probe, probe_prep, row, &self.ops, keys, elems, chars),
+                        );
+                    }
+                    let pa = prepared[pos].as_ref().expect("prepared above");
+                    match acc {
+                        Some(ref mut a) if retrieved[pos].is_none() && a.len() <= LAZY_MAX => {
+                            // Small running set against an atom nobody
+                            // materialized: membership-probe its blocks.
+                            lazy_intersect(a, pa, stats);
+                        }
+                        _ => {
+                            if retrieved[pos].is_none() {
+                                let list = pa.materialize(n_slots, words, decode, stats);
+                                self.observer.observe(
+                                    self.atom_indices[pos].cost_rank(),
+                                    list.len() as f64 / self.live.max(1) as f64,
+                                );
+                                retrieved[pos] = Some(list);
+                            }
+                            let list = retrieved[pos].as_deref().expect("materialized above");
+                            match acc {
+                                None => acc = Some(list.to_vec()),
+                                Some(ref mut a) => gallop_intersect(a, list, stats),
+                            }
+                        }
+                    }
+                    if acc.as_ref().is_some_and(Vec::is_empty) {
+                        break;
+                    }
+                }
+                pairs.extend(acc.unwrap_or_default().into_iter().map(|slot| (slot, bit)));
+            }
+            pairs.sort_unstable_by_key(|&(slot, _)| slot);
+            let pairs_len = pairs.len();
+            // Fold duplicate slots (retrieved by several keys) into one
+            // candidate carrying the union of their key bits — each fold
+            // is one preparation + verification saved.
+            let mut masked: Vec<(u32, u64)> = Vec::with_capacity(pairs.len());
+            for (slot, bit) in pairs {
+                match masked.last_mut() {
+                    Some((last, mask)) if *last == slot => *mask |= bit,
+                    _ => masked.push((slot, bit)),
                 }
             }
-            pairs.extend(acc.unwrap_or_default().into_iter().map(|slot| (slot, bit)));
-        }
-        pairs.sort_unstable_by_key(|&(slot, _)| slot);
-        let pairs_len = pairs.len();
-        // Fold duplicate slots (retrieved by several keys) into one
-        // candidate carrying the union of their key bits — each fold is
-        // one preparation + verification saved.
-        let mut masked: Vec<(u32, u64)> = Vec::with_capacity(pairs.len());
-        for (slot, bit) in pairs {
-            match masked.last_mut() {
-                Some((last, mask)) if *last == slot => *mask |= bit,
-                _ => masked.push((slot, bit)),
-            }
-        }
-        let saved = (pairs_len - masked.len()) as u64;
-        let out = masked
-            .into_iter()
-            .map(|(slot, mask)| (slot as usize, mask))
-            .filter(|&(slot, _)| self.alive[slot])
-            .collect();
-        (out, saved)
+            stats.dedup_saved += (pairs_len - masked.len()) as u64;
+            masked
+                .into_iter()
+                .map(|(slot, mask)| (slot as usize, mask))
+                .filter(|&(slot, _)| self.alive[slot])
+                .collect()
+        })
     }
 
     /// Point query: every live tuple the probe matches (some key accepts,
@@ -1076,31 +1745,93 @@ impl MatchIndex {
     /// [`QueryOutcome::key_evals`] counts the evaluations actually run.
     /// Answers are byte-identical to [`MatchIndex::query_unpruned`].
     pub fn query(&self, probe: &Tuple) -> QueryOutcome {
-        self.query_impl(probe, true)
+        self.query_impl_at(probe, &RelationPrep::single(probe, &self.probe_needs), 0, true)
     }
 
     /// [`MatchIndex::query`] without key-provenance pruning: every
-    /// candidate is verified against the full key disjunction. The
-    /// reference path for equivalence tests and benches — answers are
-    /// always identical to [`MatchIndex::query`], only
+    /// candidate is verified against the full key disjunction. Answers
+    /// are always identical to [`MatchIndex::query`], only
     /// [`QueryOutcome::key_evals`] differs.
     pub fn query_unpruned(&self, probe: &Tuple) -> QueryOutcome {
-        self.query_impl(probe, false)
+        self.query_impl_at(probe, &RelationPrep::single(probe, &self.probe_needs), 0, false)
     }
 
-    fn query_impl(&self, probe: &Tuple, prune: bool) -> QueryOutcome {
+    /// The brute-force reference answer: every live tuple verified
+    /// against the full key disjunction, no retrieval at all. The ground
+    /// truth of the differential test harness — `hits` are always
+    /// identical to [`MatchIndex::query`]'s; `candidates` counts every
+    /// live tuple and the work counters reflect the scan.
+    pub fn query_reference(&self, probe: &Tuple) -> QueryOutcome {
         let probe_prep = RelationPrep::single(probe, &self.probe_needs);
-        let (masked, dedup_saved) = self.candidate_masks(probe, &probe_prep);
+        let mut stats = FilterStats::default();
+        let mut key_evals = 0usize;
+        let mut hits = Vec::new();
+        for slot in 0..self.relation.len() {
+            if !self.alive[slot] {
+                continue;
+            }
+            if let Some(key) = self.matching_key_at(
+                probe,
+                &probe_prep,
+                0,
+                slot,
+                NO_PRUNE,
+                &mut key_evals,
+                &mut stats,
+            ) {
+                if !self.vetoed_at(probe, &probe_prep, 0, slot, &mut stats) {
+                    hits.push(QueryHit { id: self.relation.tuples()[slot].id(), slot, key });
+                }
+            }
+        }
+        QueryOutcome { hits, candidates: self.live, key_evals, stats }
+    }
+
+    /// Queries a batch of probes, sharing signature extraction and
+    /// per-thread scratch across the whole batch. Outcomes are
+    /// byte-identical — hits, counters and all — to mapping
+    /// [`MatchIndex::query`] over the probes one by one; only the
+    /// amortized preparation cost differs.
+    pub fn query_batch(&self, probes: &[Tuple]) -> Vec<QueryOutcome> {
+        let mut prep = RelationPrep::empty(&self.probe_needs);
+        for probe in probes {
+            prep.push_row(probe);
+        }
+        probes.iter().enumerate().map(|(row, p)| self.query_impl_at(p, &prep, row, true)).collect()
+    }
+
+    /// [`MatchIndex::query_batch`] chunked over `pool`. Chunks are
+    /// mapped back in probe order, so the outcomes are identical to the
+    /// serial batch (and to one-by-one queries) at any thread count.
+    pub fn query_batch_in(&self, pool: &WorkPool, probes: &[Tuple]) -> Vec<QueryOutcome> {
+        let mut prep = RelationPrep::empty(&self.probe_needs);
+        for probe in probes {
+            prep.push_row(probe);
+        }
+        let chunks = pool.par_ranges(probes.len(), BATCH_MIN_CHUNK, |_, range| {
+            range.map(|row| self.query_impl_at(&probes[row], &prep, row, true)).collect::<Vec<_>>()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    fn query_impl_at(
+        &self,
+        probe: &Tuple,
+        probe_prep: &RelationPrep,
+        row: usize,
+        prune: bool,
+    ) -> QueryOutcome {
+        let mut stats = FilterStats::default();
+        let masked = self.candidate_masks(probe, probe_prep, row, &mut stats);
         let candidates = masked.len();
-        let mut stats = FilterStats { dedup_saved, ..FilterStats::default() };
         let mut key_evals = 0usize;
         let mut hits = Vec::new();
         for (slot, mask) in masked {
             let mask = if prune { mask } else { NO_PRUNE };
             if let Some(key) =
-                self.matching_key_at(probe, &probe_prep, slot, mask, &mut key_evals, &mut stats)
+                self.matching_key_at(probe, probe_prep, row, slot, mask, &mut key_evals, &mut stats)
             {
-                if !self.vetoed_at(probe, &probe_prep, slot, &mut stats) {
+                if !self.vetoed_at(probe, probe_prep, row, slot, &mut stats) {
                     hits.push(QueryHit { id: self.relation.tuples()[slot].id(), slot, key });
                 }
             }
@@ -1165,7 +1896,7 @@ impl MatchIndex {
             .collect();
         let matched_key = keys.iter().find(|k| k.matched).map(|k| k.key);
         let mut stats = FilterStats::default();
-        let vetoed = self.vetoed_at(probe, &probe_prep, slot as usize, &mut stats);
+        let vetoed = self.vetoed_at(probe, &probe_prep, 0, slot as usize, &mut stats);
         Ok(PairTrace { keys, matched_key, vetoed })
     }
 
@@ -1197,12 +1928,20 @@ impl MatchIndex {
     }
 
     /// Removes the tuple with `id` from query visibility. The slot is
-    /// tombstoned (posting lists keep the entry but candidate collection
-    /// filters it); rebuild the index to reclaim the space.
+    /// tombstoned and purged from every anchor: plain buckets drop the
+    /// entry immediately, compressed posting lists count it dead and
+    /// rewrite each block in place once half its entries are dead — so a
+    /// heavily-churned index keeps probing at near-fresh cost without a
+    /// rebuild. (The relation and signature cache still hold the tuple;
+    /// rebuild to reclaim that space.)
     pub fn remove(&mut self, id: TupleId) -> Result<(), IndexError> {
         let slot = self.by_id.remove(&id).ok_or(IndexError::UnknownId { id })?;
         self.alive[slot as usize] = false;
         self.live -= 1;
+        let tuple = &self.relation.tuples()[slot as usize];
+        for atom in &mut self.atom_indices {
+            atom.remove_slot(slot, tuple, &self.prep, &self.ops, &self.alive);
+        }
         Ok(())
     }
 
@@ -1217,6 +1956,7 @@ impl MatchIndex {
         &self,
         probe: &Tuple,
         probe_prep: &RelationPrep,
+        row: usize,
         slot: usize,
         mask: u64,
         key_evals: &mut usize,
@@ -1234,7 +1974,7 @@ impl MatchIndex {
                 tuple,
                 probe_prep,
                 &self.prep,
-                0,
+                row,
                 slot,
                 stats,
             ) {
@@ -1249,6 +1989,7 @@ impl MatchIndex {
         &self,
         probe: &Tuple,
         probe_prep: &RelationPrep,
+        row: usize,
         slot: usize,
         stats: &mut FilterStats,
     ) -> bool {
@@ -1256,7 +1997,7 @@ impl MatchIndex {
         self.negatives.iter().any(|rule| {
             rule.vetoes(|atom| {
                 self.ops.atom_matches_prepped(
-                    atom, probe, tuple, probe_prep, &self.prep, 0, slot, stats,
+                    atom, probe, tuple, probe_prep, &self.prep, row, slot, stats,
                 )
             })
         })

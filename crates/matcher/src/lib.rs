@@ -36,6 +36,7 @@ pub mod index;
 pub mod key;
 pub mod metrics;
 pub mod pipeline;
+pub mod postings;
 pub mod rules;
 pub mod scoring;
 pub mod sorted_neighborhood;
@@ -43,7 +44,7 @@ pub mod sortkey;
 pub mod windowing;
 
 pub use fellegi_sunter::{FsConfig, FsError, FsMatcher};
-pub use index::{IndexError, IndexStats, MatchIndex, QueryHit, QueryOutcome};
+pub use index::{IndexError, IndexStats, MatchIndex, QueryHit, QueryOutcome, SelectivitySnapshot};
 pub use key::KeyMatcher;
 pub use metrics::{evaluate_pairs, BlockingQuality, MatchQuality};
 pub use scoring::{

@@ -87,6 +87,25 @@ impl CharBag {
         }
         extra_a.max(extra_b)
     }
+
+    /// One bit per non-empty bucket — a 64-bit presence summary.
+    ///
+    /// For two bags with presence masks `pa` and `pb`, every bucket set
+    /// in `pa` but not `pb` contributes at least one character to
+    /// `|A ∖ B|`, so `popcount(pa & !pb) ≤ |A ∖ B|` and symmetrically
+    /// for `pb`. Hence `max(popcount(pa & !pb), popcount(pb & !pa))`
+    /// never exceeds [`CharBag::distance_lower_bound`] — a sound O(1)
+    /// pre-pre-filter an index can evaluate from one stored word per
+    /// entry, before touching the full bag.
+    pub fn presence_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            if count > 0 {
+                mask |= 1u64 << bucket;
+            }
+        }
+        mask
+    }
 }
 
 fn hash_gram(gram: &[char]) -> u64 {
@@ -234,6 +253,12 @@ impl StringSig {
         &self.grams
     }
 
+    /// The character-bag component — an index stores
+    /// [`CharBag::presence_mask`] per entry for retrieval-time rejects.
+    pub fn bag(&self) -> &CharBag {
+        &self.bag
+    }
+
     /// Runs the filter pipeline (length → bag → q-gram count) against
     /// `other` for an edit bound. `Some(stage)` means the OSA distance
     /// provably exceeds `bound` — no DP needed; `None` means the pair
@@ -302,6 +327,22 @@ mod tests {
         assert_eq!(a.distance_lower_bound(&b), 0);
         let c = CharBag::of_chars(&chars("xyz"));
         assert_eq!(a.distance_lower_bound(&c), c.distance_lower_bound(&a));
+    }
+
+    #[test]
+    fn presence_mask_bound_never_exceeds_the_bag_bound() {
+        let words = ["Mark", "Marx", "Clifford", "Cliford", "", "naïve", "10 Oak St", "silent"];
+        for a in words {
+            for b in words {
+                let (ba, bb) = (CharBag::of_chars(&chars(a)), CharBag::of_chars(&chars(b)));
+                let (pa, pb) = (ba.presence_mask(), bb.presence_mask());
+                let mask_bound = (pa & !pb).count_ones().max((pb & !pa).count_ones()) as usize;
+                assert!(
+                    mask_bound <= ba.distance_lower_bound(&bb),
+                    "{a} vs {b}: mask {mask_bound}"
+                );
+            }
+        }
     }
 
     #[test]

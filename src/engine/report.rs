@@ -10,7 +10,7 @@ use matchrules_data::eval::{FilterStats, RuntimeOps};
 use matchrules_data::relation::{InstancePair, Relation, TupleId};
 use matchrules_data::unionfind::UnionFind;
 use matchrules_matcher::blocking::multi_pass_block_in;
-use matchrules_matcher::index::MatchIndex;
+use matchrules_matcher::index::{MatchIndex, SelectivitySnapshot};
 use matchrules_matcher::key::{KeyMatcher, PAR_MATCH_MIN_CHUNK};
 use matchrules_matcher::metrics::{evaluate_pairs, MatchQuality};
 use matchrules_matcher::scoring::{resolve_one_to_one, resolve_one_to_one_shared, ScoredEdge};
@@ -623,14 +623,29 @@ impl MatchEngine {
     /// # Ok(()) }
     /// ```
     pub fn index(&self, relation: &Relation) -> Result<MatchIndex, EngineError> {
+        self.index_planned(relation, &SelectivitySnapshot::default())
+    }
+
+    /// [`MatchEngine::index`] with an explicit selectivity snapshot
+    /// ordering each key's atom intersections — typically the previous
+    /// index version's
+    /// [`observed_selectivity`](MatchIndex::observed_selectivity), so
+    /// rebuilt indices plan around live traffic. Hit sets are identical
+    /// under every snapshot; only retrieval work moves.
+    pub fn index_planned(
+        &self,
+        relation: &Relation,
+        planner: &SelectivitySnapshot,
+    ) -> Result<MatchIndex, EngineError> {
         self.check_side(Side::Right, relation)?;
-        MatchIndex::build_in(
+        MatchIndex::build_planned(
             &self.pool,
             self.plan.pair().left().arity(),
             relation,
             self.plan.rcks(),
             self.plan.negatives(),
             self.runtime.clone(),
+            planner,
         )
         .map_err(EngineError::from)
     }
@@ -670,20 +685,13 @@ impl MatchEngine {
             stages.push(Stage { name: "index", elapsed: build_started.elapsed() });
             index
         };
-        let tuples = left.tuples();
         let candidates = Self::staged("probe", &mut stages, || {
-            let chunks = self.pool.par_ranges(tuples.len(), PAR_MATCH_MIN_CHUNK, |_, range| {
-                let mut out = Vec::new();
-                for l in range {
-                    for r in index.candidates_for(&tuples[l]) {
-                        out.push((l, r));
-                    }
-                }
-                out
-            });
+            let per_probe = index.candidates_batch_in(&self.pool, left);
             let mut out = Vec::new();
-            for chunk in chunks {
-                out.extend(chunk);
+            for (l, slots) in per_probe.into_iter().enumerate() {
+                for r in slots {
+                    out.push((l, r));
+                }
             }
             out
         });

@@ -132,6 +132,9 @@ pub struct ServerStats {
     pub records: usize,
     /// Probes answered (cache hits included) since construction.
     pub queries: u64,
+    /// Batched query calls served since construction (each batch also
+    /// adds its probe count to `queries`).
+    pub batch_queries: u64,
     /// Records upserted since construction.
     pub upserts: u64,
     /// Records removed since construction.
@@ -200,6 +203,7 @@ pub struct MatchServer {
     /// next value so cross-shard hits can be merged in store order.
     seq: AtomicU64,
     queries: AtomicU64,
+    batch_queries: AtomicU64,
     upserts: AtomicU64,
     removes: AtomicU64,
 }
@@ -245,6 +249,7 @@ impl MatchServer {
             ranked_cache: ProbeCache::new(config.cache_capacity),
             seq: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
             upserts: AtomicU64::new(0),
             removes: AtomicU64::new(0),
         }
@@ -366,6 +371,7 @@ impl MatchServer {
             records: shard_records.iter().sum(),
             shard_records,
             queries: self.queries.load(Ordering::Relaxed),
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
             upserts: self.upserts.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
             cache_hits: bool_hits + ranked_hits,
@@ -398,10 +404,70 @@ impl MatchServer {
 
     /// [`MatchServer::query`] for a batch of probes, all answered
     /// against one consistent view (no mutation or swap can interleave
-    /// *within* the returned vector).
+    /// *within* the returned vector). Probes missing the cache are
+    /// probed through each shard's
+    /// [`query_batch`](crate::engine::MatchIndex::query_batch), sharing
+    /// signature extraction and scratch across the whole miss set —
+    /// answers stay response-for-response identical to
+    /// [`MatchServer::query`] per probe. Schemas are validated up front;
+    /// one malformed probe fails the batch before any work runs.
     pub fn query_batch(&self, probes: &[Record]) -> Result<Vec<QueryResponse>, ServiceError> {
         let (view, epoch) = self.view.load();
-        probes.iter().map(|p| self.respond(&view, epoch, p)).collect()
+        let schema = view.rules.engine.plan().pair().left();
+        for probe in probes {
+            check_schema(probe, schema)?;
+        }
+        self.queries.fetch_add(probes.len() as u64, Ordering::Relaxed);
+        self.batch_queries.fetch_add(1, Ordering::Relaxed);
+        let mut responses: Vec<Option<QueryResponse>> = Vec::with_capacity(probes.len());
+        let mut sigs: Vec<u64> = Vec::with_capacity(probes.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, probe) in probes.iter().enumerate() {
+            let sig = probe.signature();
+            sigs.push(sig);
+            match self.cache.get(sig, epoch) {
+                Some(cached) => responses.push(Some((*cached).clone())),
+                None => {
+                    responses.push(None);
+                    misses.push(i);
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let tuples: Vec<_> = misses.iter().map(|&i| probes[i].to_tuple(0)).collect();
+            let per_shard = self
+                .pool
+                .par_tasks(view.shards.len(), |s| view.shards[s].index.query_batch(&tuples));
+            for (k, &i) in misses.iter().enumerate() {
+                let mut hits: Vec<(u64, ServiceHit)> = Vec::new();
+                let mut candidates = 0;
+                let mut key_evals = 0;
+                let mut stats = FilterStats::default();
+                for (shard, outcomes) in view.shards.iter().zip(&per_shard) {
+                    let outcome = &outcomes[k];
+                    candidates += outcome.candidates;
+                    key_evals += outcome.key_evals;
+                    stats.merge(&outcome.stats);
+                    for h in &outcome.hits {
+                        hits.push((
+                            shard.seq_of[&h.id],
+                            ServiceHit { id: RecordId(h.id), key: h.key },
+                        ));
+                    }
+                }
+                hits.sort_unstable_by_key(|&(seq, _)| seq);
+                let response = QueryResponse {
+                    hits: hits.into_iter().map(|(_, h)| h).collect(),
+                    candidates,
+                    key_evals,
+                    stats,
+                    version: view.rules.version,
+                };
+                self.cache.put(sigs[i], epoch, Arc::new(response.clone()));
+                responses[i] = Some(response);
+            }
+        }
+        Ok(responses.into_iter().map(|r| r.expect("every probe answered")).collect())
     }
 
     /// [`MatchServer::query`], ranked: the same hit set the boolean
@@ -706,7 +772,10 @@ impl MatchServer {
         let engine = MatchEngine::from_plan(plan, view.rules.engine.registry())?;
         let rebuilt = self.pool.par_tasks(view.shards.len(), |s| {
             let shard = &view.shards[s];
-            let index = engine.index(&shard.index.live_relation())?;
+            // Each rebuilt shard plans its atom intersections around the
+            // selectivities its predecessor observed in live traffic.
+            let index = engine
+                .index_planned(&shard.index.live_relation(), &shard.index.observed_selectivity())?;
             Ok::<_, ServiceError>(Arc::new(ShardSnapshot { index, seq_of: shard.seq_of.clone() }))
         });
         let mut shards = Vec::with_capacity(rebuilt.len());

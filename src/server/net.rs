@@ -306,6 +306,7 @@ fn stats_to_wire(server: &MatchServer) -> WireStats {
         epoch: stats.epoch,
         shard_records: stats.shard_records.iter().map(|&n| n as u64).collect(),
         queries: stats.queries,
+        batch_queries: stats.batch_queries,
         upserts: stats.upserts,
         removes: stats.removes,
         cache_hits: stats.cache_hits,

@@ -217,6 +217,9 @@ pub struct WireStats {
     pub shard_records: Vec<u64>,
     /// Probes answered since the server started.
     pub queries: u64,
+    /// Batched query calls served since the server started (each batch
+    /// also adds its probe count to `queries`).
+    pub batch_queries: u64,
     /// Records upserted since the server started.
     pub upserts: u64,
     /// Records removed since the server started.
@@ -511,6 +514,7 @@ impl Response {
                     put_u64(&mut out, n);
                 }
                 put_u64(&mut out, s.queries);
+                put_u64(&mut out, s.batch_queries);
                 put_u64(&mut out, s.upserts);
                 put_u64(&mut out, s.removes);
                 put_u64(&mut out, s.cache_hits);
@@ -584,6 +588,7 @@ impl Response {
                     epoch,
                     shard_records,
                     queries: r.u64("query counter")?,
+                    batch_queries: r.u64("batch query counter")?,
                     upserts: r.u64("upsert counter")?,
                     removes: r.u64("remove counter")?,
                     cache_hits: r.u64("cache hits")?,
@@ -895,6 +900,7 @@ mod tests {
                 epoch: 17,
                 shard_records: vec![3, 0, 5],
                 queries: 100,
+                batch_queries: 4,
                 upserts: 8,
                 removes: 1,
                 cache_hits: 50,

@@ -264,6 +264,35 @@ impl MatchService {
         })
     }
 
+    /// Queries a batch of probes in one call, sharing signature
+    /// extraction and scratch across the batch. Responses are
+    /// byte-identical — hits, counters, version — to calling
+    /// [`MatchService::query`] once per probe, at a fraction of the
+    /// per-probe overhead; one malformed probe fails the whole batch
+    /// before any work runs.
+    pub fn query_batch(&self, probes: &[Record]) -> Result<Vec<QueryResponse>, ServiceError> {
+        for probe in probes {
+            Self::check_schema(probe, self.probe_schema())?;
+        }
+        let tuples: Vec<_> = probes.iter().map(|p| p.to_tuple(0)).collect();
+        Ok(self
+            .index
+            .query_batch(&tuples)
+            .into_iter()
+            .map(|outcome| QueryResponse {
+                hits: outcome
+                    .hits
+                    .iter()
+                    .map(|h| ServiceHit { id: RecordId(h.id), key: h.key })
+                    .collect(),
+                candidates: outcome.candidates,
+                key_evals: outcome.key_evals,
+                stats: outcome.stats,
+                version: self.version,
+            })
+            .collect())
+    }
+
     /// [`MatchService::query`], ranked: the **same hit set** the boolean
     /// query reports (the rules stay the sound candidate generator;
     /// scores never add or drop a hit), each hit scored by the plan's
@@ -367,7 +396,10 @@ impl MatchService {
             EngineBuilder::from_plan(self.engine.plan()).operators(self.engine.registry().clone());
         let plan = add_rules(builder).compile()?;
         let engine = MatchEngine::from_plan(plan, self.engine.registry())?;
-        let index = engine.index(&self.index.live_relation())?;
+        // The new version plans its atom intersections around the
+        // selectivities the old version observed in live traffic.
+        let index = engine
+            .index_planned(&self.index.live_relation(), &self.index.observed_selectivity())?;
         self.engine = engine;
         self.index = index;
         self.version = RuleVersion(self.version.0 + 1);
@@ -375,10 +407,14 @@ impl MatchService {
     }
 
     /// Rebuilds the index over the live store under the *current* rules,
-    /// reclaiming tombstoned slots left by removals and upserts. Query
-    /// answers are unchanged; the rule version does not move.
+    /// reclaiming tombstoned slots left by removals and upserts — and
+    /// folding the selectivities observed so far into the rebuilt
+    /// index's plans. Query answers are unchanged; the rule version does
+    /// not move.
     pub fn compact(&mut self) -> Result<(), ServiceError> {
-        self.index = self.engine.index(&self.index.live_relation())?;
+        self.index = self
+            .engine
+            .index_planned(&self.index.live_relation(), &self.index.observed_selectivity())?;
         Ok(())
     }
 }

@@ -1,0 +1,361 @@
+//! The differential harness pinning the probe hot path:
+//!
+//! * **compressed == reference** — `MatchIndex::query` (compressed
+//!   postings, galloping intersection, per-entry prefilters, provenance
+//!   pruning) returns exactly the hits of `query_reference` (brute-force
+//!   verification of every live tuple) on every probe, at 1, 2 and 8
+//!   build threads;
+//! * **batched == sequential** — `query_batch` / `query_batch_in` are
+//!   byte-for-byte identical (hits, candidates, every work counter) to
+//!   one-by-one `query` calls, at 1, 2 and 8 pool threads;
+//! * **planner invariance** — any `SelectivitySnapshot`, including one
+//!   harvested from live traffic, reorders retrieval work but never
+//!   changes a hit set;
+//! * **sharded server** — `MatchServer::query_batch` agrees
+//!   response-for-response with per-probe `query` at 1, 2 and 8 shards;
+//! * **tombstone hygiene** — block-level purging keeps a half-removed
+//!   index probing within 1.5x of a freshly built one (by deterministic
+//!   work counters), and posting-list block invariants survive
+//!   insert → remove → insert churn.
+
+use matchrules::core::schema::Schema;
+use matchrules::data::dirty::{generate_dirty, NoiseConfig};
+use matchrules::data::relation::{Relation, Tuple};
+use matchrules::data::Value;
+use matchrules::engine::{
+    EngineBuilder, ExecConfig, MatchEngine, Preset, QueryOutcome, SelectivitySnapshot,
+};
+use matchrules::matcher::postings::PostingList;
+use matchrules::server::{MatchServer, ServerConfig};
+use matchrules::service::{Record, RecordId};
+use matchrules_runtime::WorkPool;
+use proptest::collection;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+const SHARD_SWEEP: [usize; 3] = [1, 2, 8];
+
+/// The Extended-preset synthetic catalog: equality, edit and derived
+/// anchors, nulls and near-misses included.
+fn catalog(persons: usize, seed: u64) -> (MatchEngine, Relation, Relation) {
+    let shape = Preset::Extended.paper_setting();
+    let data = generate_dirty(
+        &shape.pair,
+        &shape.target,
+        persons,
+        &NoiseConfig { seed, ..Default::default() },
+    );
+    let engine = Preset::Extended
+        .builder()
+        .top_k(5)
+        .statistics_from(&data.credit, &data.billing)
+        .build()
+        .expect("preset engine builds");
+    (engine, data.credit, data.billing)
+}
+
+/// A names plan over the serving-shaped anchors (jaro-winkler char-bag,
+/// soundex derived keys, token postings, exact buckets).
+fn names_engine() -> MatchEngine {
+    let a = Schema::text("a", &["first", "last", "city", "phone"]).expect("schema a");
+    let b = Schema::text("b", &["first", "last", "city", "phone"]).expect("schema b");
+    EngineBuilder::new()
+        .schemas(a, b)
+        .md_text(
+            "a[first] ~jw b[first] /\\ a[last] ~sx b[last] /\\ a[city] ~tok b[city] \
+             -> a[first,last] <=> b[first,last]\n\
+             a[phone] = b[phone] /\\ a[last] ~sx b[last] -> a[last,phone] <=> b[last,phone]\n",
+        )
+        .target(&["first", "last", "city", "phone"], &["first", "last", "city", "phone"])
+        .build()
+        .expect("names engine builds")
+}
+
+fn names_rows() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
+    vec![
+        ("robert", "smith", "new york", "555-0001"),
+        ("roberta", "smyth", "york new", "555-0001"),
+        ("bob", "smith", "boston", "555-0002"),
+        ("umberto", "schmidt", "new york city", "555-0003"),
+        ("robert", "smit", "new york", "555-0004"),
+        ("roberto", "smith", "new  york", "555-0001"),
+        ("", "", "", ""),
+        ("rupert", "smeeth", "newyork", "555-0005"),
+    ]
+}
+
+fn names_relation(schema: &Arc<Schema>, rows: &[(&str, &str, &str, &str)]) -> Relation {
+    let mut rel = Relation::new(schema.clone());
+    for (i, (f, l, c, p)) in rows.iter().enumerate() {
+        rel.push(Tuple::new(
+            i as u64 + 1,
+            vec![Value::str(f), Value::str(l), Value::str(c), Value::str(p)],
+        ));
+    }
+    rel
+}
+
+fn hit_ids(outcome: &QueryOutcome) -> Vec<(u64, usize)> {
+    outcome.hits.iter().map(|h| (h.id, h.key)).collect()
+}
+
+/// The deterministic work-counter total of one outcome — what the
+/// tombstone budget below is measured in (no wall clocks in tests).
+fn work_of(outcome: &QueryOutcome) -> u64 {
+    outcome.candidates as u64
+        + outcome.stats.blocks_decoded
+        + outcome.stats.blocks_skipped
+        + outcome.stats.gallop_steps
+        + outcome.stats.linear_steps
+        + outcome.stats.retrieval_rejects
+}
+
+#[test]
+fn probe_compressed_equals_brute_force_reference_at_every_thread_count() {
+    let (engine, credit, billing) = catalog(80, 42);
+    let mut matched_any = false;
+    for threads in THREAD_SWEEP {
+        let engine = engine.with_exec(ExecConfig::fixed(threads));
+        let index = engine.index(&billing).expect("index builds");
+        for probe in credit.tuples() {
+            let fast = index.query(probe);
+            let reference = index.query_reference(probe);
+            assert_eq!(
+                hit_ids(&fast),
+                hit_ids(&reference),
+                "compressed probe diverged from the brute-force reference at {threads} threads"
+            );
+            assert_eq!(hit_ids(&fast), hit_ids(&index.query_unpruned(probe)));
+            matched_any |= !fast.hits.is_empty();
+        }
+    }
+    assert!(matched_any, "the catalog must exercise at least one match");
+}
+
+#[test]
+fn probe_batched_equals_sequential_byte_for_byte() {
+    let (engine, credit, billing) = catalog(70, 7);
+    let index = engine.index(&billing).expect("index builds");
+    let probes: Vec<Tuple> = credit.tuples().to_vec();
+    let sequential: Vec<QueryOutcome> = probes.iter().map(|p| index.query(p)).collect();
+
+    // One shared-prep batch: identical outcomes, counters included.
+    assert_eq!(index.query_batch(&probes), sequential, "batched != sequential");
+
+    // And chunked over pools of every width (chunks merge in probe
+    // order, so the thread count must be invisible).
+    for threads in THREAD_SWEEP {
+        let pool = WorkPool::with_threads(threads);
+        assert_eq!(
+            index.query_batch_in(&pool, &probes),
+            sequential,
+            "pooled batch diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn probe_planner_snapshots_reorder_work_but_never_change_hits() {
+    let (engine, credit, billing) = catalog(60, 1234);
+    let baseline = engine.index(&billing).expect("default build");
+    let expected: Vec<Vec<(u64, usize)>> =
+        credit.tuples().iter().map(|p| hit_ids(&baseline.query(p))).collect();
+
+    let snapshots = [
+        SelectivitySnapshot::default(),
+        SelectivitySnapshot::from_ranks([4.0, 3.0, 2.0, 1.0, 0.0]), // reversed
+        SelectivitySnapshot::from_ranks([0.0; 5]),                  // all tied
+        baseline.observed_selectivity(), // harvested from the probes above
+    ];
+    for (which, snapshot) in snapshots.iter().enumerate() {
+        let index = engine.index_planned(&billing, snapshot).expect("planned build");
+        for (probe, expected) in credit.tuples().iter().zip(&expected) {
+            assert_eq!(
+                &hit_ids(&index.query(probe)),
+                expected,
+                "snapshot #{which} ({:?}) changed a hit set",
+                snapshot.ranks()
+            );
+        }
+    }
+
+    // The default snapshot reproduces the untuned plan exactly — same
+    // candidates and counters, not just the same hits.
+    let default_build =
+        engine.index_planned(&billing, &SelectivitySnapshot::default()).expect("default planned");
+    for probe in credit.tuples() {
+        assert_eq!(default_build.query(probe), baseline.query(probe));
+    }
+}
+
+#[test]
+fn probe_sharded_server_batches_agree_with_sequential_queries() {
+    let engine = names_engine();
+    let rows = names_rows();
+    let store_rows = names_relation(&engine.plan().pair().right().clone(), &rows);
+    let probe_schema = engine.plan().pair().left().clone();
+    let probes: Vec<Record> = store_rows
+        .tuples()
+        .iter()
+        .map(|t| {
+            Record::from_values(probe_schema.clone(), t.values().to_vec()).expect("probe record")
+        })
+        .collect();
+
+    let mut reference: Option<Vec<Vec<(u64, usize)>>> = None;
+    for shards in SHARD_SWEEP {
+        let engine = names_engine();
+        let server = MatchServer::with_config(
+            engine,
+            ServerConfig { shards, cache_capacity: 64, exec: ExecConfig::fixed(2) },
+        );
+        let items: Vec<_> = store_rows
+            .tuples()
+            .iter()
+            .map(|t| {
+                let record = Record::from_values(server.store_schema(), t.values().to_vec())
+                    .expect("store record");
+                (RecordId(t.id()), record)
+            })
+            .collect();
+        server.upsert_batch(&items).expect("upsert batch");
+
+        // Batch first (all cache misses run the batched shard path),
+        // then singles — every response must agree exactly.
+        let batched = server.query_batch(&probes).expect("batch query");
+        for (probe, from_batch) in probes.iter().zip(&batched) {
+            let single = server.query(probe).expect("single query");
+            assert_eq!(&single, from_batch, "batched response diverged at {shards} shards");
+        }
+        assert_eq!(server.stats().batch_queries, 1);
+
+        // And the hit sets must be identical across shard counts.
+        let hits: Vec<Vec<(u64, usize)>> =
+            batched.iter().map(|r| r.hits.iter().map(|h| (h.id.0, h.key)).collect()).collect();
+        match &reference {
+            None => reference = Some(hits),
+            Some(expected) => {
+                assert_eq!(&hits, expected, "hit sets diverged at {shards} shards")
+            }
+        }
+    }
+    assert!(
+        reference.expect("sweep ran").iter().any(|h| !h.is_empty()),
+        "the names instance must exercise at least one match"
+    );
+}
+
+#[test]
+fn probe_half_removed_index_within_budget_of_fresh() {
+    let (engine, credit, billing) = catalog(120, 99);
+    let mut churned = engine.index(&billing).expect("index builds");
+    // Tombstone every other stored tuple — worst-case fragmentation for
+    // posting blocks.
+    let victims: Vec<u64> = billing
+        .tuples()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, t)| t.id())
+        .collect();
+    for id in &victims {
+        churned.remove(*id).expect("remove");
+    }
+    // A fresh index over the surviving tuples is the budget's baseline.
+    let fresh = engine.index(&churned.live_relation()).expect("fresh rebuild");
+
+    let mut churned_work = 0u64;
+    let mut fresh_work = 0u64;
+    for probe in credit.tuples() {
+        let a = churned.query(probe);
+        let b = fresh.query(probe);
+        assert_eq!(hit_ids(&a), hit_ids(&b), "churned and fresh indices must answer alike");
+        churned_work += work_of(&a);
+        fresh_work += work_of(&b);
+    }
+    assert!(
+        churned_work as f64 <= fresh_work as f64 * 1.5 + 64.0,
+        "half-removed index works too hard: {churned_work} vs fresh {fresh_work}"
+    );
+
+    // Compression must actually be on for this to mean anything.
+    let stats = churned.stats();
+    assert!(stats.postings_bytes > 0);
+    assert!(stats.postings_bytes <= stats.postings_uncompressed_bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Posting-list block invariants survive arbitrary
+    /// insert → remove → insert churn: every sealed block stays
+    /// internally consistent (checked by `check_invariants`), decoded
+    /// contents stay sorted and unique, every never-removed slot
+    /// remains present, and a galloping cursor still finds exactly the
+    /// decoded entries.
+    #[test]
+    fn probe_posting_blocks_survive_insert_remove_insert(
+        first_draws in collection::vec(0u32..4000, 1..600),
+        removed_picks in collection::vec(0u64..1_000_000, 0..300),
+        second_draws in collection::vec(4000u32..8000, 0..300),
+    ) {
+        let dedup_sorted = |mut v: Vec<u32>| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let first: Vec<u32> = dedup_sorted(first_draws);
+        let second: Vec<u32> = dedup_sorted(second_draws);
+
+        let mut list = PostingList::default();
+        for &slot in &first {
+            list.push(slot);
+        }
+        list.check_invariants();
+
+        // Remove a subset (tombstones + threshold-triggered rewrites).
+        let mut alive = vec![true; 8000];
+        let mut removed = std::collections::BTreeSet::new();
+        for pick in &removed_picks {
+            let slot = first[(*pick as usize) % first.len()];
+            if removed.insert(slot) {
+                alive[slot as usize] = false;
+                list.note_removed(slot, &alive);
+                list.check_invariants();
+            }
+        }
+
+        // Insert again: strictly larger slots (slots are never reused).
+        for &slot in &second {
+            list.push(slot);
+        }
+        list.check_invariants();
+
+        let mut decoded = Vec::new();
+        list.decode_all_into(&mut decoded);
+        let mut sorted = decoded.clone();
+        sorted.dedup();
+        prop_assert_eq!(&sorted, &decoded, "decoded entries must be sorted and unique");
+        prop_assert!(decoded.windows(2).all(|w| w[0] < w[1]));
+
+        // Every surviving slot is still present; nothing foreign crept in.
+        for &slot in first.iter().chain(second.iter()) {
+            if !removed.contains(&slot) {
+                prop_assert!(decoded.binary_search(&slot).is_ok(), "slot {} vanished", slot);
+            }
+        }
+        for &slot in &decoded {
+            prop_assert!(
+                first.contains(&slot) || second.contains(&slot),
+                "slot {} appeared from nowhere", slot
+            );
+        }
+
+        // A cursor galloping over the blocks agrees with the decode.
+        let mut cursor = list.cursor();
+        for &slot in &decoded {
+            prop_assert_eq!(cursor.advance_to(slot), Some(slot));
+        }
+    }
+}

@@ -137,6 +137,7 @@ impl Gen {
                 epoch: self.next(),
                 shard_records: (0..self.below(5)).map(|_| self.next()).collect(),
                 queries: self.next(),
+                batch_queries: self.next(),
                 upserts: self.next(),
                 removes: self.next(),
                 cache_hits: self.next(),
