@@ -94,6 +94,37 @@ impl GroundTruth {
     pub fn billing_len(&self) -> usize {
         self.billing_entities.len()
     }
+
+    /// Enumerates labeled `(credit_idx, billing_idx, is_match)` pairs — the
+    /// bridge that turns the §6.2 noise-ladder generators into labeled-data
+    /// factories for rule refinement. Every true pair is emitted as a
+    /// positive; for each billing tuple, the `negatives_per_positive` next
+    /// credit tuples (cyclically, skipping true matches) are emitted as
+    /// negatives. Deterministic: no RNG, ordered by billing index.
+    pub fn labeled_pairs(&self, negatives_per_positive: usize) -> Vec<(usize, usize, bool)> {
+        let n_credit = self.credit_len();
+        let mut out = Vec::new();
+        for (b, _) in self.billing_entities.iter().enumerate() {
+            let mut anchor = None;
+            for c in 0..n_credit {
+                if self.is_match(c, b) {
+                    out.push((c, b, true));
+                    anchor.get_or_insert(c);
+                }
+            }
+            let Some(anchor) = anchor else { continue };
+            let mut emitted = 0usize;
+            let mut c = (anchor + 1) % n_credit.max(1);
+            while emitted < negatives_per_positive && c != anchor {
+                if !self.is_match(c, b) {
+                    out.push((c, b, false));
+                    emitted += 1;
+                }
+                c = (c + 1) % n_credit;
+            }
+        }
+        out
+    }
 }
 
 /// A generated dirty dataset: instances plus ground truth.
@@ -420,6 +451,21 @@ mod tests {
         // corrupt FN. Allow slack for the random draw.
         assert!(clean >= 40, "bases stay clean (clean={clean})");
         assert!(dirty >= 10, "duplicates carry noise (dirty={dirty})");
+    }
+
+    #[test]
+    fn labeled_pairs_cover_truth_and_stay_deterministic() {
+        let (_s, data) = small_dirty(40, 5);
+        let labels = data.truth.labeled_pairs(2);
+        let positives = labels.iter().filter(|&&(_, _, m)| m).count();
+        let negatives = labels.iter().filter(|&&(_, _, m)| !m).count();
+        assert_eq!(positives, data.truth.total_true_pairs());
+        assert_eq!(negatives, 2 * data.truth.billing_len());
+        for &(c, b, is_match) in &labels {
+            assert_eq!(data.truth.is_match(c, b), is_match);
+        }
+        assert_eq!(labels, data.truth.labeled_pairs(2), "pure function of the truth");
+        assert!(data.truth.labeled_pairs(0).iter().all(|&(_, _, m)| m));
     }
 
     #[test]

@@ -56,13 +56,44 @@ pub struct DiscoveredMd {
     pub confidence: f64,
 }
 
+/// Why a discovery request is unrunnable. Refinement feeds the miner
+/// user-controlled configuration, so degenerate inputs must surface as
+/// values rather than panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryError {
+    /// `attr_pairs` was empty: there is nothing to build LHS atoms from.
+    NoAttributePairs,
+    /// `cfg.lhs_ops` was empty: no operator to try on any attribute pair.
+    NoOperators,
+    /// `cfg.max_lhs == 0`: the levelwise search would explore no level.
+    ZeroMaxLhs,
+}
+
+impl std::fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoveryError::NoAttributePairs => {
+                write!(f, "discovery needs at least one candidate attribute pair")
+            }
+            DiscoveryError::NoOperators => {
+                write!(f, "discovery needs at least one candidate LHS operator")
+            }
+            DiscoveryError::ZeroMaxLhs => {
+                write!(f, "discovery needs max_lhs >= 1 (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
 /// Mines MDs over the given comparable attribute pairs from a sample of
 /// tuple pairs (candidate generation via the provided windowing keys keeps
 /// the sample dense in near-matches).
 ///
-/// # Panics
-///
-/// Panics when `attr_pairs` or `cfg.lhs_ops` is empty, or `max_lhs == 0`.
+/// Fails with a [`DiscoveryError`] when `attr_pairs` or `cfg.lhs_ops` is
+/// empty, or `cfg.max_lhs == 0`. An empty *sample* is not an error: it
+/// simply mines nothing (no LHS can reach any support).
 pub fn discover(
     credit: &Relation,
     billing: &Relation,
@@ -70,10 +101,16 @@ pub fn discover(
     sample: &[(usize, usize)],
     ops: &RuntimeOps,
     cfg: &DiscoveryConfig,
-) -> Vec<DiscoveredMd> {
-    assert!(!attr_pairs.is_empty(), "need candidate attribute pairs");
-    assert!(!cfg.lhs_ops.is_empty(), "need candidate operators");
-    assert!(cfg.max_lhs >= 1);
+) -> Result<Vec<DiscoveredMd>, DiscoveryError> {
+    if attr_pairs.is_empty() {
+        return Err(DiscoveryError::NoAttributePairs);
+    }
+    if cfg.lhs_ops.is_empty() {
+        return Err(DiscoveryError::NoOperators);
+    }
+    if cfg.max_lhs == 0 {
+        return Err(DiscoveryError::ZeroMaxLhs);
+    }
 
     // Pre-evaluate every (attribute pair, operator) predicate on the sample.
     let atoms: Vec<SimilarityAtom> = attr_pairs
@@ -155,11 +192,12 @@ pub fn discover(
             .expect("finite confidence")
             .then(b.support.cmp(&a.support))
     });
-    out
+    Ok(out)
 }
 
 /// Convenience: mines over a target's attribute pairs using windowing to
-/// build the sample.
+/// build the sample. Fails with the same [`DiscoveryError`] values as
+/// [`discover`].
 pub fn discover_from_windows(
     credit: &Relation,
     billing: &Relation,
@@ -168,7 +206,7 @@ pub fn discover_from_windows(
     window: usize,
     ops: &RuntimeOps,
     cfg: &DiscoveryConfig,
-) -> Vec<DiscoveredMd> {
+) -> Result<Vec<DiscoveredMd>, DiscoveryError> {
     let sample = multi_pass_window(credit, billing, keys, window);
     discover(credit, billing, attr_pairs, &sample, ops, cfg)
 }
@@ -212,7 +250,8 @@ mod tests {
             &sample,
             &ops,
             &DiscoveryConfig { min_support: 5, min_confidence: 0.8, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!(!mined.is_empty());
         // email= → LN⇌LN must be among the mined rules (emails are unique
         // per person in the generator).
@@ -232,7 +271,9 @@ mod tests {
             .take(20_000)
             .collect();
         let cfg = DiscoveryConfig { min_support: 10, min_confidence: 0.9, ..Default::default() };
-        for d in discover(&data.credit, &data.billing, &pairs_of(&setting), &sample, &ops, &cfg) {
+        let mined = discover(&data.credit, &data.billing, &pairs_of(&setting), &sample, &ops, &cfg)
+            .unwrap();
+        for d in mined {
             assert!(d.support >= 10);
             assert!(d.confidence >= 0.9);
             assert!(d.md.is_normal());
@@ -259,7 +300,8 @@ mod tests {
             &sample,
             &ops,
             &DiscoveryConfig { min_support: 20, min_confidence: 0.98, ..Default::default() },
-        );
+        )
+        .unwrap();
         assert!(!mined.is_empty());
         let sigma: Vec<MatchingDependency> = mined.iter().map(|d| d.md.clone()).collect();
         // The mined Σ admits RCK deduction.
@@ -269,16 +311,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "attribute pairs")]
-    fn empty_pairs_rejected() {
-        let (_setting, data, ops) = setup();
-        let _ = discover(
+    fn degenerate_inputs_are_typed_errors() {
+        let (setting, data, ops) = setup();
+        let pairs = pairs_of(&setting);
+        let err = discover(
             &data.credit,
             &data.billing,
             &[],
             &[(0, 0)],
             &ops,
             &DiscoveryConfig::default(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, DiscoveryError::NoAttributePairs);
+
+        let err = discover(
+            &data.credit,
+            &data.billing,
+            &pairs,
+            &[(0, 0)],
+            &ops,
+            &DiscoveryConfig { lhs_ops: vec![], ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, DiscoveryError::NoOperators);
+
+        let err = discover(
+            &data.credit,
+            &data.billing,
+            &pairs,
+            &[(0, 0)],
+            &ops,
+            &DiscoveryConfig { max_lhs: 0, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, DiscoveryError::ZeroMaxLhs);
+        // Errors render a human-readable reason for wire transport.
+        assert!(err.to_string().contains("max_lhs"));
+    }
+
+    #[test]
+    fn empty_sample_mines_nothing() {
+        let (setting, data, ops) = setup();
+        let mined = discover(
+            &data.credit,
+            &data.billing,
+            &pairs_of(&setting),
+            &[],
+            &ops,
+            &DiscoveryConfig::default(),
+        )
+        .unwrap();
+        assert!(mined.is_empty());
     }
 }

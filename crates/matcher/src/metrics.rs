@@ -44,13 +44,33 @@ impl MatchQuality {
 
     /// Harmonic mean of precision and recall.
     pub fn f1(&self) -> f64 {
+        self.f_beta(1.0)
+    }
+
+    /// The weighted harmonic mean
+    /// `F_β = (1 + β²) · P · R / (β² · P + R)`; `β > 1` weighs recall
+    /// higher, `β < 1` precision. Returns `0.0` whenever the denominator
+    /// vanishes and clamps non-finite or negative `beta` to `1.0`, so the
+    /// score is always a finite number in `[0, 1]`.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        let beta = if beta.is_finite() && beta > 0.0 { beta } else { 1.0 };
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
+        let b2 = beta * beta;
+        let denom = b2 * p + r;
+        if denom == 0.0 {
             0.0
         } else {
-            2.0 * p * r / (p + r)
+            (1.0 + b2) * p * r / denom
         }
+    }
+
+    /// Accumulates another confusion count into this one — the per-rule
+    /// contributions of a refinement evaluation sum component-wise.
+    pub fn merge(&mut self, other: &MatchQuality) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
     }
 }
 
@@ -173,6 +193,44 @@ mod tests {
         assert_eq!(silent.precision(), 1.0);
         assert_eq!(silent.recall(), 0.0);
         assert_eq!(silent.f1(), 0.0);
+    }
+
+    #[test]
+    fn f_beta_matches_f1_at_beta_one() {
+        let q = MatchQuality { true_positives: 8, false_positives: 2, false_negatives: 8 };
+        assert!((q.f_beta(1.0) - q.f1()).abs() < 1e-12);
+        // β = 2 weighs recall (0.5) over precision (0.8): F2 < F1 here.
+        assert!(q.f_beta(2.0) < q.f1());
+        // β = 0.5 weighs precision: F0.5 > F1.
+        assert!(q.f_beta(0.5) > q.f1());
+    }
+
+    #[test]
+    fn f_beta_degenerate_cases_are_finite() {
+        // Empty gold set and nothing returned: P = R = 1, any β scores 1.
+        let empty = MatchQuality { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        assert_eq!(empty.f_beta(1.0), 1.0);
+        assert_eq!(empty.f_beta(2.0), 1.0);
+        // Nothing returned against a populated gold set: R = 0 → 0.
+        let silent = MatchQuality { true_positives: 0, false_positives: 0, false_negatives: 5 };
+        assert_eq!(silent.f_beta(1.0), 0.0);
+        assert_eq!(silent.f_beta(0.25), 0.0);
+        // Only junk returned with an empty gold set: P = 0, R = 1 → 0.
+        let junk = MatchQuality { true_positives: 0, false_positives: 3, false_negatives: 0 };
+        assert_eq!(junk.f_beta(1.0), 0.0);
+        // Hostile β values fall back to β = 1 instead of going NaN.
+        let q = MatchQuality { true_positives: 8, false_positives: 2, false_negatives: 8 };
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!((q.f_beta(bad) - q.f1()).abs() < 1e-12, "beta = {bad}");
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut acc = MatchQuality { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        acc.merge(&MatchQuality { true_positives: 3, false_positives: 1, false_negatives: 2 });
+        acc.merge(&MatchQuality { true_positives: 5, false_positives: 0, false_negatives: 4 });
+        assert_eq!(acc, MatchQuality { true_positives: 8, false_positives: 1, false_negatives: 6 });
     }
 
     #[test]

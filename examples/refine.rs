@@ -1,0 +1,126 @@
+//! Refining rules against labeled data: dirty data → labels → candidate
+//! pool → θ-tuned selection → zero-downtime swap.
+//!
+//! A service starts from a deliberately weak rule set (one exact key,
+//! one over-strict fuzzy key), a labeled sample is generated from the
+//! §6.2 noise ladder's ground truth, and the refinement loop mines
+//! candidates, sweeps every fuzzy atom over a θ grid, evaluates each
+//! candidate through the indexed engine, and greedily selects the
+//! F1-maximizing subset — which then hot-swaps into the running service.
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example refine
+//! ```
+
+use matchrules::data::dirty::{generate_dirty, NoiseConfig};
+use matchrules::engine::{EngineBuilder, Preset};
+use matchrules::refine::{CandidateOrigin, LabelStore, Refiner};
+use matchrules::service::{MatchService, Record, RecordId};
+
+/// One exact key plus one over-strict fuzzy key (`≈jw` is registered at
+/// θ = 0.90) — plenty of headroom for refinement to claw back recall
+/// with looser θ-sweep variants.
+const WEAK_RULES: &str = "\
+    credit[email] = billing[email] -> \
+    credit[FN,MN,LN,street,city,county,state,zip,tel,email,gender] <=> \
+    billing[FN,MN,LN,street,city,county,state,zip,phn,email,gender]\n\
+    credit[LN] ~jw billing[LN] /\\ credit[FN] ~jw billing[FN] -> \
+    credit[FN,MN,LN,street,city,county,state,zip,tel,email,gender] <=> \
+    billing[FN,MN,LN,street,city,county,state,zip,phn,email,gender]\n";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Dirty credit/billing data with known ground truth (§6.2 ladder).
+    let shape = Preset::Extended.paper_setting();
+    let data = generate_dirty(
+        &shape.pair,
+        &shape.target,
+        80,
+        &NoiseConfig { seed: 0x5EED_0F1E, ..NoiseConfig::default() },
+    );
+
+    // A service running the weak rules over the billing store.
+    let engine = EngineBuilder::new()
+        .schema_pair(shape.pair)
+        .md_text(WEAK_RULES)
+        .target_ids(shape.target)
+        .statistics_from(&data.credit, &data.billing)
+        .build()?;
+    let mut service = MatchService::new(engine);
+    for t in data.billing.tuples() {
+        let record = Record::from_values(service.store_schema().clone(), t.values().to_vec())?;
+        service.upsert(RecordId(t.id()), &record)?;
+    }
+    println!("serving v{} with {} rules\n", service.version().number(), 2);
+
+    // The ground truth doubles as a labeled-data factory: every true
+    // pair positive, two deterministic negatives per positive.
+    let labels = LabelStore::from_truth(&data.credit, &data.billing, &data.truth, 2)?;
+    println!(
+        "labeled sample: {} pairs ({} positive, {} negative)",
+        labels.len(),
+        labels.positives(),
+        labels.negatives()
+    );
+
+    // Mine candidates from the labels, θ-sweep every fuzzy atom,
+    // evaluate through the indexed engine, select greedily on F1.
+    let refiner = Refiner::new(service.plan(), service.registry());
+    let refinement = refiner.refine(&labels)?;
+    let report = &refinement.report;
+
+    println!(
+        "\npool: {} candidates ({} selection)",
+        report.pool_size,
+        if report.exhaustive { "exhaustive" } else { "greedy" }
+    );
+    println!(
+        "before: P={:.3} R={:.3} F1={:.3}",
+        report.before.precision(),
+        report.before.recall(),
+        report.before.f1()
+    );
+    println!(
+        "after:  P={:.3} R={:.3} F1={:.3}",
+        report.after.precision(),
+        report.after.recall(),
+        report.after.f1()
+    );
+
+    println!("\nselected rules:");
+    for rule in &report.selected {
+        let origin = match &rule.origin {
+            CandidateOrigin::Seed => "seed".to_owned(),
+            CandidateOrigin::Handwritten => "hand-written".to_owned(),
+            CandidateOrigin::Discovered { support, confidence } => {
+                format!("mined (support {support}, confidence {confidence:.2})")
+            }
+            CandidateOrigin::ThetaSweep { theta, .. } => format!("θ-sweep @ {theta:.2}"),
+        };
+        println!("  [{origin}] gain {:+.3}  {}", rule.marginal_gain, rule.rendered);
+    }
+    if !report.chosen_thetas.is_empty() {
+        println!("\nchosen thresholds:");
+        for (atom, theta) in &report.chosen_thetas {
+            println!("  {atom}  (θ = {theta:.2})");
+        }
+    }
+
+    // Hot-swap the selected rules into the running service: same store,
+    // bumped version, extended operator world.
+    let version = service.swap_rules_refined(&refinement)?;
+    println!("\nswapped to v{} with {} rules", version.number(), refinement.rules.len());
+
+    // The refined rules serve immediately.
+    let probe = Record::from_values(
+        service.probe_schema().clone(),
+        data.credit.tuples()[0].values().to_vec(),
+    )?;
+    let answer = service.query(&probe)?;
+    println!(
+        "probe #0 matches {} stored records at v{}",
+        answer.hits.len(),
+        answer.version.number()
+    );
+    Ok(())
+}

@@ -273,6 +273,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Replaces the interned operator *table* the plan's `OperatorId`s
+    /// resolve against. The refinement loop uses this to deploy θ-variant
+    /// rules: it extends the serving plan's table (interning is
+    /// append-only, so existing ids keep their meaning) and compiles the
+    /// selected MDs against the extension. Every symbol must still have an
+    /// executable binding in the registry — [`EngineBuilder::compile`]
+    /// validates that.
+    #[must_use]
+    pub fn operator_table(mut self, ops: OperatorTable) -> Self {
+        self.ops = ops;
+        self
+    }
+
     /// Adds MDs in the textual syntax (may be called repeatedly; operator
     /// symbols are interned on compile).
     #[must_use]

@@ -241,6 +241,60 @@
 //! shard counts) and over the wire via
 //! [`server::MatchClient::query_ranked`].
 //!
+//! ## Refining rules against labeled data
+//!
+//! Everything above *executes* the rules you wrote; the [`refine`]
+//! module *improves* them. A [`refine::LabelStore`] holds labeled
+//! positive/negative record pairs (generated from a
+//! [`GroundTruth`](data::dirty::GroundTruth) or appended from live
+//! feedback), and a [`refine::Refiner`] grows a candidate pool from the
+//! serving plan's rules — mined proposals plus per-atom θ-threshold
+//! sweeps — evaluates every candidate on the labels through the indexed
+//! engine, and selects the F_β-maximizing subset. The resulting
+//! [`refine::Refinement`] hot-swaps into a running service:
+//!
+//! ```
+//! use matchrules::data::dirty::{generate_dirty, NoiseConfig};
+//! use matchrules::engine::{EngineBuilder, Preset};
+//! use matchrules::refine::{LabelStore, Refiner};
+//! use matchrules::service::MatchService;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Dirty data with known ground truth (the §6.2 noise ladder).
+//! let shape = Preset::Extended.paper_setting();
+//! let data = generate_dirty(&shape.pair, &shape.target, 40,
+//!     &NoiseConfig { seed: 7, ..NoiseConfig::default() });
+//!
+//! // A service running a deliberately weak rule: one exact key.
+//! let engine = EngineBuilder::new()
+//!     .schema_pair(shape.pair)
+//!     .md_text(
+//!         "credit[email] = billing[email] -> \
+//!          credit[FN,MN,LN,street,city,county,state,zip,tel,email,gender] <=> \
+//!          billing[FN,MN,LN,street,city,county,state,zip,phn,email,gender]",
+//!     )
+//!     .target_ids(shape.target)
+//!     .build()?;
+//! let mut service = MatchService::new(engine);
+//!
+//! // Ground truth -> labels, labels -> selected θ-tuned rules.
+//! let labels = LabelStore::from_truth(&data.credit, &data.billing, &data.truth, 2)?;
+//! let refinement = Refiner::new(service.plan(), service.registry()).refine(&labels)?;
+//! assert!(refinement.report.after.f1() >= refinement.report.before.f1());
+//!
+//! // Deploy: the store survives, the version bumps, the operator
+//! // world extends (θ-variants arrive as aliased operators).
+//! let v2 = service.swap_rules_refined(&refinement)?;
+//! assert_eq!(v2.number(), 2);
+//! # Ok(()) }
+//! ```
+//!
+//! The same loop runs against a live [`server::MatchServer`] — labels
+//! stream in over the wire (`SubmitLabels`), and a `Refine` request
+//! selects and deploys without restarting
+//! ([`server::MatchClient::submit_labels`] /
+//! [`server::MatchClient::refine`]).
+//!
 //! ## Parallel execution
 //!
 //! The engine runs on a std-only work pool (`matchrules-runtime`):
@@ -285,7 +339,10 @@
 //!   Neighborhood, blocking, windowing and quality metrics;
 //! * `matchrules-runtime` — the std-only parallel execution runtime
 //!   (work pool, parallel sort, deterministic ordered reductions);
-//! * [`engine`] — the schema-agnostic compile-once API over all of it.
+//! * [`engine`] — the schema-agnostic compile-once API over all of it;
+//! * [`refine`] — the rule-refinement loop: labeled pairs → candidate
+//!   pool (mining + θ-sweeps) → greedy F_β selection → hot-swappable
+//!   [`Refinement`](refine::Refinement).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the harness regenerating every figure of the paper's evaluation.
@@ -294,6 +351,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod refine;
 pub mod server;
 pub mod service;
 

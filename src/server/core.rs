@@ -3,6 +3,7 @@
 use crate::engine::{
     schemas_compatible, EngineBuilder, FilterStats, MatchEngine, MatchIndex, MatchPlan,
 };
+use crate::refine::{LabelStore, RefineConfig, Refinement, RefinementReport, Refiner};
 use crate::server::cache::ProbeCache;
 use crate::service::{
     MatchExplanation, QueryResponse, RankedResponse, Record, RecordBuilder, RecordId, RuleVersion,
@@ -199,6 +200,9 @@ pub struct MatchServer {
     /// of two ≥ `top_k`) and truncated per request, so nearby `top_k`
     /// values share entries.
     ranked_cache: ProbeCache<RankedResponse>,
+    /// Labeled pairs accumulated from [`MatchServer::submit_labels`] —
+    /// the training set [`MatchServer::refine`] selects against.
+    labels: Mutex<LabelStore>,
     /// Global arrival counter; each upserted record is stamped with the
     /// next value so cross-shard hits can be merged in store order.
     seq: AtomicU64,
@@ -239,6 +243,10 @@ impl MatchServer {
                 Arc::new(ShardSnapshot { index, seq_of: HashMap::new() })
             })
             .collect();
+        let labels = Mutex::new(LabelStore::new(
+            engine.plan().pair().left().clone(),
+            engine.plan().pair().right().clone(),
+        ));
         let rules = Arc::new(RuleEpoch { engine, version: RuleVersion(1) });
         MatchServer {
             view: EpochCell::new(Arc::new(ServerView { rules, shards: snapshots })),
@@ -247,6 +255,7 @@ impl MatchServer {
             pool,
             cache: ProbeCache::new(config.cache_capacity),
             ranked_cache: ProbeCache::new(config.cache_capacity),
+            labels,
             seq: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             batch_queries: AtomicU64::new(0),
@@ -764,12 +773,25 @@ impl MatchServer {
         &self,
         add_rules: impl FnOnce(EngineBuilder) -> EngineBuilder,
     ) -> Result<RuleVersion, ServiceError> {
+        self.swap_with_registry(None, add_rules)
+    }
+
+    /// [`MatchServer::swap_with`] with an optional registry override —
+    /// the new engine compiles *and runs* against it, which is how a
+    /// refined swap carries its θ-alias bindings into the serving
+    /// runtime (not just its table). `None` keeps the serving registry.
+    fn swap_with_registry(
+        &self,
+        registry: Option<crate::simdist::ops::OpRegistry>,
+        add_rules: impl FnOnce(EngineBuilder) -> EngineBuilder,
+    ) -> Result<RuleVersion, ServiceError> {
         let _gate = self.swap_gate.write().unwrap_or_else(|e| e.into_inner());
         let (view, _) = self.view.load();
-        let builder = EngineBuilder::from_plan(view.rules.engine.plan())
-            .operators(view.rules.engine.registry().clone());
+        let registry = registry.unwrap_or_else(|| view.rules.engine.registry().clone());
+        let builder =
+            EngineBuilder::from_plan(view.rules.engine.plan()).operators(registry.clone());
         let plan = add_rules(builder).compile()?;
-        let engine = MatchEngine::from_plan(plan, view.rules.engine.registry())?;
+        let engine = MatchEngine::from_plan(plan, &registry)?;
         let rebuilt = self.pool.par_tasks(view.shards.len(), |s| {
             let shard = &view.shards[s];
             // Each rebuilt shard plans its atom intersections around the
@@ -788,6 +810,106 @@ impl MatchServer {
         Ok(version)
     }
 
+    /// Deploys a [`Refinement`] with the same zero-downtime mechanics as
+    /// [`MatchServer::swap_rules`]: the refinement's selected rules swap
+    /// in together with the extended operator table/registry they were
+    /// compiled against (θ-sweep aliases included). The refinement's
+    /// table must *extend* the serving plan's — otherwise the swap is
+    /// refused with [`ServiceError::Refinement`] and the old version
+    /// keeps serving.
+    pub fn swap_rules_refined(&self, refinement: &Refinement) -> Result<RuleVersion, ServiceError> {
+        if !refinement.extends(self.view.load().0.rules.engine.plan().ops()) {
+            return Err(ServiceError::Refinement {
+                message: "refinement's operator table does not extend the serving plan's \
+                          (was it produced against a different server?)"
+                    .to_owned(),
+            });
+        }
+        if refinement.rules.is_empty() {
+            return Err(ServiceError::Refinement {
+                message: "refinement selected no rules; refusing to deploy an empty rule set"
+                    .to_owned(),
+            });
+        }
+        let ops = refinement.ops.clone();
+        let rules = refinement.rules.clone();
+        self.swap_with_registry(Some(refinement.registry.clone()), move |b| {
+            b.operator_table(ops).mds(rules)
+        })
+    }
+
+    /// Appends labeled pairs (probe record, stored-shape record, is a
+    /// match) to the server's label store — the training set
+    /// [`MatchServer::refine`] selects against. Duplicate pairs with the
+    /// same label are idempotent; a pair re-submitted with the
+    /// *opposite* label is a conflict and rejects the whole batch with
+    /// [`ServiceError::Refinement`] (nothing from the batch is kept).
+    /// Returns the label counts after the append.
+    pub fn submit_labels(
+        &self,
+        pairs: &[(Record, Record, bool)],
+    ) -> Result<LabelSummary, ServiceError> {
+        let mut store = self.labels.lock().unwrap_or_else(|e| e.into_inner());
+        // Stage on a copy so a mid-batch conflict leaves the store as it
+        // was — the caller can fix the batch and resubmit it whole.
+        let mut staged = store.clone();
+        let mut added = 0usize;
+        for (left, right, is_match) in pairs {
+            let fresh = staged
+                .insert(left.clone(), right.clone(), *is_match)
+                .map_err(|e| ServiceError::Refinement { message: e.to_string() })?;
+            if fresh {
+                added += 1;
+            }
+        }
+        *store = staged;
+        Ok(LabelSummary {
+            added,
+            total: store.len(),
+            positives: store.positives(),
+            negatives: store.negatives(),
+        })
+    }
+
+    /// Labels accumulated so far, without mutating anything.
+    pub fn label_summary(&self) -> LabelSummary {
+        let store = self.labels.lock().unwrap_or_else(|e| e.into_inner());
+        LabelSummary {
+            added: 0,
+            total: store.len(),
+            positives: store.positives(),
+            negatives: store.negatives(),
+        }
+    }
+
+    /// Runs the full refinement loop against the labels submitted so far
+    /// — mine candidates, θ-sweep fuzzy atoms, evaluate through the
+    /// indexed engine, select the F_β-maximizing subset — and hot-swaps
+    /// the selected rules in with zero read downtime. Returns the new
+    /// rule version and the [`RefinementReport`] (before/after quality,
+    /// per-rule marginal gains, chosen θ per atom). On any error
+    /// (no labels, nothing selected, compile failure) the old version
+    /// keeps serving untouched.
+    pub fn refine(&self, beta: f64) -> Result<(RuleVersion, RefinementReport), ServiceError> {
+        self.refine_with(RefineConfig { beta, ..RefineConfig::default() })
+    }
+
+    /// [`MatchServer::refine`] with explicit [`RefineConfig`] knobs.
+    pub fn refine_with(
+        &self,
+        config: RefineConfig,
+    ) -> Result<(RuleVersion, RefinementReport), ServiceError> {
+        let labels = self.labels.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let (view, _) = self.view.load();
+        let refiner = Refiner::new(view.rules.engine.plan(), view.rules.engine.registry())
+            .with_config(config);
+        let refinement = refiner
+            .refine(&labels)
+            .map_err(|e| ServiceError::Refinement { message: e.to_string() })?;
+        let version = self.swap_rules_refined(&refinement)?;
+        Ok((version, refinement.report))
+    }
+
     /// The currently compiled plan, for rendering keys and inspecting
     /// rules. The plan is part of the immutable view: the returned
     /// `Arc` stays valid (and stays describing the version it was
@@ -795,6 +917,21 @@ impl MatchServer {
     pub fn plan(&self) -> Arc<MatchPlan> {
         self.view.load().0.rules.engine.plan_arc()
     }
+}
+
+/// Label counts reported by [`MatchServer::submit_labels`] and
+/// [`MatchServer::label_summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelSummary {
+    /// How many pairs of the submitted batch were new (0 for
+    /// [`MatchServer::label_summary`]).
+    pub added: usize,
+    /// Total deduplicated labeled pairs held.
+    pub total: usize,
+    /// Positive pairs held.
+    pub positives: usize,
+    /// Negative pairs held.
+    pub negatives: usize,
 }
 
 /// A per-thread read handle over a [`MatchServer`]

@@ -65,6 +65,8 @@ mod core;
 pub mod net;
 pub mod wire;
 
-pub use self::core::{IndexKinds, MatchServer, ServerConfig, ServerReader, ServerStats};
+pub use self::core::{
+    IndexKinds, LabelSummary, MatchServer, ServerConfig, ServerReader, ServerStats,
+};
 pub use net::{ClientError, MatchClient, ServerHandle};
 pub use wire::{ProtocolError, Request, Response};

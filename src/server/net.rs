@@ -21,7 +21,7 @@
 use crate::server::core::MatchServer;
 use crate::server::wire::{
     read_response, write_request, write_response, ProtocolError, Request, Response, WireHit,
-    WireQuery, WireRanked, WireSchema, WireScoredHit, WireStats, MAX_FRAME,
+    WireQuery, WireRanked, WireRefinement, WireSchema, WireScoredHit, WireStats, MAX_FRAME,
 };
 use crate::service::{QueryResponse, RankedResponse, Record, RecordId, ServiceError};
 use matchrules_core::schema::Schema;
@@ -261,6 +261,43 @@ fn apply(server: &MatchServer, request: Request) -> Result<Response, ServiceErro
                 server.query_ranked(&probe, top_k as usize, f64::from_bits(min_score_bits))?;
             Ok(Response::QueryRanked(ranked_to_wire(&response)))
         }
+        Request::SubmitLabels { items } => {
+            let probe_schema = server.probe_schema();
+            let store_schema = server.store_schema();
+            let pairs = items
+                .into_iter()
+                .map(|(left, right, is_match)| {
+                    Ok((
+                        record_from(probe_schema.clone(), left)?,
+                        record_from(store_schema.clone(), right)?,
+                        is_match,
+                    ))
+                })
+                .collect::<Result<Vec<_>, ServiceError>>()?;
+            let summary = server.submit_labels(&pairs)?;
+            Ok(Response::SubmitLabels {
+                added: summary.added as u64,
+                total: summary.total as u64,
+                positives: summary.positives as u64,
+                negatives: summary.negatives as u64,
+            })
+        }
+        Request::Refine { beta_bits } => {
+            let (version, report) = server.refine(f64::from_bits(beta_bits))?;
+            Ok(Response::Refine(WireRefinement {
+                version: version.number(),
+                pool_size: report.pool_size as u64,
+                theta_variants: report.theta_variants_selected() as u64,
+                exhaustive: report.exhaustive,
+                before_precision_bits: report.before.precision().to_bits(),
+                before_recall_bits: report.before.recall().to_bits(),
+                before_f1_bits: report.before.f1().to_bits(),
+                after_precision_bits: report.after.precision().to_bits(),
+                after_recall_bits: report.after.recall().to_bits(),
+                after_f1_bits: report.after.f1().to_bits(),
+                rules: report.selected.iter().map(|r| r.rendered.clone()).collect(),
+            }))
+        }
     }
 }
 
@@ -402,6 +439,11 @@ pub struct MatchClient {
     probe_schema: WireSchema,
 }
 
+/// One labeled pair on the client API: a probe-side record, a
+/// store-side record (both as `(field, value)` pairs; unset fields are
+/// null) and whether the two refer to the same entity.
+pub type ClientLabel<'a> = (&'a [(&'a str, &'a str)], &'a [(&'a str, &'a str)], bool);
+
 impl MatchClient {
     /// Connects and learns the schema pair from the server.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<MatchClient, ClientError> {
@@ -532,6 +574,39 @@ impl MatchClient {
         match self.checked(&Request::SwapRules { md_text: md_text.to_owned() })? {
             Response::SwapRules { version } => Ok(version),
             _ => Err(ClientError::UnexpectedResponse { expected: "a swap answer" }),
+        }
+    }
+
+    /// Submits labeled pairs — each a probe-side record, a store-side
+    /// record (both as `(field, value)` pairs; unset fields are null)
+    /// and whether the two refer to the same entity. Returns
+    /// `(added, total)` label counts. The labels accumulate server-side
+    /// as the training set [`MatchClient::refine`] selects against.
+    pub fn submit_labels(&mut self, labels: &[ClientLabel<'_>]) -> Result<(u64, u64), ClientError> {
+        let items = labels
+            .iter()
+            .map(|&(left, right, is_match)| {
+                Ok((
+                    Self::values_for(&self.probe_schema, left)?,
+                    Self::values_for(&self.store_schema, right)?,
+                    is_match,
+                ))
+            })
+            .collect::<Result<Vec<_>, ClientError>>()?;
+        match self.checked(&Request::SubmitLabels { items })? {
+            Response::SubmitLabels { added, total, .. } => Ok((added, total)),
+            _ => Err(ClientError::UnexpectedResponse { expected: "a label summary" }),
+        }
+    }
+
+    /// Runs the server's refinement loop over the labels submitted so
+    /// far and hot-swaps the selected rules in; returns the
+    /// [`WireRefinement`] report (decode the `*_bits` quality fields
+    /// with `f64::from_bits`).
+    pub fn refine(&mut self, beta: f64) -> Result<WireRefinement, ClientError> {
+        match self.checked(&Request::Refine { beta_bits: beta.to_bits() })? {
+            Response::Refine(report) => Ok(report),
+            _ => Err(ClientError::UnexpectedResponse { expected: "a refinement report" }),
         }
     }
 

@@ -98,6 +98,11 @@ impl From<io::Error> for ProtocolError {
     }
 }
 
+/// One labeled pair on the wire: `(probe values, stored-shape values,
+/// is a match)` — both sides positional against their schema, unset
+/// fields null.
+pub type WireLabel = (Vec<Option<String>>, Vec<Option<String>>, bool);
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -146,6 +151,19 @@ pub enum Request {
     },
     /// Fetch server counters and the schema pair.
     Stats,
+    /// Append labeled pairs to the server's label store — the training
+    /// set [`Request::Refine`] selects against.
+    SubmitLabels {
+        /// `(probe values, stored-shape values, is a match)` triples.
+        items: Vec<WireLabel>,
+    },
+    /// Run the refinement loop over the labels submitted so far and
+    /// hot-swap the selected rules in.
+    Refine {
+        /// The β of the F_β selection objective, as `f64::to_bits`
+        /// (1.0 = F1; non-finite or non-positive falls back to F1).
+        beta_bits: u64,
+    },
 }
 
 /// One query hit on the wire: the matched id and the index of the RCK
@@ -248,6 +266,36 @@ pub struct WireStats {
     pub probe_schema: WireSchema,
 }
 
+/// A refinement outcome on the wire: the deployed version, before/after
+/// quality on the labeled sample (as `f64::to_bits`), and the selected
+/// rules rendered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRefinement {
+    /// The bumped rule version now serving the selected rules.
+    pub version: u64,
+    /// Candidates evaluated (seed + hand-written + mined + θ-variants).
+    pub pool_size: u64,
+    /// How many of the selected rules are θ-sweep variants.
+    pub theta_variants: u64,
+    /// Whether exact exhaustive selection ran (vs greedy).
+    pub exhaustive: bool,
+    /// Precision of the previous rules on the labels, as `f64::to_bits`.
+    pub before_precision_bits: u64,
+    /// Recall of the previous rules on the labels, as `f64::to_bits`.
+    pub before_recall_bits: u64,
+    /// F1 of the previous rules on the labels, as `f64::to_bits`.
+    pub before_f1_bits: u64,
+    /// Precision of the selected rules on the labels, as `f64::to_bits`.
+    pub after_precision_bits: u64,
+    /// Recall of the selected rules on the labels, as `f64::to_bits`.
+    pub after_recall_bits: u64,
+    /// F1 of the selected rules on the labels, as `f64::to_bits`.
+    pub after_f1_bits: u64,
+    /// The selected rules, rendered with relation/attribute/operator
+    /// names.
+    pub rules: Vec<String>,
+}
+
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -287,6 +335,19 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(WireStats),
+    /// Answer to [`Request::SubmitLabels`].
+    SubmitLabels {
+        /// How many submitted pairs were new (not already labeled).
+        added: u64,
+        /// Total deduplicated labeled pairs held after the append.
+        total: u64,
+        /// Positive pairs held.
+        positives: u64,
+        /// Negative pairs held.
+        negatives: u64,
+    },
+    /// Answer to [`Request::Refine`].
+    Refine(WireRefinement),
     /// The request was understood but failed at the service layer
     /// (schema mismatch, unknown record, rule compile error, …).
     Error {
@@ -407,6 +468,19 @@ impl Request {
                 put_u32(&mut out, *top_k);
                 put_u64(&mut out, *min_score_bits);
             }
+            Request::SubmitLabels { items } => {
+                out.push(9);
+                put_u32(&mut out, items.len() as u32);
+                for (left, right, is_match) in items {
+                    put_values(&mut out, left);
+                    put_values(&mut out, right);
+                    out.push(*is_match as u8);
+                }
+            }
+            Request::Refine { beta_bits } => {
+                out.push(10);
+                put_u64(&mut out, *beta_bits);
+            }
         }
         out
     }
@@ -453,6 +527,17 @@ impl Request {
                 let top_k = r.u32("top-k")?;
                 Request::QueryRanked { values, top_k, min_score_bits: r.u64("min-score bits")? }
             }
+            9 => {
+                let n = r.count("label count")?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let left = r.values()?;
+                    let right = r.values()?;
+                    items.push((left, right, r.bool("label polarity")?));
+                }
+                Request::SubmitLabels { items }
+            }
+            10 => Request::Refine { beta_bits: r.u64("beta bits")? },
             tag => return Err(ProtocolError::UnknownTag { context: "request opcode", tag }),
         };
         r.finish()?;
@@ -533,6 +618,30 @@ impl Response {
                 out.push(8);
                 put_wire_ranked(&mut out, q);
             }
+            Response::SubmitLabels { added, total, positives, negatives } => {
+                out.push(9);
+                put_u64(&mut out, *added);
+                put_u64(&mut out, *total);
+                put_u64(&mut out, *positives);
+                put_u64(&mut out, *negatives);
+            }
+            Response::Refine(rf) => {
+                out.push(10);
+                put_u64(&mut out, rf.version);
+                put_u64(&mut out, rf.pool_size);
+                put_u64(&mut out, rf.theta_variants);
+                out.push(rf.exhaustive as u8);
+                put_u64(&mut out, rf.before_precision_bits);
+                put_u64(&mut out, rf.before_recall_bits);
+                put_u64(&mut out, rf.before_f1_bits);
+                put_u64(&mut out, rf.after_precision_bits);
+                put_u64(&mut out, rf.after_recall_bits);
+                put_u64(&mut out, rf.after_f1_bits);
+                put_u32(&mut out, rf.rules.len() as u32);
+                for rule in &rf.rules {
+                    put_str(&mut out, rule);
+                }
+            }
             Response::Error { message } => {
                 out.push(255);
                 put_str(&mut out, message);
@@ -605,6 +714,42 @@ impl Response {
                 })
             }
             8 => Response::QueryRanked(r.wire_ranked()?),
+            9 => Response::SubmitLabels {
+                added: r.u64("added counter")?,
+                total: r.u64("label total")?,
+                positives: r.u64("positive count")?,
+                negatives: r.u64("negative count")?,
+            },
+            10 => {
+                let version = r.u64("rule version")?;
+                let pool_size = r.u64("pool size")?;
+                let theta_variants = r.u64("theta variant count")?;
+                let exhaustive = r.bool("exhaustive flag")?;
+                let before_precision_bits = r.u64("before precision bits")?;
+                let before_recall_bits = r.u64("before recall bits")?;
+                let before_f1_bits = r.u64("before f1 bits")?;
+                let after_precision_bits = r.u64("after precision bits")?;
+                let after_recall_bits = r.u64("after recall bits")?;
+                let after_f1_bits = r.u64("after f1 bits")?;
+                let n = r.count("rule count")?;
+                let mut rules = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rules.push(r.string("rendered rule")?);
+                }
+                Response::Refine(WireRefinement {
+                    version,
+                    pool_size,
+                    theta_variants,
+                    exhaustive,
+                    before_precision_bits,
+                    before_recall_bits,
+                    before_f1_bits,
+                    after_precision_bits,
+                    after_recall_bits,
+                    after_f1_bits,
+                    rules,
+                })
+            }
             255 => Response::Error { message: r.string("error message")? },
             tag => return Err(ProtocolError::UnknownTag { context: "response opcode", tag }),
         };
@@ -863,6 +1008,14 @@ mod tests {
                 top_k: 10,
                 min_score_bits: 0.5f64.to_bits(),
             },
+            Request::SubmitLabels {
+                items: vec![
+                    (vec![Some("mark".into()), None], vec![Some("marx".into())], true),
+                    (vec![None], vec![None], false),
+                ],
+            },
+            Request::SubmitLabels { items: vec![] },
+            Request::Refine { beta_bits: 1.0f64.to_bits() },
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -924,6 +1077,20 @@ mod tests {
                 key_evals: 4,
                 version: 2,
             }),
+            Response::SubmitLabels { added: 3, total: 10, positives: 6, negatives: 4 },
+            Response::Refine(WireRefinement {
+                version: 4,
+                pool_size: 37,
+                theta_variants: 2,
+                exhaustive: false,
+                before_precision_bits: 0.9f64.to_bits(),
+                before_recall_bits: 0.4f64.to_bits(),
+                before_f1_bits: 0.55f64.to_bits(),
+                after_precision_bits: 0.95f64.to_bits(),
+                after_recall_bits: 0.9f64.to_bits(),
+                after_f1_bits: 0.92f64.to_bits(),
+                rules: vec!["credit[FN] ≈dl@0.70 billing[FN] -> …".into()],
+            }),
             Response::Error { message: "unknown record #9".into() },
         ];
         for response in responses {
@@ -950,5 +1117,14 @@ mod tests {
         body.extend_from_slice(&2u32.to_be_bytes());
         body.extend_from_slice(&[0xC3, 0x28]);
         assert!(matches!(Request::decode(&body), Err(ProtocolError::InvalidUtf8 { .. })));
+        // Refine missing its beta.
+        assert!(matches!(Request::decode(&[10]), Err(ProtocolError::Truncated { .. })));
+        // SubmitLabels with a polarity byte that is neither 0 nor 1.
+        let mut body = vec![9];
+        body.extend_from_slice(&1u32.to_be_bytes()); // one item
+        body.extend_from_slice(&0u32.to_be_bytes()); // empty left values
+        body.extend_from_slice(&0u32.to_be_bytes()); // empty right values
+        body.push(7); // bad polarity
+        assert!(matches!(Request::decode(&body), Err(ProtocolError::UnknownTag { tag: 7, .. })));
     }
 }

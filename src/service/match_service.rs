@@ -160,6 +160,13 @@ impl MatchService {
         self.engine.plan()
     }
 
+    /// The operator registry the serving engine executes against —
+    /// what a [`Refiner`](crate::refine::Refiner) seeds from so custom
+    /// and θ-alias operators keep their bindings.
+    pub fn registry(&self) -> &crate::simdist::ops::OpRegistry {
+        self.engine.registry()
+    }
+
     /// The current rule version.
     pub fn version(&self) -> RuleVersion {
         self.version
@@ -386,16 +393,58 @@ impl MatchService {
         self.swap_with(move |b| b.mds(mds))
     }
 
+    /// Deploys a [`Refinement`](crate::refine::Refinement): swaps in its
+    /// selected rules together with the extended operator table and
+    /// registry they were compiled against (θ-sweep aliases included).
+    /// The refinement's table must *extend* this service's — every
+    /// existing `OperatorId` keeps its meaning — otherwise the swap is
+    /// refused with [`ServiceError::Refinement`] and the service keeps
+    /// serving untouched.
+    pub fn swap_rules_refined(
+        &mut self,
+        refinement: &crate::refine::Refinement,
+    ) -> Result<RuleVersion, ServiceError> {
+        if !refinement.extends(self.engine.plan().ops()) {
+            return Err(ServiceError::Refinement {
+                message: "refinement's operator table does not extend the serving plan's \
+                          (was it produced against a different service?)"
+                    .to_owned(),
+            });
+        }
+        if refinement.rules.is_empty() {
+            return Err(ServiceError::Refinement {
+                message: "refinement selected no rules; refusing to deploy an empty rule set"
+                    .to_owned(),
+            });
+        }
+        let ops = refinement.ops.clone();
+        let rules = refinement.rules.clone();
+        self.swap_with_registry(refinement.registry.clone(), move |b| {
+            b.operator_table(ops).mds(rules)
+        })
+    }
+
     fn swap_with(
         &mut self,
         add_rules: impl FnOnce(EngineBuilder) -> EngineBuilder,
     ) -> Result<RuleVersion, ServiceError> {
+        self.swap_with_registry(self.engine.registry().clone(), add_rules)
+    }
+
+    /// [`MatchService::swap_with`] with an explicit registry — the new
+    /// engine compiles *and runs* against `registry`, which is how a
+    /// refined swap carries its θ-alias bindings into the serving
+    /// runtime (not just its table).
+    fn swap_with_registry(
+        &mut self,
+        registry: crate::simdist::ops::OpRegistry,
+        add_rules: impl FnOnce(EngineBuilder) -> EngineBuilder,
+    ) -> Result<RuleVersion, ServiceError> {
         // Compile and rebuild entirely off to the side; `self` is only
         // touched once everything succeeded.
-        let builder =
-            EngineBuilder::from_plan(self.engine.plan()).operators(self.engine.registry().clone());
+        let builder = EngineBuilder::from_plan(self.engine.plan()).operators(registry.clone());
         let plan = add_rules(builder).compile()?;
-        let engine = MatchEngine::from_plan(plan, self.engine.registry())?;
+        let engine = MatchEngine::from_plan(plan, &registry)?;
         // The new version plans its atom intersections around the
         // selectivities the old version observed in live traffic.
         let index = engine

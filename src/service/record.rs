@@ -60,6 +60,13 @@ pub enum ServiceError {
     /// A rule-swap recompile or index rebuild failed; the service state
     /// is unchanged.
     Engine(EngineError),
+    /// A refinement input was rejected (conflicting label, empty label
+    /// set, incompatible operator table…); the serving state is
+    /// unchanged.
+    Refinement {
+        /// Human-readable reason.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -85,6 +92,9 @@ impl fmt::Display for ServiceError {
                 write!(f, "ranked query min_score must not be NaN")
             }
             ServiceError::Engine(e) => write!(f, "{e}"),
+            ServiceError::Refinement { message } => {
+                write!(f, "refinement rejected: {message}")
+            }
         }
     }
 }

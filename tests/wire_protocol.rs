@@ -12,8 +12,8 @@
 
 use matchrules::server::wire::{
     read_frame, read_request, read_response, write_frame, write_request, write_response,
-    ProtocolError, Request, Response, WireHit, WireQuery, WireRanked, WireSchema, WireScoredHit,
-    WireStats, MAX_FRAME,
+    ProtocolError, Request, Response, WireHit, WireQuery, WireRanked, WireRefinement, WireSchema,
+    WireScoredHit, WireStats, MAX_FRAME,
 };
 use proptest::prelude::*;
 use std::io::Read;
@@ -63,7 +63,7 @@ impl Gen {
     }
 
     fn request(&mut self) -> Request {
-        match self.below(8) {
+        match self.below(10) {
             0 => Request::Query { values: self.values() },
             1 => {
                 Request::QueryBatch { probes: (0..self.below(4)).map(|_| self.values()).collect() }
@@ -79,6 +79,12 @@ impl Gen {
                 top_k: self.next() as u32,
                 min_score_bits: self.next(),
             },
+            7 => Request::SubmitLabels {
+                items: (0..self.below(4))
+                    .map(|_| (self.values(), self.values(), self.below(2) == 1))
+                    .collect(),
+            },
+            8 => Request::Refine { beta_bits: self.next() },
             _ => Request::Stats,
         }
     }
@@ -117,7 +123,7 @@ impl Gen {
     }
 
     fn response(&mut self) -> Response {
-        match self.below(9) {
+        match self.below(11) {
             0 => Response::Query(self.wire_query()),
             1 => Response::QueryBatch((0..self.below(3)).map(|_| self.wire_query()).collect()),
             2 => Response::UpsertBatch {
@@ -153,6 +159,25 @@ impl Gen {
                 probe_schema: self.schema(),
             }),
             7 => Response::QueryRanked(self.wire_ranked()),
+            8 => Response::SubmitLabels {
+                added: self.next(),
+                total: self.next(),
+                positives: self.next(),
+                negatives: self.next(),
+            },
+            9 => Response::Refine(WireRefinement {
+                version: self.next(),
+                pool_size: self.next(),
+                theta_variants: self.next(),
+                exhaustive: self.below(2) == 1,
+                before_precision_bits: self.next(),
+                before_recall_bits: self.next(),
+                before_f1_bits: self.next(),
+                after_precision_bits: self.next(),
+                after_recall_bits: self.next(),
+                after_f1_bits: self.next(),
+                rules: (0..self.below(4)).map(|_| self.string()).collect(),
+            }),
             _ => Response::Error { message: self.string() },
         }
     }
